@@ -1,0 +1,39 @@
+//! Criterion: DSL interpreter vs kbpf VM dispatch cost on a Listing-1-sized
+//! expression, plus verifier cost (the per-candidate Checker overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use policysmith_dsl::{env::MapEnv, eval, parse, Feature};
+use policysmith_kbpf::{build_ctx, cc_verify_env, compile, execute, verify, SPILL_SLOTS};
+
+fn bench_dsl_vm(c: &mut Criterion) {
+    let src = "if(loss, max(cwnd >> 1, 2), \
+               if(srtt > min_rtt + 10000, max(cwnd - 1, 2), \
+                  cwnd + max(acked / max(mss, 1), 1)))";
+    let expr = parse(src).unwrap();
+    let env = MapEnv::new()
+        .with(Feature::Cwnd, 40)
+        .with(Feature::SrttUs, 50_000)
+        .with(Feature::MinRttUs, 40_000)
+        .with(Feature::AckedBytes, 1_500)
+        .with(Feature::Mss, 1_500);
+    let prog = compile(&expr).unwrap();
+    let ctx = build_ctx(&env);
+
+    c.bench_function("dsl/interpret", |b| b.iter(|| eval(&expr, &env).unwrap()));
+    c.bench_function("kbpf/execute", |b| {
+        let mut map = vec![0i64; SPILL_SLOTS];
+        b.iter(|| execute(&prog, &ctx, &mut map).unwrap())
+    });
+    c.bench_function("kbpf/verify", |b| {
+        let venv = cc_verify_env();
+        b.iter(|| verify(&prog, &venv).unwrap())
+    });
+    c.bench_function("kbpf/compile", |b| b.iter(|| compile(&expr).unwrap()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_dsl_vm
+}
+criterion_main!(benches);

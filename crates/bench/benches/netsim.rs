@@ -1,0 +1,18 @@
+//! Criterion: emulated-link event throughput (simulated seconds per
+//! wall-second under a Reno flow on the paper link).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use policysmith_cc::{baselines::Reno, evaluate};
+
+fn bench_netsim(c: &mut Criterion) {
+    c.bench_function("netsim/reno-5s-paper-link", |b| {
+        b.iter(|| evaluate(Box::new(Reno::new()), 5_000_000))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_netsim
+}
+criterion_main!(benches);

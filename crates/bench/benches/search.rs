@@ -1,0 +1,33 @@
+//! Criterion: one PolicySmith search round on a small cache context — the
+//! end-to-end generate → check → evaluate cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use policysmith_core::search::{run_search, SearchConfig};
+use policysmith_core::studies::cache::CacheStudy;
+use policysmith_gen::{GenConfig, MockLlm};
+use policysmith_traces::cloudphysics;
+
+fn bench_search(c: &mut Criterion) {
+    let trace = cloudphysics().trace(89, 10_000);
+    let study = CacheStudy::new(&trace);
+    c.bench_function("search/1-round-8-candidates-10k-trace", |b| {
+        b.iter(|| {
+            let mut llm = MockLlm::new(GenConfig::cache_defaults(1));
+            let cfg = SearchConfig {
+                rounds: 1,
+                candidates_per_round: 8,
+                exemplars: 2,
+                repair: true,
+                threads: 2,
+            };
+            run_search(&study, &mut llm, &cfg)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_search
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! ABL: ablations of the search-design choices DESIGN.md calls out (not in
+//! the paper — §6 poses them as open questions):
+//!
+//! * exemplar feedback on/off (is the evolutionary loop earning its keep?)
+//! * stderr repair on/off (how much does the +19%-style recovery matter?)
+//! * round-count sweep (search-budget scaling)
+//!
+//! All on the w89 context.
+//!
+//! Usage: `exp_ablation [--fast] [--requests N] [--seed N]`
+
+use policysmith_bench::{write_json, ExpOpts};
+use policysmith_core::search::{run_search, SearchConfig};
+use policysmith_core::studies::cache::CacheStudy;
+use policysmith_gen::{GenConfig, MockLlm};
+use policysmith_traces::cloudphysics;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let trace = cloudphysics().trace(89, opts.requests);
+    let study = CacheStudy::new(&trace);
+    let base = if opts.fast {
+        SearchConfig { rounds: 6, candidates_per_round: 10, ..SearchConfig::paper_cache() }
+    } else {
+        SearchConfig { rounds: 12, candidates_per_round: 20, ..SearchConfig::paper_cache() }
+    };
+
+    let mut results = Vec::new();
+    let mut run = |name: &str, cfg: SearchConfig, seed: u64| {
+        let mut llm = MockLlm::new(GenConfig::cache_defaults(seed));
+        let o = run_search(&study, &mut llm, &cfg);
+        let repaired: usize = o.rounds.iter().map(|r| r.passed_after_repair).sum();
+        println!(
+            "{name:28} best {:+.4}  ({} rounds × {} cand, {} repaired)",
+            o.best.score, cfg.rounds, cfg.candidates_per_round, repaired
+        );
+        results.push(serde_json::json!({
+            "variant": name,
+            "best": o.best.score,
+            "rounds": cfg.rounds,
+            "candidates_per_round": cfg.candidates_per_round,
+            "repaired": repaired,
+        }));
+        o.best.score
+    };
+
+    println!("=== ablations on {} ===", trace.name);
+    let full = run("full (exemplars + repair)", base, opts.seed);
+    let no_exemplars = run("no exemplar feedback", SearchConfig { exemplars: 0, ..base }, opts.seed);
+    let no_repair = run("no stderr repair", SearchConfig { repair: false, ..base }, opts.seed);
+    for rounds in [2, 4, 8] {
+        run(
+            &format!("budget sweep: {rounds} rounds"),
+            SearchConfig { rounds, ..base },
+            opts.seed,
+        );
+    }
+
+    println!("\nexemplar feedback contribution: {:+.4}", full - no_exemplars);
+    println!("repair contribution:            {:+.4}", full - no_repair);
+    write_json("ablation", &results);
+}

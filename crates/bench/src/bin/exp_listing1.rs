@@ -1,0 +1,49 @@
+//! LST1: regenerate Listing 1 — run the w89-context search and print the
+//! best evolved heuristic alongside the paper's literal Listing 1
+//! (embedded as `PS-A(paper)`), comparing both on the home context.
+//!
+//! Usage: `exp_listing1 [--fast] [--requests N] [--seed N]`
+
+use policysmith_bench::{write_json, ExpOpts};
+use policysmith_cachesim::{paper_heuristic_a, LISTING1_SOURCE};
+use policysmith_core::search::{run_search, Study};
+use policysmith_core::studies::cache::CacheStudy;
+use policysmith_gen::{GenConfig, MockLlm};
+use policysmith_traces::cloudphysics;
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let trace = cloudphysics().trace(89, opts.requests);
+    let study = CacheStudy::new(&trace);
+
+    println!("=== Listing 1 reproduction: context {} ===", trace.name);
+    let mut llm = MockLlm::new(GenConfig::cache_defaults(opts.seed));
+    let outcome = run_search(&study, &mut llm, &opts.search_cfg());
+
+    println!("\n-- our evolved Heuristic A (best of {} candidates) --", outcome.all.len());
+    println!("priority() = {}", outcome.best.source);
+    println!("improvement over FIFO on {}: {:+.4}", trace.name, outcome.best.score);
+
+    println!("\n-- the paper's literal Listing 1 (typed translation) --");
+    println!("priority() = {LISTING1_SOURCE}");
+    let paper_score = study.improvement(paper_heuristic_a());
+    println!("improvement over FIFO on {}: {:+.4}", trace.name, paper_score);
+
+    println!("\n-- seeds for reference --");
+    for (name, src) in [("LRU seed", "obj.last_access"), ("LFU seed", "obj.count")] {
+        let e = policysmith_dsl::parse(src).unwrap();
+        let s = study.evaluate(&e);
+        println!("{name}: {s:+.4}");
+    }
+
+    write_json(
+        "listing1",
+        &serde_json::json!({
+            "context": trace.name,
+            "evolved_source": outcome.best.source,
+            "evolved_improvement": outcome.best.score,
+            "paper_listing1_improvement": paper_score,
+            "candidates": outcome.all.len(),
+        }),
+    );
+}

@@ -1,0 +1,46 @@
+//! TAB2 standalone: the Table-2 cross-trace generalization statistic only
+//! (synthesize on one context per label, sweep the home dataset, report the
+//! fraction of traces where the synthesized heuristic beats all fourteen
+//! baselines). `exp_fig2` prints this too; this binary is the cheap
+//! variant that skips the full figure.
+//!
+//! Usage: `exp_table2 [--fast] [--requests N] [--seed N]`
+
+use policysmith_bench::{improvement_matrix, synthesize_for_dataset, write_json, ExpOpts};
+use policysmith_traces::{cloudphysics, msr};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let paper = [
+        ("A", 48.0),
+        ("B", 42.0),
+        ("C", 14.0),
+        ("D", 31.0),
+        ("W", 57.0),
+        ("X", 64.0),
+        ("Y", 57.0),
+        ("Z", 21.0),
+    ];
+    let mut report: Vec<(String, f64, f64)> = Vec::new();
+
+    for (ds, contexts, labels) in [
+        (cloudphysics(), vec![89usize, 10, 40, 70], ["A", "B", "C", "D"]),
+        (msr(), vec![3usize, 0, 7, 11], ["W", "X", "Y", "Z"]),
+    ] {
+        let synth = synthesize_for_dataset(&ds, &contexts, &labels, &opts);
+        let heuristics: Vec<_> = synth.into_iter().map(|(h, _)| h).collect();
+        let m = improvement_matrix(&ds, &heuristics, &opts);
+        let n_base = policysmith_cachesim::policies::paper_baseline_names().len();
+        let base_ixs: Vec<usize> = (0..n_base).collect();
+        for (i, h) in heuristics.iter().enumerate() {
+            let frac = m.beats_all_fraction(n_base + i, &base_ixs) * 100.0;
+            let paper_pct = paper.iter().find(|(l, _)| *l == h.label).unwrap().1;
+            println!(
+                "{} ({}): measured {:.0}%   paper {:.0}%",
+                h.label, ds.name, frac, paper_pct
+            );
+            report.push((h.label.clone(), frac, paper_pct));
+        }
+    }
+    write_json("table2", &report);
+}

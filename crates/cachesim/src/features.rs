@@ -1,0 +1,253 @@
+//! Table-1 feature infrastructure for the template host: percentile
+//! aggregates over the resident set and the recent-eviction history.
+//!
+//! §4.1.2 of the paper requires the `priority()` function to see
+//! "percentiles over access counts, ages, or sizes of all objects in
+//! cache". Maintaining exact order statistics under every access would
+//! dominate runtime, so the tracker keeps a deterministic random sample of
+//! residents and refreshes sorted snapshots every
+//! [`AggregateTracker::refresh_interval`] accesses — the same
+//! approximation a production host would make (the paper itself flags the
+//! template's overhead question in §4.1.2). Ages are derived from
+//! last-access snapshots at *query* time, so they stay current between
+//! refreshes.
+
+use crate::engine::{CacheView, ObjId};
+use std::collections::{HashMap, VecDeque};
+
+/// Maximum residents sampled per snapshot refresh.
+const SNAPSHOT_SAMPLE: usize = 256;
+
+/// Sampled percentile snapshots over the resident population.
+#[derive(Debug, Default, Clone)]
+pub struct AggregateTracker {
+    residents: Vec<ObjId>,
+    slot: HashMap<ObjId, usize>,
+    /// Sorted access counts of the sampled residents.
+    counts: Vec<u64>,
+    /// Sorted last-access vtimes of the sampled residents.
+    last_access: Vec<u64>,
+    /// Sorted sizes of the sampled residents.
+    sizes: Vec<u64>,
+    accesses_since_refresh: u64,
+    refresh_interval: u64,
+    rng_state: u64,
+}
+
+impl AggregateTracker {
+    /// Tracker refreshing every `refresh_interval` accesses.
+    pub fn new(refresh_interval: u64) -> Self {
+        AggregateTracker {
+            refresh_interval: refresh_interval.max(1),
+            rng_state: 0xa0761d6478bd642f,
+            ..Default::default()
+        }
+    }
+
+    /// Number of tracked residents.
+    pub fn len(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// Is the tracker empty?
+    pub fn is_empty(&self) -> bool {
+        self.residents.is_empty()
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Record an insertion.
+    pub fn insert(&mut self, id: ObjId) {
+        self.slot.insert(id, self.residents.len());
+        self.residents.push(id);
+    }
+
+    /// Record an eviction.
+    pub fn remove(&mut self, id: ObjId) {
+        if let Some(ix) = self.slot.remove(&id) {
+            let last = *self.residents.last().unwrap();
+            self.residents.swap_remove(ix);
+            if last != id {
+                self.slot.insert(last, ix);
+            }
+        }
+    }
+
+    /// Tick on every access; refreshes snapshots when due.
+    pub fn on_access(&mut self, view: &CacheView<'_>) {
+        self.accesses_since_refresh += 1;
+        if self.accesses_since_refresh >= self.refresh_interval || self.counts.is_empty() {
+            self.refresh(view);
+            self.accesses_since_refresh = 0;
+        }
+    }
+
+    fn refresh(&mut self, view: &CacheView<'_>) {
+        self.counts.clear();
+        self.last_access.clear();
+        self.sizes.clear();
+        let n = self.residents.len();
+        if n == 0 {
+            return;
+        }
+        let take = SNAPSHOT_SAMPLE.min(n);
+        for _ in 0..take {
+            let r = self.next_rand();
+            let id = self.residents[(r % n as u64) as usize];
+            if let Some(m) = view.meta(id) {
+                self.counts.push(m.access_count);
+                self.last_access.push(m.last_vtime);
+                self.sizes.push(m.size as u64);
+            }
+        }
+        self.counts.sort_unstable();
+        self.last_access.sort_unstable();
+        self.sizes.sort_unstable();
+    }
+
+    fn pct_of(sorted: &[u64], p: u8) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = (p as usize * (sorted.len() - 1)).div_euclid(100);
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// p-th percentile of resident access counts.
+    pub fn counts_pct(&self, p: u8) -> u64 {
+        Self::pct_of(&self.counts, p)
+    }
+
+    /// p-th percentile of resident object ages (`now - last_access`).
+    ///
+    /// The p-th *oldest* age corresponds to the (100-p)-th last-access
+    /// snapshot, translated by the current clock at query time.
+    pub fn ages_pct(&self, p: u8, now_vtime: u64) -> u64 {
+        if self.last_access.is_empty() {
+            return 0;
+        }
+        let la = Self::pct_of(&self.last_access, 100 - p.min(100));
+        now_vtime.saturating_sub(la)
+    }
+
+    /// p-th percentile of resident sizes, bytes.
+    pub fn sizes_pct(&self, p: u8) -> u64 {
+        Self::pct_of(&self.sizes, p)
+    }
+}
+
+/// One remembered eviction — the paper's "list of recently evicted
+/// objects, along with (timestamp, access count, age) at eviction".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionRecord {
+    pub evict_vtime: u64,
+    pub access_count: u64,
+    /// `evict_time - last_access` at eviction.
+    pub age_at_evict: u64,
+}
+
+/// Bounded history of recent evictions, keyed for `hist.contains` lookups.
+#[derive(Debug, Clone)]
+pub struct EvictionHistory {
+    map: HashMap<ObjId, EvictionRecord>,
+    fifo: VecDeque<ObjId>,
+    capacity: usize,
+}
+
+impl EvictionHistory {
+    /// History remembering the last `capacity` evictions.
+    pub fn new(capacity: usize) -> Self {
+        EvictionHistory {
+            map: HashMap::new(),
+            fifo: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Record an eviction (most recent record wins for repeated ids).
+    pub fn record(&mut self, id: ObjId, rec: EvictionRecord) {
+        if self.map.insert(id, rec).is_none() {
+            self.fifo.push_back(id);
+        }
+        while self.fifo.len() > self.capacity {
+            let old = self.fifo.pop_front().unwrap();
+            self.map.remove(&old);
+        }
+    }
+
+    /// Lookup by object id.
+    pub fn get(&self, id: ObjId) -> Option<&EvictionRecord> {
+        self.map.get(&id)
+    }
+
+    /// Number of remembered evictions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the history empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_indexing() {
+        let sorted = vec![10, 20, 30, 40, 50];
+        assert_eq!(AggregateTracker::pct_of(&sorted, 0), 10);
+        assert_eq!(AggregateTracker::pct_of(&sorted, 50), 30);
+        assert_eq!(AggregateTracker::pct_of(&sorted, 100), 50);
+        assert_eq!(AggregateTracker::pct_of(&sorted, 75), 40);
+        assert_eq!(AggregateTracker::pct_of(&[], 50), 0);
+    }
+
+    #[test]
+    fn history_bounded_and_overwrites() {
+        let mut h = EvictionHistory::new(3);
+        for i in 0..5u64 {
+            h.record(i, EvictionRecord { evict_vtime: i, access_count: 1, age_at_evict: 0 });
+        }
+        assert_eq!(h.len(), 3);
+        assert!(h.get(0).is_none() && h.get(1).is_none());
+        assert!(h.get(4).is_some());
+        // re-record an existing id: updates in place, no duplicate
+        h.record(4, EvictionRecord { evict_vtime: 99, access_count: 7, age_at_evict: 5 });
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.get(4).unwrap().access_count, 7);
+    }
+
+    #[test]
+    fn resident_tracking() {
+        let mut t = AggregateTracker::new(100);
+        for i in 0..10 {
+            t.insert(i);
+        }
+        t.remove(3);
+        t.remove(9);
+        t.remove(42); // absent: no-op
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn ages_percentile_uses_query_clock() {
+        let mut t = AggregateTracker::new(1);
+        t.last_access = vec![10, 20, 30, 40, 50];
+        // p75 oldest age ↔ 25th percentile of last_access = 20
+        assert_eq!(t.ages_pct(75, 100), 80);
+        // same snapshot, later clock: ages grow
+        assert_eq!(t.ages_pct(75, 200), 180);
+        // youngest (p0) age ↔ newest last_access
+        assert_eq!(t.ages_pct(0, 100), 50);
+    }
+}

@@ -1,0 +1,106 @@
+//! Baseline eviction policies.
+//!
+//! The paper's §4.2.2 evaluates fourteen baselines; this module provides
+//! those plus ARC and 2Q (both discussed in the paper's §2), all
+//! implemented from scratch against the [`crate::engine::Policy`] trait:
+//!
+//! | name | module | one-liner |
+//! |------|--------|-----------|
+//! | FIFO, LRU, MRU, LFU | [`basic`] | the classics |
+//! | FIFO-Re | [`clock`] | second-chance clock |
+//! | SIEVE | [`clock`] | lazy-promotion sieve hand |
+//! | S3-FIFO | [`s3fifo`] | small/main/ghost FIFO trio |
+//! | GDSF | [`gdsf`] | inflation clock + freq/size priority |
+//! | LHD | [`lhd`] | sampled least hit density |
+//! | LIRS | [`lirs`] | inter-reference recency stack |
+//! | TwoQ | [`twoq`] | probation FIFO + proven LRU |
+//! | ARC | [`arc`] | self-tuning recency/frequency split |
+//! | LeCaR | [`lecar`] | regret-weighted LRU+LFU experts |
+//! | SR-LFU, CR-LRU, CACHEUS | [`cacheus`] | CACHEUS experts + arbiter |
+
+pub mod arc;
+pub mod basic;
+pub mod cacheus;
+pub mod clock;
+pub mod gdsf;
+pub mod lecar;
+pub mod lhd;
+pub mod lirs;
+pub mod s3fifo;
+pub mod twoq;
+
+pub use arc::Arc;
+pub use basic::{Fifo, Lfu, Lru, Mru};
+pub use cacheus::{Cacheus, CrLru, SrLfu};
+pub use clock::{FifoReinsertion, Sieve};
+pub use gdsf::Gdsf;
+pub use lecar::Lecar;
+pub use lhd::Lhd;
+pub use lirs::Lirs;
+pub use s3fifo::S3Fifo;
+pub use twoq::TwoQ;
+
+use crate::engine::Policy;
+
+/// Construct a baseline by its display name (as printed in experiment
+/// tables). Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<Box<dyn Policy>> {
+    Some(match name {
+        "FIFO" => Box::new(Fifo::new()),
+        "LRU" => Box::new(Lru::new()),
+        "MRU" => Box::new(Mru::new()),
+        "LFU" => Box::new(Lfu::new()),
+        "FIFO-Re" => Box::new(FifoReinsertion::new()),
+        "SIEVE" => Box::new(Sieve::new()),
+        "S3-FIFO" => Box::new(S3Fifo::new()),
+        "GDSF" => Box::new(Gdsf::new()),
+        "LHD" => Box::new(Lhd::new()),
+        "LIRS" => Box::new(Lirs::new()),
+        "TwoQ" => Box::new(TwoQ::new()),
+        "ARC" => Box::new(Arc::new()),
+        "LeCaR" => Box::new(Lecar::new()),
+        "SR-LFU" => Box::new(SrLfu::new()),
+        "CR-LRU" => Box::new(CrLru::new()),
+        "CACHEUS" => Box::new(Cacheus::new()),
+        _ => return None,
+    })
+}
+
+/// The paper's fourteen §4.2.2 baselines, in its listing order.
+pub fn paper_baseline_names() -> &'static [&'static str] {
+    &[
+        "GDSF", "S3-FIFO", "SIEVE", "LIRS", "LHD", "CACHEUS", "FIFO-Re", "LeCaR", "SR-LFU",
+        "CR-LRU", "LRU", "MRU", "FIFO", "LFU",
+    ]
+}
+
+/// All sixteen built-in baselines (paper set + ARC + TwoQ).
+pub fn all_baseline_names() -> &'static [&'static str] {
+    &[
+        "GDSF", "S3-FIFO", "SIEVE", "LIRS", "LHD", "CACHEUS", "FIFO-Re", "LeCaR", "SR-LFU",
+        "CR-LRU", "LRU", "MRU", "FIFO", "LFU", "ARC", "TwoQ",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_every_listed_name() {
+        for name in all_baseline_names() {
+            let p = by_name(name).unwrap_or_else(|| panic!("unknown baseline {name}"));
+            assert_eq!(&p.name(), name);
+        }
+        assert!(by_name("BELADY").is_none());
+    }
+
+    #[test]
+    fn paper_set_has_fourteen() {
+        assert_eq!(paper_baseline_names().len(), 14);
+        assert_eq!(all_baseline_names().len(), 16);
+        for n in paper_baseline_names() {
+            assert!(all_baseline_names().contains(n));
+        }
+    }
+}

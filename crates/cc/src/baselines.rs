@@ -1,0 +1,319 @@
+//! Classical congestion-control baselines.
+//!
+//! These are the hand-written kernel heuristics the paper's §5 motivates
+//! replacing: Reno (AIMD), CUBIC [25] (the Linux default), a simplified
+//! model-based BBR [11], and delay-based Vegas. Each implements
+//! [`CongestionControl`] against the netsim transport.
+
+use policysmith_netsim::{CcView, CongestionControl};
+
+/// TCP Reno: slow start + additive increase, multiplicative decrease.
+#[derive(Debug, Default)]
+pub struct Reno {
+    ack_credit: u64,
+}
+
+impl Reno {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CongestionControl for Reno {
+    fn name(&self) -> &str {
+        "reno"
+    }
+
+    fn on_ack(&mut self, v: &CcView<'_>) -> u64 {
+        if v.cwnd < v.ssthresh {
+            return v.cwnd + 1; // slow start: +1 per ACK
+        }
+        self.ack_credit += 1;
+        if self.ack_credit >= v.cwnd {
+            self.ack_credit = 0;
+            v.cwnd + 1 // congestion avoidance: +1 per RTT
+        } else {
+            v.cwnd
+        }
+    }
+
+    fn on_loss(&mut self, v: &CcView<'_>) -> u64 {
+        self.ack_credit = 0;
+        (v.cwnd / 2).max(2)
+    }
+}
+
+/// CUBIC [25]: the window grows along a cubic curve anchored at the last
+/// loss (`w_max`), giving fast recovery toward the old operating point and
+/// slow probing around it. `C = 0.4`, `β = 0.7` as in the kernel.
+#[derive(Debug)]
+pub struct Cubic {
+    w_max: f64,
+    epoch_start_us: Option<u64>,
+    k: f64,
+}
+
+impl Cubic {
+    const C: f64 = 0.4;
+    const BETA: f64 = 0.7;
+
+    pub fn new() -> Self {
+        Cubic { w_max: 0.0, epoch_start_us: None, k: 0.0 }
+    }
+
+    /// The RFC 8312 TCP-friendly window estimate: CUBIC never does worse
+    /// than a Reno flow that halved at the same loss.
+    fn w_est(&self, t_sec: f64, rtt_sec: f64) -> f64 {
+        let b = Self::BETA;
+        self.w_max * b + 3.0 * (1.0 - b) / (1.0 + b) * (t_sec / rtt_sec.max(1e-3))
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn name(&self) -> &str {
+        "cubic"
+    }
+
+    fn on_ack(&mut self, v: &CcView<'_>) -> u64 {
+        if v.cwnd < v.ssthresh {
+            return v.cwnd + 1; // slow start
+        }
+        let epoch = *self.epoch_start_us.get_or_insert_with(|| {
+            // fresh epoch without a preceding loss: anchor at current cwnd
+            if self.w_max <= 0.0 {
+                self.w_max = v.cwnd as f64;
+                self.k = 0.0;
+            }
+            v.now_us
+        });
+        let t = (v.now_us - epoch) as f64 / 1e6;
+        let cubic = self.w_max + Self::C * (t - self.k).powi(3);
+        let friendly = self.w_est(t, v.srtt_us.max(1) as f64 / 1e6);
+        let target = cubic.max(friendly);
+        // clamp growth to at most one packet per ACK (kernel-style pacing
+        // of the cubic curve)
+        let next = target.max(2.0).min(v.cwnd as f64 + 1.0);
+        next as u64
+    }
+
+    fn on_loss(&mut self, v: &CcView<'_>) -> u64 {
+        self.w_max = v.cwnd as f64;
+        self.k = (self.w_max * (1.0 - Self::BETA) / Self::C).cbrt();
+        self.epoch_start_us = Some(v.now_us);
+        ((v.cwnd as f64 * Self::BETA) as u64).max(2)
+    }
+}
+
+/// BBR-lite: a two-phase model-based controller. Startup doubles the window
+/// until the delivery-rate model stops improving, then the window tracks
+/// `gain × BDP` (delivery rate × min RTT) with a 1.25/0.75/1.0… probe
+/// cycle. A deliberate simplification of BBR [11] — no pacing, no
+/// PROBE_RTT — but the same model-driven character (and the same
+/// insensitivity to isolated losses).
+#[derive(Debug)]
+pub struct BbrLite {
+    startup: bool,
+    best_rate_bps: u64,
+    stall_count: u32,
+    cycle: usize,
+    last_cycle_us: u64,
+    /// Windowed-max filter over recent delivery-rate samples: the model
+    /// must not collapse just because one window under-delivered (real BBR
+    /// uses a max filter for exactly this reason).
+    rate_samples: [u64; 16],
+    sample_ix: usize,
+    last_sample_seen: u64,
+}
+
+impl BbrLite {
+    const GAIN_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+
+    pub fn new() -> Self {
+        BbrLite {
+            startup: true,
+            best_rate_bps: 0,
+            stall_count: 0,
+            cycle: 0,
+            last_cycle_us: 0,
+            rate_samples: [0; 16],
+            sample_ix: 0,
+            last_sample_seen: 0,
+        }
+    }
+
+    fn observe_rate(&mut self, rate_bps: u64) {
+        if rate_bps > 0 && rate_bps != self.last_sample_seen {
+            self.last_sample_seen = rate_bps;
+            self.rate_samples[self.sample_ix] = rate_bps;
+            self.sample_ix = (self.sample_ix + 1) % self.rate_samples.len();
+        }
+    }
+
+    fn max_rate_bps(&self) -> u64 {
+        *self.rate_samples.iter().max().unwrap_or(&0)
+    }
+
+    fn bdp_pkts(&self, v: &CcView<'_>) -> u64 {
+        let rate = self.max_rate_bps();
+        if rate == 0 || v.min_rtt_us == 0 {
+            return 4;
+        }
+        (rate * v.min_rtt_us / 8 / 1_000_000 / v.mss as u64).max(4)
+    }
+}
+
+impl Default for BbrLite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for BbrLite {
+    fn name(&self) -> &str {
+        "bbr-lite"
+    }
+
+    fn on_ack(&mut self, v: &CcView<'_>) -> u64 {
+        self.observe_rate(v.delivery_rate_bps);
+        if self.startup {
+            if v.delivery_rate_bps > self.best_rate_bps * 5 / 4 {
+                self.best_rate_bps = v.delivery_rate_bps;
+                self.stall_count = 0;
+            } else {
+                self.stall_count += 1;
+            }
+            if self.stall_count >= 3 * v.cwnd as u32 {
+                self.startup = false; // rate plateaued for ~3 RTTs
+            }
+            return v.cwnd + 1;
+        }
+        // steady state: rotate the gain cycle once per min RTT
+        if v.now_us.saturating_sub(self.last_cycle_us) >= v.min_rtt_us.max(1_000) {
+            self.cycle = (self.cycle + 1) % Self::GAIN_CYCLE.len();
+            self.last_cycle_us = v.now_us;
+        }
+        let gain = Self::GAIN_CYCLE[self.cycle];
+        ((self.bdp_pkts(v) as f64 * gain) as u64).max(4)
+    }
+
+    fn on_loss(&mut self, v: &CcView<'_>) -> u64 {
+        self.observe_rate(v.delivery_rate_bps);
+        // model-based: isolated losses do not collapse the window
+        if self.startup {
+            self.startup = false;
+        }
+        self.bdp_pkts(v).max(4).min(v.cwnd.max(4))
+    }
+}
+
+/// TCP Vegas: delay-based. Keeps `diff = cwnd × (1 − minRTT/RTT)` — the
+/// number of packets parked in the queue — between `ALPHA` and `BETA`.
+#[derive(Debug, Default)]
+pub struct Vegas {
+    ack_credit: u64,
+}
+
+impl Vegas {
+    const ALPHA: f64 = 2.0;
+    const BETA: f64 = 4.0;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CongestionControl for Vegas {
+    fn name(&self) -> &str {
+        "vegas"
+    }
+
+    fn on_ack(&mut self, v: &CcView<'_>) -> u64 {
+        if v.srtt_us == 0 || v.min_rtt_us == 0 {
+            return v.cwnd + 1;
+        }
+        if v.cwnd < v.ssthresh && v.srtt_us < v.min_rtt_us * 11 / 10 {
+            return v.cwnd + 1; // slow start while queue is empty
+        }
+        // adjust once per RTT
+        self.ack_credit += 1;
+        if self.ack_credit < v.cwnd {
+            return v.cwnd;
+        }
+        self.ack_credit = 0;
+        let diff = v.cwnd as f64 * (1.0 - v.min_rtt_us as f64 / v.srtt_us as f64);
+        if diff < Self::ALPHA {
+            v.cwnd + 1
+        } else if diff > Self::BETA {
+            (v.cwnd - 1).max(2)
+        } else {
+            v.cwnd
+        }
+    }
+
+    fn on_loss(&mut self, v: &CcView<'_>) -> u64 {
+        self.ack_credit = 0;
+        (v.cwnd * 3 / 4).max(2)
+    }
+}
+
+/// All four baselines, boxed, for sweep harnesses.
+pub fn all_baselines() -> Vec<Box<dyn CongestionControl>> {
+    vec![
+        Box::new(Reno::new()),
+        Box::new(Cubic::new()),
+        Box::new(BbrLite::new()),
+        Box::new(Vegas::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::evaluate;
+
+    #[test]
+    fn reno_fills_the_paper_link() {
+        let m = evaluate(Box::new(Reno::new()), 20_000_000);
+        assert!(m.utilization > 0.8, "reno util {}", m.utilization);
+        assert!(m.loss_events > 0, "reno probes until loss");
+    }
+
+    #[test]
+    fn cubic_fills_the_paper_link() {
+        let m = evaluate(Box::new(Cubic::new()), 20_000_000);
+        assert!(m.utilization > 0.8, "cubic util {}", m.utilization);
+    }
+
+    #[test]
+    fn bbr_keeps_queue_short() {
+        let m = evaluate(Box::new(BbrLite::new()), 20_000_000);
+        assert!(m.utilization > 0.6, "bbr util {}", m.utilization);
+        let reno = evaluate(Box::new(Reno::new()), 20_000_000);
+        assert!(
+            m.mean_qdelay_us < reno.mean_qdelay_us,
+            "bbr qdelay {} vs reno {}",
+            m.mean_qdelay_us,
+            reno.mean_qdelay_us
+        );
+    }
+
+    #[test]
+    fn vegas_keeps_queue_very_short() {
+        let m = evaluate(Box::new(Vegas::new()), 20_000_000);
+        assert!(m.utilization > 0.5, "vegas util {}", m.utilization);
+        assert!(m.mean_qdelay_us < 15_000.0, "vegas qdelay {}", m.mean_qdelay_us);
+    }
+
+    #[test]
+    fn baselines_are_deterministic() {
+        let a = evaluate(Box::new(Cubic::new()), 5_000_000);
+        let b = evaluate(Box::new(Cubic::new()), 5_000_000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,83 @@
+//! The §5.0.3 evaluation harness: one flow on the paper's emulated link
+//! (12 Mbps, 20 ms one-way delay, 1-BDP drop-tail buffer), reporting the
+//! two quantities the paper quotes — **bandwidth utilization** and
+//! **average queuing delay** — plus supporting counters.
+
+use policysmith_netsim::{CongestionControl, SimConfig, Simulation};
+
+/// Outcome of one emulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcMetrics {
+    /// Goodput / link capacity, 0..1.
+    pub utilization: f64,
+    /// Mean bottleneck queuing delay, µs.
+    pub mean_qdelay_us: f64,
+    /// Maximum bottleneck queuing delay, µs.
+    pub max_qdelay_us: u64,
+    /// Congestion events detected by the sender.
+    pub loss_events: u64,
+    /// Retransmitted packets.
+    pub retransmits: u64,
+    /// Tail drops at the bottleneck.
+    pub drops: u64,
+    /// Final smoothed RTT, µs.
+    pub srtt_us: u64,
+}
+
+/// Evaluate `cc` on the paper scenario for `duration_us`.
+pub fn evaluate(cc: Box<dyn CongestionControl>, duration_us: u64) -> CcMetrics {
+    let mut cfg = SimConfig::paper_scenario();
+    cfg.duration_us = duration_us;
+    evaluate_with(cfg, cc)
+}
+
+/// Evaluate `cc` under an explicit scenario.
+pub fn evaluate_with(cfg: SimConfig, cc: Box<dyn CongestionControl>) -> CcMetrics {
+    let mut sim = Simulation::new(cfg, vec![cc]);
+    let m = sim.run().remove(0);
+    CcMetrics {
+        utilization: m.utilization,
+        mean_qdelay_us: sim.mean_qdelay_us(),
+        max_qdelay_us: sim.max_qdelay_us(),
+        loss_events: m.loss_events,
+        retransmits: m.retransmits,
+        drops: sim.drops(),
+        srtt_us: m.srtt_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policysmith_netsim::CcView;
+
+    struct FixedCc(u64);
+    impl CongestionControl for FixedCc {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn on_ack(&mut self, _v: &CcView<'_>) -> u64 {
+            self.0
+        }
+        fn on_loss(&mut self, _v: &CcView<'_>) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn metrics_scale_with_window() {
+        let small = evaluate(Box::new(FixedCc(4)), 5_000_000);
+        let big = evaluate(Box::new(FixedCc(60)), 5_000_000);
+        assert!(big.utilization > small.utilization * 3.0);
+        assert!(big.mean_qdelay_us > small.mean_qdelay_us);
+    }
+
+    #[test]
+    fn qdelay_bounded_by_buffer() {
+        // 1-BDP buffer at 12 Mbps drains in 40 ms: queuing delay can never
+        // exceed buffer/rate + one serialization slot.
+        let m = evaluate(Box::new(FixedCc(500)), 5_000_000);
+        assert!(m.max_qdelay_us <= 41_100, "max qdelay {}", m.max_qdelay_us);
+        assert!(m.drops > 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # policysmith-cc — the congestion-control case study substrate (§5)
+//!
+//! Everything the paper's kernel experiment needs, rebuilt in userspace
+//! around the kbpf verifier and the netsim emulated link:
+//!
+//! * [`baselines`] — Reno, CUBIC, BBR-lite and Vegas as native
+//!   [`CongestionControl`] implementations (the manual heuristics §5 says
+//!   kernels accumulated over decades);
+//! * [`synth`] — the synthesized-policy path: parse → mode-check → lower to
+//!   kbpf → **verify** (the paper's Checker, §5.0.2) → execute in the VM on
+//!   every `cong_control` invocation, reading the §5.0.1 feature context;
+//! * [`harness`] — the 12 Mbps / 20 ms / 1-BDP evaluation scenario and the
+//!   metrics §5.0.3 reports (bandwidth utilization, mean queuing delay).
+//!
+//! ```
+//! use policysmith_cc::{baselines::Reno, harness::evaluate};
+//!
+//! let m = evaluate(Box::new(Reno::new()), 5_000_000);
+//! assert!(m.utilization > 0.5);
+//! ```
+
+pub mod baselines;
+pub mod harness;
+pub mod synth;
+
+pub use harness::{evaluate, evaluate_with, CcMetrics};
+pub use netsim_reexport::*;
+pub use synth::{check_candidate, KbpfCc, PipelineError, VerifiedCandidate};
+
+mod netsim_reexport {
+    pub use policysmith_netsim::{CcView, CongestionControl};
+}

@@ -1,0 +1,40 @@
+//! # policysmith-core — the PolicySmith framework (§3 of the paper)
+//!
+//! The paper's primary contribution: policy design re-imagined as an
+//! automated search problem. The user supplies a **Template** (what the
+//! heuristic must implement + constraints), a **Checker** (is a candidate
+//! within spec?) and an **Evaluator** (how well does it perform in this
+//! context?); an LLM **Generator** proposes candidates; an evolutionary
+//! loop feeds the best back as exemplars (§4.2.1: 25 candidates × 20
+//! rounds, top-2 feedback).
+//!
+//! * [`search`] — the generic search loop, population management, round
+//!   statistics and the cost ledger (§4.2.6);
+//! * [`studies::cache`] — the web-caching instantiation (§4): checker =
+//!   DSL parse + cache-mode check; evaluator = miss-ratio improvement over
+//!   FIFO on one trace at 10%-of-footprint capacity;
+//! * [`studies::cc`] — the kernel instantiation (§5): checker = the full
+//!   parse→check→lower→**kbpf-verify** pipeline; evaluator = emulated
+//!   12 Mbps / 20 ms link;
+//! * [`library`] — the §3.1 context layer: a library of synthesized
+//!   heuristics plus a guardrail-style drift monitor that triggers
+//!   re-synthesis.
+//!
+//! ```no_run
+//! use policysmith_core::search::{run_search, SearchConfig};
+//! use policysmith_core::studies::cache::CacheStudy;
+//! use policysmith_gen::{GenConfig, MockLlm};
+//!
+//! let trace = policysmith_traces::cloudphysics().trace(89, 100_000);
+//! let study = CacheStudy::new(&trace);
+//! let mut llm = MockLlm::new(GenConfig::cache_defaults(42));
+//! let outcome = run_search(&study, &mut llm, &SearchConfig::paper_cache());
+//! println!("best: {}  (+{:.1}% over FIFO)", outcome.best.source, outcome.best.score * 100.0);
+//! ```
+
+pub mod library;
+pub mod search;
+pub mod studies;
+
+pub use library::{ContextMonitor, HeuristicLibrary, LibraryEntry};
+pub use search::{run_search, CostLedger, RoundStats, Scored, SearchConfig, SearchOutcome, Study};

@@ -1,0 +1,192 @@
+//! The §3.1 context layer: a library of synthesized heuristics and a
+//! guardrail-style drift monitor.
+//!
+//! The paper explicitly scopes context *detection* out ("this paper does
+//! not focus on designing context-detection or runtime-adaptation systems,
+//! and rather assumes such triggers are available") — this module provides
+//! the minimal such trigger so the end-to-end loop (§3.1: drift → offline
+//! re-synthesis → grow the library → adaptation picks from it) can be
+//! demonstrated and tested, not a research contribution.
+
+use std::collections::VecDeque;
+
+/// One synthesized heuristic with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryEntry {
+    /// Context identifier (e.g. `cloudphysics/w89`).
+    pub context: String,
+    /// Heuristic source.
+    pub source: String,
+    /// Score in its home context (improvement over FIFO).
+    pub score: f64,
+}
+
+/// A growing library of PolicySmith-generated heuristics (§3.1: "over
+/// time, this enables building a library … providing better options for an
+/// adaptation system to choose from").
+#[derive(Debug, Clone, Default)]
+pub struct HeuristicLibrary {
+    entries: Vec<LibraryEntry>,
+}
+
+impl HeuristicLibrary {
+    /// Empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a synthesized heuristic.
+    pub fn add(&mut self, entry: LibraryEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[LibraryEntry] {
+        &self.entries
+    }
+
+    /// Number of stored heuristics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the library empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pick the best heuristic for a context by *evaluating* every stored
+    /// candidate with the supplied scorer (the oracle-adaptation model of
+    /// §4.2.4) and returning the winner.
+    pub fn best_for<F: FnMut(&LibraryEntry) -> f64>(
+        &self,
+        mut scorer: F,
+    ) -> Option<(&LibraryEntry, f64)> {
+        self.entries
+            .iter()
+            .map(|e| {
+                let s = scorer(e);
+                (e, s)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+}
+
+/// A guardrail-style drift detector over a streaming quality signal (miss
+/// ratio, loss rate, …): triggers when the rolling mean degrades past
+/// `tolerance ×` the baseline established at deployment (§3.1.2's
+/// "implicit context shifts").
+#[derive(Debug, Clone)]
+pub struct ContextMonitor {
+    window: VecDeque<f64>,
+    window_size: usize,
+    baseline: Option<f64>,
+    tolerance: f64,
+}
+
+impl ContextMonitor {
+    /// Monitor with a rolling window and a degradation tolerance (e.g.
+    /// `1.2` = trigger at 20% worse than baseline).
+    pub fn new(window_size: usize, tolerance: f64) -> Self {
+        assert!(window_size > 0 && tolerance > 1.0);
+        ContextMonitor { window: VecDeque::new(), window_size, baseline: None, tolerance }
+    }
+
+    /// Feed one sample of the quality signal (lower = better, e.g. miss
+    /// ratio). Returns `true` when drift is detected — the caller should
+    /// trigger re-synthesis (and this monitor re-baselines).
+    pub fn observe(&mut self, sample: f64) -> bool {
+        self.window.push_back(sample);
+        if self.window.len() > self.window_size {
+            self.window.pop_front();
+        }
+        if self.window.len() < self.window_size {
+            return false;
+        }
+        let mean = self.window.iter().sum::<f64>() / self.window.len() as f64;
+        match self.baseline {
+            None => {
+                // first full window defines the deployment baseline
+                self.baseline = Some(mean);
+                false
+            }
+            Some(base) => {
+                if mean > base * self.tolerance {
+                    // drop the baseline: the next full window (i.e. the new
+                    // regime, not the mixed transition window) redefines it
+                    self.baseline = None;
+                    self.window.clear();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Current baseline, if established.
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_best_for_picks_max() {
+        let mut lib = HeuristicLibrary::new();
+        lib.add(LibraryEntry { context: "a".into(), source: "obj.count".into(), score: 0.1 });
+        lib.add(LibraryEntry { context: "b".into(), source: "obj.last_access".into(), score: 0.2 });
+        let (best, score) = lib.best_for(|e| if e.context == "a" { 0.9 } else { 0.3 }).unwrap();
+        assert_eq!(best.context, "a");
+        assert!((score - 0.9).abs() < 1e-12);
+        assert_eq!(lib.len(), 2);
+    }
+
+    #[test]
+    fn monitor_triggers_on_sustained_degradation() {
+        let mut m = ContextMonitor::new(10, 1.2);
+        // stable regime at 0.30 establishes the baseline
+        let mut triggered = false;
+        for _ in 0..20 {
+            triggered |= m.observe(0.30);
+        }
+        assert!(!triggered, "no drift in a stable regime");
+        assert!(m.baseline().is_some());
+        // regime shift to 0.45 (+50%) must trigger within a window or two
+        let mut fired = 0;
+        for _ in 0..20 {
+            if m.observe(0.45) {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1, "exactly one trigger, then re-baseline");
+        // the new regime is now the baseline: no more triggers
+        let mut more = 0;
+        for _ in 0..20 {
+            if m.observe(0.45) {
+                more += 1;
+            }
+        }
+        assert_eq!(more, 0);
+    }
+
+    #[test]
+    fn monitor_tolerates_noise_within_tolerance() {
+        let mut m = ContextMonitor::new(8, 1.3);
+        let mut fired = false;
+        for i in 0..100 {
+            let noise = if i % 2 == 0 { 0.02 } else { -0.02 };
+            fired |= m.observe(0.30 + noise);
+        }
+        assert!(!fired, "±7% noise must not trigger a 30% guardrail");
+    }
+
+    #[test]
+    #[should_panic]
+    fn monitor_rejects_bad_params() {
+        ContextMonitor::new(0, 1.5);
+    }
+}

@@ -1,0 +1,313 @@
+//! The evolutionary search loop (Fig. 1 of the paper).
+//!
+//! Round structure per §4.2.1: the Generator is prompted with the template
+//! plus the **top-k candidates across all previous rounds** as exemplars
+//! and produces a batch; the Checker filters (with one stderr-feedback
+//! repair attempt per rejected candidate, §4.1.3/§5.0.3); the Evaluator
+//! scores survivors — in parallel, since candidate evaluations are
+//! independent simulations. The loop is generic over both the study and
+//! the generator, so a real LLM client slots in behind
+//! [`policysmith_gen::Generator`] unchanged.
+
+use policysmith_dsl::Mode;
+use policysmith_gen::{Exemplar, Generator, Prompt, TokenLedger};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One case-study instantiation: the Checker + Evaluator pair of §3.
+///
+/// `check` returns either a ready-to-run artifact or compiler/verifier
+/// diagnostics (the "stderr" the repair loop feeds back). `evaluate`
+/// returns a score where **higher is better**; it must be pure (same
+/// artifact → same score) so searches are reproducible.
+pub trait Study: Sync {
+    /// Compiled/verified candidate representation. `Sync` because scoring
+    /// threads read artifacts in place.
+    type Artifact: Send + Sync;
+    /// Which template this study searches.
+    fn mode(&self) -> Mode;
+    /// The Checker: source → artifact or diagnostics.
+    fn check(&self, source: &str) -> Result<Self::Artifact, String>;
+    /// The Evaluator: artifact → score (higher = better).
+    fn evaluate(&self, artifact: &Self::Artifact) -> f64;
+}
+
+/// Search-loop parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchConfig {
+    /// Generation rounds (paper: 20).
+    pub rounds: usize,
+    /// Candidates per round (paper: 25).
+    pub candidates_per_round: usize,
+    /// Exemplars fed back (paper: top 2 across all rounds).
+    pub exemplars: usize,
+    /// Attempt one stderr repair per rejected candidate?
+    pub repair: bool,
+    /// Evaluation threads (1 = serial).
+    pub threads: usize,
+}
+
+impl SearchConfig {
+    /// The paper's §4.2.1 cache-study configuration (500 candidates).
+    pub fn paper_cache() -> SearchConfig {
+        SearchConfig {
+            rounds: 20,
+            candidates_per_round: 25,
+            exemplars: 2,
+            repair: true,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+
+    /// A small configuration for tests and quick demos.
+    pub fn quick() -> SearchConfig {
+        SearchConfig { rounds: 4, candidates_per_round: 8, exemplars: 2, repair: true, threads: 2 }
+    }
+}
+
+/// A scored candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scored {
+    pub source: String,
+    pub score: f64,
+    pub round: usize,
+}
+
+/// Per-round statistics (compile rates feed the §5.0.3 experiment).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundStats {
+    pub round: usize,
+    pub generated: usize,
+    /// Passed the Checker first try.
+    pub passed_first: usize,
+    /// Passed only after one stderr repair.
+    pub passed_after_repair: usize,
+    pub best_score_so_far: f64,
+    pub round_best: f64,
+}
+
+/// Cost accounting in the units of §4.2.6.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostLedger {
+    pub tokens: TokenLedger,
+    /// Wall-clock seconds spent evaluating candidates.
+    pub eval_seconds: f64,
+    /// CPU-seconds estimate (eval wall time × threads actually used).
+    pub cpu_seconds: f64,
+    pub candidates_evaluated: u64,
+}
+
+impl CostLedger {
+    /// Estimated API cost in USD (GPT-4o-mini prices).
+    pub fn cost_usd(&self) -> f64 {
+        self.tokens.cost_usd()
+    }
+}
+
+/// Everything a finished search returns.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best candidate across all rounds.
+    pub best: Scored,
+    /// Per-round statistics.
+    pub rounds: Vec<RoundStats>,
+    /// Every scored candidate (for oracle/ablation analyses).
+    pub all: Vec<Scored>,
+    /// Cost ledger.
+    pub cost: CostLedger,
+}
+
+/// Run the search loop.
+///
+/// # Panics
+/// If no candidate in the entire search passes the Checker (with the
+/// default generators this requires a hostile configuration).
+pub fn run_search<S: Study>(
+    study: &S,
+    generator: &mut dyn Generator,
+    cfg: &SearchConfig,
+) -> SearchOutcome {
+    let mut all: Vec<Scored> = Vec::new();
+    let mut rounds: Vec<RoundStats> = Vec::new();
+    let mut cost = CostLedger::default();
+
+    for round in 0..cfg.rounds {
+        // Exemplars: top-k across all previous rounds (§4.2.1).
+        let mut ranked: Vec<&Scored> = all.iter().collect();
+        ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        let exemplars: Vec<Exemplar> = ranked
+            .iter()
+            .take(cfg.exemplars)
+            .map(|s| Exemplar { source: s.source.clone(), score: s.score })
+            .collect();
+        let prompt = Prompt::new(study.mode()).with_exemplars(exemplars);
+
+        let batch = generator.generate(&prompt, cfg.candidates_per_round);
+        let mut passed_first = 0;
+        let mut passed_after_repair = 0;
+        let mut artifacts: Vec<(String, S::Artifact)> = Vec::new();
+        for source in batch {
+            match study.check(&source) {
+                Ok(art) => {
+                    passed_first += 1;
+                    artifacts.push((source, art));
+                }
+                Err(stderr) if cfg.repair => {
+                    if let Some(fixed) = generator.repair(&prompt, &source, &stderr) {
+                        if let Ok(art) = study.check(&fixed) {
+                            passed_after_repair += 1;
+                            artifacts.push((fixed, art));
+                        }
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+
+        // Parallel evaluation.
+        let t0 = Instant::now();
+        let scores = evaluate_parallel(study, &artifacts, cfg.threads);
+        let dt = t0.elapsed().as_secs_f64();
+        cost.eval_seconds += dt;
+        cost.cpu_seconds += dt * cfg.threads.min(artifacts.len().max(1)) as f64;
+        cost.candidates_evaluated += artifacts.len() as u64;
+
+        let mut round_best = f64::NEG_INFINITY;
+        for ((source, _), score) in artifacts.into_iter().zip(scores) {
+            round_best = round_best.max(score);
+            all.push(Scored { source, score, round });
+        }
+        let best_so_far = all
+            .iter()
+            .map(|s| s.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        rounds.push(RoundStats {
+            round,
+            generated: cfg.candidates_per_round,
+            passed_first,
+            passed_after_repair,
+            best_score_so_far: best_so_far,
+            round_best,
+        });
+    }
+
+    cost.tokens = *generator.ledger();
+    let best = all
+        .iter()
+        .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+        .cloned()
+        .expect("search produced no valid candidate");
+    SearchOutcome { best, rounds, all, cost }
+}
+
+/// Score artifacts on `threads` worker threads (work-stealing via an atomic
+/// cursor; order of results matches input order).
+fn evaluate_parallel<S: Study>(
+    study: &S,
+    artifacts: &[(String, S::Artifact)],
+    threads: usize,
+) -> Vec<f64> {
+    let n = artifacts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return artifacts.iter().map(|(_, a)| study.evaluate(a)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results = Mutex::new(vec![f64::NEG_INFINITY; n]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let score = study.evaluate(&artifacts[i].1);
+                results.lock().unwrap()[i] = score;
+            });
+        }
+    });
+    results.into_inner().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policysmith_dsl::{check, parse, Expr};
+    use policysmith_gen::{GenConfig, MockLlm};
+
+    /// A toy study with a known optimum: score favors expressions that
+    /// reference `obj.count` and are small.
+    struct ToyStudy;
+
+    impl Study for ToyStudy {
+        type Artifact = Expr;
+        fn mode(&self) -> Mode {
+            Mode::Cache
+        }
+        fn check(&self, source: &str) -> Result<Expr, String> {
+            let e = parse(source).map_err(|e| e.to_string())?;
+            check(&e, Mode::Cache).map_err(|e| e.to_string())?;
+            Ok(e)
+        }
+        fn evaluate(&self, e: &Expr) -> f64 {
+            let uses_count = e
+                .features()
+                .contains(&policysmith_dsl::Feature::ObjCount) as i32 as f64;
+            uses_count - e.size() as f64 / 100.0
+        }
+    }
+
+    #[test]
+    fn search_improves_over_rounds() {
+        let mut llm = MockLlm::new(GenConfig::cache_defaults(11));
+        let cfg = SearchConfig { rounds: 6, candidates_per_round: 10, ..SearchConfig::quick() };
+        let outcome = run_search(&ToyStudy, &mut llm, &cfg);
+        assert_eq!(outcome.rounds.len(), 6);
+        // best-so-far is monotone
+        for w in outcome.rounds.windows(2) {
+            assert!(w[1].best_score_so_far >= w[0].best_score_so_far);
+        }
+        assert!(outcome.best.score > 0.0, "should find a count-using candidate");
+        assert!(outcome.cost.candidates_evaluated > 0);
+        assert!(outcome.cost.tokens.input_tokens > 0);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let cfg = SearchConfig { threads: 3, ..SearchConfig::quick() };
+        let run = || {
+            let mut llm = MockLlm::new(GenConfig::cache_defaults(5));
+            run_search(&ToyStudy, &mut llm, &cfg)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.all.len(), b.all.len());
+    }
+
+    #[test]
+    fn repair_contributes_candidates() {
+        // crank the fault rate so repair visibly matters
+        let mut cfg_gen = GenConfig::cache_defaults(13);
+        cfg_gen.p_fault = 0.6;
+        let mut llm = MockLlm::new(cfg_gen);
+        let cfg = SearchConfig { rounds: 6, candidates_per_round: 20, ..SearchConfig::quick() };
+        let outcome = run_search(&ToyStudy, &mut llm, &cfg);
+        let repaired: usize = outcome.rounds.iter().map(|r| r.passed_after_repair).sum();
+        assert!(repaired > 0, "repair path never used");
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let artifacts: Vec<(String, Expr)> = ["obj.count", "obj.size + 1", "now"]
+            .iter()
+            .map(|s| (s.to_string(), parse(s).unwrap()))
+            .collect();
+        let serial = evaluate_parallel(&ToyStudy, &artifacts, 1);
+        let parallel = evaluate_parallel(&ToyStudy, &artifacts, 3);
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,155 @@
+//! The web-caching instantiation (§4).
+//!
+//! Context = one trace + a cache sized at 10% of its footprint (§4.1.4).
+//! The Checker is the DSL parser + cache-mode checker (§4.1.3: "most
+//! errors surface as build failures"); the Evaluator replays the trace
+//! through the priority-template host and scores the **miss-ratio
+//! improvement over FIFO** — the exact metric Fig. 2 plots — with runtime
+//! faults (division by zero) scored as a hard failure.
+
+use crate::search::Study;
+use policysmith_cachesim::{Cache, PriorityPolicy};
+use policysmith_dsl::{check_with_warnings, parse, Expr, Mode};
+use policysmith_traces::Trace;
+
+/// One caching context: trace + capacity + FIFO reference point.
+pub struct CacheStudy {
+    trace: Trace,
+    capacity: u64,
+    fifo_miss_ratio: f64,
+}
+
+impl CacheStudy {
+    /// Build the study for `trace` at the paper's 10%-of-footprint sizing.
+    pub fn new(trace: &Trace) -> Self {
+        let capacity = (policysmith_traces::footprint_bytes(trace) / 10).max(1);
+        Self::with_capacity(trace, capacity)
+    }
+
+    /// Build with an explicit capacity (for capacity-sweep ablations).
+    pub fn with_capacity(trace: &Trace, capacity: u64) -> Self {
+        let fifo = policysmith_cachesim::simulate(
+            trace,
+            capacity,
+            policysmith_cachesim::policies::Fifo::new(),
+        );
+        CacheStudy {
+            trace: trace.clone(),
+            capacity,
+            fifo_miss_ratio: fifo.miss_ratio(),
+        }
+    }
+
+    /// The context's cache capacity, bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// FIFO's miss ratio on this context (the Fig. 2 denominator).
+    pub fn fifo_miss_ratio(&self) -> f64 {
+        self.fifo_miss_ratio
+    }
+
+    /// Miss-ratio improvement of an arbitrary policy over FIFO on this
+    /// context — the quantity plotted in Fig. 2.
+    pub fn improvement<P: policysmith_cachesim::Policy>(&self, policy: P) -> f64 {
+        let r = policysmith_cachesim::simulate(&self.trace, self.capacity, policy);
+        (self.fifo_miss_ratio - r.miss_ratio()) / self.fifo_miss_ratio.max(1e-9)
+    }
+}
+
+impl Study for CacheStudy {
+    type Artifact = Expr;
+
+    fn mode(&self) -> Mode {
+        Mode::Cache
+    }
+
+    fn check(&self, source: &str) -> Result<Expr, String> {
+        let expr = parse(source).map_err(|e| e.to_string())?;
+        let report = check_with_warnings(
+            &expr,
+            Mode::Cache,
+            policysmith_dsl::check::DEFAULT_MAX_SIZE,
+            policysmith_dsl::check::DEFAULT_MAX_DEPTH,
+        );
+        if report.ok() {
+            Ok(expr)
+        } else {
+            Err(report.stderr())
+        }
+    }
+
+    fn evaluate(&self, expr: &Expr) -> f64 {
+        let mut cache = Cache::new(
+            self.capacity,
+            PriorityPolicy::new("candidate", expr.clone()),
+        );
+        let result = cache.run(&self.trace);
+        if cache.policy.first_error().is_some() {
+            // the candidate crashed in production: worst possible score
+            return -1.0;
+        }
+        (self.fifo_miss_ratio - result.miss_ratio()) / self.fifo_miss_ratio.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{run_search, SearchConfig};
+    use policysmith_gen::{GenConfig, MockLlm};
+    use policysmith_traces::cloudphysics;
+
+    fn study() -> CacheStudy {
+        CacheStudy::new(&cloudphysics().trace(89, 30_000))
+    }
+
+    #[test]
+    fn checker_accepts_seeds_and_rejects_faults() {
+        let s = study();
+        assert!(s.check("obj.last_access").is_ok());
+        assert!(s.check("obj.count").is_ok());
+        assert!(s.check("obj.count * 1.5").is_err());
+        assert!(s.check("cwnd + 1").is_err());
+        assert!(s.check("obj.frequency").is_err());
+    }
+
+    #[test]
+    fn seeds_score_sanely() {
+        let s = study();
+        let lru = s.evaluate(&s.check("obj.last_access").unwrap());
+        let lfu = s.evaluate(&s.check("obj.count").unwrap());
+        // improvements are relative to FIFO: both seeds must be within
+        // sane bounds, and deterministic
+        for v in [lru, lfu] {
+            assert!((-1.0..=1.0).contains(&v), "{v}");
+        }
+        assert_eq!(lru, s.evaluate(&s.check("obj.last_access").unwrap()));
+    }
+
+    #[test]
+    fn runtime_faults_score_minus_one() {
+        let s = study();
+        // cache.objects - 1 is zero while exactly one object is resident
+        let e = s.check("100 / (cache.objects - 1)").unwrap();
+        assert_eq!(s.evaluate(&e), -1.0);
+    }
+
+    #[test]
+    fn quick_search_beats_the_seeds() {
+        let s = study();
+        let lru = s.evaluate(&s.check("obj.last_access").unwrap());
+        let lfu = s.evaluate(&s.check("obj.count").unwrap());
+        let mut llm = MockLlm::new(GenConfig::cache_defaults(21));
+        let cfg = SearchConfig { rounds: 6, candidates_per_round: 12, ..SearchConfig::quick() };
+        let outcome = run_search(&s, &mut llm, &cfg);
+        assert!(
+            outcome.best.score >= lru.max(lfu),
+            "search best {:.4} vs seeds lru {:.4} lfu {:.4}",
+            outcome.best.score,
+            lru,
+            lfu
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! The paper's two case-study instantiations of the framework.
+
+pub mod cache;
+pub mod cc;

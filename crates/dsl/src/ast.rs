@@ -1,0 +1,340 @@
+//! Abstract syntax of heuristic expressions.
+//!
+//! The language is deliberately small: integers, feature reads, arithmetic,
+//! comparisons, boolean logic, conditionals and a few intrinsic functions.
+//! That is enough to express every heuristic the paper discusses — the
+//! LRU/LFU seeds, GDSF-style size-frequency tradeoffs, the evolved Listing 1,
+//! and AIMD/CUBIC-flavoured window updates — while keeping both the kbpf
+//! lowering and the mock generator's mutation operators simple.
+
+use crate::feature::Feature;
+
+/// Binary operators. Logical `And`/`Or` operate on truthiness (`x != 0`) and
+/// produce `0`/`1`; everything else is `i64` arithmetic with the totalized
+/// semantics documented in [`crate::eval`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Signed division. Faults on a zero divisor.
+    Div,
+    /// Signed remainder. Faults on a zero divisor.
+    Rem,
+    Min,
+    Max,
+    /// Logical and (short-circuiting in the interpreter).
+    And,
+    /// Logical or (short-circuiting in the interpreter).
+    Or,
+    /// Left shift; amount clamped to `[0, 63]`, result saturating.
+    Shl,
+    /// Arithmetic right shift; amount clamped to `[0, 63]`.
+    Shr,
+}
+
+impl BinOp {
+    /// Source token for this operator (`Min`/`Max` print as calls instead).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+/// Comparison operators; result is `0` or `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    /// Source token for this comparison.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    /// Apply the comparison.
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        let r = match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        };
+        r as i64
+    }
+}
+
+/// An expression tree. `Box`es keep the enum small; trees are immutable and
+/// cheap to clone for the generator's mutation/crossover operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal — *always* a type error; exists so the generator can
+    /// emit the paper's most common class of non-conforming code (§5.0.3).
+    Float(f64),
+    /// Feature (environment) read.
+    Feat(Feature),
+    /// Arithmetic negation (saturating).
+    Neg(Box<Expr>),
+    /// Logical not: `!x == (x == 0)`.
+    Not(Box<Expr>),
+    /// Absolute value (saturating).
+    Abs(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison producing `0`/`1`.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// `if(cond, then, else)` — also printable as `cond ? then : else`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `clamp(x, lo, hi) == max(lo, min(x, hi))`.
+    Clamp(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand constructor for a binary node.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Shorthand constructor for a comparison node.
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    /// Shorthand constructor for a conditional node.
+    pub fn ite(c: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::If(Box::new(c), Box::new(t), Box::new(e))
+    }
+
+    /// Shorthand constructor for a feature read.
+    pub fn feat(f: Feature) -> Expr {
+        Expr::Feat(f)
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Maximum nesting depth (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Int(_) | Expr::Float(_) | Expr::Feat(_) => 1,
+            Expr::Neg(a) | Expr::Not(a) | Expr::Abs(a) => 1 + a.depth(),
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => 1 + a.depth().max(b.depth()),
+            Expr::If(a, b, c) | Expr::Clamp(a, b, c) => {
+                1 + a.depth().max(b.depth()).max(c.depth())
+            }
+        }
+    }
+
+    /// Pre-order visit of every node.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Int(_) | Expr::Float(_) | Expr::Feat(_) => {}
+            Expr::Neg(a) | Expr::Not(a) | Expr::Abs(a) => a.visit(f),
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::If(a, b, c) | Expr::Clamp(a, b, c) => {
+                a.visit(f);
+                b.visit(f);
+                c.visit(f);
+            }
+        }
+    }
+
+    /// Every distinct feature read anywhere in the tree.
+    pub fn features(&self) -> Vec<Feature> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Feat(f) = e {
+                if !out.contains(f) {
+                    out.push(*f);
+                }
+            }
+        });
+        out
+    }
+
+    /// Does the tree contain a float literal anywhere?
+    pub fn contains_float(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Float(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Does the tree contain a division or remainder anywhere?
+    pub fn contains_div(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Bin(BinOp::Div | BinOp::Rem, _, _)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Get the `idx`-th node in pre-order (0 is the root). Used by the
+    /// generator to pick a uniformly random subtree for mutation.
+    pub fn get_subexpr(&self, idx: usize) -> Option<&Expr> {
+        let mut i = 0;
+        let mut found = None;
+        self.visit(&mut |e| {
+            if i == idx && found.is_none() {
+                found = Some(e);
+            }
+            i += 1;
+        });
+        found
+    }
+
+    /// Return a copy of the tree with the `idx`-th pre-order node replaced
+    /// by `new`. Returns the tree unchanged if `idx` is out of range.
+    pub fn replace_subexpr(&self, idx: usize, new: &Expr) -> Expr {
+        fn go(e: &Expr, idx: usize, new: &Expr, i: &mut usize) -> Expr {
+            let me = *i;
+            *i += 1;
+            if me == idx {
+                return new.clone();
+            }
+            match e {
+                Expr::Int(_) | Expr::Float(_) | Expr::Feat(_) => e.clone(),
+                Expr::Neg(a) => Expr::Neg(Box::new(go(a, idx, new, i))),
+                Expr::Not(a) => Expr::Not(Box::new(go(a, idx, new, i))),
+                Expr::Abs(a) => Expr::Abs(Box::new(go(a, idx, new, i))),
+                Expr::Bin(op, a, b) => {
+                    let a = go(a, idx, new, i);
+                    let b = go(b, idx, new, i);
+                    Expr::Bin(*op, Box::new(a), Box::new(b))
+                }
+                Expr::Cmp(op, a, b) => {
+                    let a = go(a, idx, new, i);
+                    let b = go(b, idx, new, i);
+                    Expr::Cmp(*op, Box::new(a), Box::new(b))
+                }
+                Expr::If(a, b, c) => {
+                    let a = go(a, idx, new, i);
+                    let b = go(b, idx, new, i);
+                    let c = go(c, idx, new, i);
+                    Expr::If(Box::new(a), Box::new(b), Box::new(c))
+                }
+                Expr::Clamp(a, b, c) => {
+                    let a = go(a, idx, new, i);
+                    let b = go(b, idx, new, i);
+                    let c = go(c, idx, new, i);
+                    Expr::Clamp(Box::new(a), Box::new(b), Box::new(c))
+                }
+            }
+        }
+        let mut i = 0;
+        go(self, idx, new, &mut i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::Feature;
+
+    fn sample() -> Expr {
+        // obj.count * 20 - obj.age / 300
+        Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Mul, Expr::feat(Feature::ObjCount), Expr::Int(20)),
+            Expr::bin(BinOp::Div, Expr::feat(Feature::ObjAge), Expr::Int(300)),
+        )
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let e = sample();
+        assert_eq!(e.size(), 7);
+        assert_eq!(e.depth(), 3);
+        assert_eq!(Expr::Int(1).size(), 1);
+        assert_eq!(Expr::Int(1).depth(), 1);
+    }
+
+    #[test]
+    fn features_deduplicated() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::feat(Feature::ObjCount),
+            Expr::feat(Feature::ObjCount),
+        );
+        assert_eq!(e.features(), vec![Feature::ObjCount]);
+    }
+
+    #[test]
+    fn contains_checks() {
+        assert!(sample().contains_div());
+        assert!(!sample().contains_float());
+        let f = Expr::bin(BinOp::Add, Expr::Float(0.5), Expr::Int(1));
+        assert!(f.contains_float());
+        assert!(!f.contains_div());
+    }
+
+    #[test]
+    fn get_subexpr_preorder() {
+        let e = sample();
+        assert_eq!(e.get_subexpr(0), Some(&e));
+        // pre-order: root(Sub)=0, Mul=1, ObjCount=2, 20=3, Div=4, ObjAge=5, 300=6
+        assert_eq!(e.get_subexpr(3), Some(&Expr::Int(20)));
+        assert_eq!(e.get_subexpr(6), Some(&Expr::Int(300)));
+        assert_eq!(e.get_subexpr(7), None);
+    }
+
+    #[test]
+    fn replace_subexpr_roundtrip() {
+        let e = sample();
+        let r = e.replace_subexpr(3, &Expr::Int(99));
+        assert_eq!(r.get_subexpr(3), Some(&Expr::Int(99)));
+        // everything else untouched
+        assert_eq!(r.get_subexpr(6), Some(&Expr::Int(300)));
+        // out-of-range replacement is identity
+        assert_eq!(e.replace_subexpr(100, &Expr::Int(0)), e);
+    }
+
+    #[test]
+    fn cmp_apply() {
+        assert_eq!(CmpOp::Lt.apply(1, 2), 1);
+        assert_eq!(CmpOp::Ge.apply(1, 2), 0);
+        assert_eq!(CmpOp::Eq.apply(5, 5), 1);
+        assert_eq!(CmpOp::Ne.apply(5, 5), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Feature environments: how an executing heuristic reads its context.
+//!
+//! The cache template host and the congestion-control harness both implement
+//! [`FeatureEnv`]; a simple [`MapEnv`] is provided for tests, docs, and the
+//! generator's quick candidate sanity-probes.
+
+use crate::feature::Feature;
+use std::collections::HashMap;
+
+/// Provider of feature values at evaluation time.
+///
+/// Implementations must be *total*: a feature that is semantically absent
+/// (e.g. history metadata for an object never evicted) returns a documented
+/// default rather than failing, matching how the paper's template presents
+/// features to generated code.
+pub trait FeatureEnv {
+    /// Current value of `f`.
+    fn feature(&self, f: Feature) -> i64;
+}
+
+/// A plain map-backed environment. Unset features read as 0.
+#[derive(Debug, Clone, Default)]
+pub struct MapEnv {
+    values: HashMap<Feature, i64>,
+}
+
+impl MapEnv {
+    /// Build an empty environment (all features read as 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set `f` to `v`, returning `self` for chaining.
+    pub fn with(mut self, f: Feature, v: i64) -> Self {
+        self.set(f, v);
+        self
+    }
+
+    /// Set `f` to `v`.
+    pub fn set(&mut self, f: Feature, v: i64) {
+        self.values.insert(f, v);
+    }
+}
+
+impl FeatureEnv for MapEnv {
+    fn feature(&self, f: Feature) -> i64 {
+        self.values.get(&f).copied().unwrap_or(0)
+    }
+}
+
+/// An environment that returns the midpoint of each feature's declared
+/// range: used by the generator to cheaply smoke-test candidates before
+/// paying for a full evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MidpointEnv;
+
+impl FeatureEnv for MidpointEnv {
+    fn feature(&self, f: Feature) -> i64 {
+        let (lo, hi) = f.range();
+        lo + (hi - lo) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_env_defaults_to_zero() {
+        let env = MapEnv::new().with(Feature::ObjSize, 512);
+        assert_eq!(env.feature(Feature::ObjSize), 512);
+        assert_eq!(env.feature(Feature::ObjCount), 0);
+    }
+
+    #[test]
+    fn midpoint_env_within_range() {
+        for f in [Feature::Mss, Feature::ObjSize, Feature::HistContains, Feature::Cwnd] {
+            let (lo, hi) = f.range();
+            let v = MidpointEnv.feature(f);
+            assert!(v >= lo && v <= hi);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Feature catalog: every environment value a heuristic may read.
+//!
+//! The paper splits the feature surface per case study: Table 1 for caching
+//! (per-object, percentile aggregates, eviction history) and §5.0.1 for
+//! congestion control (cwnd, RTT estimates, inflight, … plus 10-interval
+//! smoothed history arrays per [66]). A [`Feature`] is the resolved, typed
+//! form of a dotted identifier in heuristic source (`obj.count`,
+//! `ages.p75`, `hist_rtt[3]`, …).
+//!
+//! Each feature carries:
+//! * a [`Mode`] availability (cache template vs. kernel template),
+//! * a conservative value **range** used by the kbpf verifier's interval
+//!   analysis (e.g. `hist.contains ∈ [0,1]`, `mss ∈ [1, 65535]`), and
+//! * for kernel features, a fixed slot in the flat context array the kbpf
+//!   program loads from (mirroring how the paper's eBPF probe reads features
+//!   out of a BPF map written by the kernel-module scaffold).
+
+/// Which template a heuristic targets. Determines the legal feature set and
+/// how strict the checker is (§4.1.2 vs §5.0.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Web-cache eviction `priority()` template (userspace, libCacheSim-like
+    /// host). Percentile aggregates and eviction history are available.
+    Cache,
+    /// Kernel `cong_control()` template. Only kernel-visible scalars and the
+    /// history arrays are available; programs must pass the kbpf verifier.
+    Kernel,
+}
+
+/// Number of entries in each congestion-control history array (§5.0.1: the
+/// last 10 RTT intervals, smoothed).
+pub const CC_HISTORY_LEN: u8 = 10;
+
+/// A resolved environment value.
+///
+/// Percentile features carry the integer percent (1..=99); history-array
+/// features carry the interval index (0 = most recent completed RTT
+/// interval, `CC_HISTORY_LEN - 1` = oldest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feature {
+    // ---- shared ----
+    /// Current virtual time. Request index units in the cache study,
+    /// microseconds in the congestion-control study.
+    Now,
+
+    // ---- cache: per-object (Table 1) ----
+    /// Number of accesses to the object since insertion (including the
+    /// insertion itself).
+    ObjCount,
+    /// Virtual time of the last access to the object.
+    ObjLastAccess,
+    /// Virtual time at which the object was inserted.
+    ObjInsertTime,
+    /// Object size in bytes.
+    ObjSize,
+    /// Convenience: `now - obj.last_access`.
+    ObjAge,
+    /// Convenience: `now - obj.insert_time`.
+    ObjTimeInCache,
+
+    // ---- cache: aggregates (Table 1) ----
+    /// Percentile over access counts of all resident objects.
+    CountsPct(u8),
+    /// Percentile over ages (`now - last_access`) of all resident objects.
+    AgesPct(u8),
+    /// Percentile over sizes in bytes of all resident objects.
+    SizesPct(u8),
+
+    // ---- cache: eviction history (Table 1) ----
+    /// 1 if the requested object appears in the recent-eviction history.
+    HistContains,
+    /// Access count the object had when it was last evicted (0 if absent).
+    HistCount,
+    /// Age (`evict_time - last_access`) at eviction time (0 if absent).
+    HistAgeAtEvict,
+    /// `now - evict_time` for the most recent eviction of this object
+    /// (0 if absent).
+    HistTimeSinceEvict,
+
+    // ---- cache: global ----
+    /// Number of resident objects.
+    CacheObjects,
+    /// Bytes currently used.
+    CacheUsedBytes,
+    /// Capacity in bytes.
+    CacheCapacity,
+
+    // ---- congestion control: scalars (§5.0.1) ----
+    /// Current congestion window, in segments.
+    Cwnd,
+    /// Congestion window before the previous `cong_control` invocation.
+    PrevCwnd,
+    /// Minimum RTT observed on the connection, µs.
+    MinRttUs,
+    /// Smoothed RTT, µs.
+    SrttUs,
+    /// Most recent RTT sample, µs.
+    LastRttUs,
+    /// Bytes in flight.
+    InflightBytes,
+    /// Segments in flight.
+    InflightPkts,
+    /// Maximum segment size, bytes.
+    Mss,
+    /// Total bytes delivered (cumulatively acked) so far.
+    DeliveredBytes,
+    /// Recent delivery rate estimate, bytes/sec.
+    DeliveryRateBps,
+    /// 1 if this invocation was triggered by a loss event, else 0.
+    LossEvent,
+    /// Bytes newly acked by the triggering event (0 on loss).
+    AckedBytes,
+    /// Slow-start threshold, segments.
+    Ssthresh,
+
+    // ---- congestion control: history arrays (§5.0.1, [66]) ----
+    /// Smoothed RTT of the i-th most recent RTT interval, µs.
+    HistRtt(u8),
+    /// Bytes delivered during the i-th most recent RTT interval.
+    HistDelivered(u8),
+    /// Loss events during the i-th most recent RTT interval.
+    HistLoss(u8),
+    /// Mean cwnd (segments) during the i-th most recent RTT interval.
+    HistCwnd(u8),
+    /// Mean queuing-delay estimate (`srtt - min_rtt`) during the i-th most
+    /// recent RTT interval, µs.
+    HistQdelay(u8),
+}
+
+impl Feature {
+    /// Is this feature legal in the given template mode?
+    pub fn available_in(self, mode: Mode) -> bool {
+        use Feature::*;
+        match self {
+            Now => true,
+            ObjCount | ObjLastAccess | ObjInsertTime | ObjSize | ObjAge | ObjTimeInCache
+            | CountsPct(_) | AgesPct(_) | SizesPct(_) | HistContains | HistCount
+            | HistAgeAtEvict | HistTimeSinceEvict | CacheObjects | CacheUsedBytes
+            | CacheCapacity => mode == Mode::Cache,
+            Cwnd | PrevCwnd | MinRttUs | SrttUs | LastRttUs | InflightBytes | InflightPkts
+            | Mss | DeliveredBytes | DeliveryRateBps | LossEvent | AckedBytes | Ssthresh
+            | HistRtt(_) | HistDelivered(_) | HistLoss(_) | HistCwnd(_) | HistQdelay(_) => {
+                mode == Mode::Kernel
+            }
+        }
+    }
+
+    /// Is the parameter (percentile percent or history index) in range?
+    pub fn param_in_range(self) -> bool {
+        use Feature::*;
+        match self {
+            CountsPct(p) | AgesPct(p) | SizesPct(p) => (1..=99).contains(&p),
+            HistRtt(i) | HistDelivered(i) | HistLoss(i) | HistCwnd(i) | HistQdelay(i) => {
+                i < CC_HISTORY_LEN
+            }
+            _ => true,
+        }
+    }
+
+    /// Conservative `[min, max]` bound on the runtime value, used by the
+    /// kbpf verifier's interval analysis and by the generator's guard
+    /// heuristics (a divisor whose range excludes zero needs no guard).
+    pub fn range(self) -> (i64, i64) {
+        use Feature::*;
+        const T: i64 = 1 << 50; // generous virtual-time bound
+        match self {
+            Now => (0, T),
+            ObjCount | HistCount => (0, 1 << 40),
+            ObjLastAccess | ObjInsertTime => (0, T),
+            ObjSize | SizesPct(_) => (1, 1 << 40),
+            ObjAge | ObjTimeInCache | AgesPct(_) | HistAgeAtEvict | HistTimeSinceEvict => (0, T),
+            CountsPct(_) => (0, 1 << 40),
+            HistContains | LossEvent => (0, 1),
+            CacheObjects => (0, 1 << 40),
+            CacheUsedBytes | CacheCapacity => (0, 1 << 50),
+            Cwnd | PrevCwnd | Ssthresh | HistCwnd(_) => (1, 1 << 24),
+            MinRttUs | SrttUs | LastRttUs | HistRtt(_) => (1, 1 << 32),
+            HistQdelay(_) => (0, 1 << 32),
+            InflightBytes | DeliveredBytes | HistDelivered(_) => (0, 1 << 50),
+            InflightPkts => (0, 1 << 24),
+            Mss => (1, 65535),
+            DeliveryRateBps => (0, 1 << 50),
+            AckedBytes => (0, 1 << 32),
+            HistLoss(_) => (0, 1 << 20),
+        }
+    }
+
+    /// Slot of this feature in the flat kernel context array read by kbpf
+    /// programs (`LdCtx` instruction). `None` for cache-only features, which
+    /// are never lowered to bytecode.
+    pub fn ctx_slot(self) -> Option<u16> {
+        use Feature::*;
+        let h = CC_HISTORY_LEN as u16;
+        Some(match self {
+            Now => 0,
+            Cwnd => 1,
+            PrevCwnd => 2,
+            MinRttUs => 3,
+            SrttUs => 4,
+            LastRttUs => 5,
+            InflightBytes => 6,
+            InflightPkts => 7,
+            Mss => 8,
+            DeliveredBytes => 9,
+            DeliveryRateBps => 10,
+            LossEvent => 11,
+            AckedBytes => 12,
+            Ssthresh => 13,
+            HistRtt(i) => CC_CTX_HIST_BASE + i as u16,
+            HistDelivered(i) => CC_CTX_HIST_BASE + h + i as u16,
+            HistLoss(i) => CC_CTX_HIST_BASE + 2 * h + i as u16,
+            HistCwnd(i) => CC_CTX_HIST_BASE + 3 * h + i as u16,
+            HistQdelay(i) => CC_CTX_HIST_BASE + 4 * h + i as u16,
+            _ => return None,
+        })
+    }
+
+    /// Canonical source-syntax name of the feature.
+    pub fn name(self) -> String {
+        use Feature::*;
+        match self {
+            Now => "now".into(),
+            ObjCount => "obj.count".into(),
+            ObjLastAccess => "obj.last_access".into(),
+            ObjInsertTime => "obj.insert_time".into(),
+            ObjSize => "obj.size".into(),
+            ObjAge => "obj.age".into(),
+            ObjTimeInCache => "obj.time_in_cache".into(),
+            CountsPct(p) => format!("counts.p{p}"),
+            AgesPct(p) => format!("ages.p{p}"),
+            SizesPct(p) => format!("sizes.p{p}"),
+            HistContains => "hist.contains".into(),
+            HistCount => "hist.count".into(),
+            HistAgeAtEvict => "hist.age_at_evict".into(),
+            HistTimeSinceEvict => "hist.time_since_evict".into(),
+            CacheObjects => "cache.objects".into(),
+            CacheUsedBytes => "cache.used_bytes".into(),
+            CacheCapacity => "cache.capacity".into(),
+            Cwnd => "cwnd".into(),
+            PrevCwnd => "prev_cwnd".into(),
+            MinRttUs => "min_rtt".into(),
+            SrttUs => "srtt".into(),
+            LastRttUs => "last_rtt".into(),
+            InflightBytes => "inflight_bytes".into(),
+            InflightPkts => "inflight".into(),
+            Mss => "mss".into(),
+            DeliveredBytes => "delivered".into(),
+            DeliveryRateBps => "delivery_rate".into(),
+            LossEvent => "loss".into(),
+            AckedBytes => "acked".into(),
+            Ssthresh => "ssthresh".into(),
+            HistRtt(i) => format!("hist_rtt[{i}]"),
+            HistDelivered(i) => format!("hist_delivered[{i}]"),
+            HistLoss(i) => format!("hist_loss[{i}]"),
+            HistCwnd(i) => format!("hist_cwnd[{i}]"),
+            HistQdelay(i) => format!("hist_qdelay[{i}]"),
+        }
+    }
+
+    /// Every scalar (non-parameterized) feature legal in `mode`, plus a
+    /// small representative set of parameterized ones. Used by the mock
+    /// generator when it "recalls" the template's documented feature list.
+    pub fn catalog(mode: Mode) -> Vec<Feature> {
+        use Feature::*;
+        match mode {
+            Mode::Cache => {
+                let mut v = vec![
+                    Now,
+                    ObjCount,
+                    ObjLastAccess,
+                    ObjInsertTime,
+                    ObjSize,
+                    ObjAge,
+                    ObjTimeInCache,
+                    HistContains,
+                    HistCount,
+                    HistAgeAtEvict,
+                    HistTimeSinceEvict,
+                    CacheObjects,
+                    CacheUsedBytes,
+                    CacheCapacity,
+                ];
+                for p in [10u8, 25, 50, 75, 90] {
+                    v.push(CountsPct(p));
+                    v.push(AgesPct(p));
+                    v.push(SizesPct(p));
+                }
+                v
+            }
+            Mode::Kernel => {
+                let mut v = vec![
+                    Now,
+                    Cwnd,
+                    PrevCwnd,
+                    MinRttUs,
+                    SrttUs,
+                    LastRttUs,
+                    InflightBytes,
+                    InflightPkts,
+                    Mss,
+                    DeliveredBytes,
+                    DeliveryRateBps,
+                    LossEvent,
+                    AckedBytes,
+                    Ssthresh,
+                ];
+                for i in 0..CC_HISTORY_LEN {
+                    v.push(HistRtt(i));
+                    v.push(HistDelivered(i));
+                    v.push(HistLoss(i));
+                    v.push(HistCwnd(i));
+                    v.push(HistQdelay(i));
+                }
+                v
+            }
+        }
+    }
+}
+
+/// First context slot holding history arrays (after the 14 scalars).
+pub const CC_CTX_HIST_BASE: u16 = 14;
+
+/// Total size of the kernel context array in `i64` slots.
+pub const CC_CTX_SLOTS: u16 = CC_CTX_HIST_BASE + 5 * CC_HISTORY_LEN as u16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_slots_are_unique_and_in_bounds() {
+        let mut seen = std::collections::HashSet::new();
+        for f in Feature::catalog(Mode::Kernel) {
+            let slot = f.ctx_slot().expect("kernel feature must have a slot");
+            assert!(slot < CC_CTX_SLOTS, "{f:?} slot {slot} out of bounds");
+            assert!(seen.insert(slot), "duplicate slot {slot} for {f:?}");
+        }
+    }
+
+    #[test]
+    fn cache_features_have_no_ctx_slot() {
+        for f in Feature::catalog(Mode::Cache) {
+            if f == Feature::Now {
+                continue;
+            }
+            assert_eq!(f.ctx_slot(), None, "{f:?} must not be lowerable");
+        }
+    }
+
+    #[test]
+    fn mode_partition_is_total() {
+        for f in Feature::catalog(Mode::Cache) {
+            assert!(f.available_in(Mode::Cache));
+        }
+        for f in Feature::catalog(Mode::Kernel) {
+            assert!(f.available_in(Mode::Kernel));
+        }
+        assert!(!Feature::ObjCount.available_in(Mode::Kernel));
+        assert!(!Feature::Cwnd.available_in(Mode::Cache));
+        assert!(Feature::Now.available_in(Mode::Cache));
+        assert!(Feature::Now.available_in(Mode::Kernel));
+    }
+
+    #[test]
+    fn ranges_are_well_formed() {
+        let mut all = Feature::catalog(Mode::Cache);
+        all.extend(Feature::catalog(Mode::Kernel));
+        for f in all {
+            let (lo, hi) = f.range();
+            assert!(lo <= hi, "{f:?} range inverted");
+        }
+    }
+
+    #[test]
+    fn param_validation() {
+        assert!(Feature::AgesPct(75).param_in_range());
+        assert!(!Feature::AgesPct(0).param_in_range());
+        assert!(!Feature::AgesPct(100).param_in_range());
+        assert!(Feature::HistRtt(9).param_in_range());
+        assert!(!Feature::HistRtt(10).param_in_range());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        // `Now` is shared between modes; every other name is unique.
+        let mut all = Feature::catalog(Mode::Cache);
+        all.extend(Feature::catalog(Mode::Kernel));
+        let features: std::collections::HashSet<_> = all.iter().copied().collect();
+        let names: std::collections::HashSet<_> = all.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), features.len());
+    }
+}

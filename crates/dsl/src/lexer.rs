@@ -1,0 +1,351 @@
+//! Hand-written lexer for heuristic source.
+//!
+//! The token set is C-expression-like on purpose: the paper's Listing 1 is
+//! (pseudo-)C, and the mock generator emits the same surface syntax so that
+//! the parse-error fault class ("plausible yet non-conforming code", §3)
+//! is realistic.
+
+use crate::error::{ParseError, Pos};
+
+/// A single token with its starting byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: Pos,
+}
+
+/// Token kinds. Numeric literals keep their source text so the parser can
+/// report out-of-range values faithfully.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Int(String),
+    Float(String),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Question,
+    Colon,
+    Bang,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Shl,
+    Shr,
+}
+
+impl TokenKind {
+    /// Human-readable rendering for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(s) | TokenKind::Float(s) | TokenKind::Ident(s) => s.clone(),
+            TokenKind::Plus => "+".into(),
+            TokenKind::Minus => "-".into(),
+            TokenKind::Star => "*".into(),
+            TokenKind::Slash => "/".into(),
+            TokenKind::Percent => "%".into(),
+            TokenKind::LParen => "(".into(),
+            TokenKind::RParen => ")".into(),
+            TokenKind::LBracket => "[".into(),
+            TokenKind::RBracket => "]".into(),
+            TokenKind::Comma => ",".into(),
+            TokenKind::Dot => ".".into(),
+            TokenKind::Question => "?".into(),
+            TokenKind::Colon => ":".into(),
+            TokenKind::Bang => "!".into(),
+            TokenKind::Lt => "<".into(),
+            TokenKind::Le => "<=".into(),
+            TokenKind::Gt => ">".into(),
+            TokenKind::Ge => ">=".into(),
+            TokenKind::EqEq => "==".into(),
+            TokenKind::Ne => "!=".into(),
+            TokenKind::AndAnd => "&&".into(),
+            TokenKind::OrOr => "||".into(),
+            TokenKind::Shl => "<<".into(),
+            TokenKind::Shr => ">>".into(),
+        }
+    }
+}
+
+/// Tokenize `src`. Whitespace (including newlines) separates tokens and is
+/// otherwise ignored; `//` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                // A '.' is part of the number only when followed by a digit,
+                // so `counts.p50` style paths never collide with floats.
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = src[start..i].to_string();
+                out.push(Token {
+                    kind: if is_float { TokenKind::Float(text) } else { TokenKind::Int(text) },
+                    pos,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token { kind: TokenKind::Ident(src[start..i].to_string()), pos });
+            }
+            '+' => {
+                out.push(Token { kind: TokenKind::Plus, pos });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { kind: TokenKind::Minus, pos });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, pos });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token { kind: TokenKind::Slash, pos });
+                i += 1;
+            }
+            '%' => {
+                out.push(Token { kind: TokenKind::Percent, pos });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, pos });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token { kind: TokenKind::LBracket, pos });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token { kind: TokenKind::RBracket, pos });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, pos });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { kind: TokenKind::Dot, pos });
+                i += 1;
+            }
+            '?' => {
+                out.push(Token { kind: TokenKind::Question, pos });
+                i += 1;
+            }
+            ':' => {
+                out.push(Token { kind: TokenKind::Colon, pos });
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::Ne, pos });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Bang, pos });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::Le, pos });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'<' {
+                    out.push(Token { kind: TokenKind::Shl, pos });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, pos });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::Ge, pos });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token { kind: TokenKind::Shr, pos });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, pos });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::EqEq, pos });
+                    i += 2;
+                } else {
+                    return Err(ParseError::UnexpectedChar { pos, ch: '=' });
+                }
+            }
+            '&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    out.push(Token { kind: TokenKind::AndAnd, pos });
+                    i += 2;
+                } else {
+                    return Err(ParseError::UnexpectedChar { pos, ch: '&' });
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    out.push(Token { kind: TokenKind::OrOr, pos });
+                    i += 2;
+                } else {
+                    return Err(ParseError::UnexpectedChar { pos, ch: '|' });
+                }
+            }
+            other => return Err(ParseError::UnexpectedChar { pos, ch: other }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_expression() {
+        assert_eq!(
+            kinds("obj.count * 20"),
+            vec![
+                TokenKind::Ident("obj".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("count".into()),
+                TokenKind::Star,
+                TokenKind::Int("20".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_vs_dotted_path() {
+        assert_eq!(kinds("0.75"), vec![TokenKind::Float("0.75".into())]);
+        assert_eq!(
+            kinds("ages.p75"),
+            vec![
+                TokenKind::Ident("ages".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("p75".into()),
+            ]
+        );
+        // digit-dot-ident: '.' is punctuation, not a float
+        assert_eq!(
+            kinds("1.x"),
+            vec![
+                TokenKind::Int("1".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a <= b >= c == d != e && f || g << 1 >> 2"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("c".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("d".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("e".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("f".into()),
+                TokenKind::OrOr,
+                TokenKind::Ident("g".into()),
+                TokenKind::Shl,
+                TokenKind::Int("1".into()),
+                TokenKind::Shr,
+                TokenKind::Int("2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        assert_eq!(
+            kinds("1 + // trailing noise\n 2"),
+            vec![TokenKind::Int("1".into()), TokenKind::Plus, TokenKind::Int("2".into())]
+        );
+    }
+
+    #[test]
+    fn history_indexing() {
+        assert_eq!(
+            kinds("hist_rtt[3]"),
+            vec![
+                TokenKind::Ident("hist_rtt".into()),
+                TokenKind::LBracket,
+                TokenKind::Int("3".into()),
+                TokenKind::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(matches!(lex("a $ b"), Err(ParseError::UnexpectedChar { ch: '$', .. })));
+        assert!(matches!(lex("a = b"), Err(ParseError::UnexpectedChar { ch: '=', .. })));
+        assert!(matches!(lex("a & b"), Err(ParseError::UnexpectedChar { ch: '&', .. })));
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = lex("ab + cd").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 3);
+        assert_eq!(toks[2].pos, 5);
+    }
+}

@@ -1,0 +1,65 @@
+//! # policysmith-dsl — the heuristic expression language
+//!
+//! PolicySmith candidates are *programs*. This crate defines the small,
+//! integer-only expression language in which both case studies' heuristics
+//! are written:
+//!
+//! * **Cache eviction** (§4 of the paper): a `priority()` function over the
+//!   Table-1 feature set (per-object metadata, percentile aggregates over the
+//!   resident set, and eviction history). Evaluated by the tree-walking
+//!   [`eval`] interpreter inside the cache simulator's template host.
+//! * **Congestion control** (§5): a `cong_control()` function over
+//!   kernel-visible state (cwnd, RTT estimates, inflight, …) plus the
+//!   10-interval smoothed *history arrays*. Lowered to `kbpf` bytecode by the
+//!   `policysmith-kbpf` crate and executed only after verification.
+//!
+//! ## Why integer-only?
+//!
+//! The Linux kernel forbids floating point on the hot path (§5 of the paper
+//! lists float usage as the single most common generator error). We make the
+//! same choice end-to-end: all programs compute over `i64` with saturating
+//! arithmetic, so the DSL interpreter and the kbpf VM agree bit-for-bit.
+//! Float *literals* are still lexable and parseable — they become
+//! [`Expr::Float`] nodes which the [typechecker](check) rejects — because the
+//! fault-injection path of the mock generator must be able to produce the
+//! same non-conforming programs a real LLM does.
+//!
+//! ## Defined arithmetic
+//!
+//! Every operator has a total, deterministic semantics shared by the
+//! interpreter and the VM (see [`eval`] for details): `+ - *` saturate,
+//! `/ %` fault on a zero divisor (a runtime candidate failure in userspace,
+//! a verifier rejection in kernel mode), shifts clamp their amount to
+//! `[0, 63]`, and comparisons/logic produce `0`/`1`.
+//!
+//! ```
+//! use policysmith_dsl::{parse, check, eval, Mode, env::MapEnv, Feature};
+//!
+//! let expr = parse("obj.count * 20 - obj.age / 300").unwrap();
+//! check(&expr, Mode::Cache).unwrap();
+//! let mut env = MapEnv::default();
+//! env.set(Feature::ObjCount, 7);
+//! env.set(Feature::ObjAge, 900);
+//! assert_eq!(eval(&expr, &env).unwrap(), 7 * 20 - 3);
+//! ```
+
+pub mod ast;
+pub mod check;
+pub mod env;
+pub mod error;
+pub mod eval;
+pub mod feature;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod simplify;
+
+pub use ast::{BinOp, CmpOp, Expr};
+pub use check::{check, check_with_warnings, CheckReport, Warning};
+pub use env::FeatureEnv;
+pub use error::{CheckError, EvalError, ParseError};
+pub use eval::eval;
+pub use feature::{Feature, Mode};
+pub use parser::parse;
+pub use printer::to_source;
+pub use simplify::simplify;

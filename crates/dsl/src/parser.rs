@@ -1,0 +1,561 @@
+//! Recursive-descent parser for heuristic source.
+//!
+//! Grammar (C-like precedence, lowest first):
+//!
+//! ```text
+//! expr    := or ('?' expr ':' expr)?            // right-assoc ternary
+//! or      := and ('||' and)*
+//! and     := eq ('&&' eq)*
+//! eq      := rel (('==' | '!=') rel)*
+//! rel     := shift (('<' | '<=' | '>' | '>=') shift)*
+//! shift   := add (('<<' | '>>') add)*
+//! add     := mul (('+' | '-') mul)*
+//! mul     := unary (('*' | '/' | '%') unary)*
+//! unary   := ('-' | '!')* primary
+//! primary := INT | FLOAT | '(' expr ')'
+//!          | ('min'|'max'|'clamp'|'abs'|'if') '(' args ')'
+//!          | path ('[' INT ']')?
+//! path    := IDENT ('.' IDENT)*
+//! ```
+//!
+//! Feature names resolve eagerly: `obj.count`, `ages.p75`, `hist_rtt[3]`, …
+//! Unknown identifiers are parse errors (the "hallucinated API" fault class).
+
+use crate::ast::{BinOp, CmpOp, Expr};
+use crate::error::ParseError;
+use crate::feature::Feature;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Maximum expression nesting the parser will accept. Protects against both
+/// stack overflow and pathological generated candidates.
+pub const MAX_PARSE_DEPTH: usize = 64;
+
+/// Parse a complete heuristic expression. The whole input must be consumed.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, i: 0, depth: 0 };
+    let e = p.expr()?;
+    if let Some(t) = p.peek() {
+        return Err(ParseError::UnexpectedToken {
+            pos: t.pos,
+            found: t.kind.describe(),
+            expected: "end of input",
+        });
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek().map(|t| &t.kind) == Some(kind) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &'static str) -> Result<Token, ParseError> {
+        match self.bump() {
+            Some(t) if t.kind == kind => Ok(t),
+            Some(t) => Err(ParseError::UnexpectedToken {
+                pos: t.pos,
+                found: t.kind.describe(),
+                expected: what,
+            }),
+            None => Err(ParseError::UnexpectedEof { expected: what }),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            let pos = self.peek().map(|t| t.pos).unwrap_or(0);
+            return Err(ParseError::TooDeep { pos });
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let cond = self.or()?;
+        let r = if self.eat(&TokenKind::Question) {
+            let then = self.expr()?;
+            self.expect(TokenKind::Colon, "`:`")?;
+            let els = self.expr()?;
+            Expr::ite(cond, then, els)
+        } else {
+            cond
+        };
+        self.leave();
+        Ok(r)
+    }
+
+    fn or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and()?;
+            e = Expr::bin(BinOp::Or, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.equality()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.equality()?;
+            e = Expr::bin(BinOp::And, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.relational()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::EqEq) => CmpOp::Eq,
+                Some(TokenKind::Ne) => CmpOp::Ne,
+                _ => break,
+            };
+            self.i += 1;
+            let rhs = self.relational()?;
+            e = Expr::cmp(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.shift()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Lt) => CmpOp::Lt,
+                Some(TokenKind::Le) => CmpOp::Le,
+                Some(TokenKind::Gt) => CmpOp::Gt,
+                Some(TokenKind::Ge) => CmpOp::Ge,
+                _ => break,
+            };
+            self.i += 1;
+            let rhs = self.shift()?;
+            e = Expr::cmp(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Shl) => BinOp::Shl,
+                Some(TokenKind::Shr) => BinOp::Shr,
+                _ => break,
+            };
+            self.i += 1;
+            let rhs = self.additive()?;
+            e = Expr::bin(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.i += 1;
+            let rhs = self.multiplicative()?;
+            e = Expr::bin(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                Some(TokenKind::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.i += 1;
+            let rhs = self.unary()?;
+            e = Expr::bin(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let r = if self.eat(&TokenKind::Minus) {
+            // `-5` folds to a literal so the generator's constant mutations
+            // see negative constants as single nodes.
+            match self.unary()? {
+                Expr::Int(v) => Ok(Expr::Int(v.checked_neg().unwrap_or(i64::MAX))),
+                Expr::Float(v) => Ok(Expr::Float(-v)),
+                e => Ok(Expr::Neg(Box::new(e))),
+            }
+        } else if self.eat(&TokenKind::Bang) {
+            Ok(Expr::Not(Box::new(self.unary()?)))
+        } else {
+            self.primary()
+        };
+        self.leave();
+        r
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let t = match self.bump() {
+            Some(t) => t,
+            None => return Err(ParseError::UnexpectedEof { expected: "an expression" }),
+        };
+        match t.kind {
+            TokenKind::Int(text) => text
+                .parse::<i64>()
+                .map(Expr::Int)
+                .map_err(|_| ParseError::IntOutOfRange { pos: t.pos, text }),
+            TokenKind::Float(text) => {
+                // f64 parse of digits.digits cannot fail
+                Ok(Expr::Float(text.parse::<f64>().unwrap()))
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(first) => self.ident_tail(t.pos, first),
+            other => Err(ParseError::UnexpectedToken {
+                pos: t.pos,
+                found: other.describe(),
+                expected: "an expression",
+            }),
+        }
+    }
+
+    /// Parse what follows an initial identifier: an intrinsic call, an
+    /// indexed history feature, or a dotted feature path.
+    fn ident_tail(&mut self, pos: usize, first: String) -> Result<Expr, ParseError> {
+        // Intrinsic call?
+        if self.peek().map(|t| &t.kind) == Some(&TokenKind::LParen) {
+            let arity = match first.as_str() {
+                "abs" => 1,
+                "min" | "max" => 2,
+                "clamp" | "if" => 3,
+                _ => {
+                    return Err(ParseError::UnknownIdentifier { pos, name: format!("{first}()") })
+                }
+            };
+            self.i += 1; // consume '('
+            let mut args = Vec::new();
+            if self.peek().map(|t| &t.kind) != Some(&TokenKind::RParen) {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen, "`)`")?;
+            if args.len() != arity {
+                return Err(ParseError::BadArity {
+                    pos,
+                    func: first,
+                    expected: arity,
+                    got: args.len(),
+                });
+            }
+            let mut it = args.into_iter();
+            return Ok(match first.as_str() {
+                "abs" => Expr::Abs(Box::new(it.next().unwrap())),
+                "min" => Expr::bin(BinOp::Min, it.next().unwrap(), it.next().unwrap()),
+                "max" => Expr::bin(BinOp::Max, it.next().unwrap(), it.next().unwrap()),
+                "clamp" => {
+                    let (a, b, c) = (it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
+                    Expr::Clamp(Box::new(a), Box::new(b), Box::new(c))
+                }
+                "if" => {
+                    let (a, b, c) = (it.next().unwrap(), it.next().unwrap(), it.next().unwrap());
+                    Expr::ite(a, b, c)
+                }
+                _ => unreachable!(),
+            });
+        }
+
+        // Indexed history feature?
+        if self.peek().map(|t| &t.kind) == Some(&TokenKind::LBracket) {
+            self.i += 1;
+            let idx_tok = self.bump().ok_or(ParseError::UnexpectedEof { expected: "an index" })?;
+            let idx = match &idx_tok.kind {
+                TokenKind::Int(s) => s.parse::<u8>().map_err(|_| ParseError::BadParam {
+                    pos: idx_tok.pos,
+                    name: first.clone(),
+                })?,
+                other => {
+                    return Err(ParseError::UnexpectedToken {
+                        pos: idx_tok.pos,
+                        found: other.describe(),
+                        expected: "an integer index",
+                    })
+                }
+            };
+            self.expect(TokenKind::RBracket, "`]`")?;
+            let feat = match first.as_str() {
+                "hist_rtt" => Feature::HistRtt(idx),
+                "hist_delivered" => Feature::HistDelivered(idx),
+                "hist_loss" => Feature::HistLoss(idx),
+                "hist_cwnd" => Feature::HistCwnd(idx),
+                "hist_qdelay" => Feature::HistQdelay(idx),
+                _ => {
+                    return Err(ParseError::UnknownIdentifier {
+                        pos,
+                        name: format!("{first}[..]"),
+                    })
+                }
+            };
+            if !feat.param_in_range() {
+                return Err(ParseError::BadParam { pos, name: feat.name() });
+            }
+            return Ok(Expr::Feat(feat));
+        }
+
+        // Dotted path.
+        let mut path = vec![first];
+        while self.eat(&TokenKind::Dot) {
+            match self.bump() {
+                Some(Token { kind: TokenKind::Ident(seg), .. }) => path.push(seg),
+                Some(t) => {
+                    return Err(ParseError::UnexpectedToken {
+                        pos: t.pos,
+                        found: t.kind.describe(),
+                        expected: "an identifier after `.`",
+                    })
+                }
+                None => {
+                    return Err(ParseError::UnexpectedEof { expected: "an identifier after `.`" })
+                }
+            }
+        }
+        let joined = path.join(".");
+        match resolve_path(&path) {
+            Some(f) => {
+                if !f.param_in_range() {
+                    return Err(ParseError::BadParam { pos, name: joined });
+                }
+                Ok(Expr::Feat(f))
+            }
+            None => Err(ParseError::UnknownIdentifier { pos, name: joined }),
+        }
+    }
+}
+
+/// Resolve a dotted path to a feature, if any.
+fn resolve_path(path: &[String]) -> Option<Feature> {
+    use Feature::*;
+    let segs: Vec<&str> = path.iter().map(|s| s.as_str()).collect();
+    Some(match segs.as_slice() {
+        ["now"] => Now,
+        ["obj", "count"] => ObjCount,
+        ["obj", "last_access"] => ObjLastAccess,
+        ["obj", "insert_time"] => ObjInsertTime,
+        ["obj", "size"] => ObjSize,
+        ["obj", "age"] => ObjAge,
+        ["obj", "time_in_cache"] => ObjTimeInCache,
+        ["hist", "contains"] => HistContains,
+        ["hist", "count"] => HistCount,
+        ["hist", "age_at_evict"] => HistAgeAtEvict,
+        ["hist", "time_since_evict"] => HistTimeSinceEvict,
+        ["cache", "objects"] => CacheObjects,
+        ["cache", "used_bytes"] => CacheUsedBytes,
+        ["cache", "capacity"] => CacheCapacity,
+        ["cwnd"] => Cwnd,
+        ["prev_cwnd"] => PrevCwnd,
+        ["min_rtt"] => MinRttUs,
+        ["srtt"] => SrttUs,
+        ["last_rtt"] => LastRttUs,
+        ["inflight_bytes"] => InflightBytes,
+        ["inflight"] => InflightPkts,
+        ["mss"] => Mss,
+        ["delivered"] => DeliveredBytes,
+        ["delivery_rate"] => DeliveryRateBps,
+        ["loss"] => LossEvent,
+        ["acked"] => AckedBytes,
+        ["ssthresh"] => Ssthresh,
+        [table @ ("counts" | "ages" | "sizes"), p] => {
+            let pct: u8 = p.strip_prefix('p')?.parse().ok()?;
+            match *table {
+                "counts" => CountsPct(pct),
+                "ages" => AgesPct(pct),
+                _ => SizesPct(pct),
+            }
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, CmpOp, Expr};
+    use crate::feature::Feature;
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::Add,
+                Expr::Int(1),
+                Expr::bin(BinOp::Mul, Expr::Int(2), Expr::Int(3))
+            )
+        );
+    }
+
+    #[test]
+    fn precedence_add_over_shift_over_rel() {
+        // C semantics: a << b + c parses as a << (b + c)
+        let e = parse("1 << 2 + 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::Shl,
+                Expr::Int(1),
+                Expr::bin(BinOp::Add, Expr::Int(2), Expr::Int(3))
+            )
+        );
+        // and a << b < c parses as (a << b) < c
+        let e = parse("1 << 2 < 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::cmp(
+                CmpOp::Lt,
+                Expr::bin(BinOp::Shl, Expr::Int(1), Expr::Int(2)),
+                Expr::Int(3)
+            )
+        );
+    }
+
+    #[test]
+    fn ternary_right_assoc() {
+        let e = parse("1 ? 2 : 3 ? 4 : 5").unwrap();
+        assert_eq!(
+            e,
+            Expr::ite(Expr::Int(1), Expr::Int(2), Expr::ite(Expr::Int(3), Expr::Int(4), Expr::Int(5)))
+        );
+    }
+
+    #[test]
+    fn features_resolve() {
+        assert_eq!(parse("obj.count").unwrap(), Expr::feat(Feature::ObjCount));
+        assert_eq!(parse("ages.p75").unwrap(), Expr::feat(Feature::AgesPct(75)));
+        assert_eq!(parse("hist_rtt[3]").unwrap(), Expr::feat(Feature::HistRtt(3)));
+        assert_eq!(parse("min_rtt").unwrap(), Expr::feat(Feature::MinRttUs));
+        assert_eq!(parse("cache.used_bytes").unwrap(), Expr::feat(Feature::CacheUsedBytes));
+    }
+
+    #[test]
+    fn intrinsics() {
+        assert_eq!(
+            parse("min(1, 2)").unwrap(),
+            Expr::bin(BinOp::Min, Expr::Int(1), Expr::Int(2))
+        );
+        assert_eq!(
+            parse("clamp(cwnd, 2, 100)").unwrap(),
+            Expr::Clamp(
+                Box::new(Expr::feat(Feature::Cwnd)),
+                Box::new(Expr::Int(2)),
+                Box::new(Expr::Int(100))
+            )
+        );
+        assert_eq!(
+            parse("if(1, 2, 3)").unwrap(),
+            Expr::ite(Expr::Int(1), Expr::Int(2), Expr::Int(3))
+        );
+        assert_eq!(parse("abs(-4)").unwrap(), Expr::Abs(Box::new(Expr::Int(-4))));
+    }
+
+    #[test]
+    fn negative_literal_folds() {
+        assert_eq!(parse("-42").unwrap(), Expr::Int(-42));
+        assert_eq!(parse("1 - -2").unwrap(), Expr::bin(BinOp::Sub, Expr::Int(1), Expr::Int(-2)));
+    }
+
+    #[test]
+    fn float_literal_parses_but_is_float_node() {
+        assert_eq!(parse("0.75").unwrap(), Expr::Float(0.75));
+        assert!(parse("ages.p75 * 0.5").unwrap().contains_float());
+    }
+
+    #[test]
+    fn unknown_identifier_is_error() {
+        assert!(matches!(
+            parse("obj.weight"),
+            Err(ParseError::UnknownIdentifier { .. })
+        ));
+        assert!(matches!(parse("frobnicate(1)"), Err(ParseError::UnknownIdentifier { .. })));
+        assert!(matches!(parse("foo[1]"), Err(ParseError::UnknownIdentifier { .. })));
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(matches!(parse("min(1)"), Err(ParseError::BadArity { .. })));
+        assert!(matches!(parse("abs(1, 2)"), Err(ParseError::BadArity { .. })));
+        assert!(matches!(parse("clamp(1, 2)"), Err(ParseError::BadArity { .. })));
+    }
+
+    #[test]
+    fn param_range_errors() {
+        assert!(matches!(parse("ages.p100"), Err(ParseError::UnknownIdentifier { .. }) | Err(ParseError::BadParam { .. })));
+        assert!(matches!(parse("hist_rtt[10]"), Err(ParseError::BadParam { .. })));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(matches!(parse("1 + 2 3"), Err(ParseError::UnexpectedToken { .. })));
+        assert!(matches!(parse("1 +"), Err(ParseError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn depth_limit() {
+        let src = format!("{}1{}", "(".repeat(200), ")".repeat(200));
+        assert!(matches!(parse(&src), Err(ParseError::TooDeep { .. })));
+    }
+
+    #[test]
+    fn listing1_style_fragment() {
+        // A fragment shaped like the paper's Listing 1.
+        let src = "obj.count * 20 - obj.age / 300 - obj.size / 500 \
+                   + if(hist.contains, hist.count * 15 + hist.age_at_evict / 150, -40) \
+                   + if(obj.last_access < ages.p75, -30, 0) \
+                   + if(obj.size > sizes.p75, -25, 10) \
+                   + if(obj.count > counts.p70, 50, -5)";
+        let e = parse(src).unwrap();
+        assert!(e.features().contains(&Feature::AgesPct(75)));
+        assert!(e.features().contains(&Feature::CountsPct(70)));
+        assert!(e.features().contains(&Feature::HistContains));
+    }
+}

@@ -1,0 +1,217 @@
+//! Pretty-printer: turns an [`Expr`] back into heuristic source.
+//!
+//! The printer and parser are inverse up to canonicalization: for any tree
+//! the parser can produce, `parse(to_source(e)) == e`; for arbitrary trees
+//! (e.g. mid-mutation generator output) the reparsed tree is semantically
+//! equal (`-5` folds to a literal, etc.). Minimal parentheses are emitted
+//! using the same precedence table the parser uses, so printed heuristics
+//! look like the paper's Listing 1 rather than a LISP dump.
+
+use crate::ast::{BinOp, CmpOp, Expr};
+
+/// Render `e` as parseable heuristic source.
+pub fn to_source(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(e, 0, &mut s);
+    s
+}
+
+/// Precedence levels, matching the parser (higher binds tighter).
+fn prec_of(e: &Expr) -> u8 {
+    match e {
+        Expr::If(..) => 0, // printed as if(...) call — atom — but ternary level kept for safety
+        Expr::Bin(BinOp::Or, ..) => 1,
+        Expr::Bin(BinOp::And, ..) => 2,
+        Expr::Cmp(CmpOp::Eq | CmpOp::Ne, ..) => 3,
+        Expr::Cmp(..) => 4,
+        Expr::Bin(BinOp::Shl | BinOp::Shr, ..) => 5,
+        Expr::Bin(BinOp::Add | BinOp::Sub, ..) => 6,
+        Expr::Bin(BinOp::Mul | BinOp::Div | BinOp::Rem, ..) => 7,
+        Expr::Neg(_) | Expr::Not(_) => 8,
+        _ => 9, // atoms and call-syntax nodes
+    }
+}
+
+fn write_expr(e: &Expr, min_prec: u8, out: &mut String) {
+    let p = prec_of(e);
+    let parens = p < min_prec;
+    if parens {
+        out.push('(');
+    }
+    match e {
+        Expr::Int(v) => {
+            if *v == i64::MIN {
+                // `-9223372036854775808` does not survive unary-minus parsing.
+                out.push_str("(-9223372036854775807 - 1)");
+            } else {
+                out.push_str(&v.to_string());
+            }
+        }
+        Expr::Float(v) => out.push_str(&fmt_float(*v)),
+        Expr::Feat(f) => out.push_str(&f.name()),
+        Expr::Neg(a) => {
+            out.push('-');
+            write_expr(a, 8, out);
+        }
+        Expr::Not(a) => {
+            out.push('!');
+            write_expr(a, 8, out);
+        }
+        Expr::Abs(a) => {
+            out.push_str("abs(");
+            write_expr(a, 0, out);
+            out.push(')');
+        }
+        Expr::Bin(op @ (BinOp::Min | BinOp::Max), a, b) => {
+            out.push_str(op.symbol());
+            out.push('(');
+            write_expr(a, 0, out);
+            out.push_str(", ");
+            write_expr(b, 0, out);
+            out.push(')');
+        }
+        Expr::Bin(op, a, b) => {
+            // left-associative: right child needs one level tighter
+            write_expr(a, p, out);
+            out.push(' ');
+            out.push_str(op.symbol());
+            out.push(' ');
+            write_expr(b, p + 1, out);
+        }
+        Expr::Cmp(op, a, b) => {
+            write_expr(a, p, out);
+            out.push(' ');
+            out.push_str(op.symbol());
+            out.push(' ');
+            write_expr(b, p + 1, out);
+        }
+        Expr::If(c, t, f) => {
+            out.push_str("if(");
+            write_expr(c, 0, out);
+            out.push_str(", ");
+            write_expr(t, 0, out);
+            out.push_str(", ");
+            write_expr(f, 0, out);
+            out.push(')');
+        }
+        Expr::Clamp(x, lo, hi) => {
+            out.push_str("clamp(");
+            write_expr(x, 0, out);
+            out.push_str(", ");
+            write_expr(lo, 0, out);
+            out.push_str(", ");
+            write_expr(hi, 0, out);
+            out.push(')');
+        }
+    }
+    if parens {
+        out.push(')');
+    }
+}
+
+/// Format a float so the lexer can read it back (`digits.digits`, no
+/// exponent). Fault-injected floats are simple values like `0.75`.
+fn fmt_float(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') && !s.contains('e') && !s.contains('E') && !s.starts_with('-') {
+        s
+    } else if v.is_finite() && v >= 0.0 {
+        format!("{v:.1}")
+    } else {
+        // negative/non-finite floats cannot be re-lexed as a literal; emit a
+        // positive stand-in (these never occur in practice: the injector
+        // uses a fixed positive set).
+        "0.5".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MapEnv;
+    use crate::eval::eval;
+    use crate::feature::Feature;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let e = parse(src).unwrap();
+        let printed = to_source(&e);
+        let reparsed = parse(&printed).unwrap_or_else(|err| {
+            panic!("reparse of `{printed}` failed: {err}");
+        });
+        assert_eq!(reparsed, e, "src={src} printed={printed}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for src in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "obj.count * 20 - obj.age / 300 - obj.size / 500",
+            "if(hist.contains, hist.count * 15, -40)",
+            "min(1, max(2, 3))",
+            "clamp(cwnd, 2, ssthresh)",
+            "1 << 2 + 3",
+            "(1 << 2) + 3",
+            "!(obj.count > 3) && obj.size < sizes.p50",
+            "hist_rtt[0] - hist_rtt[9]",
+            "1 - -2",
+            "-(1 + 2)",
+            "cwnd / max(inflight, 1)",
+            "obj.age % 7",
+            "2 - (3 - 4)",
+            "100 >> (cwnd > 10)",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn listing1_roundtrip() {
+        roundtrip(
+            "obj.count * 20 - obj.age / 300 - obj.size / 500 \
+             + if(hist.contains, hist.count * 15 + hist.age_at_evict / 150, -40) \
+             + if(obj.last_access < ages.p75, -30, 0) \
+             + if(obj.size > sizes.p75, -25, 10) \
+             + if(obj.count > counts.p70, 50, -5) \
+             + if(obj.age < 1000, 25, 0) \
+             + if(obj.count < 3, -15, 0)",
+        );
+    }
+
+    #[test]
+    fn neg_int_semantic_roundtrip() {
+        // Neg(Int(5)) prints as "-5" which reparses to Int(-5): not
+        // structurally identical but semantically equal.
+        let e = Expr::Neg(Box::new(Expr::Int(5)));
+        let r = parse(&to_source(&e)).unwrap();
+        let env = MapEnv::new();
+        assert_eq!(eval(&e, &env), eval(&r, &env));
+    }
+
+    #[test]
+    fn min_int_prints_parseable() {
+        let e = Expr::Int(i64::MIN);
+        let r = parse(&to_source(&e)).unwrap();
+        assert_eq!(eval(&r, &MapEnv::new()).unwrap(), i64::MIN);
+    }
+
+    #[test]
+    fn float_prints_parseable() {
+        for v in [0.5, 0.75, 1.5, 2.0, 10.25] {
+            let printed = to_source(&Expr::Float(v));
+            assert_eq!(parse(&printed).unwrap(), Expr::Float(v), "{printed}");
+        }
+    }
+
+    #[test]
+    fn feature_names_roundtrip() {
+        for f in Feature::catalog(crate::feature::Mode::Cache)
+            .into_iter()
+            .chain(Feature::catalog(crate::feature::Mode::Kernel))
+        {
+            let printed = to_source(&Expr::Feat(f));
+            assert_eq!(parse(&printed).unwrap(), Expr::Feat(f), "{printed}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Constant folding and identity elimination.
+//!
+//! The generator's mutation operators routinely produce dead weight
+//! (`x + 0`, `x * 1`, `if(1, a, b)`, fully-constant subtrees). Simplifying
+//! keeps candidate programs small — which matters both for the size budget
+//! of the checker and for the paper's interpretability argument (§6:
+//! "LLMs can be tuned to produce simpler code").
+//!
+//! The rewrite is semantics-preserving with respect to [`crate::eval`]:
+//! folding uses the interpreter's own saturating operations, and faulting
+//! subexpressions (`1 / 0`) are left untouched rather than folded.
+
+use crate::ast::{BinOp, Expr};
+use crate::eval::{clamp, div_sat, rem_sat, shl_sat, shr_arith};
+
+/// Simplify `e` bottom-up until a fixed point (at most a few passes).
+pub fn simplify(e: &Expr) -> Expr {
+    let mut cur = e.clone();
+    for _ in 0..4 {
+        let next = pass(&cur);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+fn pass(e: &Expr) -> Expr {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Feat(_) => e.clone(),
+        Expr::Neg(a) => {
+            let a = pass(a);
+            match a {
+                Expr::Int(v) => Expr::Int(v.saturating_neg()),
+                Expr::Neg(inner) => *inner,
+                other => Expr::Neg(Box::new(other)),
+            }
+        }
+        Expr::Not(a) => {
+            let a = pass(a);
+            match a {
+                Expr::Int(v) => Expr::Int((v == 0) as i64),
+                Expr::Not(inner) if is_boolean(&inner) => *inner,
+                other => Expr::Not(Box::new(other)),
+            }
+        }
+        Expr::Abs(a) => {
+            let a = pass(a);
+            match a {
+                Expr::Int(v) => Expr::Int(v.saturating_abs()),
+                Expr::Abs(inner) => Expr::Abs(inner),
+                other => Expr::Abs(Box::new(other)),
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let a = pass(a);
+            let b = pass(b);
+            fold_bin(*op, a, b)
+        }
+        Expr::Cmp(op, a, b) => {
+            let a = pass(a);
+            let b = pass(b);
+            if let (Expr::Int(x), Expr::Int(y)) = (&a, &b) {
+                return Expr::Int(op.apply(*x, *y));
+            }
+            Expr::cmp(*op, a, b)
+        }
+        Expr::If(c, t, f) => {
+            let c = pass(c);
+            let t = pass(t);
+            let f = pass(f);
+            match c {
+                Expr::Int(v) => {
+                    if v != 0 {
+                        t
+                    } else {
+                        f
+                    }
+                }
+                c => {
+                    // Pruning identical branches drops the evaluation of `c`,
+                    // which is only legal if `c` cannot fault.
+                    if t == f && !c.contains_div() {
+                        t
+                    } else {
+                        Expr::ite(c, t, f)
+                    }
+                }
+            }
+        }
+        Expr::Clamp(x, lo, hi) => {
+            let x = pass(x);
+            let lo = pass(lo);
+            let hi = pass(hi);
+            if let (Expr::Int(a), Expr::Int(l), Expr::Int(h)) = (&x, &lo, &hi) {
+                return Expr::Int(clamp(*a, *l, *h));
+            }
+            Expr::Clamp(Box::new(x), Box::new(lo), Box::new(hi))
+        }
+    }
+}
+
+/// Is the expression guaranteed to evaluate to 0 or 1?
+fn is_boolean(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Cmp(..) | Expr::Not(_) | Expr::Bin(BinOp::And | BinOp::Or, ..)
+    ) || matches!(e, Expr::Int(0) | Expr::Int(1))
+}
+
+fn fold_bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    use BinOp::*;
+    // Full constant folding (guarding faults).
+    if let (Expr::Int(x), Expr::Int(y)) = (&a, &b) {
+        let folded = match op {
+            Add => Some(x.saturating_add(*y)),
+            Sub => Some(x.saturating_sub(*y)),
+            Mul => Some(x.saturating_mul(*y)),
+            Div if *y != 0 => Some(div_sat(*x, *y)),
+            Rem if *y != 0 => Some(rem_sat(*x, *y)),
+            Min => Some((*x).min(*y)),
+            Max => Some((*x).max(*y)),
+            And => Some(((*x != 0) && (*y != 0)) as i64),
+            Or => Some(((*x != 0) || (*y != 0)) as i64),
+            Shl => Some(shl_sat(*x, *y)),
+            Shr => Some(shr_arith(*x, *y)),
+            _ => None,
+        };
+        if let Some(v) = folded {
+            return Expr::Int(v);
+        }
+    }
+    // Identities. Only fault-free rewrites: dropping a subtree is legal
+    // because subtrees cannot fault unless they contain `/`/`%`, which we
+    // conservatively keep.
+    match (op, &a, &b) {
+        (Add, Expr::Int(0), _) => return b,
+        (Add, _, Expr::Int(0)) => return a,
+        (Sub, _, Expr::Int(0)) => return a,
+        (Mul, _, Expr::Int(1)) => return a,
+        (Mul, Expr::Int(1), _) => return b,
+        (Mul, Expr::Int(0), rhs) if !rhs.contains_div() => return Expr::Int(0),
+        (Mul, lhs, Expr::Int(0)) if !lhs.contains_div() => return Expr::Int(0),
+        (Div, _, Expr::Int(1)) => return a,
+        (Shl | Shr, _, Expr::Int(0)) => return a,
+        (Min | Max, x, y) if x == y => return a,
+        _ => {}
+    }
+    Expr::bin(op, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MapEnv;
+    use crate::eval::eval;
+    use crate::feature::Feature;
+    use crate::parser::parse;
+    use crate::printer::to_source;
+
+    fn simp(src: &str) -> String {
+        to_source(&simplify(&parse(src).unwrap()))
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(simp("1 + 2 * 3"), "7");
+        assert_eq!(simp("min(3, max(1, 2))"), "2");
+        assert_eq!(simp("clamp(50, 0, 10)"), "10");
+        assert_eq!(simp("4 < 5"), "1");
+        assert_eq!(simp("1 && 0"), "0");
+        assert_eq!(simp("3 << 2"), "12");
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(simp("obj.count + 0"), "obj.count");
+        assert_eq!(simp("0 + obj.count"), "obj.count");
+        assert_eq!(simp("obj.count * 1"), "obj.count");
+        assert_eq!(simp("obj.count - 0"), "obj.count");
+        assert_eq!(simp("obj.count / 1"), "obj.count");
+        assert_eq!(simp("obj.count * 0"), "0");
+        assert_eq!(simp("min(obj.age, obj.age)"), "obj.age");
+    }
+
+    #[test]
+    fn branch_pruning() {
+        assert_eq!(simp("if(1, obj.count, obj.size)"), "obj.count");
+        assert_eq!(simp("if(0, obj.count, obj.size)"), "obj.size");
+        assert_eq!(simp("if(obj.count, obj.size, obj.size)"), "obj.size");
+        assert_eq!(simp("5 > 3 ? obj.age : now"), "obj.age");
+    }
+
+    #[test]
+    fn faults_not_folded_away() {
+        // 1/0 must stay a fault, not become a constant or vanish.
+        assert_eq!(simp("1 / 0"), "1 / 0");
+        assert_eq!(simp("(1 / 0) * 0"), "1 / 0 * 0");
+        assert!(eval(&simplify(&parse("(1 / 0) * 0").unwrap()), &MapEnv::new()).is_err());
+    }
+
+    #[test]
+    fn double_negation() {
+        assert_eq!(simp("--obj.count"), "obj.count");
+        assert_eq!(simp("!!(obj.count > 1)"), "obj.count > 1");
+        // !! of a non-boolean is NOT the identity (it booleanizes)
+        assert_eq!(simp("!!obj.count"), "!!obj.count");
+    }
+
+    #[test]
+    fn semantics_preserved_on_features() {
+        let srcs = [
+            "obj.count * 20 - obj.age / 300 + 0 * obj.size",
+            "if(1 && 1, obj.count, 1 / 0)",
+            "clamp(obj.size, 1 + 1, 100 - 10)",
+        ];
+        let env = MapEnv::new()
+            .with(Feature::ObjCount, 7)
+            .with(Feature::ObjAge, 900)
+            .with(Feature::ObjSize, 64);
+        for src in srcs {
+            let e = parse(src).unwrap();
+            let s = simplify(&e);
+            assert_eq!(eval(&e, &env), eval(&s, &env), "{src}");
+            assert!(s.size() <= e.size(), "{src}");
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! The mock LLM itself: exemplar-conditioned candidate generation with
+//! calibrated faults and stderr-driven repair.
+//!
+//! The [`Generator`] trait is the framework's LLM boundary: a real OpenAI
+//! client would implement it with two API calls. [`MockLlm`] implements it
+//! offline (substitution S1): generation samples a *strategy* per candidate
+//! — fresh motif remix, exemplar mutation, exemplar crossover, or exemplar
+//! + extra term — then optionally corrupts the result with one of the
+//! paper's fault classes; repair pattern-matches the diagnostics exactly
+//! the way a feedback-prompted LLM does, succeeding with class-dependent
+//! probability.
+
+use crate::faults::{inject, FaultMix};
+use crate::motifs;
+use crate::prompt::Prompt;
+use crate::tokens::TokenLedger;
+use policysmith_dsl::{parse, simplify, to_source, BinOp, Expr, Feature, Mode};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Tunables of the mock LLM.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    pub seed: u64,
+    /// Probability a candidate is corrupted by a fault.
+    pub p_fault: f64,
+    /// Probability of a fresh motif remix even when exemplars exist
+    /// (exploration pressure).
+    pub p_explore: f64,
+    /// Max motifs combined into a fresh candidate.
+    pub max_motifs: usize,
+    /// Fault class weights.
+    pub fault_mix: FaultMix,
+    /// Per-class repair success probabilities (float, div, ident, syntax).
+    pub repair_skill: [f64; 4],
+}
+
+impl GenConfig {
+    /// Calibrated for the cache study (§4.1.3: 92% of candidates compiled
+    /// first-pass).
+    pub fn cache_defaults(seed: u64) -> GenConfig {
+        GenConfig {
+            seed,
+            p_fault: 0.08,
+            p_explore: 0.35,
+            max_motifs: 5,
+            fault_mix: FaultMix::cache(),
+            repair_skill: [0.9, 0.6, 0.6, 0.25],
+        }
+    }
+
+    /// Calibrated for the kernel study (§5.0.3: 63% passed the verifier
+    /// first-try; +19% after stderr feedback).
+    pub fn kernel_defaults(seed: u64) -> GenConfig {
+        GenConfig {
+            seed,
+            p_fault: 0.37,
+            p_explore: 0.4,
+            max_motifs: 3,
+            fault_mix: FaultMix::kernel(),
+            repair_skill: [0.85, 0.55, 0.5, 0.2],
+        }
+    }
+}
+
+/// The framework's LLM boundary (§3's `Generator`).
+pub trait Generator {
+    /// Produce `n` candidate sources for the prompt.
+    fn generate(&mut self, prompt: &Prompt, n: usize) -> Vec<String>;
+    /// Attempt to repair a rejected candidate given its diagnostics.
+    fn repair(&mut self, prompt: &Prompt, source: &str, stderr: &str) -> Option<String>;
+    /// Token/cost accounting so far.
+    fn ledger(&self) -> &TokenLedger;
+}
+
+/// Offline LLM stand-in. Deterministic per seed and call sequence.
+pub struct MockLlm {
+    cfg: GenConfig,
+    rng: StdRng,
+    ledger: TokenLedger,
+}
+
+impl MockLlm {
+    /// New generator with the given configuration.
+    pub fn new(cfg: GenConfig) -> Self {
+        MockLlm { rng: StdRng::seed_from_u64(cfg.seed), cfg, ledger: TokenLedger::default() }
+    }
+
+    fn fresh_remix(&mut self, mode: Mode) -> Expr {
+        match mode {
+            Mode::Cache => {
+                let lib = motifs::cache_motifs();
+                let k = self.rng.random_range(2..=self.cfg.max_motifs.max(2));
+                let mut expr: Option<Expr> = None;
+                for _ in 0..k {
+                    let m = lib[self.rng.random_range(0..lib.len())](&mut self.rng);
+                    expr = Some(match expr {
+                        Some(acc) => Expr::bin(BinOp::Add, acc, m),
+                        None => m,
+                    });
+                }
+                expr.unwrap()
+            }
+            Mode::Kernel => {
+                // canonical kernel shape: if(loss, backoff, growth-side)
+                let growth_lib = motifs::cc_motifs();
+                let mut growth =
+                    growth_lib[self.rng.random_range(0..growth_lib.len())](&mut self.rng);
+                if self.rng.random_bool(0.3) {
+                    // nest a second gate
+                    let g2 = growth_lib[self.rng.random_range(0..growth_lib.len())](
+                        &mut self.rng,
+                    );
+                    growth = Expr::ite(
+                        feat_gate(&mut self.rng),
+                        growth,
+                        g2,
+                    );
+                }
+                let backoff = motifs::cc_backoff(&mut self.rng);
+                let body = Expr::ite(Expr::Feat(Feature::LossEvent), backoff, growth);
+                if self.rng.random_bool(0.25) {
+                    Expr::Clamp(
+                        Box::new(body),
+                        Box::new(Expr::Int(2)),
+                        Box::new(Expr::Int(self.rng.random_range(128..4_096))),
+                    )
+                } else {
+                    body
+                }
+            }
+        }
+    }
+
+    fn mutate(&mut self, base: &Expr, mode: Mode) -> Expr {
+        let n = base.size();
+        let ix = self.rng.random_range(0..n);
+        match self.rng.random_range(0..4u8) {
+            0 => {
+                // constant perturbation
+                if let Some(Expr::Int(v)) = base.get_subexpr(ix) {
+                    let nv = match self.rng.random_range(0..4u8) {
+                        0 => v.saturating_mul(2),
+                        1 => v / 2,
+                        2 => v.saturating_add(self.rng.random_range(1..10)),
+                        _ => v.saturating_sub(self.rng.random_range(1..10)),
+                    };
+                    return base.replace_subexpr(ix, &Expr::Int(nv));
+                }
+                self.mutate_fallback(base, mode)
+            }
+            1 => {
+                // feature swap within the mode's catalog
+                if let Some(Expr::Feat(_)) = base.get_subexpr(ix) {
+                    let cat = Feature::catalog(mode);
+                    let f = cat[self.rng.random_range(0..cat.len())];
+                    return base.replace_subexpr(ix, &Expr::Feat(f));
+                }
+                self.mutate_fallback(base, mode)
+            }
+            2 => {
+                // graft a fresh motif in place of a subtree
+                let motif = match mode {
+                    Mode::Cache => {
+                        let lib = motifs::cache_motifs();
+                        lib[self.rng.random_range(0..lib.len())](&mut self.rng)
+                    }
+                    Mode::Kernel => {
+                        let lib = motifs::cc_motifs();
+                        lib[self.rng.random_range(0..lib.len())](&mut self.rng)
+                    }
+                };
+                base.replace_subexpr(ix, &motif)
+            }
+            _ => {
+                // add a term at the root (cache) / wrap in a gate (kernel)
+                match mode {
+                    Mode::Cache => {
+                        let lib = motifs::cache_motifs();
+                        let m = lib[self.rng.random_range(0..lib.len())](&mut self.rng);
+                        Expr::bin(BinOp::Add, base.clone(), m)
+                    }
+                    Mode::Kernel => {
+                        let lib = motifs::cc_motifs();
+                        let alt = lib[self.rng.random_range(0..lib.len())](&mut self.rng);
+                        Expr::ite(feat_gate(&mut self.rng), base.clone(), alt)
+                    }
+                }
+            }
+        }
+    }
+
+    fn mutate_fallback(&mut self, base: &Expr, mode: Mode) -> Expr {
+        let n = base.size();
+        let ix = self.rng.random_range(0..n);
+        let cat = Feature::catalog(mode);
+        let f = cat[self.rng.random_range(0..cat.len())];
+        base.replace_subexpr(ix, &Expr::Feat(f))
+    }
+
+    fn crossover(&mut self, a: &Expr, b: &Expr) -> Expr {
+        let ia = self.rng.random_range(0..a.size());
+        let ib = self.rng.random_range(0..b.size());
+        let donor = b.get_subexpr(ib).cloned().unwrap_or(Expr::Int(1));
+        a.replace_subexpr(ia, &donor)
+    }
+
+    /// Parse the prompt's exemplars (they were accepted before, so this
+    /// should not fail; fall back to remixing if it somehow does).
+    fn parsed_exemplars(&self, prompt: &Prompt) -> Vec<Expr> {
+        prompt.exemplars.iter().filter_map(|e| parse(&e.source).ok()).collect()
+    }
+}
+
+/// A random boolean gate over kernel features, used by the kernel remixer
+/// to nest growth strategies.
+fn feat_gate(rng: &mut StdRng) -> Expr {
+    {
+        use policysmith_dsl::CmpOp;
+        match rng.random_range(0..3u8) {
+            0 => Expr::cmp(
+                CmpOp::Lt,
+                Expr::Feat(Feature::Cwnd),
+                Expr::Feat(Feature::Ssthresh),
+            ),
+            1 => Expr::cmp(
+                CmpOp::Gt,
+                Expr::Feat(Feature::SrttUs),
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::Feat(Feature::MinRttUs),
+                    Expr::Int(rng.random_range(2_000..20_000)),
+                ),
+            ),
+            _ => Expr::cmp(
+                CmpOp::Gt,
+                Expr::Feat(Feature::HistLoss(0)),
+                Expr::Int(0),
+            ),
+        }
+    }
+}
+
+impl Generator for MockLlm {
+    fn generate(&mut self, prompt: &Prompt, n: usize) -> Vec<String> {
+        let exemplars = self.parsed_exemplars(prompt);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let expr = if exemplars.is_empty() || self.rng.random_bool(self.cfg.p_explore) {
+                self.fresh_remix(prompt.mode)
+            } else if exemplars.len() >= 2 && self.rng.random_bool(0.3) {
+                let a = &exemplars[self.rng.random_range(0..exemplars.len())];
+                let b = &exemplars[self.rng.random_range(0..exemplars.len())];
+                self.crossover(a, b)
+            } else {
+                let base = &exemplars[self.rng.random_range(0..exemplars.len())];
+                self.mutate(base, prompt.mode)
+            };
+            let expr = simplify(&expr);
+            let src = if self.rng.random_bool(self.cfg.p_fault) {
+                let kind = self.cfg.fault_mix.sample(&mut self.rng);
+                inject(kind, &expr, prompt.mode, &mut self.rng)
+            } else {
+                to_source(&expr)
+            };
+            out.push(src);
+        }
+        self.ledger.record(&prompt.render(), &out);
+        out
+    }
+
+    fn repair(&mut self, prompt: &Prompt, source: &str, stderr: &str) -> Option<String> {
+        let mut p = prompt.clone();
+        p.feedback = Some(stderr.to_string());
+        let rendered = p.render();
+        let err = stderr.to_lowercase();
+
+        let fixed: Option<String> = if err.contains("float") {
+            if !self.rng.random_bool(self.cfg.repair_skill[0]) {
+                None
+            } else {
+                // round every float literal to an integer
+                parse_with_floats_rounded(source)
+            }
+        } else if err.contains("divisor") || err.contains("division") {
+            if !self.rng.random_bool(self.cfg.repair_skill[1]) {
+                None
+            } else {
+                parse(source).ok().map(|e| to_source(&guard_divisions(&e)))
+            }
+        } else if err.contains("unknown identifier") {
+            if !self.rng.random_bool(self.cfg.repair_skill[2]) {
+                None
+            } else {
+                replace_unknown_ident(source, prompt.mode, &mut self.rng)
+            }
+        } else {
+            // syntax and the rest: try closing parens
+            if !self.rng.random_bool(self.cfg.repair_skill[3]) {
+                None
+            } else {
+                balance_parens(source)
+            }
+        };
+
+        self.ledger.record(&rendered, fixed.as_slice());
+        fixed
+    }
+
+    fn ledger(&self) -> &TokenLedger {
+        &self.ledger
+    }
+}
+
+/// Parse while tolerating float literals, then round them to integers.
+fn parse_with_floats_rounded(src: &str) -> Option<String> {
+    let e = parse(src).ok()?;
+    fn round(e: &Expr) -> Expr {
+        match e {
+            Expr::Float(v) => Expr::Int((*v).round().max(1.0) as i64),
+            Expr::Int(_) | Expr::Feat(_) => e.clone(),
+            Expr::Neg(a) => Expr::Neg(Box::new(round(a))),
+            Expr::Not(a) => Expr::Not(Box::new(round(a))),
+            Expr::Abs(a) => Expr::Abs(Box::new(round(a))),
+            Expr::Bin(op, a, b) => Expr::bin(*op, round(a), round(b)),
+            Expr::Cmp(op, a, b) => Expr::cmp(*op, round(a), round(b)),
+            Expr::If(a, b, c) => Expr::ite(round(a), round(b), round(c)),
+            Expr::Clamp(a, b, c) => {
+                Expr::Clamp(Box::new(round(a)), Box::new(round(b)), Box::new(round(c)))
+            }
+        }
+    }
+    Some(to_source(&round(&e)))
+}
+
+/// Wrap every not-provably-nonzero divisor in `max(.., 1)` — the idiom the
+/// verifier's diagnostics teach (§5.0.3).
+pub fn guard_divisions(e: &Expr) -> Expr {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Feat(_) => e.clone(),
+        Expr::Neg(a) => Expr::Neg(Box::new(guard_divisions(a))),
+        Expr::Not(a) => Expr::Not(Box::new(guard_divisions(a))),
+        Expr::Abs(a) => Expr::Abs(Box::new(guard_divisions(a))),
+        Expr::Bin(op @ (BinOp::Div | BinOp::Rem), a, b) => {
+            let a = guard_divisions(a);
+            let b = guard_divisions(b);
+            let b = if policysmith_dsl::check::divisor_nonzero(&b) {
+                b
+            } else {
+                Expr::bin(BinOp::Max, b, Expr::Int(1))
+            };
+            Expr::bin(*op, a, b)
+        }
+        Expr::Bin(op, a, b) => Expr::bin(*op, guard_divisions(a), guard_divisions(b)),
+        Expr::Cmp(op, a, b) => Expr::cmp(*op, guard_divisions(a), guard_divisions(b)),
+        Expr::If(a, b, c) => {
+            Expr::ite(guard_divisions(a), guard_divisions(b), guard_divisions(c))
+        }
+        Expr::Clamp(a, b, c) => Expr::Clamp(
+            Box::new(guard_divisions(a)),
+            Box::new(guard_divisions(b)),
+            Box::new(guard_divisions(c)),
+        ),
+    }
+}
+
+fn replace_unknown_ident(src: &str, mode: Mode, rng: &mut StdRng) -> Option<String> {
+    // the fakes the injector uses, plus a couple of generic shapes
+    let fakes = [
+        "obj.frequency",
+        "obj.weight",
+        "cache.pressure",
+        "hist.age",
+        "obj.ttl",
+        "rtt_var",
+        "bytes_acked",
+        "queue_len",
+        "cwnd_max",
+        "pacing_rate",
+    ];
+    let cat = Feature::catalog(mode);
+    let replacement = cat[rng.random_range(0..cat.len())].name();
+    for fake in fakes {
+        if src.contains(fake) {
+            let fixed = src.replace(fake, &replacement);
+            if parse(&fixed).is_ok() {
+                return Some(fixed);
+            }
+        }
+    }
+    None
+}
+
+fn balance_parens(src: &str) -> Option<String> {
+    let opens = src.matches('(').count();
+    let closes = src.matches(')').count();
+    if opens > closes {
+        let fixed = format!("{src}{}", ")".repeat(opens - closes));
+        if parse(&fixed).is_ok() {
+            return Some(fixed);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policysmith_dsl::{check, Mode};
+
+    fn count_valid(mode: Mode, cfg: GenConfig, n: usize) -> usize {
+        let mut llm = MockLlm::new(cfg);
+        let prompt = Prompt::new(mode);
+        llm.generate(&prompt, n)
+            .iter()
+            .filter(|s| parse(s).map(|e| check(&e, mode).is_ok()).unwrap_or(false))
+            .count()
+    }
+
+    #[test]
+    fn cache_first_pass_rate_near_92_percent() {
+        let valid = count_valid(Mode::Cache, GenConfig::cache_defaults(1), 1_000);
+        let rate = valid as f64 / 1_000.0;
+        assert!((0.86..=0.97).contains(&rate), "cache first-pass rate {rate}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mk = || {
+            let mut llm = MockLlm::new(GenConfig::cache_defaults(42));
+            llm.generate(&Prompt::new(Mode::Cache), 20)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn exemplars_steer_generation() {
+        let mut llm = MockLlm::new(GenConfig::cache_defaults(7));
+        let prompt = Prompt::new(Mode::Cache).with_exemplars(vec![crate::Exemplar {
+            source: "obj.count * 123 - obj.age / 456".into(),
+            score: 0.3,
+        }]);
+        let batch = llm.generate(&prompt, 40);
+        // a meaningful share of candidates must descend from the exemplar
+        let descendants = batch
+            .iter()
+            .filter(|s| s.contains("123") || s.contains("456"))
+            .count();
+        assert!(descendants >= 5, "only {descendants} descendants in {batch:?}");
+    }
+
+    #[test]
+    fn repair_fixes_floats() {
+        let mut llm = MockLlm::new(GenConfig::cache_defaults(3));
+        let prompt = Prompt::new(Mode::Cache);
+        let fixed = loop {
+            // repair is stochastic; retry until the skill roll succeeds
+            if let Some(f) =
+                llm.repair(&prompt, "obj.count * 1.5", "error: floating-point literal `1.5`")
+            {
+                break f;
+            }
+        };
+        let e = parse(&fixed).unwrap();
+        assert!(check(&e, Mode::Cache).is_ok());
+        assert!(!e.contains_float());
+    }
+
+    #[test]
+    fn repair_guards_divisions() {
+        let mut llm = MockLlm::new(GenConfig::kernel_defaults(4));
+        let prompt = Prompt::new(Mode::Kernel);
+        let fixed = loop {
+            if let Some(f) = llm.repair(
+                &prompt,
+                "cwnd / inflight",
+                "verifier: insn 3: R2 range [0, 16777216] includes 0, not allowed as divisor",
+            ) {
+                break f;
+            }
+        };
+        assert!(fixed.contains("max(inflight, 1)"), "{fixed}");
+    }
+
+    #[test]
+    fn guard_divisions_is_idempotent_on_safe_code() {
+        let e = parse("cwnd / max(inflight, 1) + acked / mss").unwrap();
+        assert_eq!(guard_divisions(&e), e);
+    }
+
+    #[test]
+    fn tokens_metered_on_every_call() {
+        let mut llm = MockLlm::new(GenConfig::cache_defaults(5));
+        let prompt = Prompt::new(Mode::Cache);
+        llm.generate(&prompt, 25);
+        let after_gen = *llm.ledger();
+        assert!(after_gen.input_tokens > 100, "prompt must be metered");
+        assert!(after_gen.output_tokens > 25, "completions must be metered");
+        llm.repair(&prompt, "obj.count * 1.5", "error: floating-point literal");
+        assert!(llm.ledger().requests > after_gen.requests);
+    }
+
+    #[test]
+    fn kernel_remixes_have_loss_structure() {
+        let mut llm = MockLlm::new(GenConfig { p_fault: 0.0, ..GenConfig::kernel_defaults(6) });
+        let batch = llm.generate(&Prompt::new(Mode::Kernel), 50);
+        let with_loss = batch.iter().filter(|s| s.contains("loss")).count();
+        assert!(with_loss > 35, "kernel candidates should branch on loss: {with_loss}/50");
+        for s in &batch {
+            parse(s).unwrap_or_else(|e| panic!("fault-free candidate failed to parse: {s}: {e}"));
+        }
+    }
+}

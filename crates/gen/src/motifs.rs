@@ -1,0 +1,329 @@
+//! The motif library: domain idioms the mock LLM "remembers" from
+//! pretraining.
+//!
+//! §2 of the paper argues that most state-of-the-art heuristics are
+//! "delicate recombinations and improvements of existing approaches" and
+//! that LLMs are effective precisely because they remix these recurring
+//! structures. Each function below is one such structure with randomized
+//! constants; the generator sums/nests them into candidates.
+
+use policysmith_dsl::{BinOp, CmpOp, Expr, Feature};
+use rand::RngExt;
+
+fn int(v: i64) -> Expr {
+    Expr::Int(v)
+}
+
+fn feat(f: Feature) -> Expr {
+    Expr::Feat(f)
+}
+
+/// A constant drawn log-uniformly from `[lo, hi]`.
+fn scale(rng: &mut impl RngExt, lo: i64, hi: i64) -> i64 {
+    let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
+    rng.random_range(llo..=lhi).exp() as i64
+}
+
+// ---------------------------------------------------------------- cache --
+
+/// Recency: prefer recently-used (LRU flavour).
+pub fn cache_recency(rng: &mut impl RngExt) -> Expr {
+    if rng.random_bool(0.5) {
+        feat(Feature::ObjLastAccess)
+    } else {
+        Expr::Neg(Box::new(Expr::bin(
+            BinOp::Div,
+            feat(Feature::ObjAge),
+            int(scale(rng, 10, 2_000)),
+        )))
+    }
+}
+
+/// Frequency: prefer often-used (LFU flavour).
+pub fn cache_frequency(rng: &mut impl RngExt) -> Expr {
+    Expr::bin(BinOp::Mul, feat(Feature::ObjCount), int(scale(rng, 2, 200)))
+}
+
+/// GDSF-style frequency-per-byte ratio (`obj.size ≥ 1`, so the division is
+/// checker-clean).
+pub fn cache_gdsf_ratio(rng: &mut impl RngExt) -> Expr {
+    Expr::bin(
+        BinOp::Div,
+        Expr::bin(BinOp::Mul, feat(Feature::ObjCount), int(scale(rng, 1_024, 1 << 20))),
+        feat(Feature::ObjSize),
+    )
+}
+
+/// Size penalty: big objects cost more to keep.
+pub fn cache_size_penalty(rng: &mut impl RngExt) -> Expr {
+    Expr::Neg(Box::new(Expr::bin(
+        BinOp::Div,
+        feat(Feature::ObjSize),
+        int(scale(rng, 50, 5_000)),
+    )))
+}
+
+/// History boost: objects we regretted evicting get protected (Table 1's
+/// eviction-history features).
+pub fn cache_history_boost(rng: &mut impl RngExt) -> Expr {
+    Expr::ite(
+        feat(Feature::HistContains),
+        Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, feat(Feature::HistCount), int(scale(rng, 2, 50))),
+            int(scale(rng, 1, 100)),
+        ),
+        Expr::Neg(Box::new(int(scale(rng, 5, 100)))),
+    )
+}
+
+/// Percentile gate: compare the object against the resident population.
+pub fn cache_percentile_gate(rng: &mut impl RngExt) -> Expr {
+    let p = *[25u8, 50, 70, 75, 90].get(rng.random_range(0..5)).unwrap();
+    let bonus = int(scale(rng, 5, 80));
+    let malus = Expr::Neg(Box::new(int(scale(rng, 5, 80))));
+    match rng.random_range(0..3u8) {
+        0 => Expr::ite(
+            Expr::cmp(CmpOp::Gt, feat(Feature::ObjSize), feat(Feature::SizesPct(p))),
+            malus,
+            bonus,
+        ),
+        1 => Expr::ite(
+            Expr::cmp(CmpOp::Gt, feat(Feature::ObjCount), feat(Feature::CountsPct(p))),
+            bonus,
+            malus,
+        ),
+        _ => Expr::ite(
+            Expr::cmp(CmpOp::Gt, feat(Feature::ObjAge), feat(Feature::AgesPct(p))),
+            malus,
+            int(0),
+        ),
+    }
+}
+
+/// Freshness bonus for very recently touched objects.
+pub fn cache_fresh_bonus(rng: &mut impl RngExt) -> Expr {
+    Expr::ite(
+        Expr::cmp(CmpOp::Lt, feat(Feature::ObjAge), int(scale(rng, 100, 10_000))),
+        int(scale(rng, 5, 60)),
+        int(0),
+    )
+}
+
+/// Penalty for objects that never proved themselves.
+pub fn cache_cold_penalty(rng: &mut impl RngExt) -> Expr {
+    Expr::ite(
+        Expr::cmp(CmpOp::Lt, feat(Feature::ObjCount), int(rng.random_range(2..6))),
+        Expr::Neg(Box::new(int(scale(rng, 5, 60)))),
+        int(0),
+    )
+}
+
+/// All cache motif constructors.
+pub fn cache_motifs() -> Vec<fn(&mut rand::rngs::StdRng) -> Expr> {
+    vec![
+        cache_recency,
+        cache_frequency,
+        cache_gdsf_ratio,
+        cache_size_penalty,
+        cache_history_boost,
+        cache_percentile_gate,
+        cache_fresh_bonus,
+        cache_cold_penalty,
+    ]
+}
+
+// --------------------------------------------------------------- kernel --
+
+/// Multiplicative backoff on loss (the AIMD decrease).
+pub fn cc_backoff(rng: &mut impl RngExt) -> Expr {
+    match rng.random_range(0..3u8) {
+        0 => Expr::bin(BinOp::Max, Expr::bin(BinOp::Shr, feat(Feature::Cwnd), int(1)), int(2)),
+        1 => Expr::bin(
+            BinOp::Max,
+            Expr::bin(
+                BinOp::Div,
+                Expr::bin(BinOp::Mul, feat(Feature::Cwnd), int(rng.random_range(2..=3))),
+                int(4),
+            ),
+            int(2),
+        ),
+        _ => Expr::bin(BinOp::Max, feat(Feature::Ssthresh), int(2)),
+    }
+}
+
+/// Additive (or ack-paced) growth.
+pub fn cc_growth(rng: &mut impl RngExt) -> Expr {
+    match rng.random_range(0..3u8) {
+        0 => Expr::bin(BinOp::Add, feat(Feature::Cwnd), int(rng.random_range(1..=2))),
+        1 => Expr::bin(
+            BinOp::Add,
+            feat(Feature::Cwnd),
+            Expr::bin(
+                BinOp::Max,
+                Expr::bin(BinOp::Div, feat(Feature::AckedBytes), feat(Feature::Mss)),
+                int(1),
+            ),
+        ),
+        _ => Expr::bin(
+            BinOp::Add,
+            feat(Feature::Cwnd),
+            Expr::ite(
+                Expr::cmp(CmpOp::Lt, feat(Feature::Cwnd), feat(Feature::Ssthresh)),
+                int(2),
+                int(1),
+            ),
+        ),
+    }
+}
+
+/// Delay gating: back off when the queue (srtt − min_rtt) builds.
+pub fn cc_delay_gate(rng: &mut impl RngExt) -> Expr {
+    let thresh = scale(rng, 2_000, 30_000);
+    Expr::ite(
+        Expr::cmp(
+            CmpOp::Gt,
+            feat(Feature::SrttUs),
+            Expr::bin(BinOp::Add, feat(Feature::MinRttUs), int(thresh)),
+        ),
+        Expr::bin(BinOp::Max, Expr::bin(BinOp::Sub, feat(Feature::Cwnd), int(1)), int(2)),
+        Expr::bin(BinOp::Add, feat(Feature::Cwnd), int(1)),
+    )
+}
+
+/// BBR-ish rate×RTT window target (all divisors provably nonzero).
+pub fn cc_rate_target(rng: &mut impl RngExt) -> Expr {
+    let gain_num = rng.random_range(9..=14); // gain ≈ 0.9 .. 1.4
+    Expr::bin(
+        BinOp::Max,
+        Expr::bin(
+            BinOp::Div,
+            Expr::bin(
+                BinOp::Mul,
+                Expr::bin(
+                    BinOp::Div,
+                    Expr::bin(BinOp::Div, feat(Feature::DeliveryRateBps), int(8)),
+                    int(1_000_000),
+                ),
+                Expr::bin(BinOp::Mul, feat(Feature::MinRttUs), int(gain_num)),
+            ),
+            Expr::bin(BinOp::Mul, feat(Feature::Mss), int(10)),
+        ),
+        int(4),
+    )
+}
+
+/// History-trend gating over the §5.0.1 arrays.
+pub fn cc_hist_trend(rng: &mut impl RngExt) -> Expr {
+    let far = rng.random_range(2..=9u8);
+    Expr::ite(
+        Expr::cmp(
+            CmpOp::Gt,
+            feat(Feature::HistRtt(0)),
+            Expr::bin(
+                BinOp::Add,
+                feat(Feature::HistRtt(far)),
+                int(scale(rng, 1_000, 20_000)),
+            ),
+        ),
+        Expr::bin(BinOp::Max, Expr::bin(BinOp::Sub, feat(Feature::Cwnd), int(2)), int(2)),
+        Expr::bin(BinOp::Add, feat(Feature::Cwnd), int(1)),
+    )
+}
+
+/// Recent-loss caution using the loss history ring.
+pub fn cc_loss_memory(rng: &mut impl RngExt) -> Expr {
+    Expr::ite(
+        Expr::cmp(
+            CmpOp::Gt,
+            Expr::bin(BinOp::Add, feat(Feature::HistLoss(0)), feat(Feature::HistLoss(1))),
+            int(0),
+        ),
+        feat(Feature::Cwnd),
+        Expr::bin(BinOp::Add, feat(Feature::Cwnd), int(rng.random_range(1..=2))),
+    )
+}
+
+/// All kernel growth-side motifs (the loss side is [`cc_backoff`]).
+pub fn cc_motifs() -> Vec<fn(&mut rand::rngs::StdRng) -> Expr> {
+    vec![cc_growth, cc_delay_gate, cc_rate_target, cc_hist_trend, cc_loss_memory]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policysmith_dsl::{check, Mode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cache_motifs_are_checker_clean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for f in cache_motifs() {
+            for _ in 0..20 {
+                let e = f(&mut rng);
+                check(&e, Mode::Cache).unwrap_or_else(|err| {
+                    panic!("cache motif produced invalid expr: {err}\n{:?}", e)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_motifs_pass_the_full_pipeline() {
+        use policysmith_kbpf_smoke::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        for f in cc_motifs().into_iter().chain([cc_backoff as fn(&mut StdRng) -> Expr]) {
+            for _ in 0..20 {
+                let e = f(&mut rng);
+                check(&e, Mode::Kernel).unwrap();
+                smoke_verify(&e);
+            }
+        }
+    }
+
+    /// Minimal inline verify helper (gen does not depend on kbpf; this is a
+    /// structural stand-in asserting the guard discipline instead).
+    mod policysmith_kbpf_smoke {
+        pub use policysmith_dsl::Expr;
+
+        pub fn smoke_verify(e: &Expr) {
+            // every division's divisor must be syntactically nonzero —
+            // that is exactly what the kbpf verifier will prove with
+            // intervals, and motifs must satisfy it by construction
+            let report = policysmith_dsl::check_with_warnings(
+                e,
+                policysmith_dsl::Mode::Kernel,
+                usize::MAX,
+                usize::MAX,
+            );
+            assert!(
+                report.warnings.is_empty(),
+                "motif has unguarded division: {}",
+                policysmith_dsl::to_source(e)
+            );
+        }
+    }
+
+    #[test]
+    fn motifs_are_deterministic_per_seed() {
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            cache_motifs().iter().map(|f| policysmith_dsl::to_source(&f(&mut rng))).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            cache_motifs().iter().map(|f| policysmith_dsl::to_source(&f(&mut rng))).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_is_log_uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let v = scale(&mut rng, 10, 2_000);
+            assert!((10..=2_000).contains(&v), "{v}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Token metering — the substrate of the §4.2.6 cost experiment.
+//!
+//! The paper reports "800k input tokens and 300k output tokens with the
+//! GPT-4o-mini model … approximately USD $7" for eight runs. Our mock LLM
+//! meters the same quantities: rendered prompt text on input, candidate
+//! source on output, at the ~4-chars-per-token heuristic, priced at
+//! GPT-4o-mini list prices.
+
+/// GPT-4o-mini pricing, USD per million tokens (as of the paper's writing).
+pub const INPUT_PRICE_PER_M: f64 = 0.15;
+pub const OUTPUT_PRICE_PER_M: f64 = 0.60;
+
+/// Approximate tokens in `text` (≈ 4 characters / token, minimum 1).
+pub fn approx_tokens(text: &str) -> u64 {
+    (text.len() as u64 / 4).max(1)
+}
+
+/// Cumulative token/cost ledger for one search.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TokenLedger {
+    pub input_tokens: u64,
+    pub output_tokens: u64,
+    pub requests: u64,
+}
+
+impl TokenLedger {
+    /// Meter one generation call.
+    pub fn record(&mut self, prompt_text: &str, completions: &[String]) {
+        self.requests += 1;
+        self.input_tokens += approx_tokens(prompt_text);
+        for c in completions {
+            self.output_tokens += approx_tokens(c);
+        }
+    }
+
+    /// Merge another ledger into this one.
+    pub fn absorb(&mut self, other: &TokenLedger) {
+        self.input_tokens += other.input_tokens;
+        self.output_tokens += other.output_tokens;
+        self.requests += other.requests;
+    }
+
+    /// Estimated API cost in USD.
+    pub fn cost_usd(&self) -> f64 {
+        self.input_tokens as f64 / 1e6 * INPUT_PRICE_PER_M
+            + self.output_tokens as f64 / 1e6 * OUTPUT_PRICE_PER_M
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_estimate() {
+        assert_eq!(approx_tokens(""), 1);
+        assert_eq!(approx_tokens("abcdefgh"), 2);
+    }
+
+    #[test]
+    fn ledger_accumulates_and_prices() {
+        let mut l = TokenLedger::default();
+        l.record(&"x".repeat(4_000), &["y".repeat(400), "z".repeat(400)]);
+        assert_eq!(l.input_tokens, 1_000);
+        assert_eq!(l.output_tokens, 200);
+        assert_eq!(l.requests, 1);
+        let expected = 1_000.0 / 1e6 * INPUT_PRICE_PER_M + 200.0 / 1e6 * OUTPUT_PRICE_PER_M;
+        assert!((l.cost_usd() - expected).abs() < 1e-12);
+
+        let mut total = TokenLedger::default();
+        total.absorb(&l);
+        total.absorb(&l);
+        assert_eq!(total.input_tokens, 2_000);
+        assert_eq!(total.requests, 2);
+    }
+}

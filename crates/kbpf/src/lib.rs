@@ -1,0 +1,41 @@
+//! # policysmith-kbpf — an eBPF-like bytecode with a static verifier
+//!
+//! The congestion-control case study (§5 of the paper) runs LLM-generated
+//! decision logic inside the Linux kernel by compiling it to eBPF and
+//! letting **the eBPF verifier act as the framework's `Checker`**. This
+//! crate rebuilds that substrate:
+//!
+//! * [`isa`] — a register bytecode closely modeled on eBPF (11 × `i64`
+//!   registers, ALU + conditional forward jumps, context loads, scratch
+//!   map);
+//! * [`verifier`] — a static verifier performing structural checks and an
+//!   interval-domain abstract interpretation that rejects possible
+//!   division-by-zero, uninitialized reads, out-of-bounds accesses, and any
+//!   backward jump (so accepted programs provably terminate);
+//! * [`vm`] — the interpreter, bit-for-bit equivalent to the DSL
+//!   interpreter on verified programs;
+//! * [`lower`] — the DSL → kbpf compiler plus the `cong_control` context
+//!   layout shared with `policysmith-cc`.
+//!
+//! ```
+//! use policysmith_kbpf::{compile, verify, execute, cc_verify_env, build_ctx, SPILL_SLOTS};
+//! use policysmith_dsl::{parse, env::MapEnv, Feature};
+//!
+//! let expr = parse("if(loss, max(cwnd >> 1, 2), cwnd + 1)").unwrap();
+//! let prog = compile(&expr).unwrap();
+//! verify(&prog, &cc_verify_env()).unwrap();
+//!
+//! let env = MapEnv::new().with(Feature::Cwnd, 10).with(Feature::LossEvent, 1);
+//! let mut map = vec![0i64; SPILL_SLOTS];
+//! assert_eq!(execute(&prog, &build_ctx(&env), &mut map).unwrap(), 5);
+//! ```
+
+pub mod isa;
+pub mod lower;
+pub mod verifier;
+pub mod vm;
+
+pub use isa::{Insn, Op, Program, MAX_INSNS, REG_COUNT};
+pub use lower::{build_ctx, cc_ctx_features, cc_verify_env, compile, LowerError, SPILL_SLOTS};
+pub use verifier::{verify, Interval, VerifyEnv, VerifyError};
+pub use vm::{execute, execute_with_fuel, VmError};

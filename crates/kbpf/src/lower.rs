@@ -1,0 +1,470 @@
+//! DSL → kbpf compilation.
+//!
+//! Lowers a checked `cong_control` expression to loop-free bytecode. The
+//! compiler is a straightforward stack machine: expression stack slot `k`
+//! lives in register `r{k+1}` for `k < 8` and spills to the scratch map
+//! above that; `r9`/`r10` are reload scratch, `r0` carries the result to
+//! `exit`.
+//!
+//! Division is lowered **unguarded** (`DivReg`), exactly as written in the
+//! source — proving the divisor nonzero is the verifier's job, not the
+//! compiler's. This split is what reproduces the paper's §5.0.3 pipeline:
+//! the generator's unguarded `rate / inflight` compiles fine and then
+//! *fails verification*, and the stderr fed back teaches it the
+//! `x / max(y, 1)` idiom.
+
+use crate::isa::{Insn, Op, Program, MAX_INSNS};
+use crate::verifier::VerifyEnv;
+use policysmith_dsl::{BinOp, CmpOp, Expr, Feature, FeatureEnv, Mode};
+use std::fmt;
+
+/// Number of expression-stack slots held directly in registers (`r1..r8`).
+const STACK_REGS: usize = 8;
+/// Scratch registers for reloading spilled operands.
+const SCRATCH_A: u8 = 9;
+const SCRATCH_B: u8 = 10;
+/// Scratch-map slots reserved for spills (and the map size compiled
+/// programs are verified against).
+pub const SPILL_SLOTS: usize = 64;
+
+/// Compilation failures. These are "compile errors" in the paper's pipeline
+/// (as opposed to verifier rejections): float literals and cache-only
+/// features cannot be expressed in kernel bytecode at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LowerError {
+    /// Kernel code cannot contain floating point (§5: "floating-point ops
+    /// disallowed").
+    FloatLiteral { value: f64 },
+    /// Feature has no kernel context slot (cache-template features).
+    UnsupportedFeature { feature: Feature },
+    /// Expression too deep for the spill area or emitted program too long.
+    TooComplex,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::FloatLiteral { value } => write!(
+                f,
+                "error: SSE register return with SSE disabled: floating-point constant \
+                 `{value}` cannot be lowered to kernel bytecode"
+            ),
+            LowerError::UnsupportedFeature { feature } => write!(
+                f,
+                "error: unknown kernel symbol `{}` (feature unavailable in cong_control)",
+                feature.name()
+            ),
+            LowerError::TooComplex => write!(f, "error: expression too complex to lower"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Compile `e` to a kbpf program returning the expression value in `r0`.
+pub fn compile(e: &Expr) -> Result<Program, LowerError> {
+    let mut c = Compiler { insns: Vec::new() };
+    c.expr(e, 0)?;
+    let r = c.load(0, SCRATCH_A);
+    if r != 0 {
+        c.push(Insn::new(Op::MovReg, 0, r, 0));
+    }
+    c.push(Insn::new(Op::Exit, 0, 0, 0));
+    if c.insns.len() > MAX_INSNS {
+        return Err(LowerError::TooComplex);
+    }
+    Ok(Program { insns: c.insns })
+}
+
+/// The verification environment for `cong_control` programs: context ranges
+/// from the kernel feature catalog, spill-sized map.
+pub fn cc_verify_env() -> VerifyEnv {
+    let feats = cc_ctx_features();
+    let ctx_ranges = feats.iter().map(|f| f.range()).collect();
+    VerifyEnv { ctx_ranges, map_slots: SPILL_SLOTS }
+}
+
+/// Kernel features ordered by context slot; the harness uses this to build
+/// the flat ctx array each invocation.
+pub fn cc_ctx_features() -> Vec<Feature> {
+    let mut feats = Feature::catalog(Mode::Kernel);
+    feats.sort_by_key(|f| f.ctx_slot().expect("kernel features all have slots"));
+    debug_assert!(feats
+        .iter()
+        .enumerate()
+        .all(|(i, f)| f.ctx_slot() == Some(i as u16)));
+    feats
+}
+
+/// Materialize the flat context array from any [`FeatureEnv`].
+pub fn build_ctx(env: &impl FeatureEnv) -> Vec<i64> {
+    cc_ctx_features().iter().map(|f| env.feature(*f)).collect()
+}
+
+struct Compiler {
+    insns: Vec<Insn>,
+}
+
+impl Compiler {
+    fn push(&mut self, i: Insn) {
+        self.insns.push(i);
+    }
+
+    /// Emit a jump with a placeholder offset; returns its index for patching.
+    fn jump(&mut self, op: Op, dst: u8, src: u8, imm: i64) -> usize {
+        self.insns.push(Insn { op, dst, src, imm, off: 0 });
+        self.insns.len() - 1
+    }
+
+    /// Point the jump at `jidx` to the *next* emitted instruction.
+    fn patch(&mut self, jidx: usize) {
+        let off = (self.insns.len() - jidx - 1) as i32;
+        self.insns[jidx].off = off;
+    }
+
+    fn slot_reg(k: usize) -> Option<u8> {
+        (k < STACK_REGS).then(|| (k + 1) as u8)
+    }
+
+    fn spill_slot(k: usize) -> i64 {
+        (k - STACK_REGS) as i64
+    }
+
+    /// Ensure the value of stack slot `k` is in a register; returns it.
+    fn load(&mut self, k: usize, scratch: u8) -> u8 {
+        match Self::slot_reg(k) {
+            Some(r) => r,
+            None => {
+                self.push(Insn::new(Op::LdMap, scratch, 0, Self::spill_slot(k)));
+                scratch
+            }
+        }
+    }
+
+    /// Store register `r` into stack slot `k`.
+    fn store(&mut self, k: usize, r: u8) {
+        match Self::slot_reg(k) {
+            Some(dst) => {
+                if dst != r {
+                    self.push(Insn::new(Op::MovReg, dst, r, 0));
+                }
+            }
+            None => self.push(Insn::new(Op::StMap, 0, r, Self::spill_slot(k))),
+        }
+    }
+
+    /// Set stack slot `k` to a constant.
+    fn set_imm(&mut self, k: usize, v: i64) {
+        match Self::slot_reg(k) {
+            Some(r) => self.push(Insn::new(Op::MovImm, r, 0, v)),
+            None => {
+                self.push(Insn::new(Op::MovImm, SCRATCH_A, 0, v));
+                self.push(Insn::new(Op::StMap, 0, SCRATCH_A, Self::spill_slot(k)));
+            }
+        }
+    }
+
+    /// Compile `e`, leaving its value in stack slot `k`.
+    fn expr(&mut self, e: &Expr, k: usize) -> Result<(), LowerError> {
+        if k >= STACK_REGS + SPILL_SLOTS {
+            return Err(LowerError::TooComplex);
+        }
+        match e {
+            Expr::Int(v) => self.set_imm(k, *v),
+            Expr::Float(v) => return Err(LowerError::FloatLiteral { value: *v }),
+            Expr::Feat(f) => {
+                let slot = f
+                    .ctx_slot()
+                    .ok_or(LowerError::UnsupportedFeature { feature: *f })?;
+                match Self::slot_reg(k) {
+                    Some(r) => self.push(Insn::new(Op::LdCtx, r, 0, slot as i64)),
+                    None => {
+                        self.push(Insn::new(Op::LdCtx, SCRATCH_A, 0, slot as i64));
+                        self.push(Insn::new(Op::StMap, 0, SCRATCH_A, Self::spill_slot(k)));
+                    }
+                }
+            }
+            Expr::Neg(a) => {
+                self.expr(a, k)?;
+                let r = self.load(k, SCRATCH_A);
+                self.push(Insn::new(Op::Neg, r, 0, 0));
+                self.store(k, r);
+            }
+            Expr::Not(a) => {
+                self.expr(a, k)?;
+                let r = self.load(k, SCRATCH_A);
+                // r = (r == 0)
+                let jt = self.jump(Op::JeqImm, r, 0, 0);
+                self.push(Insn::new(Op::MovImm, r, 0, 0));
+                let jend = self.jump(Op::Ja, 0, 0, 0);
+                self.patch(jt);
+                self.push(Insn::new(Op::MovImm, r, 0, 1));
+                self.patch(jend);
+                self.store(k, r);
+            }
+            Expr::Abs(a) => {
+                self.expr(a, k)?;
+                let r = self.load(k, SCRATCH_A);
+                let skip = self.jump(Op::JgeImm, r, 0, 0);
+                self.push(Insn::new(Op::Neg, r, 0, 0));
+                self.patch(skip);
+                self.store(k, r);
+            }
+            Expr::Bin(BinOp::And, a, b) => {
+                self.expr(a, k)?;
+                let ra = self.load(k, SCRATCH_A);
+                let jf1 = self.jump(Op::JeqImm, ra, 0, 0);
+                self.expr(b, k)?;
+                let rb = self.load(k, SCRATCH_A);
+                let jf2 = self.jump(Op::JeqImm, rb, 0, 0);
+                self.set_imm(k, 1);
+                let jend = self.jump(Op::Ja, 0, 0, 0);
+                self.patch(jf1);
+                self.patch(jf2);
+                self.set_imm(k, 0);
+                self.patch(jend);
+            }
+            Expr::Bin(BinOp::Or, a, b) => {
+                self.expr(a, k)?;
+                let ra = self.load(k, SCRATCH_A);
+                let jt1 = self.jump(Op::JneImm, ra, 0, 0);
+                self.expr(b, k)?;
+                let rb = self.load(k, SCRATCH_A);
+                let jt2 = self.jump(Op::JneImm, rb, 0, 0);
+                self.set_imm(k, 0);
+                let jend = self.jump(Op::Ja, 0, 0, 0);
+                self.patch(jt1);
+                self.patch(jt2);
+                self.set_imm(k, 1);
+                self.patch(jend);
+            }
+            Expr::Bin(BinOp::Min, a, b) => self.min_max(a, b, k, Op::JleReg)?,
+            Expr::Bin(BinOp::Max, a, b) => self.min_max(a, b, k, Op::JgeReg)?,
+            Expr::Bin(op, a, b) => {
+                self.expr(a, k)?;
+                self.expr(b, k + 1)?;
+                let ra = self.load(k, SCRATCH_A);
+                let rb = self.load(k + 1, SCRATCH_B);
+                let alu = match op {
+                    BinOp::Add => Op::AddReg,
+                    BinOp::Sub => Op::SubReg,
+                    BinOp::Mul => Op::MulReg,
+                    BinOp::Div => Op::DivReg,
+                    BinOp::Rem => Op::RemReg,
+                    BinOp::Shl => Op::LshReg,
+                    BinOp::Shr => Op::RshReg,
+                    BinOp::And | BinOp::Or | BinOp::Min | BinOp::Max => {
+                        unreachable!("handled above")
+                    }
+                };
+                self.push(Insn::new(alu, ra, rb, 0));
+                self.store(k, ra);
+            }
+            Expr::Cmp(op, a, b) => {
+                self.expr(a, k)?;
+                self.expr(b, k + 1)?;
+                let ra = self.load(k, SCRATCH_A);
+                let rb = self.load(k + 1, SCRATCH_B);
+                let jop = match op {
+                    CmpOp::Lt => Op::JltReg,
+                    CmpOp::Le => Op::JleReg,
+                    CmpOp::Gt => Op::JgtReg,
+                    CmpOp::Ge => Op::JgeReg,
+                    CmpOp::Eq => Op::JeqReg,
+                    CmpOp::Ne => Op::JneReg,
+                };
+                let jt = self.jump(jop, ra, rb, 0);
+                self.push(Insn::new(Op::MovImm, ra, 0, 0));
+                let jend = self.jump(Op::Ja, 0, 0, 0);
+                self.patch(jt);
+                self.push(Insn::new(Op::MovImm, ra, 0, 1));
+                self.patch(jend);
+                self.store(k, ra);
+            }
+            Expr::If(c, t, f) => {
+                self.expr(c, k)?;
+                let rc = self.load(k, SCRATCH_A);
+                let jelse = self.jump(Op::JeqImm, rc, 0, 0);
+                self.expr(t, k)?;
+                let jend = self.jump(Op::Ja, 0, 0, 0);
+                self.patch(jelse);
+                self.expr(f, k)?;
+                self.patch(jend);
+            }
+            Expr::Clamp(x, lo, hi) => {
+                // max(lo, min(x, hi)) — same fault class (division inside a
+                // subexpression) regardless of evaluation order.
+                let desugared = Expr::bin(
+                    BinOp::Max,
+                    (**lo).clone(),
+                    Expr::bin(BinOp::Min, (**x).clone(), (**hi).clone()),
+                );
+                self.expr(&desugared, k)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// `min`/`max`: keep the left operand when `left <jop> right` holds.
+    fn min_max(&mut self, a: &Expr, b: &Expr, k: usize, jop: Op) -> Result<(), LowerError> {
+        self.expr(a, k)?;
+        self.expr(b, k + 1)?;
+        let ra = self.load(k, SCRATCH_A);
+        let rb = self.load(k + 1, SCRATCH_B);
+        let keep = self.jump(jop, ra, rb, 0);
+        self.push(Insn::new(Op::MovReg, ra, rb, 0));
+        self.patch(keep);
+        self.store(k, ra);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::verify;
+    use crate::vm::execute;
+    use policysmith_dsl::env::MapEnv;
+    use policysmith_dsl::{eval, parse};
+
+    /// Compile, verify, execute against a ctx built from `env`, and compare
+    /// with the interpreter.
+    fn check_equiv(src: &str, env: &MapEnv) {
+        let e = parse(src).unwrap();
+        let prog = compile(&e).unwrap();
+        verify(&prog, &cc_verify_env())
+            .unwrap_or_else(|err| panic!("verify failed for `{src}`:\n{prog}\n{err}"));
+        let ctx = build_ctx(env);
+        let mut map = vec![0i64; SPILL_SLOTS];
+        let vm_result = execute(&prog, &ctx, &mut map).unwrap();
+        let interp = eval(&e, env).unwrap();
+        assert_eq!(vm_result, interp, "src=`{src}`\n{prog}");
+    }
+
+    fn env() -> MapEnv {
+        MapEnv::new()
+            .with(Feature::Cwnd, 20)
+            .with(Feature::PrevCwnd, 18)
+            .with(Feature::MinRttUs, 40_000)
+            .with(Feature::SrttUs, 55_000)
+            .with(Feature::LastRttUs, 60_000)
+            .with(Feature::InflightPkts, 15)
+            .with(Feature::Mss, 1448)
+            .with(Feature::LossEvent, 0)
+            .with(Feature::Ssthresh, 64)
+            .with(Feature::HistRtt(0), 52_000)
+            .with(Feature::HistRtt(1), 48_000)
+            .with(Feature::HistQdelay(0), 12_000)
+    }
+
+    #[test]
+    fn constants_and_arith() {
+        check_equiv("1 + 2 * 3 - 4", &env());
+        check_equiv("100 / 7 % 5", &env());
+        check_equiv("(1 << 10) >> 3", &env());
+    }
+
+    #[test]
+    fn features_load_from_ctx() {
+        check_equiv("cwnd + prev_cwnd", &env());
+        check_equiv("srtt - min_rtt", &env());
+        check_equiv("hist_rtt[0] - hist_rtt[1]", &env());
+    }
+
+    #[test]
+    fn comparisons_logic_conditionals() {
+        check_equiv("srtt > min_rtt", &env());
+        check_equiv("loss && cwnd > 10", &env());
+        check_equiv("loss || cwnd > 10", &env());
+        check_equiv("!loss", &env());
+        check_equiv("if(loss, cwnd >> 1, cwnd + 1)", &env());
+        check_equiv("srtt > min_rtt * 2 ? cwnd - 4 : cwnd + 2", &env());
+    }
+
+    #[test]
+    fn intrinsics() {
+        check_equiv("min(cwnd, ssthresh)", &env());
+        check_equiv("max(cwnd, 2)", &env());
+        check_equiv("clamp(cwnd * 2, 2, 64)", &env());
+        check_equiv("abs(cwnd - prev_cwnd)", &env());
+        check_equiv("abs(prev_cwnd - cwnd)", &env());
+    }
+
+    #[test]
+    fn guarded_division_verifies() {
+        check_equiv("cwnd * min_rtt / max(srtt, 1)", &env());
+        check_equiv("delivered / max(inflight, 1)", &env());
+        check_equiv("cwnd / mss", &env()); // mss range excludes zero
+    }
+
+    #[test]
+    fn unguarded_division_compiles_but_fails_verify() {
+        let e = parse("cwnd / inflight").unwrap(); // inflight may be 0
+        let prog = compile(&e).unwrap();
+        let err = verify(&prog, &cc_verify_env()).unwrap_err();
+        assert!(err.to_string().contains("not allowed as divisor"), "{err}");
+    }
+
+    #[test]
+    fn float_fails_to_lower() {
+        let e = parse("cwnd * 1.5").unwrap();
+        assert!(matches!(compile(&e), Err(LowerError::FloatLiteral { .. })));
+    }
+
+    #[test]
+    fn cache_feature_fails_to_lower() {
+        let e = parse("obj.count + 1").unwrap();
+        assert!(matches!(compile(&e), Err(LowerError::UnsupportedFeature { .. })));
+    }
+
+    #[test]
+    fn deep_expression_spills_and_still_matches() {
+        // Right-leaning chain forces stack depth ≈ 12 > 8 registers.
+        let mut src = String::from("cwnd");
+        for _ in 0..12 {
+            src = format!("(1 + {src})");
+        }
+        check_equiv(&src, &env());
+        // Left-leaning uses constant stack depth.
+        let mut src = String::from("cwnd");
+        for _ in 0..20 {
+            src = format!("({src} + 1)");
+        }
+        check_equiv(&src, &env());
+    }
+
+    #[test]
+    fn deep_spill_in_both_operands() {
+        // Nested mins force concurrent spilled operands.
+        let mut src = String::from("min(cwnd, 30)");
+        for i in 0..12 {
+            src = format!("min({src}, {} + cwnd)", 25 + i);
+        }
+        check_equiv(&src, &env());
+    }
+
+    #[test]
+    fn paper_style_cc_heuristic() {
+        // AIMD with history-informed backoff, in the shape §5 describes.
+        check_equiv(
+            "if(loss, max(cwnd >> 1, 2), \
+               if(srtt - min_rtt > 20000, cwnd, \
+                  cwnd + max(acked / max(mss, 1), 1)))",
+            &env(),
+        );
+    }
+
+    #[test]
+    fn ctx_features_cover_all_slots() {
+        let feats = cc_ctx_features();
+        assert_eq!(feats.len() as u16, policysmith_dsl::feature::CC_CTX_SLOTS);
+    }
+
+    #[test]
+    fn r0_bounds_from_verifier_are_sound() {
+        let e = parse("clamp(cwnd * 2, 2, 1024)").unwrap();
+        let prog = compile(&e).unwrap();
+        let r0 = verify(&prog, &cc_verify_env()).unwrap();
+        assert!(r0.lo >= 2 && r0.hi <= 1024, "r0 bounds {:?}", r0);
+    }
+}

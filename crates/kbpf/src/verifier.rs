@@ -1,0 +1,739 @@
+//! The kbpf static verifier — the `Checker` of the congestion-control case
+//! study (§5.0.2: "all candidate programs pass the eBPF verifier before
+//! execution — which acts as the Checker in our framework").
+//!
+//! Soundness argument, in the same shape as the kernel's verifier:
+//!
+//! 1. **Structural pass.** Program non-empty, within [`MAX_INSNS`], register
+//!    numbers valid, every jump strictly forward and in-bounds, control
+//!    cannot fall off the end, context/map indices within the declared
+//!    sizes. Forward-only jumps make the CFG a DAG, so termination is by
+//!    construction (the paper's "no unbounded loops" constraint).
+//! 2. **Abstract interpretation.** One forward dataflow pass (legal because
+//!    the CFG is a DAG and instruction order is a topological order)
+//!    tracking, per register, either ⊥ (uninitialized) or a signed interval
+//!    `[lo, hi]`. Conditional jumps *refine* intervals on both edges (e.g.
+//!    after `if r1 >= r2` the taken edge knows `r1.lo ≥ r2.lo`), which is
+//!    exactly what lets `x / max(y, 1)` verify while `x / y` is rejected —
+//!    the error pattern the paper reports dominating kernel candidates.
+//! 3. **Obligations.** No read of ⊥; every `div`/`rem` divisor interval
+//!    must exclude 0; `r0` must be initialized at every `exit`.
+//!
+//! Diagnostics render in the kernel verifier's terse style ("R3 min value 0
+//! is not allowed as divisor") because they are fed back verbatim to the
+//! generator (§5.0.3's +19% repair pass).
+
+use crate::isa::{Insn, Op, Program, MAX_INSNS, REG_COUNT};
+use policysmith_dsl::eval::{div_sat, rem_sat, shl_sat, shr_arith};
+use std::fmt;
+
+/// Declared execution environment of a program: value ranges for each
+/// read-only context slot, and the scratch-map size. The context ranges are
+/// how domain knowledge ("`mss` is never zero") reaches the verifier, just
+/// as the kernel verifier knows the bounds of `__sk_buff` fields.
+#[derive(Debug, Clone)]
+pub struct VerifyEnv {
+    /// `ctx[i]` is guaranteed to lie within `ctx_ranges[i]`.
+    pub ctx_ranges: Vec<(i64, i64)>,
+    /// Number of scratch map slots addressable by `LdMap`/`StMap`.
+    pub map_slots: usize,
+}
+
+impl VerifyEnv {
+    /// Environment with `n` unconstrained context slots.
+    pub fn opaque(n: usize, map_slots: usize) -> Self {
+        VerifyEnv { ctx_ranges: vec![(i64::MIN, i64::MAX); n], map_slots }
+    }
+}
+
+/// Rejection reasons, in kernel-verifier style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    EmptyProgram,
+    TooManyInsns { len: usize },
+    BadRegister { pc: usize, reg: u8 },
+    BackEdge { pc: usize, target: i64 },
+    JumpOutOfBounds { pc: usize, target: i64 },
+    FallsOffEnd { pc: usize },
+    CtxOutOfBounds { pc: usize, slot: i64, size: usize },
+    MapOutOfBounds { pc: usize, slot: i64, size: usize },
+    UninitRead { pc: usize, reg: u8 },
+    /// The divisor's interval includes zero.
+    DivByZeroPossible { pc: usize, reg_desc: String, lo: i64, hi: i64 },
+    /// `r0` may be uninitialized at an `exit`.
+    R0NotSet { pc: usize },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::EmptyProgram => write!(f, "verifier: empty program"),
+            VerifyError::TooManyInsns { len } => {
+                write!(f, "verifier: program too large ({len} insns, max {MAX_INSNS})")
+            }
+            VerifyError::BadRegister { pc, reg } => {
+                write!(f, "verifier: insn {pc}: R{reg} is invalid")
+            }
+            VerifyError::BackEdge { pc, target } => {
+                write!(f, "verifier: back-edge from insn {pc} to {target}")
+            }
+            VerifyError::JumpOutOfBounds { pc, target } => {
+                write!(f, "verifier: insn {pc}: jump out of range, target {target}")
+            }
+            VerifyError::FallsOffEnd { pc } => {
+                write!(f, "verifier: insn {pc}: control flow falls off program end")
+            }
+            VerifyError::CtxOutOfBounds { pc, slot, size } => {
+                write!(f, "verifier: insn {pc}: ctx access slot {slot} outside [0, {size})")
+            }
+            VerifyError::MapOutOfBounds { pc, slot, size } => {
+                write!(f, "verifier: insn {pc}: map access slot {slot} outside [0, {size})")
+            }
+            VerifyError::UninitRead { pc, reg } => {
+                write!(f, "verifier: insn {pc}: R{reg} !read_ok (uninitialized)")
+            }
+            VerifyError::DivByZeroPossible { pc, reg_desc, lo, hi } => write!(
+                f,
+                "verifier: insn {pc}: {reg_desc} range [{lo}, {hi}] includes 0, \
+                 not allowed as divisor"
+            ),
+            VerifyError::R0NotSet { pc } => {
+                write!(f, "verifier: insn {pc}: R0 !read_ok at exit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A signed interval. `Bot` (⊥) is represented as `None` at the register
+/// level; `Interval` itself is always a valid `lo <= hi` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    pub lo: i64,
+    pub hi: i64,
+}
+
+impl Interval {
+    pub const TOP: Interval = Interval { lo: i64::MIN, hi: i64::MAX };
+
+    pub fn exact(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        debug_assert!(lo <= hi);
+        Interval { lo, hi }
+    }
+
+    /// Least upper bound.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Greatest lower bound; `None` if disjoint.
+    pub fn meet(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    fn add(self, o: Interval) -> Interval {
+        Interval { lo: self.lo.saturating_add(o.lo), hi: self.hi.saturating_add(o.hi) }
+    }
+
+    fn sub(self, o: Interval) -> Interval {
+        Interval { lo: self.lo.saturating_sub(o.hi), hi: self.hi.saturating_sub(o.lo) }
+    }
+
+    fn mul(self, o: Interval) -> Interval {
+        let c = [
+            self.lo.saturating_mul(o.lo),
+            self.lo.saturating_mul(o.hi),
+            self.hi.saturating_mul(o.lo),
+            self.hi.saturating_mul(o.hi),
+        ];
+        Interval { lo: *c.iter().min().unwrap(), hi: *c.iter().max().unwrap() }
+    }
+
+    /// Division; caller guarantees `o` excludes 0 (so `o` is entirely
+    /// positive or entirely negative, making corner evaluation sound).
+    fn div(self, o: Interval) -> Interval {
+        debug_assert!(!o.contains(0));
+        let c = [
+            div_sat(self.lo, o.lo),
+            div_sat(self.lo, o.hi),
+            div_sat(self.hi, o.lo),
+            div_sat(self.hi, o.hi),
+        ];
+        Interval { lo: *c.iter().min().unwrap(), hi: *c.iter().max().unwrap() }
+    }
+
+    /// Remainder; caller guarantees `o` excludes 0. The result magnitude is
+    /// strictly below `max(|o|)` and its sign follows the dividend.
+    fn rem(self, o: Interval) -> Interval {
+        debug_assert!(!o.contains(0));
+        let m = o.lo.saturating_abs().max(o.hi.saturating_abs()).saturating_sub(1);
+        // rem_sat(i64::MIN, -1) == 0, covered by [−m, m] since m ≥ 0.
+        let _ = rem_sat; // semantics anchor; bounds do not need exact corners
+        let lo = if self.lo >= 0 { 0 } else { -m };
+        let hi = if self.hi <= 0 { 0 } else { m };
+        Interval { lo, hi }
+    }
+
+    fn neg(self) -> Interval {
+        Interval { lo: self.hi.saturating_neg(), hi: self.lo.saturating_neg() }
+    }
+
+    /// Left shift with the DSL/VM clamping semantics.
+    fn shl(self, o: Interval) -> Interval {
+        let amts = [o.lo.clamp(0, 63), o.hi.clamp(0, 63)];
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for v in [self.lo, self.hi] {
+            for a in amts {
+                let r = shl_sat(v, a);
+                lo = lo.min(r);
+                hi = hi.max(r);
+            }
+        }
+        // value interval spanning 0 contributes 0 itself
+        if self.contains(0) {
+            lo = lo.min(0);
+            hi = hi.max(0);
+        }
+        Interval { lo, hi }
+    }
+
+    /// Arithmetic right shift with clamping semantics.
+    fn shr(self, o: Interval) -> Interval {
+        let amts = [o.lo.clamp(0, 63), o.hi.clamp(0, 63)];
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for v in [self.lo, self.hi] {
+            for a in amts {
+                let r = shr_arith(v, a);
+                lo = lo.min(r);
+                hi = hi.max(r);
+            }
+        }
+        if self.contains(0) {
+            lo = lo.min(0);
+            hi = hi.max(0);
+        }
+        Interval { lo, hi }
+    }
+}
+
+/// Abstract machine state: one optional interval per register (⊥ = `None`).
+type AbsState = [Option<Interval>; REG_COUNT as usize];
+
+fn join_states(a: &AbsState, b: &AbsState) -> AbsState {
+    let mut out: AbsState = Default::default();
+    for i in 0..out.len() {
+        out[i] = match (a[i], b[i]) {
+            (Some(x), Some(y)) => Some(x.join(y)),
+            // A register initialized on only one path is ⊥ after the join:
+            // reading it later must be rejected.
+            _ => None,
+        };
+    }
+    out
+}
+
+/// Verify `prog` against `env`. On success returns the interval of `r0`
+/// joined over all `exit` sites (useful diagnostics: the harness logs the
+/// provable cwnd bounds of each accepted candidate).
+pub fn verify(prog: &Program, env: &VerifyEnv) -> Result<Interval, VerifyError> {
+    structural_check(prog, env)?;
+
+    let n = prog.insns.len();
+    // in_state[pc]: join over all edges into pc; None = not yet reached.
+    let mut in_state: Vec<Option<AbsState>> = vec![None; n];
+    in_state[0] = Some(Default::default());
+    let mut r0_at_exit: Option<Interval> = None;
+
+    for pc in 0..n {
+        let Some(state) = in_state[pc].clone() else {
+            continue; // unreachable
+        };
+        let insn = prog.insns[pc];
+        let mut next = state;
+
+        // Obligation: register reads.
+        let read_reg = |st: &AbsState, r: u8| -> Result<Interval, VerifyError> {
+            st[r as usize].ok_or(VerifyError::UninitRead { pc, reg: r })
+        };
+
+        use Op::*;
+        match insn.op {
+            Exit => {
+                let r0 = read_reg(&next, 0).map_err(|_| VerifyError::R0NotSet { pc })?;
+                r0_at_exit = Some(match r0_at_exit {
+                    Some(acc) => acc.join(r0),
+                    None => r0,
+                });
+                continue; // no successors
+            }
+            Ja => {
+                let target = pc + 1 + insn.off as usize;
+                propagate(&mut in_state, target, &next);
+                continue;
+            }
+            JeqImm | JneImm | JltImm | JleImm | JgtImm | JgeImm => {
+                let d = read_reg(&next, insn.dst)?;
+                let o = Interval::exact(insn.imm);
+                branch(prog, pc, insn, d, o, &next, &mut in_state, true);
+                continue;
+            }
+            JeqReg | JneReg | JltReg | JleReg | JgtReg | JgeReg => {
+                let d = read_reg(&next, insn.dst)?;
+                let o = read_reg(&next, insn.src)?;
+                branch(prog, pc, insn, d, o, &next, &mut in_state, false);
+                continue;
+            }
+            _ => {}
+        }
+
+        // Straight-line ALU / memory ops.
+        let result: Option<Interval> = match insn.op {
+            MovImm => Some(Interval::exact(insn.imm)),
+            MovReg => Some(read_reg(&next, insn.src)?),
+            AddImm => Some(read_reg(&next, insn.dst)?.add(Interval::exact(insn.imm))),
+            AddReg => Some(read_reg(&next, insn.dst)?.add(read_reg(&next, insn.src)?)),
+            SubImm => Some(read_reg(&next, insn.dst)?.sub(Interval::exact(insn.imm))),
+            SubReg => Some(read_reg(&next, insn.dst)?.sub(read_reg(&next, insn.src)?)),
+            MulImm => Some(read_reg(&next, insn.dst)?.mul(Interval::exact(insn.imm))),
+            MulReg => Some(read_reg(&next, insn.dst)?.mul(read_reg(&next, insn.src)?)),
+            DivImm | RemImm => {
+                let d = read_reg(&next, insn.dst)?;
+                let o = Interval::exact(insn.imm);
+                if o.contains(0) {
+                    return Err(VerifyError::DivByZeroPossible {
+                        pc,
+                        reg_desc: format!("imm {}", insn.imm),
+                        lo: o.lo,
+                        hi: o.hi,
+                    });
+                }
+                Some(if insn.op == DivImm { d.div(o) } else { d.rem(o) })
+            }
+            DivReg | RemReg => {
+                let d = read_reg(&next, insn.dst)?;
+                let o = read_reg(&next, insn.src)?;
+                if o.contains(0) {
+                    return Err(VerifyError::DivByZeroPossible {
+                        pc,
+                        reg_desc: format!("R{}", insn.src),
+                        lo: o.lo,
+                        hi: o.hi,
+                    });
+                }
+                Some(if insn.op == DivReg { d.div(o) } else { d.rem(o) })
+            }
+            Neg => Some(read_reg(&next, insn.dst)?.neg()),
+            LshImm => Some(read_reg(&next, insn.dst)?.shl(Interval::exact(insn.imm))),
+            LshReg => Some(read_reg(&next, insn.dst)?.shl(read_reg(&next, insn.src)?)),
+            RshImm => Some(read_reg(&next, insn.dst)?.shr(Interval::exact(insn.imm))),
+            RshReg => Some(read_reg(&next, insn.dst)?.shr(read_reg(&next, insn.src)?)),
+            LdCtx => {
+                let (lo, hi) = env.ctx_ranges[insn.imm as usize];
+                Some(Interval::new(lo.min(hi), hi.max(lo)))
+            }
+            LdMap => Some(Interval::TOP),
+            StMap => {
+                read_reg(&next, insn.src)?;
+                None
+            }
+            _ => unreachable!("jumps handled above"),
+        };
+
+        if let Some(v) = result {
+            next[insn.dst as usize] = Some(v);
+        }
+        propagate(&mut in_state, pc + 1, &next);
+    }
+
+    r0_at_exit.ok_or(VerifyError::R0NotSet { pc: n - 1 })
+}
+
+/// Merge `state` into the in-state of `target`.
+fn propagate(in_state: &mut [Option<AbsState>], target: usize, state: &AbsState) {
+    match &mut in_state[target] {
+        Some(existing) => *existing = join_states(existing, state),
+        slot @ None => *slot = Some(state.clone()),
+    }
+}
+
+/// Handle a conditional jump: refine intervals on the taken and fallthrough
+/// edges, prune statically-dead edges.
+#[allow(clippy::too_many_arguments)]
+fn branch(
+    prog: &Program,
+    pc: usize,
+    insn: Insn,
+    d: Interval,
+    o: Interval,
+    state: &AbsState,
+    in_state: &mut [Option<AbsState>],
+    imm_form: bool,
+) {
+    use Op::*;
+    let taken_target = pc + 1 + insn.off as usize;
+    let _ = prog;
+
+    // (refined dst, refined operand) on the taken edge and fallthrough edge.
+    let (taken, fall) = match insn.op {
+        JeqImm | JeqReg => (refine_eq(d, o), refine_ne(d, o)),
+        JneImm | JneReg => (refine_ne(d, o), refine_eq(d, o)),
+        JltImm | JltReg => (refine_lt(d, o), refine_ge(d, o)),
+        JleImm | JleReg => (refine_le(d, o), refine_gt(d, o)),
+        JgtImm | JgtReg => (refine_gt(d, o), refine_le(d, o)),
+        JgeImm | JgeReg => (refine_ge(d, o), refine_lt(d, o)),
+        _ => unreachable!(),
+    };
+
+    if let Some((rd, ro)) = taken {
+        let mut st = state.clone();
+        st[insn.dst as usize] = Some(rd);
+        if !imm_form {
+            st[insn.src as usize] = Some(ro);
+        }
+        propagate(in_state, taken_target, &st);
+    }
+    if let Some((rd, ro)) = fall {
+        let mut st = state.clone();
+        st[insn.dst as usize] = Some(rd);
+        if !imm_form {
+            st[insn.src as usize] = Some(ro);
+        }
+        propagate(in_state, pc + 1, &st);
+    }
+}
+
+type Refined = Option<(Interval, Interval)>;
+
+/// `d == o`: both collapse to the intersection.
+fn refine_eq(d: Interval, o: Interval) -> Refined {
+    d.meet(o).map(|m| (m, m))
+}
+
+/// `d != o`: only excludes singleton endpoints.
+fn refine_ne(d: Interval, o: Interval) -> Refined {
+    if o.lo == o.hi {
+        let v = o.lo;
+        if d.lo == d.hi && d.lo == v {
+            return None; // d is exactly v: branch impossible
+        }
+        let mut nd = d;
+        if nd.lo == v {
+            nd.lo = v.saturating_add(1);
+        }
+        if nd.hi == v {
+            nd.hi = v.saturating_sub(1);
+        }
+        if nd.lo > nd.hi {
+            return None;
+        }
+        return Some((nd, o));
+    }
+    Some((d, o))
+}
+
+/// `d < o`: `d ≤ o.hi − 1`, `o ≥ d.lo + 1`.
+fn refine_lt(d: Interval, o: Interval) -> Refined {
+    let d_hi = d.hi.min(o.hi.saturating_sub(1));
+    let o_lo = o.lo.max(d.lo.saturating_add(1));
+    (d.lo <= d_hi && o_lo <= o.hi)
+        .then(|| (Interval::new(d.lo, d_hi), Interval::new(o_lo, o.hi)))
+}
+
+/// `d <= o`.
+fn refine_le(d: Interval, o: Interval) -> Refined {
+    let d_hi = d.hi.min(o.hi);
+    let o_lo = o.lo.max(d.lo);
+    (d.lo <= d_hi && o_lo <= o.hi)
+        .then(|| (Interval::new(d.lo, d_hi), Interval::new(o_lo, o.hi)))
+}
+
+/// `d > o`.
+fn refine_gt(d: Interval, o: Interval) -> Refined {
+    let d_lo = d.lo.max(o.lo.saturating_add(1));
+    let o_hi = o.hi.min(d.hi.saturating_sub(1));
+    (d_lo <= d.hi && o.lo <= o_hi)
+        .then(|| (Interval::new(d_lo, d.hi), Interval::new(o.lo, o_hi)))
+}
+
+/// `d >= o`.
+fn refine_ge(d: Interval, o: Interval) -> Refined {
+    let d_lo = d.lo.max(o.lo);
+    let o_hi = o.hi.min(d.hi);
+    (d_lo <= d.hi && o.lo <= o_hi)
+        .then(|| (Interval::new(d_lo, d.hi), Interval::new(o.lo, o_hi)))
+}
+
+/// Pass 1: structure, bounds, registers, forward-only control flow.
+fn structural_check(prog: &Program, env: &VerifyEnv) -> Result<(), VerifyError> {
+    let n = prog.insns.len();
+    if n == 0 {
+        return Err(VerifyError::EmptyProgram);
+    }
+    if n > MAX_INSNS {
+        return Err(VerifyError::TooManyInsns { len: n });
+    }
+    for (pc, insn) in prog.insns.iter().enumerate() {
+        if insn.dst >= REG_COUNT {
+            return Err(VerifyError::BadRegister { pc, reg: insn.dst });
+        }
+        if insn.op.reads_src() && insn.src >= REG_COUNT {
+            return Err(VerifyError::BadRegister { pc, reg: insn.src });
+        }
+        if insn.op.is_jump() {
+            let target = pc as i64 + 1 + insn.off as i64;
+            if insn.off < 0 {
+                return Err(VerifyError::BackEdge { pc, target });
+            }
+            if target as usize >= n + 1 {
+                return Err(VerifyError::JumpOutOfBounds { pc, target });
+            }
+            if target as usize == n {
+                return Err(VerifyError::FallsOffEnd { pc });
+            }
+        }
+        match insn.op {
+            Op::LdCtx => {
+                if insn.imm < 0 || insn.imm as usize >= env.ctx_ranges.len() {
+                    return Err(VerifyError::CtxOutOfBounds {
+                        pc,
+                        slot: insn.imm,
+                        size: env.ctx_ranges.len(),
+                    });
+                }
+            }
+            Op::LdMap | Op::StMap => {
+                if insn.imm < 0 || insn.imm as usize >= env.map_slots {
+                    return Err(VerifyError::MapOutOfBounds {
+                        pc,
+                        slot: insn.imm,
+                        size: env.map_slots,
+                    });
+                }
+            }
+            _ => {}
+        }
+        // Fallthrough off the end: last insn must not continue to pc+1.
+        let falls_through = !matches!(insn.op, Op::Exit | Op::Ja);
+        if pc + 1 == n && falls_through {
+            return Err(VerifyError::FallsOffEnd { pc });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Insn, Op, Program};
+
+    fn env2() -> VerifyEnv {
+        VerifyEnv { ctx_ranges: vec![(0, 100), (1, 65535)], map_slots: 4 }
+    }
+
+    fn prog(insns: Vec<Insn>) -> Program {
+        Program { insns }
+    }
+
+    fn i(op: Op, dst: u8, src: u8, imm: i64) -> Insn {
+        Insn::new(op, dst, src, imm)
+    }
+
+    fn j(op: Op, dst: u8, src: u8, imm: i64, off: i32) -> Insn {
+        Insn { op, dst, src, imm, off }
+    }
+
+    #[test]
+    fn trivial_return() {
+        let p = prog(vec![i(Op::MovImm, 0, 0, 42), i(Op::Exit, 0, 0, 0)]);
+        let r0 = verify(&p, &env2()).unwrap();
+        assert_eq!(r0, Interval::exact(42));
+    }
+
+    #[test]
+    fn empty_and_oversized_rejected() {
+        assert_eq!(verify(&prog(vec![]), &env2()), Err(VerifyError::EmptyProgram));
+        let big = prog(vec![i(Op::MovImm, 0, 0, 1); MAX_INSNS + 1]);
+        assert!(matches!(verify(&big, &env2()), Err(VerifyError::TooManyInsns { .. })));
+    }
+
+    #[test]
+    fn uninit_read_rejected() {
+        let p = prog(vec![i(Op::MovReg, 0, 3, 0), i(Op::Exit, 0, 0, 0)]);
+        assert_eq!(verify(&p, &env2()), Err(VerifyError::UninitRead { pc: 0, reg: 3 }));
+    }
+
+    #[test]
+    fn r0_unset_at_exit_rejected() {
+        let p = prog(vec![i(Op::MovImm, 1, 0, 5), i(Op::Exit, 0, 0, 0)]);
+        assert_eq!(verify(&p, &env2()), Err(VerifyError::R0NotSet { pc: 1 }));
+    }
+
+    #[test]
+    fn back_edge_rejected() {
+        let p = prog(vec![
+            i(Op::MovImm, 0, 0, 1),
+            j(Op::Ja, 0, 0, 0, -2),
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        assert!(matches!(verify(&p, &env2()), Err(VerifyError::BackEdge { pc: 1, .. })));
+    }
+
+    #[test]
+    fn falls_off_end_rejected() {
+        let p = prog(vec![i(Op::MovImm, 0, 0, 1)]);
+        assert!(matches!(verify(&p, &env2()), Err(VerifyError::FallsOffEnd { .. })));
+        let p = prog(vec![i(Op::MovImm, 0, 0, 1), j(Op::Ja, 0, 0, 0, 1), i(Op::Exit, 0, 0, 0)]);
+        assert!(matches!(verify(&p, &env2()), Err(VerifyError::FallsOffEnd { .. })));
+    }
+
+    #[test]
+    fn ctx_and_map_bounds() {
+        let p = prog(vec![i(Op::LdCtx, 0, 0, 7), i(Op::Exit, 0, 0, 0)]);
+        assert!(matches!(verify(&p, &env2()), Err(VerifyError::CtxOutOfBounds { .. })));
+        let p = prog(vec![i(Op::MovImm, 1, 0, 0), i(Op::StMap, 0, 1, 9), i(Op::Exit, 0, 0, 0)]);
+        assert!(matches!(verify(&p, &env2()), Err(VerifyError::MapOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn unguarded_div_by_ctx_rejected() {
+        // ctx[0] ∈ [0,100]: may be zero.
+        let p = prog(vec![
+            i(Op::MovImm, 0, 0, 1000),
+            i(Op::LdCtx, 1, 0, 0),
+            i(Op::DivReg, 0, 1, 0),
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        match verify(&p, &env2()) {
+            Err(VerifyError::DivByZeroPossible { pc: 2, lo: 0, hi: 100, .. }) => {}
+            other => panic!("expected div-by-zero rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn div_by_nonzero_ctx_accepted() {
+        // ctx[1] ∈ [1,65535]: provably nonzero, like `mss`.
+        let p = prog(vec![
+            i(Op::MovImm, 0, 0, 1000),
+            i(Op::LdCtx, 1, 0, 1),
+            i(Op::DivReg, 0, 1, 0),
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        let r0 = verify(&p, &env2()).unwrap();
+        assert!(r0.contains(1000) && r0.contains(0));
+    }
+
+    #[test]
+    fn max_guard_pattern_verifies() {
+        // r1 = ctx[0] (may be 0); r2 = 1; if r1 >= r2 skip; r1 = r2  — i.e.
+        // r1 = max(ctx[0], 1); then r0 = 1000 / r1. The refinement on the
+        // taken edge is what makes this verify.
+        let p = prog(vec![
+            i(Op::LdCtx, 1, 0, 0),
+            i(Op::MovImm, 2, 0, 1),
+            j(Op::JgeReg, 1, 2, 0, 1),
+            i(Op::MovReg, 1, 2, 0),
+            i(Op::MovImm, 0, 0, 1000),
+            i(Op::DivReg, 0, 1, 0),
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        let r0 = verify(&p, &env2()).unwrap();
+        assert_eq!(r0, Interval::new(10, 1000));
+    }
+
+    #[test]
+    fn imm_guard_pattern_verifies() {
+        // if r1 != 0 skip; r1 = 1 — then divide.
+        let p = prog(vec![
+            i(Op::LdCtx, 1, 0, 0),
+            j(Op::JneImm, 1, 0, 0, 1),
+            i(Op::MovImm, 1, 0, 1),
+            i(Op::MovImm, 0, 0, 500),
+            i(Op::DivReg, 0, 1, 0),
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        verify(&p, &env2()).unwrap();
+    }
+
+    #[test]
+    fn div_imm_zero_rejected() {
+        let p = prog(vec![i(Op::MovImm, 0, 0, 1), i(Op::DivImm, 0, 0, 0), i(Op::Exit, 0, 0, 0)]);
+        assert!(matches!(verify(&p, &env2()), Err(VerifyError::DivByZeroPossible { .. })));
+    }
+
+    #[test]
+    fn join_loses_one_sided_init() {
+        // r2 initialized only on one branch; read after the join → reject.
+        let p = prog(vec![
+            i(Op::LdCtx, 1, 0, 0),
+            j(Op::JeqImm, 1, 0, 0, 1), // if r1 == 0 skip the init
+            i(Op::MovImm, 2, 0, 7),
+            i(Op::MovReg, 0, 2, 0), // join point: r2 maybe-⊥
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        assert_eq!(verify(&p, &env2()), Err(VerifyError::UninitRead { pc: 3, reg: 2 }));
+    }
+
+    #[test]
+    fn dead_branch_pruned() {
+        // r1 = 5; if r1 == 5 goto skip-the-bad-div; bad div unreachable.
+        let p = prog(vec![
+            i(Op::MovImm, 1, 0, 5),
+            j(Op::JeqImm, 1, 0, 5, 1),
+            i(Op::DivImm, 1, 0, 0), // statically unreachable
+            i(Op::MovImm, 0, 0, 1),
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        verify(&p, &env2()).unwrap();
+    }
+
+    #[test]
+    fn r0_interval_reported() {
+        // r0 = ctx[0] + 5 → [5, 105]
+        let p = prog(vec![
+            i(Op::LdCtx, 0, 0, 0),
+            i(Op::AddImm, 0, 0, 5),
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        assert_eq!(verify(&p, &env2()).unwrap(), Interval::new(5, 105));
+    }
+
+    #[test]
+    fn interval_ops_sound_spots() {
+        let a = Interval::new(-3, 7);
+        let b = Interval::new(2, 4);
+        let m = a.mul(b);
+        assert!(m.contains(-12) && m.contains(28) && m.contains(0));
+        let d = a.div(b);
+        assert!(d.contains(-1) && d.contains(3) && d.contains(0));
+        let r = a.rem(b);
+        assert!(r.contains(-3) && r.contains(3) && r.contains(0));
+        let s = Interval::new(1, 2).shl(Interval::new(1, 3));
+        assert_eq!(s, Interval::new(2, 16));
+    }
+
+    #[test]
+    fn diagnostics_kernel_style() {
+        let e = VerifyError::DivByZeroPossible {
+            pc: 4,
+            reg_desc: "R3".into(),
+            lo: 0,
+            hi: 9,
+        };
+        assert!(e.to_string().contains("not allowed as divisor"));
+        let e = VerifyError::BackEdge { pc: 9, target: 2 };
+        assert!(e.to_string().contains("back-edge"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests tying the whole kernel pipeline together:
+//!
+//! 1. **Verifier soundness.** If `verify` accepts a compiled program, then
+//!    executing it on *any* context whose values respect the declared
+//!    ranges never faults (no division by zero, no bounds violations, no
+//!    fuel exhaustion with the default budget).
+//! 2. **Compiler correctness.** On fault-free inputs the VM and the DSL
+//!    interpreter agree bit-for-bit.
+//! 3. **Interval soundness.** The `r0` interval the verifier reports
+//!    contains every observed runtime result.
+
+use policysmith_dsl::env::MapEnv;
+use policysmith_dsl::{eval, BinOp, CmpOp, Expr, Feature, Mode};
+use policysmith_kbpf::{build_ctx, cc_verify_env, compile, execute, verify, SPILL_SLOTS};
+use proptest::prelude::*;
+
+fn kernel_features() -> Vec<Feature> {
+    // A representative mix: possibly-zero features (loss, inflight,
+    // hist_*), never-zero features (mss, min_rtt, cwnd), wide ranges.
+    vec![
+        Feature::Cwnd,
+        Feature::PrevCwnd,
+        Feature::MinRttUs,
+        Feature::SrttUs,
+        Feature::LastRttUs,
+        Feature::InflightPkts,
+        Feature::Mss,
+        Feature::LossEvent,
+        Feature::AckedBytes,
+        Feature::Ssthresh,
+        Feature::HistRtt(0),
+        Feature::HistRtt(4),
+        Feature::HistDelivered(2),
+        Feature::HistLoss(1),
+        Feature::HistQdelay(0),
+    ]
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Min),
+        Just(BinOp::Max),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+    ]
+}
+
+fn arb_cmpop() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1_000i64..1_000).prop_map(Expr::Int),
+        proptest::sample::select(kernel_features()).prop_map(Expr::Feat),
+    ];
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            (arb_cmpop(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::cmp(op, a, b)),
+            inner.clone().prop_map(|a| Expr::Neg(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Abs(Box::new(a))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| Expr::ite(a, b, c)),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Clamp(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+/// A random environment whose values respect each feature's declared range
+/// (clipped to keep arithmetic interesting but finite).
+fn arb_env() -> impl Strategy<Value = MapEnv> {
+    let feats = kernel_features();
+    let ranges: Vec<_> = feats
+        .iter()
+        .map(|f| {
+            let (lo, hi) = f.range();
+            lo.max(0)..=hi.min(1_000_000)
+        })
+        .collect();
+    ranges.prop_map(move |vs| {
+        let mut env = MapEnv::new();
+        for (f, v) in feats.iter().zip(vs) {
+            env.set(*f, v);
+        }
+        env
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn verified_programs_never_fault_and_match_interpreter(
+        e in arb_expr(),
+        env in arb_env(),
+    ) {
+        let Ok(prog) = compile(&e) else {
+            // Only floats / cache features fail to lower; arb_expr emits
+            // neither.
+            return Err(TestCaseError::fail("lowering failed unexpectedly"));
+        };
+        let venv = cc_verify_env();
+        let Ok(r0_bounds) = verify(&prog, &venv) else {
+            // Rejection is fine (e.g. unguarded division): the pipeline
+            // simply discards the candidate. Nothing further to check.
+            return Ok(());
+        };
+
+        let ctx = build_ctx(&env);
+        let mut map = vec![0i64; SPILL_SLOTS];
+        // 1. soundness: a verified program must not fault
+        let got = execute(&prog, &ctx, &mut map)
+            .map_err(|err| TestCaseError::fail(format!("verified program faulted: {err}\n{prog}")))?;
+        // 2. compiler correctness: interpreter must agree (and must not
+        //    fault either, since the verifier proved divisors nonzero)
+        let want = eval(&e, &env)
+            .map_err(|err| TestCaseError::fail(format!("interpreter faulted on verified program: {err}")))?;
+        prop_assert_eq!(got, want, "program:\n{}", prog);
+        // 3. interval soundness
+        prop_assert!(r0_bounds.contains(got),
+            "r0 = {} outside verified bounds [{}, {}]\n{}", got, r0_bounds.lo, r0_bounds.hi, prog);
+    }
+
+    #[test]
+    fn checker_warnings_predict_verifier_on_divisions(e in arb_expr()) {
+        // If the DSL checker reports no division warnings, the verifier
+        // must not reject for division-by-zero (its interval analysis is
+        // strictly stronger than the syntactic guard analysis).
+        let report = policysmith_dsl::check_with_warnings(&e, Mode::Kernel, usize::MAX, usize::MAX);
+        prop_assume!(report.ok());
+        if report.warnings.is_empty() {
+            if let Ok(prog) = compile(&e) {
+                if let Err(err) = verify(&prog, &cc_verify_env()) {
+                    prop_assert!(
+                        !err.to_string().contains("divisor"),
+                        "checker said guarded, verifier disagreed: {}\n{}", err, prog
+                    );
+                }
+            }
+        }
+    }
+}

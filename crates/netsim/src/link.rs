@@ -1,0 +1,210 @@
+//! The bottleneck link: serialization rate + one-way propagation delay +
+//! drop-tail byte queue. Equivalent to Mahimahi's `mm-link RATE` nested in
+//! `mm-delay MS` (the paper's §5.0.3 testbed shape).
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkCfg {
+    /// Serialization rate, bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay, µs (applied in both directions, so the
+    /// minimum RTT is `2 * delay_us` plus one serialization time).
+    pub delay_us: u64,
+    /// Drop-tail queue bound, bytes.
+    pub queue_bytes: u64,
+}
+
+impl LinkCfg {
+    /// The paper's evaluation link: 12 Mbps, 20 ms delay, 1-BDP buffer.
+    pub fn paper_link() -> LinkCfg {
+        let rate_bps = 12_000_000;
+        let delay_us = 20_000;
+        // BDP = rate × RTT = 12 Mbps × 40 ms = 60 kB
+        let bdp_bytes = rate_bps / 8 * (2 * delay_us) / 1_000_000;
+        LinkCfg { rate_bps, delay_us, queue_bytes: bdp_bytes }
+    }
+
+    /// Time to serialize `bytes` onto the wire, µs (at least 1).
+    pub fn tx_time_us(&self, bytes: u32) -> u64 {
+        ((bytes as u64 * 8 * 1_000_000) / self.rate_bps).max(1)
+    }
+
+    /// Bandwidth-delay product in bytes (using min RTT).
+    pub fn bdp_bytes(&self) -> u64 {
+        self.rate_bps / 8 * (2 * self.delay_us) / 1_000_000
+    }
+}
+
+/// A queued packet: opaque to the link beyond size and identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedPacket {
+    pub flow: usize,
+    pub seq: u64,
+    pub size: u32,
+    /// Enqueue time, for queuing-delay accounting.
+    pub enq_us: u64,
+}
+
+/// The shared bottleneck with drop-tail queueing.
+#[derive(Debug)]
+pub struct Bottleneck {
+    pub cfg: LinkCfg,
+    queue: std::collections::VecDeque<QueuedPacket>,
+    queued_bytes: u64,
+    /// Is the transmitter currently serializing a packet?
+    busy: bool,
+    // counters
+    pub drops: u64,
+    pub forwarded: u64,
+    qdelay_sum_us: u64,
+    qdelay_samples: u64,
+    qdelay_max_us: u64,
+}
+
+impl Bottleneck {
+    /// New idle link.
+    pub fn new(cfg: LinkCfg) -> Self {
+        Bottleneck {
+            cfg,
+            queue: std::collections::VecDeque::new(),
+            queued_bytes: 0,
+            busy: false,
+            drops: 0,
+            forwarded: 0,
+            qdelay_sum_us: 0,
+            qdelay_samples: 0,
+            qdelay_max_us: 0,
+        }
+    }
+
+    /// Offer a packet. Returns `true` if accepted; on acceptance, if the
+    /// transmitter was idle the caller must schedule the first completion
+    /// ([`Bottleneck::start_tx`]).
+    pub fn enqueue(&mut self, pkt: QueuedPacket) -> bool {
+        if self.queued_bytes + pkt.size as u64 > self.cfg.queue_bytes {
+            self.drops += 1;
+            return false;
+        }
+        self.queued_bytes += pkt.size as u64;
+        self.queue.push_back(pkt);
+        true
+    }
+
+    /// Begin serializing the head packet if idle; returns the completion
+    /// delay (µs) to schedule, if transmission started.
+    pub fn start_tx(&mut self) -> Option<u64> {
+        if self.busy {
+            return None;
+        }
+        let head = self.queue.front()?;
+        self.busy = true;
+        Some(self.cfg.tx_time_us(head.size))
+    }
+
+    /// Serialization of the head packet finished at `now`; returns the
+    /// departed packet. Caller schedules its arrival after the propagation
+    /// delay, then calls [`Bottleneck::start_tx`] again for the next one.
+    pub fn tx_done(&mut self, now: u64) -> QueuedPacket {
+        debug_assert!(self.busy);
+        self.busy = false;
+        let pkt = self.queue.pop_front().expect("tx_done with empty queue");
+        self.queued_bytes -= pkt.size as u64;
+        self.forwarded += 1;
+        // queuing delay = waiting + serialization
+        let qd = now.saturating_sub(pkt.enq_us);
+        self.qdelay_sum_us += qd;
+        self.qdelay_samples += 1;
+        self.qdelay_max_us = self.qdelay_max_us.max(qd);
+        pkt
+    }
+
+    /// Bytes currently enqueued.
+    pub fn backlog_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Mean queuing delay over all forwarded packets, µs.
+    pub fn mean_qdelay_us(&self) -> f64 {
+        if self.qdelay_samples == 0 {
+            0.0
+        } else {
+            self.qdelay_sum_us as f64 / self.qdelay_samples as f64
+        }
+    }
+
+    /// Maximum observed queuing delay, µs.
+    pub fn max_qdelay_us(&self) -> u64 {
+        self.qdelay_max_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64, size: u32, enq: u64) -> QueuedPacket {
+        QueuedPacket { flow: 0, seq, size, enq_us: enq }
+    }
+
+    #[test]
+    fn paper_link_parameters() {
+        let l = LinkCfg::paper_link();
+        assert_eq!(l.rate_bps, 12_000_000);
+        assert_eq!(l.delay_us, 20_000);
+        assert_eq!(l.bdp_bytes(), 60_000);
+        assert_eq!(l.queue_bytes, 60_000);
+        // 1500 B at 12 Mbps = 1 ms
+        assert_eq!(l.tx_time_us(1500), 1_000);
+    }
+
+    #[test]
+    fn fifo_order_and_accounting() {
+        let mut b = Bottleneck::new(LinkCfg::paper_link());
+        assert!(b.enqueue(pkt(1, 1500, 0)));
+        assert!(b.enqueue(pkt(2, 1500, 0)));
+        let d = b.start_tx().unwrap();
+        assert_eq!(d, 1_000);
+        let p = b.tx_done(1_000);
+        assert_eq!(p.seq, 1);
+        assert_eq!(b.backlog_bytes(), 1500);
+        let d = b.start_tx().unwrap();
+        let p = b.tx_done(1_000 + d);
+        assert_eq!(p.seq, 2);
+        assert_eq!(b.backlog_bytes(), 0);
+        assert!(b.start_tx().is_none());
+        assert_eq!(b.forwarded, 2);
+    }
+
+    #[test]
+    fn drop_tail_when_full() {
+        let cfg = LinkCfg { rate_bps: 1_000_000, delay_us: 1_000, queue_bytes: 3_000 };
+        let mut b = Bottleneck::new(cfg);
+        assert!(b.enqueue(pkt(1, 1500, 0)));
+        assert!(b.enqueue(pkt(2, 1500, 0)));
+        assert!(!b.enqueue(pkt(3, 1500, 0)), "third packet must be tail-dropped");
+        assert_eq!(b.drops, 1);
+        assert_eq!(b.backlog_bytes(), 3_000);
+    }
+
+    #[test]
+    fn qdelay_accounting() {
+        let mut b = Bottleneck::new(LinkCfg::paper_link());
+        b.enqueue(pkt(1, 1500, 0));
+        b.start_tx().unwrap();
+        b.tx_done(1_000); // waited 0 + tx 1000
+        b.enqueue(pkt(2, 1500, 1_000));
+        b.start_tx().unwrap();
+        b.tx_done(3_000); // waited 1000 + tx 1000
+        assert_eq!(b.mean_qdelay_us(), 1_500.0);
+        assert_eq!(b.max_qdelay_us(), 2_000);
+    }
+
+    #[test]
+    fn busy_transmitter_not_restarted() {
+        let mut b = Bottleneck::new(LinkCfg::paper_link());
+        b.enqueue(pkt(1, 1500, 0));
+        assert!(b.start_tx().is_some());
+        b.enqueue(pkt(2, 1500, 10));
+        assert!(b.start_tx().is_none(), "must not preempt in-flight serialization");
+    }
+}

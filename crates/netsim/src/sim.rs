@@ -1,0 +1,331 @@
+//! The event loop: flows × bottleneck × virtual time.
+//!
+//! A binary-heap agenda of `(time, seq, event)` drives the system; ties
+//! break on insertion order, so runs are fully deterministic. The reverse
+//! (ACK) path is delay-only — the paper's `mm-delay 20` both ways with the
+//! `mm-link` bottleneck on data only.
+
+use crate::link::{Bottleneck, LinkCfg, QueuedPacket};
+use crate::transport::{CongestionControl, Receiver, SendAction, Sender};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    pub link: LinkCfg,
+    /// Wall-clock duration to simulate, µs.
+    pub duration_us: u64,
+    /// Sender maximum segment size, bytes.
+    pub mss: u32,
+    /// Sender housekeeping timer period (RTO checks), µs.
+    pub timer_period_us: u64,
+}
+
+impl SimConfig {
+    /// The paper's §5.0.3 scenario: 12 Mbps / 20 ms / 1-BDP buffer, 30 s.
+    pub fn paper_scenario() -> SimConfig {
+        SimConfig {
+            link: LinkCfg::paper_link(),
+            duration_us: 30_000_000,
+            mss: 1500,
+            timer_period_us: 5_000,
+        }
+    }
+}
+
+/// Per-flow outcome metrics (the quantities §5.0.3 reports).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowMetrics {
+    /// Unique payload bytes delivered.
+    pub delivered_bytes: u64,
+    /// Goodput as a fraction of link capacity (0..1).
+    pub utilization: f64,
+    /// Mean RTT observed by the sender, µs (srtt at end).
+    pub srtt_us: u64,
+    /// Minimum RTT observed, µs.
+    pub min_rtt_us: u64,
+    /// Loss events (triple-dup + RTO).
+    pub loss_events: u64,
+    /// Retransmitted packets.
+    pub retransmits: u64,
+    /// Final cwnd, packets.
+    pub final_cwnd: u64,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Bottleneck finished serializing its head packet.
+    TxDone,
+    /// Data packet reaches the receiver.
+    Arrive { pkt: QueuedPacket },
+    /// ACK reaches the sender.
+    Ack { flow: usize, seq: u64 },
+    /// Per-flow housekeeping timer.
+    Timer { flow: usize },
+}
+
+/// A running simulation over one shared bottleneck.
+pub struct Simulation {
+    cfg: SimConfig,
+    link: Bottleneck,
+    senders: Vec<Sender>,
+    receivers: Vec<Receiver>,
+    agenda: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    events: Vec<Option<Event>>,
+    now_us: u64,
+    seq_counter: u64,
+}
+
+impl Simulation {
+    /// Build a simulation with one flow per congestion controller.
+    pub fn new(cfg: SimConfig, ccs: Vec<Box<dyn CongestionControl>>) -> Self {
+        assert!(!ccs.is_empty(), "need at least one flow");
+        let n = ccs.len();
+        let mut sim = Simulation {
+            link: Bottleneck::new(cfg.link),
+            senders: ccs.into_iter().map(|cc| Sender::new(cc, cfg.mss)).collect(),
+            receivers: (0..n).map(|_| Receiver::new()).collect(),
+            agenda: BinaryHeap::new(),
+            events: Vec::new(),
+            now_us: 0,
+            seq_counter: 0,
+            cfg,
+        };
+        for f in 0..n {
+            // Stagger timer phases so identical flows do not share every
+            // event timestamp (deterministic tie-breaking would otherwise
+            // systematically favour the lower-numbered flow).
+            sim.schedule(cfg.timer_period_us + f as u64 * 997, Event::Timer { flow: f });
+        }
+        sim
+    }
+
+    fn schedule(&mut self, at_us: u64, ev: Event) {
+        let idx = self.events.len();
+        self.events.push(Some(ev));
+        self.seq_counter += 1;
+        self.agenda.push(Reverse((at_us, self.seq_counter, idx)));
+    }
+
+    fn transmit(&mut self, flow: usize, actions: Vec<SendAction>) {
+        for SendAction::Transmit { seq, size } in actions {
+            let pkt = QueuedPacket { flow, seq, size, enq_us: self.now_us };
+            if self.link.enqueue(pkt) {
+                if let Some(delay) = self.link.start_tx() {
+                    self.schedule(self.now_us + delay, Event::TxDone);
+                }
+            } else {
+                self.senders[flow].on_local_drop(seq);
+            }
+        }
+    }
+
+    /// Run to completion; returns per-flow metrics.
+    pub fn run(&mut self) -> Vec<FlowMetrics> {
+        // kick off all flows
+        for f in 0..self.senders.len() {
+            let sends = self.senders[f].pump(0);
+            self.transmit(f, sends);
+        }
+
+        while let Some(Reverse((t, _, idx))) = self.agenda.pop() {
+            if t > self.cfg.duration_us {
+                break;
+            }
+            self.now_us = t;
+            let ev = self.events[idx].take().expect("event consumed twice");
+            match ev {
+                Event::TxDone => {
+                    let pkt = self.link.tx_done(self.now_us);
+                    self.schedule(self.now_us + self.cfg.link.delay_us, Event::Arrive { pkt });
+                    if let Some(delay) = self.link.start_tx() {
+                        self.schedule(self.now_us + delay, Event::TxDone);
+                    }
+                }
+                Event::Arrive { pkt } => {
+                    let ack_seq = self.receivers[pkt.flow].on_data(pkt.seq, pkt.size);
+                    self.schedule(
+                        self.now_us + self.cfg.link.delay_us,
+                        Event::Ack { flow: pkt.flow, seq: ack_seq },
+                    );
+                }
+                Event::Ack { flow, seq } => {
+                    let retx = self.senders[flow].on_ack(seq, self.now_us);
+                    self.transmit(flow, retx);
+                    let sends = self.senders[flow].pump(self.now_us);
+                    self.transmit(flow, sends);
+                }
+                Event::Timer { flow } => {
+                    let retx = self.senders[flow].on_timer(self.now_us);
+                    self.transmit(flow, retx);
+                    let sends = self.senders[flow].pump(self.now_us);
+                    self.transmit(flow, sends);
+                    self.schedule(self.now_us + self.cfg.timer_period_us, Event::Timer { flow });
+                }
+            }
+        }
+
+        let capacity_bytes =
+            self.cfg.link.rate_bps as f64 / 8.0 * self.cfg.duration_us as f64 / 1e6;
+        (0..self.senders.len())
+            .map(|f| {
+                let s = &self.senders[f];
+                let r = &self.receivers[f];
+                FlowMetrics {
+                    delivered_bytes: r.unique_bytes,
+                    utilization: (r.unique_bytes as f64 / capacity_bytes).min(1.0),
+                    srtt_us: s.srtt_us,
+                    min_rtt_us: if s.min_rtt_us == u64::MAX { 0 } else { s.min_rtt_us },
+                    loss_events: s.loss_events,
+                    retransmits: s.retransmits,
+                    final_cwnd: s.cwnd,
+                }
+            })
+            .collect()
+    }
+
+    /// Mean bottleneck queuing delay over the run, µs.
+    pub fn mean_qdelay_us(&self) -> f64 {
+        self.link.mean_qdelay_us()
+    }
+
+    /// Maximum bottleneck queuing delay, µs.
+    pub fn max_qdelay_us(&self) -> u64 {
+        self.link.max_qdelay_us()
+    }
+
+    /// Packets tail-dropped at the bottleneck.
+    pub fn drops(&self) -> u64 {
+        self.link.drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::CcView;
+
+    /// Fixed-window controller.
+    struct FixedCc(u64);
+    impl CongestionControl for FixedCc {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn on_ack(&mut self, _v: &CcView<'_>) -> u64 {
+            self.0
+        }
+        fn on_loss(&mut self, _v: &CcView<'_>) -> u64 {
+            self.0
+        }
+    }
+
+    /// Additive-increase / multiplicative-decrease reference controller:
+    /// slow start below ssthresh, +1 segment per RTT above (ack counting).
+    struct SimpleAimd {
+        acks: u64,
+    }
+    impl SimpleAimd {
+        fn new() -> Self {
+            SimpleAimd { acks: 0 }
+        }
+    }
+    impl CongestionControl for SimpleAimd {
+        fn name(&self) -> &str {
+            "aimd"
+        }
+        fn on_ack(&mut self, v: &CcView<'_>) -> u64 {
+            if v.cwnd < v.ssthresh {
+                return v.cwnd + 1; // slow start
+            }
+            self.acks += 1;
+            if self.acks >= v.cwnd {
+                self.acks = 0;
+                v.cwnd + 1
+            } else {
+                v.cwnd
+            }
+        }
+        fn on_loss(&mut self, v: &CcView<'_>) -> u64 {
+            self.acks = 0;
+            v.cwnd / 2
+        }
+    }
+
+    fn run_one(cc: Box<dyn CongestionControl>, dur_us: u64) -> (FlowMetrics, f64, u64) {
+        let mut cfg = SimConfig::paper_scenario();
+        cfg.duration_us = dur_us;
+        let mut sim = Simulation::new(cfg, vec![cc]);
+        let m = sim.run().remove(0);
+        (m, sim.mean_qdelay_us(), sim.drops())
+    }
+
+    #[test]
+    fn tiny_window_underutilizes() {
+        // 2 pkts per 40 ms RTT = 600 kbps on a 12 Mbps link ≈ 5%.
+        let (m, qd, drops) = run_one(Box::new(FixedCc(2)), 10_000_000);
+        assert!(m.utilization > 0.02 && m.utilization < 0.10, "util {}", m.utilization);
+        assert_eq!(drops, 0);
+        assert!(qd < 2_000.0, "near-empty queue expected, got {qd}");
+        assert_eq!(m.loss_events, 0);
+        // min RTT ≈ 2×20 ms + serialization
+        assert!(m.min_rtt_us >= 40_000 && m.min_rtt_us < 45_000, "{}", m.min_rtt_us);
+    }
+
+    #[test]
+    fn bdp_window_fills_link_without_queueing() {
+        // BDP = 60 kB = 40 pkts: full utilization, minimal standing queue.
+        let (m, qd, _) = run_one(Box::new(FixedCc(40)), 10_000_000);
+        assert!(m.utilization > 0.9, "util {}", m.utilization);
+        assert!(qd < 10_000.0, "qdelay {qd}");
+    }
+
+    #[test]
+    fn oversized_window_builds_queue_and_drops() {
+        let (m, qd, drops) = run_one(Box::new(FixedCc(200)), 10_000_000);
+        assert!(m.utilization > 0.9);
+        assert!(drops > 0, "buffer must overflow");
+        assert!(m.loss_events > 0, "loss must be detected");
+        assert!(m.retransmits > 0);
+        assert!(qd > 10_000.0, "standing queue expected, got {qd}");
+    }
+
+    #[test]
+    fn aimd_achieves_high_utilization_with_bounded_delay() {
+        let (m, qd, _) = run_one(Box::new(SimpleAimd::new()), 30_000_000);
+        assert!(m.utilization > 0.8, "AIMD util {}", m.utilization);
+        assert!(m.loss_events > 0, "AIMD probes until loss");
+        // queue bounded by 1 BDP → qdelay ≤ 40 ms
+        assert!(qd <= 40_000.0, "qdelay {qd}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_one(Box::new(SimpleAimd::new()), 5_000_000);
+        let b = run_one(Box::new(SimpleAimd::new()), 5_000_000);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn two_flows_share_the_link() {
+        let mut cfg = SimConfig::paper_scenario();
+        cfg.duration_us = 20_000_000;
+        let mut sim =
+            Simulation::new(cfg, vec![Box::new(SimpleAimd::new()), Box::new(SimpleAimd::new())]);
+        let ms = sim.run();
+        let total: f64 = ms.iter().map(|m| m.utilization).sum();
+        assert!(total > 0.8, "aggregate util {total}");
+        // rough fairness: neither flow starves
+        for m in &ms {
+            assert!(m.utilization > 0.15, "flow starved: {}", m.utilization);
+        }
+    }
+
+    #[test]
+    fn delivered_bytes_consistent_with_utilization() {
+        let (m, _, _) = run_one(Box::new(FixedCc(40)), 10_000_000);
+        let capacity = 12_000_000.0 / 8.0 * 10.0; // bytes in 10 s
+        assert!((m.delivered_bytes as f64 / capacity - m.utilization).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,524 @@
+//! TCP-like reliable transport and the congestion-control plug-in point.
+//!
+//! The sender is window-limited: it keeps `cwnd` packets in flight, detects
+//! losses via SACK-style triple-duplicate evidence (the network is FIFO, so
+//! any ACK for a later packet while an earlier one is outstanding is
+//! reordering-free loss evidence) with a NewReno-style recovery window (one
+//! congestion event per window), and falls back to a coarse RTO. RTT
+//! estimation follows RFC 6298 (srtt/rttvar EWMAs, Karn's rule on
+//! retransmits); a delivery-rate estimator and the paper's 10-interval
+//! smoothed history arrays ([66]) complete the §5.0.1 feature surface that
+//! [`CcView`] exposes to policies.
+
+use std::collections::BTreeMap;
+
+/// Length of each history ring (§5.0.1: "the last 10 RTT intervals").
+pub const HIST_LEN: usize = 10;
+
+/// Smoothed per-RTT-interval history, most recent first.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Mean RTT per interval, µs.
+    pub rtt_us: [i64; HIST_LEN],
+    /// Bytes delivered per interval.
+    pub delivered: [i64; HIST_LEN],
+    /// Loss events per interval.
+    pub losses: [i64; HIST_LEN],
+    /// Mean cwnd per interval, packets.
+    pub cwnd: [i64; HIST_LEN],
+    /// Mean queuing-delay estimate (`srtt − min_rtt`) per interval, µs.
+    pub qdelay_us: [i64; HIST_LEN],
+}
+
+impl History {
+    fn push(&mut self, rtt: i64, delivered: i64, losses: i64, cwnd: i64, qdelay: i64) {
+        for ring in [
+            &mut self.rtt_us,
+            &mut self.delivered,
+            &mut self.losses,
+            &mut self.cwnd,
+            &mut self.qdelay_us,
+        ] {
+            ring.rotate_right(1);
+        }
+        self.rtt_us[0] = rtt;
+        self.delivered[0] = delivered;
+        self.losses[0] = losses;
+        self.cwnd[0] = cwnd;
+        self.qdelay_us[0] = qdelay;
+    }
+}
+
+/// Everything a `cong_control` invocation may read (§5.0.1's feature set).
+#[derive(Debug)]
+pub struct CcView<'a> {
+    pub now_us: u64,
+    pub cwnd: u64,
+    pub prev_cwnd: u64,
+    pub min_rtt_us: u64,
+    pub srtt_us: u64,
+    pub last_rtt_us: u64,
+    pub inflight_bytes: u64,
+    pub inflight_pkts: u64,
+    pub mss: u32,
+    pub delivered_bytes: u64,
+    pub delivery_rate_bps: u64,
+    pub acked_bytes: u64,
+    pub ssthresh: u64,
+    pub history: &'a History,
+}
+
+/// A congestion-control algorithm: returns the new cwnd (packets) on each
+/// ACK batch or loss event. The harness clamps the result to
+/// `[MIN_CWND, MAX_CWND]`, mirroring the kernel scaffold's own guardrails.
+pub trait CongestionControl {
+    /// Display name.
+    fn name(&self) -> &str;
+    /// New data was cumulatively acknowledged.
+    fn on_ack(&mut self, view: &CcView<'_>) -> u64;
+    /// A loss event was detected (triple-dup or RTO).
+    fn on_loss(&mut self, view: &CcView<'_>) -> u64;
+}
+
+/// Floor for cwnd, packets.
+pub const MIN_CWND: u64 = 2;
+/// Ceiling for cwnd, packets.
+pub const MAX_CWND: u64 = 1 << 20;
+
+/// Per-packet bookkeeping at the sender.
+#[derive(Debug, Clone, Copy)]
+struct SentPacket {
+    sent_us: u64,
+    size: u32,
+    retransmitted: bool,
+    dup_evidence: u8,
+}
+
+/// The sending endpoint of one flow.
+pub struct Sender {
+    pub cc: Box<dyn CongestionControl>,
+    pub mss: u32,
+    pub cwnd: u64,
+    pub prev_cwnd: u64,
+    pub ssthresh: u64,
+    next_seq: u64,
+    unacked: BTreeMap<u64, SentPacket>,
+    inflight_bytes: u64,
+    // RTT estimation
+    pub srtt_us: u64,
+    rttvar_us: u64,
+    pub min_rtt_us: u64,
+    pub last_rtt_us: u64,
+    // delivery accounting
+    pub delivered_bytes: u64,
+    pub delivery_rate_bps: u64,
+    rate_window_start_us: u64,
+    rate_window_bytes: u64,
+    // recovery state: loss events are collapsed until this seq is acked
+    recovery_until: u64,
+    // history interval accumulation
+    pub history: History,
+    interval_start_us: u64,
+    interval_delivered: u64,
+    interval_losses: u64,
+    interval_rtt_sum: u64,
+    interval_rtt_n: u64,
+    interval_cwnd_sum: u64,
+    interval_cwnd_n: u64,
+    // counters
+    pub retransmits: u64,
+    pub loss_events: u64,
+}
+
+/// What the sender wants the simulator to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendAction {
+    /// Transmit a (possibly re-) packet with this seq and size.
+    Transmit { seq: u64, size: u32 },
+}
+
+/// Build a [`CcView`] borrowing only `history`, leaving `self.cc` free for
+/// the simultaneous `&mut` the callback needs.
+macro_rules! cc_view {
+    ($self:ident, $now:expr, $acked:expr) => {
+        CcView {
+            now_us: $now,
+            cwnd: $self.cwnd,
+            prev_cwnd: $self.prev_cwnd,
+            min_rtt_us: if $self.min_rtt_us == u64::MAX { 0 } else { $self.min_rtt_us },
+            srtt_us: $self.srtt_us,
+            last_rtt_us: $self.last_rtt_us,
+            inflight_bytes: $self.inflight_bytes,
+            inflight_pkts: $self.unacked.len() as u64,
+            mss: $self.mss,
+            delivered_bytes: $self.delivered_bytes,
+            delivery_rate_bps: $self.delivery_rate_bps,
+            acked_bytes: $acked,
+            ssthresh: $self.ssthresh,
+            history: &$self.history,
+        }
+    };
+}
+
+impl Sender {
+    /// New sender with an initial window of 10 segments (RFC 6928).
+    pub fn new(cc: Box<dyn CongestionControl>, mss: u32) -> Self {
+        Sender {
+            cc,
+            mss,
+            cwnd: 10,
+            prev_cwnd: 10,
+            ssthresh: MAX_CWND,
+            next_seq: 0,
+            unacked: BTreeMap::new(),
+            inflight_bytes: 0,
+            srtt_us: 0,
+            rttvar_us: 0,
+            min_rtt_us: u64::MAX,
+            last_rtt_us: 0,
+            delivered_bytes: 0,
+            delivery_rate_bps: 0,
+            rate_window_start_us: 0,
+            rate_window_bytes: 0,
+            recovery_until: 0,
+            history: History::default(),
+            interval_start_us: 0,
+            interval_delivered: 0,
+            interval_losses: 0,
+            interval_rtt_sum: 0,
+            interval_rtt_n: 0,
+            interval_cwnd_sum: 0,
+            interval_cwnd_n: 0,
+            retransmits: 0,
+            loss_events: 0,
+        }
+    }
+
+    /// Packets currently in flight.
+    pub fn inflight_pkts(&self) -> u64 {
+        self.unacked.len() as u64
+    }
+
+    /// Produce as many transmissions as the window allows (greedy source).
+    pub fn pump(&mut self, now_us: u64) -> Vec<SendAction> {
+        let mut out = Vec::new();
+        while (self.unacked.len() as u64) < self.cwnd {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.unacked.insert(
+                seq,
+                SentPacket { sent_us: now_us, size: self.mss, retransmitted: false, dup_evidence: 0 },
+            );
+            self.inflight_bytes += self.mss as u64;
+            out.push(SendAction::Transmit { seq, size: self.mss });
+        }
+        out
+    }
+
+    // NOTE: constructed via `cc_view!` so `self.cc` stays mutably borrowable.
+
+    fn set_cwnd(&mut self, new: u64) {
+        self.prev_cwnd = self.cwnd;
+        self.cwnd = new.clamp(MIN_CWND, MAX_CWND);
+    }
+
+    fn update_rtt(&mut self, sample_us: u64) {
+        self.last_rtt_us = sample_us;
+        self.min_rtt_us = self.min_rtt_us.min(sample_us);
+        if self.srtt_us == 0 {
+            self.srtt_us = sample_us;
+            self.rttvar_us = sample_us / 2;
+        } else {
+            let diff = self.srtt_us.abs_diff(sample_us);
+            self.rttvar_us = (3 * self.rttvar_us + diff) / 4;
+            self.srtt_us = (7 * self.srtt_us + sample_us) / 8;
+        }
+    }
+
+    fn roll_interval(&mut self, now_us: u64) {
+        let interval = self.srtt_us.max(1_000);
+        if now_us.saturating_sub(self.interval_start_us) >= interval {
+            let mean_rtt = if self.interval_rtt_n > 0 {
+                (self.interval_rtt_sum / self.interval_rtt_n) as i64
+            } else {
+                self.srtt_us as i64
+            };
+            let mean_cwnd = if self.interval_cwnd_n > 0 {
+                (self.interval_cwnd_sum / self.interval_cwnd_n) as i64
+            } else {
+                self.cwnd as i64
+            };
+            let min_rtt = if self.min_rtt_us == u64::MAX { 0 } else { self.min_rtt_us };
+            let qdelay = (self.srtt_us.saturating_sub(min_rtt)) as i64;
+            self.history.push(
+                mean_rtt,
+                self.interval_delivered as i64,
+                self.interval_losses as i64,
+                mean_cwnd,
+                qdelay,
+            );
+            self.interval_start_us = now_us;
+            self.interval_delivered = 0;
+            self.interval_losses = 0;
+            self.interval_rtt_sum = 0;
+            self.interval_rtt_n = 0;
+            self.interval_cwnd_sum = 0;
+            self.interval_cwnd_n = 0;
+        }
+    }
+
+    /// Handle an ACK for `seq` arriving at `now_us`. Returns retransmission
+    /// actions triggered by dup evidence (at most one per loss event).
+    pub fn on_ack(&mut self, seq: u64, now_us: u64) -> Vec<SendAction> {
+        let Some(pkt) = self.unacked.remove(&seq) else {
+            return Vec::new(); // duplicate/stale ack
+        };
+        self.inflight_bytes = self.inflight_bytes.saturating_sub(pkt.size as u64);
+        self.delivered_bytes += pkt.size as u64;
+
+        // Karn's rule: no RTT sample from retransmitted packets.
+        if !pkt.retransmitted {
+            self.update_rtt(now_us.saturating_sub(pkt.sent_us));
+        }
+
+        // Delivery-rate estimate over a sliding srtt-sized window.
+        self.rate_window_bytes += pkt.size as u64;
+        let win = self.srtt_us.max(1_000);
+        if now_us.saturating_sub(self.rate_window_start_us) >= win {
+            let dt = now_us - self.rate_window_start_us;
+            self.delivery_rate_bps = self.rate_window_bytes * 8 * 1_000_000 / dt.max(1);
+            self.rate_window_start_us = now_us;
+            self.rate_window_bytes = 0;
+        }
+
+        // interval accumulation
+        self.interval_delivered += pkt.size as u64;
+        if !pkt.retransmitted {
+            self.interval_rtt_sum += self.last_rtt_us;
+            self.interval_rtt_n += 1;
+        }
+        self.interval_cwnd_sum += self.cwnd;
+        self.interval_cwnd_n += 1;
+        self.roll_interval(now_us);
+
+        // SACK-style dup evidence for every older outstanding packet.
+        // Retransmission and congestion signalling are decoupled, as in
+        // NewReno: every packet whose evidence crosses the threshold is
+        // retransmitted, but at most one congestion event is charged per
+        // recovery window (burst drops are one event).
+        let mut to_retx: Vec<u64> = Vec::new();
+        let mut new_loss_event = false;
+        let rtt_guard = self.srtt_us / 2;
+        for (&s, p) in self.unacked.range_mut(..seq) {
+            p.dup_evidence = p.dup_evidence.saturating_add(1);
+            // The guard suppresses spurious re-retransmission of a packet
+            // that was retransmitted less than ~half an RTT ago (evidence
+            // from acks of packets sent before the retransmission).
+            if p.dup_evidence == 3 && now_us.saturating_sub(p.sent_us) >= rtt_guard {
+                to_retx.push(s);
+                if s >= self.recovery_until {
+                    new_loss_event = true;
+                }
+            }
+        }
+
+        let mut actions = Vec::new();
+        if new_loss_event {
+            self.loss_events += 1;
+            self.interval_losses += 1;
+            self.recovery_until = self.next_seq;
+            self.ssthresh = (self.cwnd / 2).max(MIN_CWND);
+            let view = cc_view!(self, now_us, 0);
+            let new = self.cc.on_loss(&view);
+            self.set_cwnd(new);
+        } else if to_retx.is_empty() {
+            let view = cc_view!(self, now_us, pkt.size as u64);
+            let new = self.cc.on_ack(&view);
+            self.set_cwnd(new);
+        }
+        for s in to_retx {
+            actions.extend(self.retransmit(s, now_us));
+        }
+        actions
+    }
+
+    fn retransmit(&mut self, seq: u64, now_us: u64) -> Vec<SendAction> {
+        let Some(p) = self.unacked.get_mut(&seq) else {
+            return Vec::new();
+        };
+        p.sent_us = now_us;
+        p.retransmitted = true;
+        p.dup_evidence = 0;
+        let size = p.size;
+        self.retransmits += 1;
+        vec![SendAction::Transmit { seq, size }]
+    }
+
+    /// Current retransmission timeout (RFC 6298 flavoured, floored).
+    pub fn rto_us(&self) -> u64 {
+        if self.srtt_us == 0 {
+            1_000_000
+        } else {
+            (self.srtt_us + 4 * self.rttvar_us).max(200_000)
+        }
+    }
+
+    /// Periodic timer: retransmit the oldest packet if it has outlived the
+    /// RTO (tail-loss recovery when dup evidence cannot accumulate).
+    pub fn on_timer(&mut self, now_us: u64) -> Vec<SendAction> {
+        let Some((&seq, p)) = self.unacked.iter().next() else {
+            return Vec::new();
+        };
+        if now_us.saturating_sub(p.sent_us) >= self.rto_us() {
+            self.loss_events += 1;
+            self.interval_losses += 1;
+            self.recovery_until = self.next_seq;
+            self.ssthresh = (self.cwnd / 2).max(MIN_CWND);
+            let view = cc_view!(self, now_us, 0);
+            let new = self.cc.on_loss(&view);
+            self.set_cwnd(new);
+            return self.retransmit(seq, now_us);
+        }
+        Vec::new()
+    }
+
+    /// A transmission was tail-dropped at the bottleneck before entering
+    /// the wire; the packet stays outstanding and will be recovered by dup
+    /// evidence or RTO.
+    pub fn on_local_drop(&mut self, _seq: u64) {}
+}
+
+/// The receiving endpoint: per-packet ACKs, first-receipt accounting.
+#[derive(Debug, Default)]
+pub struct Receiver {
+    seen: std::collections::HashSet<u64>,
+    /// Unique payload bytes received.
+    pub unique_bytes: u64,
+    /// Total packets received (including spurious retransmits).
+    pub packets: u64,
+}
+
+impl Receiver {
+    /// New empty receiver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Process a data packet; returns the seq to acknowledge.
+    pub fn on_data(&mut self, seq: u64, size: u32) -> u64 {
+        self.packets += 1;
+        if self.seen.insert(seq) {
+            self.unique_bytes += size as u64;
+        }
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fixed-window CC for transport-mechanics tests.
+    struct FixedCc(u64);
+    impl CongestionControl for FixedCc {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn on_ack(&mut self, _v: &CcView<'_>) -> u64 {
+            self.0
+        }
+        fn on_loss(&mut self, _v: &CcView<'_>) -> u64 {
+            self.0
+        }
+    }
+
+    fn sender(w: u64) -> Sender {
+        let mut s = Sender::new(Box::new(FixedCc(w)), 1500);
+        s.cwnd = w;
+        s
+    }
+
+    #[test]
+    fn pump_fills_window() {
+        let mut s = sender(5);
+        let sends = s.pump(0);
+        assert_eq!(sends.len(), 5);
+        assert_eq!(s.inflight_pkts(), 5);
+        assert_eq!(s.pump(1).len(), 0, "window full");
+    }
+
+    #[test]
+    fn ack_frees_window_and_updates_rtt() {
+        let mut s = sender(3);
+        s.pump(0);
+        s.on_ack(0, 40_000);
+        assert_eq!(s.inflight_pkts(), 2);
+        assert_eq!(s.last_rtt_us, 40_000);
+        assert_eq!(s.srtt_us, 40_000);
+        assert_eq!(s.min_rtt_us, 40_000);
+        assert_eq!(s.delivered_bytes, 1500);
+        // window has room again
+        assert_eq!(s.pump(41_000).len(), 1);
+    }
+
+    #[test]
+    fn triple_dup_triggers_single_loss_event() {
+        let mut s = sender(8);
+        s.pump(0);
+        // acks for 1,2 — packet 0 accumulates dup evidence
+        assert!(s.on_ack(1, 40_000).is_empty());
+        assert!(s.on_ack(2, 41_000).is_empty());
+        let actions = s.on_ack(3, 42_000);
+        assert_eq!(actions, vec![SendAction::Transmit { seq: 0, size: 1500 }]);
+        assert_eq!(s.loss_events, 1);
+        // further acks in the same window do not re-trigger
+        assert!(s.on_ack(4, 43_000).is_empty());
+        assert!(s.on_ack(5, 43_500).is_empty());
+        assert_eq!(s.loss_events, 1);
+    }
+
+    #[test]
+    fn karns_rule_skips_retransmit_rtt() {
+        let mut s = sender(8);
+        s.pump(0);
+        s.on_ack(1, 40_000);
+        s.on_ack(2, 41_000);
+        s.on_ack(3, 42_000); // retransmits 0
+        let srtt_before = s.srtt_us;
+        s.on_ack(0, 43_000); // acked after retransmit: no RTT sample
+        assert_eq!(s.srtt_us, srtt_before);
+    }
+
+    #[test]
+    fn rto_fires_and_is_floored() {
+        let mut s = sender(2);
+        s.pump(0);
+        assert!(s.on_timer(100_000).is_empty(), "before RTO");
+        let actions = s.on_timer(1_100_000);
+        assert_eq!(actions.len(), 1, "RTO must retransmit the oldest");
+        assert_eq!(s.loss_events, 1);
+        assert!(s.rto_us() >= 200_000);
+    }
+
+    #[test]
+    fn history_rolls_intervals() {
+        let mut s = sender(4);
+        s.pump(0);
+        s.on_ack(0, 40_000);
+        // force several intervals
+        for (i, t) in [(1u64, 90_000u64), (2, 140_000), (3, 190_000)] {
+            s.on_ack(i, t);
+        }
+        assert!(s.history.rtt_us[0] > 0, "history must have rolled");
+        assert!(s.history.delivered[0] >= 0);
+    }
+
+    #[test]
+    fn receiver_dedups_bytes() {
+        let mut r = Receiver::new();
+        assert_eq!(r.on_data(0, 1500), 0);
+        assert_eq!(r.on_data(0, 1500), 0); // spurious retransmit
+        assert_eq!(r.unique_bytes, 1500);
+        assert_eq!(r.packets, 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests on the network simulator: for *any* congestion
+//! controller — including adversarially erratic ones — the transport and
+//! link must uphold conservation and bounds invariants.
+
+use policysmith_netsim::{
+    CcView, CongestionControl, LinkCfg, SimConfig, Simulation,
+};
+use proptest::prelude::*;
+
+/// A controller that replays an arbitrary cwnd sequence — the worst case
+/// for transport invariants (wild oscillation, window collapse, bursts).
+struct ErraticCc {
+    seq: Vec<u64>,
+    i: usize,
+}
+
+impl CongestionControl for ErraticCc {
+    fn name(&self) -> &str {
+        "erratic"
+    }
+    fn on_ack(&mut self, _v: &CcView<'_>) -> u64 {
+        self.i = (self.i + 1) % self.seq.len();
+        self.seq[self.i]
+    }
+    fn on_loss(&mut self, _v: &CcView<'_>) -> u64 {
+        self.i = (self.i + 1) % self.seq.len();
+        self.seq[self.i] / 2
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transport_invariants_hold_for_any_controller(
+        seq in proptest::collection::vec(1u64..300, 1..12),
+        rate_mbps in 2u64..50,
+        delay_ms in 1u64..60,
+        buf_frac in 1u64..4,
+    ) {
+        let link = LinkCfg {
+            rate_bps: rate_mbps * 1_000_000,
+            delay_us: delay_ms * 1_000,
+            queue_bytes: (rate_mbps * 1_000_000 / 8 * 2 * delay_ms / 1_000).max(3_000) / buf_frac,
+        };
+        let cfg = SimConfig { link, duration_us: 3_000_000, mss: 1_500, timer_period_us: 5_000 };
+        let mut sim = Simulation::new(cfg, vec![Box::new(ErraticCc { seq, i: 0 })]);
+        let m = sim.run().remove(0);
+
+        // conservation / bounds. Serialization times floor to whole µs, so
+        // the effective rate can exceed nominal by up to one µs per packet
+        // (~mss/tx_time relative) — allow that rounding in the bound.
+        prop_assert!(m.utilization >= 0.0 && m.utilization <= 1.0);
+        let capacity_bytes = link.rate_bps / 8 * cfg.duration_us / 1_000_000;
+        let tx_us = link.tx_time_us(1_500);
+        let slop = capacity_bytes / tx_us.max(1) + 3 * 1_500;
+        prop_assert!(
+            m.delivered_bytes <= capacity_bytes + slop,
+            "delivered {} > capacity {} + slop {}", m.delivered_bytes, capacity_bytes, slop
+        );
+        // queuing delay can never exceed buffer drain time + one packet tx
+        let max_qdelay_bound =
+            link.queue_bytes * 8 * 1_000_000 / link.rate_bps + link.tx_time_us(1_500) + 1;
+        prop_assert!(
+            sim.mean_qdelay_us() <= max_qdelay_bound as f64,
+            "mean qdelay {} > bound {}", sim.mean_qdelay_us(), max_qdelay_bound
+        );
+        prop_assert!(sim.max_qdelay_us() <= max_qdelay_bound);
+        // RTT can never be observed below the propagation floor
+        if m.min_rtt_us > 0 {
+            prop_assert!(m.min_rtt_us >= 2 * link.delay_us);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        seq in proptest::collection::vec(2u64..100, 1..6),
+    ) {
+        let run = |seq: Vec<u64>| {
+            let mut cfg = SimConfig::paper_scenario();
+            cfg.duration_us = 2_000_000;
+            let mut sim = Simulation::new(cfg, vec![Box::new(ErraticCc { seq, i: 0 })]);
+            (sim.run().remove(0), sim.drops())
+        };
+        prop_assert_eq!(run(seq.clone()), run(seq));
+    }
+}

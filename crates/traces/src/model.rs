@@ -1,0 +1,96 @@
+//! Trace data model: requests, traces, and object identity.
+//!
+//! A trace is a time-ordered request sequence, each naming an object, its
+//! size in bytes, and the operation kind. The cache simulator treats reads
+//! and writes identically (both reference the object); the kind is kept so
+//! real MSR-style traces — which are write-heavy — import losslessly.
+
+/// Operation kind of a block-I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    Read,
+    Write,
+}
+
+/// One cache request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Virtual timestamp in microseconds since trace start (monotone
+    /// non-decreasing).
+    pub time_us: u64,
+    /// Object identifier (block / LBA group).
+    pub obj: u64,
+    /// Object size in bytes (stable per object within a trace).
+    pub size: u32,
+    /// Read or write.
+    pub op: OpKind,
+}
+
+/// A complete, ordered request trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Human-readable identifier, e.g. `cloudphysics/w89`.
+    pub name: String,
+    /// Requests in time order.
+    pub requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Build a trace, asserting time-ordering in debug builds.
+    pub fn new(name: impl Into<String>, requests: Vec<Request>) -> Self {
+        debug_assert!(
+            requests.windows(2).all(|w| w[0].time_us <= w[1].time_us),
+            "trace must be time-ordered"
+        );
+        Trace { name: name.into(), requests }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Wall-clock span of the trace in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(a), Some(b)) => b.time_us - a.time_us,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(t: u64, obj: u64) -> Request {
+        Request { time_us: t, obj, size: 4096, op: OpKind::Read }
+    }
+
+    #[test]
+    fn trace_basics() {
+        let t = Trace::new("t", vec![req(0, 1), req(10, 2), req(25, 1)]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.duration_us(), 25);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new("e", vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.duration_us(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    #[cfg(debug_assertions)]
+    fn unordered_trace_asserts() {
+        Trace::new("bad", vec![req(10, 1), req(5, 2)]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Zipfian rank sampler.
+//!
+//! Popularity skew is the single most policy-discriminating property of a
+//! cache workload (high skew → frequency-biased policies win; flat →
+//! recency wins), so the generator needs an exact, fast Zipf sampler.
+//! Implementation: precomputed CDF with binary search — O(n) setup, O(log
+//! n) per sample, deterministic for a given RNG stream.
+
+use rand::RngExt;
+
+/// Samples ranks `0..n` with probability proportional to `1 / (rank+1)^alpha`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `alpha >= 0`.
+    ///
+    /// `alpha = 0` degenerates to uniform; typical cache workloads fall in
+    /// `0.6..1.3`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `alpha` is not finite and non-negative.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // guard against fp rounding at the tail
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Is the rank space empty? (Never true: `new` requires `n > 0`.)
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl RngExt) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(1000, 0.9);
+        let total: f64 = (0..1000).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_orders_ranks() {
+        let z = Zipf::new(100, 1.0);
+        for k in 1..100 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+        // rank 0 gets 1/H_100 ≈ 0.192
+        assert!((z.pmf(0) - 0.1927).abs() < 0.01);
+    }
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(50, 0.0);
+        for k in 0..50 {
+            assert!((z.pmf(k) - 0.02).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_frequency_matches_pmf() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 20];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 0..20 {
+            let emp = counts[k] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: empirical {emp:.4} vs pmf {:.4}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let z = Zipf::new(1000, 0.8);
+        let a: Vec<usize> =
+            (0..100).map(|_| z.sample(&mut StdRng::seed_from_u64(42))).collect();
+        let b: Vec<usize> =
+            (0..100).map(|_| z.sample(&mut StdRng::seed_from_u64(42))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(5, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

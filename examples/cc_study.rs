@@ -1,0 +1,47 @@
+//! The §5 case study in miniature: generate kernel congestion-control
+//! candidates, push them through the verifier pipeline, and run the
+//! survivors on the 12 Mbps / 20 ms emulated link.
+//!
+//! ```sh
+//! cargo run --release --example cc_study
+//! ```
+
+use policysmith::cc::{baselines, check_candidate, evaluate, KbpfCc};
+use policysmith::dsl::Mode;
+use policysmith::gen::{GenConfig, Generator, MockLlm, Prompt};
+
+fn main() {
+    let mut llm = MockLlm::new(GenConfig::kernel_defaults(17));
+    let prompt = Prompt::new(Mode::Kernel);
+    let batch = llm.generate(&prompt, 30);
+
+    let mut verified = Vec::new();
+    let mut rejected = 0;
+    for src in &batch {
+        match check_candidate(src) {
+            Ok(c) => verified.push(c),
+            Err(e) => {
+                rejected += 1;
+                if rejected <= 3 {
+                    println!("rejected ({}): {}", e.stage(), src);
+                    println!("   stderr: {}", e.to_string().lines().next().unwrap_or(""));
+                }
+            }
+        }
+    }
+    println!("\n{} of {} candidates passed the verifier pipeline\n", verified.len(), batch.len());
+
+    println!("{:50} {:>7} {:>10}", "verified candidate", "util%", "qdelay ms");
+    for c in verified.iter().take(10) {
+        let m = evaluate(Box::new(KbpfCc::new(c.clone())), 10_000_000);
+        let short = if c.source.len() > 48 { format!("{}…", &c.source[..47]) } else { c.source.clone() };
+        println!("{:50} {:>6.1} {:>9.1}", short, m.utilization * 100.0, m.mean_qdelay_us / 1000.0);
+    }
+
+    println!("\n-- classical baselines --");
+    for cc in baselines::all_baselines() {
+        let name = cc.name().to_string();
+        let m = evaluate(cc, 10_000_000);
+        println!("{name:50} {:>6.1} {:>9.1}", m.utilization * 100.0, m.mean_qdelay_us / 1000.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! §3.1 end-to-end: deploy a heuristic, detect an implicit context shift
+//! with the guardrail monitor, re-synthesize offline, and grow the
+//! heuristic library.
+//!
+//! ```sh
+//! cargo run --release --example context_shift
+//! ```
+
+use policysmith::cachesim::{Cache, PriorityPolicy};
+use policysmith::core::library::{ContextMonitor, HeuristicLibrary, LibraryEntry};
+use policysmith::core::search::{run_search, SearchConfig};
+use policysmith::core::studies::cache::CacheStudy;
+use policysmith::gen::{GenConfig, MockLlm};
+use policysmith::traces::cloudphysics;
+
+fn main() {
+    let ds = cloudphysics();
+    let cfg = SearchConfig { rounds: 6, candidates_per_round: 12, ..SearchConfig::paper_cache() };
+    let mut library = HeuristicLibrary::new();
+
+    // Synthesize for the morning regime (trace w10).
+    let morning = ds.trace(10, 40_000);
+    let study = CacheStudy::new(&morning);
+    let mut llm = MockLlm::new(GenConfig::cache_defaults(1));
+    let best = run_search(&study, &mut llm, &cfg).best;
+    println!("deployed for {}: {:+.2}% over FIFO", morning.name, best.score * 100.0);
+    library.add(LibraryEntry { context: morning.name.clone(), source: best.source.clone(), score: best.score });
+
+    // Serve the morning regime, then an (implicit) shift to the evening
+    // regime: a structurally different trace through the same cache.
+    let evening = ds.trace(55, 40_000);
+    let expr = policysmith::dsl::parse(&best.source).unwrap();
+    let cap = study.capacity();
+    let mut cache = Cache::new(cap, PriorityPolicy::new("deployed", expr));
+    let mut monitor = ContextMonitor::new(20, 1.15);
+    let mut drift_at = None;
+
+    let window = 1_000;
+    for (i, chunk) in morning.requests.chunks(window).chain(evening.requests.chunks(window)).enumerate() {
+        let before = cache.result();
+        for req in chunk {
+            cache.request(req);
+        }
+        let after = cache.result();
+        let window_mr = (after.misses - before.misses) as f64 / chunk.len() as f64;
+        if monitor.observe(window_mr) && drift_at.is_none() {
+            drift_at = Some(i);
+            println!("guardrail fired at window {i} (rolling miss ratio degraded)");
+        }
+    }
+    let drift = drift_at.expect("the regime change must be detected");
+    assert!(drift >= morning.len() / window, "no false positive in the home regime");
+
+    // Offline re-synthesis for the new context; the library grows (§3.1).
+    let study2 = CacheStudy::new(&evening);
+    let mut llm2 = MockLlm::new(GenConfig::cache_defaults(2));
+    let best2 = run_search(&study2, &mut llm2, &cfg).best;
+    library.add(LibraryEntry { context: evening.name.clone(), source: best2.source.clone(), score: best2.score });
+    println!("re-synthesized for {}: {:+.2}% over FIFO", evening.name, best2.score * 100.0);
+
+    // An adaptation system can now pick per context.
+    let (pick, score) = library
+        .best_for(|e| {
+            let expr = policysmith::dsl::parse(&e.source).unwrap();
+            study2.improvement(PriorityPolicy::new("lib", expr))
+        })
+        .unwrap();
+    println!(
+        "library pick for the evening regime: the {} heuristic ({:+.2}%) — {} entries total",
+        pick.context,
+        score * 100.0,
+        library.len()
+    );
+}

@@ -1,0 +1,39 @@
+//! Run all sixteen baseline eviction policies (plus the paper's Listing 1)
+//! on one trace and print the league table.
+//!
+//! ```sh
+//! cargo run --release --example policy_zoo [trace-index]
+//! ```
+
+use policysmith::cachesim::{paper_heuristic_a, policies, simulate, Cache};
+
+fn main() {
+    let idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(89);
+    let trace = policysmith::traces::cloudphysics().trace(idx, 80_000);
+    let footprint = policysmith::traces::footprint_bytes(&trace);
+    let cap = (footprint / 10).max(1);
+    println!(
+        "trace {} — {} requests, footprint {} MiB, cache {} MiB",
+        trace.name,
+        trace.len(),
+        footprint >> 20,
+        cap >> 20
+    );
+
+    let mut rows: Vec<(String, f64)> = policies::all_baseline_names()
+        .iter()
+        .map(|name| {
+            let r = simulate(&trace, cap, policies::by_name(name).unwrap());
+            (name.to_string(), r.miss_ratio())
+        })
+        .collect();
+    let mut cache = Cache::new(cap, paper_heuristic_a());
+    rows.push(("PS-A(paper)".into(), cache.run(&trace).miss_ratio()));
+
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let fifo = rows.iter().find(|(n, _)| n == "FIFO").unwrap().1;
+    println!("\n{:12} {:>10} {:>12}", "policy", "miss ratio", "vs FIFO");
+    for (name, mr) in rows {
+        println!("{name:12} {mr:>10.4} {:>+11.2}%", (fifo - mr) / fifo * 100.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Quickstart: synthesize a cache-eviction heuristic for one context in
+//! under a minute.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use policysmith::core::search::{run_search, SearchConfig, Study};
+use policysmith::core::studies::cache::CacheStudy;
+use policysmith::gen::{GenConfig, MockLlm};
+
+fn main() {
+    // 1. A context: one workload trace + a cache sized at 10% of footprint.
+    let trace = policysmith::traces::cloudphysics().trace(89, 40_000);
+    let study = CacheStudy::new(&trace);
+    println!("context: {} ({} requests, FIFO miss ratio {:.3})",
+        trace.name, trace.len(), study.fifo_miss_ratio());
+
+    // 2. A Generator. `MockLlm` is the offline stand-in; implement the
+    //    `policysmith::gen::Generator` trait to plug in a real LLM.
+    let mut llm = MockLlm::new(GenConfig::cache_defaults(7));
+
+    // 3. Search: generate → check → evaluate → feed back the best.
+    let cfg = SearchConfig { rounds: 8, candidates_per_round: 15, ..SearchConfig::paper_cache() };
+    let outcome = run_search(&study, &mut llm, &cfg);
+
+    println!("\nbest heuristic after {} candidates:", outcome.all.len());
+    println!("  priority() = {}", outcome.best.source);
+    println!("  improvement over FIFO: {:+.2}%", outcome.best.score * 100.0);
+
+    // 4. Compare against the strongest classical baseline.
+    let gdsf = study.improvement(policysmith::cachesim::policies::Gdsf::new());
+    println!("  GDSF for reference:    {:+.2}%", gdsf * 100.0);
+    println!("\nsimulated LLM cost: {} requests, ${:.4}",
+        outcome.cost.tokens.requests, outcome.cost.cost_usd());
+    let _ = study.evaluate(&policysmith::dsl::parse(&outcome.best.source).unwrap());
+}

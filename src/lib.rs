@@ -1,0 +1,13 @@
+//! # policysmith — facade crate
+//!
+//! Re-exports the whole PolicySmith workspace behind one dependency. See the
+//! README for a tour and `examples/` for runnable entry points.
+
+pub use policysmith_cachesim as cachesim;
+pub use policysmith_cc as cc;
+pub use policysmith_core as core;
+pub use policysmith_dsl as dsl;
+pub use policysmith_gen as gen;
+pub use policysmith_kbpf as kbpf;
+pub use policysmith_netsim as netsim;
+pub use policysmith_traces as traces;
