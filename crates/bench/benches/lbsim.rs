@@ -1,0 +1,37 @@
+//! Criterion: load-balancer dispatch throughput — native baselines vs the
+//! DSL scoring host, on the flash-crowd scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use policysmith_lbsim::{by_name, lb_baseline_names, scenario, sim, ExprDispatcher};
+
+fn bench_dispatch(c: &mut Criterion) {
+    let sc = scenario::flash_crowd();
+    let reqs = sc.requests();
+    let mut g = c.benchmark_group("lbsim");
+    g.throughput(Throughput::Elements(reqs.len() as u64));
+    for name in lb_baseline_names() {
+        g.bench_with_input(BenchmarkId::new("baseline", name), name, |b, name| {
+            b.iter(|| {
+                let mut d = by_name(name).unwrap();
+                sim::run(&sc.servers, &reqs, &mut d)
+            });
+        });
+    }
+    let expr =
+        policysmith_dsl::parse("server.inflight * 1000 / server.speed + server.queue_len * 50")
+            .unwrap();
+    g.bench_function("template-host/normalized-load", |b| {
+        b.iter(|| {
+            let mut host = ExprDispatcher::new("bench", expr.clone());
+            sim::run(&sc.servers, &reqs, &mut host)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dispatch
+}
+criterion_main!(benches);

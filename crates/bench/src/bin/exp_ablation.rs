@@ -46,14 +46,11 @@ fn main() {
 
     println!("=== ablations on {} ===", trace.name);
     let full = run("full (exemplars + repair)", base, opts.seed);
-    let no_exemplars = run("no exemplar feedback", SearchConfig { exemplars: 0, ..base }, opts.seed);
+    let no_exemplars =
+        run("no exemplar feedback", SearchConfig { exemplars: 0, ..base }, opts.seed);
     let no_repair = run("no stderr repair", SearchConfig { repair: false, ..base }, opts.seed);
     for rounds in [2, 4, 8] {
-        run(
-            &format!("budget sweep: {rounds} rounds"),
-            SearchConfig { rounds, ..base },
-            opts.seed,
-        );
+        run(&format!("budget sweep: {rounds} rounds"), SearchConfig { rounds, ..base }, opts.seed);
     }
 
     println!("\nexemplar feedback contribution: {:+.4}", full - no_exemplars);

@@ -44,14 +44,13 @@ fn main() {
     println!("=== §5.0.3 kernel pipeline, {n} candidates ===");
     println!("first-try verifier pass : {first_pass}%   (paper: 63%)");
     println!("recovered via stderr    : +{after_repair}%   (paper: +19%)");
-    println!(
-        "total compiled          : {}%   (paper: 82%)",
-        first_pass + after_repair
-    );
+    println!("total compiled          : {}%   (paper: 82%)", first_pass + after_repair);
     println!("failure stages          : {failures_by_stage:?}");
-    println!("  (paper: \"most common causes were floating-point arithmetic and \
+    println!(
+        "  (paper: \"most common causes were floating-point arithmetic and \
               missing checks for division by zero\" — here `check` = float/type \
-              errors, `verify` = division-by-zero interval rejections)");
+              errors, `verify` = division-by-zero interval rejections)"
+    );
 
     // ---- cache side for the 92% contrast ----
     let mut cache_llm = MockLlm::new(GenConfig::cache_defaults(opts.seed));

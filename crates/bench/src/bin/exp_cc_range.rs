@@ -22,11 +22,8 @@ fn main() {
 
     let mut llm = MockLlm::new(GenConfig::kernel_defaults(opts.seed));
     let prompt = Prompt::new(Mode::Kernel);
-    let verified: Vec<_> = llm
-        .generate(&prompt, n)
-        .iter()
-        .filter_map(|src| check_candidate(src).ok())
-        .collect();
+    let verified: Vec<_> =
+        llm.generate(&prompt, n).iter().filter_map(|src| check_candidate(src).ok()).collect();
     println!(
         "=== §5.0.3 behaviour range: {} verified candidates, {}s runs ===",
         verified.len(),

@@ -55,7 +55,9 @@ fn main() {
         }
     }
 
-    println!("\n=== totals over 8 searches (paper: 800k in / 300k out, ≈$7; 5.5 CPU-h for A alone) ===");
+    println!(
+        "\n=== totals over 8 searches (paper: 800k in / 300k out, ≈$7; 5.5 CPU-h for A alone) ==="
+    );
     println!(
         "tokens: {}k input / {}k output   cost ${:.4}   eval cpu {:.1} s",
         total_in / 1_000,

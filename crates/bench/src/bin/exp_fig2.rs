@@ -33,17 +33,16 @@ fn main() {
     ];
 
     for (ds, contexts, labels) in jobs {
-        println!("=== Figure 2: {} ({} traces, {} requests each) ===", ds.name, ds.count, opts.requests);
+        println!(
+            "=== Figure 2: {} ({} traces, {} requests each) ===",
+            ds.name, ds.count, opts.requests
+        );
         println!("-- synthesizing heuristics {labels:?} on contexts {contexts:?} --");
         let synth = synthesize_for_dataset(&ds, &contexts, &labels, &opts);
         for (h, o) in &synth {
             println!(
                 "  {} ({}): home improvement {:+.4}  [{} candidates, {:.0}s eval]",
-                h.label,
-                h.context,
-                h.home_score,
-                o.cost.candidates_evaluated,
-                o.cost.eval_seconds,
+                h.label, h.context, h.home_score, o.cost.candidates_evaluated, o.cost.eval_seconds,
             );
             println!("     {}", h.source);
         }
@@ -71,15 +70,24 @@ fn main() {
         let ps_oracle = m.oracle(&all_ixs);
         let (_, _, b_mean, _, _) = summarize(&b_oracle);
         let (_, _, ps_mean, _, _) = summarize(&ps_oracle);
-        println!("{:10}                 {:+.4}        (best baseline per trace)", "B-Oracle", b_mean);
-        println!("{:10}                 {:+.4}        (baselines + PolicySmith)", "PS-Oracle", ps_mean);
+        println!(
+            "{:10}                 {:+.4}        (best baseline per trace)",
+            "B-Oracle", b_mean
+        );
+        println!(
+            "{:10}                 {:+.4}        (baselines + PolicySmith)",
+            "PS-Oracle", ps_mean
+        );
         println!(
             "PS-Oracle gain over B-Oracle: {:+.4} (paper: ≈ +0.02 over FIFO-relative improvement)",
             ps_mean - b_mean
         );
 
         // Table 2.
-        println!("\n=== Table 2: % of {} traces where heuristic beats ALL 14 baselines ===", ds.name);
+        println!(
+            "\n=== Table 2: % of {} traces where heuristic beats ALL 14 baselines ===",
+            ds.name
+        );
         let mut table2 = Vec::new();
         for (i, h) in heuristics.iter().enumerate() {
             let frac = m.beats_all_fraction(n_base + i, &base_ixs);

@@ -1,0 +1,88 @@
+//! LB: the third-workload experiment — synthesize a dispatch policy per
+//! scenario preset, sweep every preset with every baseline and every
+//! synthesized policy, and report the cross-scenario improvement matrix
+//! (the load-balancing analogue of Figure 2 / Table 2).
+//!
+//! Usage: `exp_lb [--fast] [--seed N]`
+
+use policysmith_bench::{write_json, ExpOpts};
+use policysmith_core::search::{run_search, SearchConfig};
+use policysmith_core::studies::lb::LbStudy;
+use policysmith_gen::{GenConfig, MockLlm};
+use policysmith_lbsim::{lb_baseline_names, scenario, ExprDispatcher};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let cfg = if opts.fast {
+        SearchConfig { rounds: 5, candidates_per_round: 10, ..SearchConfig::paper_cache() }
+    } else {
+        SearchConfig { rounds: 12, candidates_per_round: 20, ..SearchConfig::paper_cache() }
+    };
+
+    let presets = scenario::all_presets();
+    let studies: Vec<LbStudy> = presets.iter().map(LbStudy::new).collect();
+
+    // -- synthesize one policy per context --
+    let mut synthesized: Vec<(String, String, f64)> = Vec::new(); // (label, source, home score)
+    for (i, study) in studies.iter().enumerate() {
+        let label = format!("LB-{}", (b'A' + i as u8) as char);
+        let mut llm = MockLlm::new(GenConfig::lb_defaults(
+            opts.seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15),
+        ));
+        let outcome = run_search(study, &mut llm, &cfg);
+        println!(
+            "{label} ({}): home improvement {:+.4}  [{} candidates]",
+            study.scenario().name,
+            outcome.best.score,
+            outcome.all.len()
+        );
+        println!("     score(server, req) = {}", outcome.best.source);
+        synthesized.push((label, outcome.best.source.clone(), outcome.best.score));
+    }
+
+    // -- improvement matrix: policies × scenarios --
+    let mut policy_names: Vec<String> = lb_baseline_names().iter().map(|s| s.to_string()).collect();
+    policy_names.extend(synthesized.iter().map(|(l, _, _)| l.clone()));
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for name in lb_baseline_names() {
+        rows.push(studies.iter().map(|s| s.baseline_improvement(name)).collect());
+    }
+    for (label, source, _) in &synthesized {
+        let expr = policysmith_dsl::parse(source).expect("stored source parses");
+        rows.push(
+            studies
+                .iter()
+                .map(|s| {
+                    let mut host = ExprDispatcher::new(label, expr.clone());
+                    s.improvement(&mut host)
+                })
+                .collect(),
+        );
+    }
+
+    println!("\n=== improvement over round-robin, per scenario ===");
+    print!("{:16}", "policy");
+    for sc in &presets {
+        print!("{:>18}", sc.name.trim_start_matches("lb/"));
+    }
+    println!();
+    for (p, name) in policy_names.iter().enumerate() {
+        print!("{name:16}");
+        for v in &rows[p] {
+            print!("{:>17.1}%", v * 100.0);
+        }
+        println!();
+    }
+
+    write_json(
+        "lb",
+        &serde_json::json!({
+            "scenarios": presets.iter().map(|s| s.name.clone()).collect::<Vec<_>>(),
+            "rr_mean_slowdown": studies.iter().map(|s| s.rr_slowdown()).collect::<Vec<_>>(),
+            "policies": policy_names,
+            "rows": rows,
+            "synthesized": synthesized,
+        }),
+    );
+}

@@ -35,10 +35,7 @@ fn main() {
         for (i, h) in heuristics.iter().enumerate() {
             let frac = m.beats_all_fraction(n_base + i, &base_ixs) * 100.0;
             let paper_pct = paper.iter().find(|(l, _)| *l == h.label).unwrap().1;
-            println!(
-                "{} ({}): measured {:.0}%   paper {:.0}%",
-                h.label, ds.name, frac, paper_pct
-            );
+            println!("{} ({}): measured {:.0}%   paper {:.0}%", h.label, ds.name, frac, paper_pct);
             report.push((h.label.clone(), frac, paper_pct));
         }
     }

@@ -131,9 +131,7 @@ impl ImprovementMatrix {
     pub fn beats_all_fraction(&self, p: usize, baseline_ixs: &[usize]) -> f64 {
         let n = self.trace_names.len();
         let wins = (0..n)
-            .filter(|&t| {
-                baseline_ixs.iter().all(|&b| self.rows[p][t] >= self.rows[b][t])
-            })
+            .filter(|&t| baseline_ixs.iter().all(|&b| self.rows[p][t] >= self.rows[b][t]))
             .count();
         wins as f64 / n as f64
     }
@@ -183,9 +181,10 @@ pub fn improvement_matrix(
                 }
                 for h in synthesized {
                     let expr = policysmith_dsl::parse(&h.source).expect("stored source parses");
-                    col.push(study.improvement(
-                        policysmith_cachesim::PriorityPolicy::new(&h.label, expr),
-                    ));
+                    col.push(
+                        study
+                            .improvement(policysmith_cachesim::PriorityPolicy::new(&h.label, expr)),
+                    );
                 }
                 let mut rows = results.lock().unwrap();
                 for (p, v) in col.into_iter().enumerate() {

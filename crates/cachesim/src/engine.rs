@@ -157,6 +157,9 @@ impl<P: Policy> Cache<P> {
         }
     }
 
+    /// Snapshot view for assertions; the hot path uses `engine_view!` to
+    /// split borrows with `self.policy`.
+    #[cfg(test)]
     fn view(&self) -> CacheView<'_> {
         CacheView {
             objects: &self.objects,
@@ -198,11 +201,9 @@ impl<P: Policy> Cache<P> {
         while self.used_bytes + req.size as u64 > self.capacity_bytes {
             let view = engine_view!(self);
             let victim = self.policy.victim(&view);
-            let meta = self
-                .objects
-                .get(&victim)
-                .copied()
-                .unwrap_or_else(|| panic!("policy {} evicted non-resident {victim}", self.policy.name()));
+            let meta = self.objects.get(&victim).copied().unwrap_or_else(|| {
+                panic!("policy {} evicted non-resident {victim}", self.policy.name())
+            });
             let view = engine_view!(self);
             self.policy.on_evict(victim, &view);
             self.objects.remove(&victim);

@@ -164,11 +164,7 @@ pub struct EvictionHistory {
 impl EvictionHistory {
     /// History remembering the last `capacity` evictions.
     pub fn new(capacity: usize) -> Self {
-        EvictionHistory {
-            map: HashMap::new(),
-            fifo: VecDeque::new(),
-            capacity: capacity.max(1),
-        }
+        EvictionHistory { map: HashMap::new(), fifo: VecDeque::new(), capacity: capacity.max(1) }
     }
 
     /// Record an eviction (most recent record wins for repeated ids).

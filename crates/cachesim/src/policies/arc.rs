@@ -105,7 +105,7 @@ impl Policy for Arc {
 
     fn on_miss(&mut self, id: ObjId, view: &CacheView<'_>) {
         let c = view.capacity_bytes;
-        let size = 1.max(c / 100) as u64; // adaptation step ~1% of capacity
+        let size = 1.max(c / 100); // adaptation step ~1% of capacity
         if self.b1.contains(id) {
             // Recency ghost hit: grow T1's share.
             self.p = (self.p + size).min(c);

@@ -288,8 +288,7 @@ impl Policy for Cacheus {
             // SR's victim is whatever its victim() would return, but we
             // avoid mutating: approximate by membership — probation front
             // or rank min.
-            self.sr.probation.front() == Some(id)
-                || self.sr.rank.first().map(|e| e.2) == Some(id)
+            self.sr.probation.front() == Some(id) || self.sr.rank.first().map(|e| e.2) == Some(id)
         };
         let cr_choice = self.cr.queue.back() == Some(id);
         let tag = match (sr_choice, cr_choice) {
@@ -471,9 +470,6 @@ mod tests {
         let ids: Vec<u64> = (0..15_000u64).map(|i| (i * 2654435761) % 250).collect();
         let c = run(Cacheus::new(), &ids, 2_000);
         assert_eq!(c.policy.cr.queue.len(), c.num_objects());
-        assert_eq!(
-            c.policy.sr.probation.len() + c.policy.sr.rank.len(),
-            c.num_objects()
-        );
+        assert_eq!(c.policy.sr.probation.len() + c.policy.sr.rank.len(), c.num_objects());
     }
 }

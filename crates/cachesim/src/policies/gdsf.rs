@@ -86,7 +86,7 @@ mod tests {
         c.request(&req(2, 2, 100)); // small
         c.request(&req(3, 3, 100)); // small
         c.request(&req(4, 4, 500)); // forces eviction
-        // equal freq → large object 1 has the lowest H
+                                    // equal freq → large object 1 has the lowest H
         assert!(!c.contains(1));
         assert!(c.contains(2) && c.contains(3) && c.contains(4));
     }
@@ -101,8 +101,8 @@ mod tests {
         c.request(&req(20, 2, 100));
         c.request(&req(21, 3, 100));
         c.request(&req(22, 4, 500)); // must free 100 bytes
-        // 1 has H = 11/400 ≈ 0.0275 > 2,3's 1/100 = 0.01 → a cold small
-        // object goes first (2 by id tie-break), the hot large one stays.
+                                     // 1 has H = 11/400 ≈ 0.0275 > 2,3's 1/100 = 0.01 → a cold small
+                                     // object goes first (2 by id tie-break), the hot large one stays.
         assert!(c.contains(1), "hot large object survives");
         assert!(!c.contains(2));
         assert!(c.contains(3) && c.contains(4));

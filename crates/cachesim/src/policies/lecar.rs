@@ -223,11 +223,9 @@ mod tests {
         // a few very hot objects plus a churning tail that LRU keeps
         // caching at the hot set's expense.
         let mut ids = Vec::new();
-        let mut cold = 10_000u64;
         for r in 0..4_000u64 {
             ids.push(r % 3); // hot trio
-            ids.push(cold); // one-hit wonder
-            cold += 1;
+            ids.push(10_000 + r); // one-hit wonder
             if r % 7 == 0 {
                 // re-touch a recently evicted hot object pattern
                 ids.push((r / 7) % 3);
@@ -236,11 +234,7 @@ mod tests {
         let c = run(&ids, 600);
         // LFU should not have lost weight catastrophically; in most runs it
         // gains. Assert it holds a meaningful share.
-        assert!(
-            c.policy.w_lfu > 0.3,
-            "LFU weight collapsed to {}",
-            c.policy.w_lfu
-        );
+        assert!(c.policy.w_lfu > 0.3, "LFU weight collapsed to {}", c.policy.w_lfu);
     }
 
     #[test]

@@ -146,14 +146,14 @@ impl Policy for Lhd {
             let age = view.vtime.saturating_sub(m.insert_vtime).max(1);
             self.hits[class_of(m.access_count)][age_bin(age)] += 1.0;
         }
-        if self.requests_seen % RECONFIG_INTERVAL == 0 {
+        if self.requests_seen.is_multiple_of(RECONFIG_INTERVAL) {
             self.reconfigure();
         }
     }
 
     fn on_miss(&mut self, _id: ObjId, _view: &CacheView<'_>) {
         self.requests_seen += 1;
-        if self.requests_seen % RECONFIG_INTERVAL == 0 {
+        if self.requests_seen.is_multiple_of(RECONFIG_INTERVAL) {
             self.reconfigure();
         }
     }
@@ -176,8 +176,7 @@ impl Policy for Lhd {
                 best = Some((d, id));
             }
         }
-        best.map(|(_, id)| id)
-            .unwrap_or_else(|| self.residents[0])
+        best.map(|(_, id)| id).unwrap_or_else(|| self.residents[0])
     }
 
     fn on_evict(&mut self, id: ObjId, view: &CacheView<'_>) {

@@ -286,21 +286,16 @@ mod tests {
         let cap = 1_000; // 10 of the 12 loop objects fit
         let lirs_hits = run_ids(Lirs::new(), &ids, cap).result().hits;
         let lru_hits = run_ids(Lru::new(), &ids, cap).result().hits;
-        assert!(
-            lirs_hits > lru_hits,
-            "LIRS ({lirs_hits}) should beat LRU ({lru_hits}) on loops"
-        );
+        assert!(lirs_hits > lru_hits, "LIRS ({lirs_hits}) should beat LRU ({lru_hits}) on loops");
     }
 
     #[test]
     fn hot_objects_stay_lir() {
         let mut ids = Vec::new();
-        let mut cold = 1_000u64;
-        for _ in 0..500 {
+        for cold in 1_000u64..1_500 {
             ids.push(1);
             ids.push(2);
             ids.push(cold);
-            cold += 1;
         }
         let c = run_ids(Lirs::new(), &ids, 800);
         assert!(c.contains(1) && c.contains(2));
@@ -331,12 +326,7 @@ mod tests {
             assert!(c.contains(id));
         }
         // every LIR is resident
-        let lir_count = c
-            .policy
-            .status
-            .iter()
-            .filter(|(_, s)| **s == Status::Lir)
-            .count();
+        let lir_count = c.policy.status.iter().filter(|(_, s)| **s == Status::Lir).count();
         assert!(lir_count <= c.num_objects());
     }
 }

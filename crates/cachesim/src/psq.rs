@@ -89,13 +89,7 @@ impl PriorityPolicy {
 
     fn rescore(&mut self, id: ObjId, view: &CacheView<'_>) {
         let Some(meta) = view.meta(id) else { return };
-        let env = PsqEnv {
-            id,
-            meta,
-            view,
-            aggregates: &self.aggregates,
-            history: &self.history,
-        };
+        let env = PsqEnv { id, meta, view, aggregates: &self.aggregates, history: &self.history };
         self.evaluations += 1;
         let new_score = match eval(&self.expr, &env) {
             Ok(v) => v,
@@ -179,11 +173,9 @@ impl FeatureEnv for PsqEnv<'_> {
             HistContains => self.history.get(self.id).is_some() as u64,
             HistCount => self.history.get(self.id).map(|r| r.access_count).unwrap_or(0),
             HistAgeAtEvict => self.history.get(self.id).map(|r| r.age_at_evict).unwrap_or(0),
-            HistTimeSinceEvict => self
-                .history
-                .get(self.id)
-                .map(|r| now.saturating_sub(r.evict_vtime))
-                .unwrap_or(0),
+            HistTimeSinceEvict => {
+                self.history.get(self.id).map(|r| now.saturating_sub(r.evict_vtime)).unwrap_or(0)
+            }
             CacheObjects => self.view.num_objects() as u64,
             CacheUsedBytes => self.view.used_bytes,
             CacheCapacity => self.view.capacity_bytes,
@@ -264,18 +256,12 @@ mod tests {
         // Tie-breaking differs (native LFU breaks ties FIFO, the template
         // by object id), so behaviour matches only approximately.
         let diff = (psq.hits as f64 - lfu.hits as f64).abs();
-        assert!(
-            diff <= 0.3 * lfu.hits.max(1) as f64,
-            "psq {} vs lfu {}",
-            psq.hits,
-            lfu.hits
-        );
+        assert!(diff <= 0.3 * lfu.hits.max(1) as f64, "psq {} vs lfu {}", psq.hits, lfu.hits);
     }
 
     #[test]
     fn history_features_visible_after_eviction() {
-        let expr = policysmith_dsl::parse("if(hist.contains, 1000, 0) + obj.last_access")
-            .unwrap();
+        let expr = policysmith_dsl::parse("if(hist.contains, 1000, 0) + obj.last_access").unwrap();
         let mut c = Cache::new(300, PriorityPolicy::new("hist", expr));
         let mut t = 0;
         let mut go = |c: &mut Cache<PriorityPolicy>, id: u64| {
@@ -307,10 +293,8 @@ mod tests {
     #[test]
     fn ranking_consistent() {
         let ids: Vec<u64> = (0..10_000u64).map(|i| (i * 31) % 200).collect();
-        let expr = policysmith_dsl::parse(
-            "obj.count * 20 - obj.age / 300 - obj.size / 500",
-        )
-        .unwrap();
+        let expr =
+            policysmith_dsl::parse("obj.count * 20 - obj.age / 300 - obj.size / 500").unwrap();
         let c = run_ids(PriorityPolicy::new("mix", expr), &ids, 2_500);
         assert_eq!(c.policy.ranking.len(), c.num_objects());
         assert_eq!(c.policy.score.len(), c.num_objects());
@@ -320,17 +304,12 @@ mod tests {
 
     #[test]
     fn percentile_features_flow_through() {
-        let expr = policysmith_dsl::parse("if(obj.size > sizes.p50, 0 - obj.age, obj.count)")
-            .unwrap();
+        let expr =
+            policysmith_dsl::parse("if(obj.size > sizes.p50, 0 - obj.age, obj.count)").unwrap();
         let mut c = Cache::new(10_000, PriorityPolicy::new("pct", expr));
         for i in 0..2_000u64 {
             let size = if i % 2 == 0 { 50 } else { 200 };
-            c.request(&Request {
-                time_us: i,
-                obj: i % 150,
-                size,
-                op: OpKind::Read,
-            });
+            c.request(&Request { time_us: i, obj: i % 150, size, op: OpKind::Read });
         }
         assert!(c.policy.first_error().is_none());
         assert!(c.result().hits > 0);

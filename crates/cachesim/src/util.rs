@@ -277,10 +277,7 @@ mod tests {
         // arena slot is recycled
         q.push_back(100);
         assert_eq!(q.len(), 10);
-        assert_eq!(
-            q.iter().collect::<Vec<_>>(),
-            vec![0, 1, 2, 3, 4, 6, 7, 8, 9, 100]
-        );
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 6, 7, 8, 9, 100]);
     }
 
     #[test]
@@ -335,7 +332,7 @@ mod tests {
 
     #[test]
     fn ordered_f64_ordering() {
-        let mut v = vec![OrderedF64::new(3.5), OrderedF64::new(-1.0), OrderedF64::new(0.0)];
+        let mut v = [OrderedF64::new(3.5), OrderedF64::new(-1.0), OrderedF64::new(0.0)];
         v.sort();
         assert_eq!(v.iter().map(|x| x.get()).collect::<Vec<_>>(), vec![-1.0, 0.0, 3.5]);
     }

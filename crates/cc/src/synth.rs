@@ -18,8 +18,8 @@
 
 use policysmith_dsl::{check_with_warnings, parse, CheckError, Expr, Feature, FeatureEnv, Mode};
 use policysmith_kbpf::{
-    build_ctx, cc_verify_env, compile, execute, verify, Interval, LowerError, Program,
-    VerifyError, SPILL_SLOTS,
+    build_ctx, cc_verify_env, compile, execute, verify, Interval, LowerError, Program, VerifyError,
+    SPILL_SLOTS,
 };
 use policysmith_netsim::{CcView, CongestionControl, HIST_LEN};
 use std::fmt;
@@ -194,8 +194,7 @@ impl CongestionControl for KbpfCc {
 }
 
 /// A reasonable synthesized-looking AIMD candidate used in tests and docs.
-pub const EXAMPLE_AIMD: &str =
-    "if(loss, max(cwnd >> 1, 2), cwnd + max(acked / max(mss, 1), 1))";
+pub const EXAMPLE_AIMD: &str = "if(loss, max(cwnd >> 1, 2), cwnd + max(acked / max(mss, 1), 1))";
 
 #[cfg(test)]
 mod tests {
@@ -234,27 +233,41 @@ mod tests {
 
     #[test]
     fn no_faults_in_verified_programs() {
-        let mut cc = KbpfCc::from_source(
-            "if(srtt - min_rtt > 15000, max(cwnd - 1, 4), cwnd + 1)",
-        )
-        .unwrap();
-        let faults_before = cc.faults;
+        let cc =
+            KbpfCc::from_source("if(srtt - min_rtt > 15000, max(cwnd - 1, 4), cwnd + 1)").unwrap();
         let m = evaluate(Box::new(cc), 10_000_000);
-        // the box was moved; faults are unobservable afterwards — rerun
-        // with a fresh instance and check the counter directly
-        let mut cc2 = KbpfCc::from_source(
-            "if(srtt - min_rtt > 15000, max(cwnd - 1, 4), cwnd + 1)",
-        )
-        .unwrap();
-        let cfg = policysmith_netsim::SimConfig::paper_scenario();
-        let mut sim_cfg = cfg;
-        sim_cfg.duration_us = 5_000_000;
-        // manual invocation loop via harness is enough; just assert the
-        // first run produced sane output and the counter logic starts at 0
-        assert_eq!(faults_before, 0);
         assert!(m.utilization > 0.0);
-        assert_eq!(cc2.faults, 0);
-        let _ = &mut cc2;
+        // the box was moved above, so drive a fresh instance through a
+        // manual invocation loop and check the fault counter directly
+        let mut cc2 =
+            KbpfCc::from_source("if(srtt - min_rtt > 15000, max(cwnd - 1, 4), cwnd + 1)").unwrap();
+        let history = policysmith_netsim::History::default();
+        let mut cwnd = 10u64;
+        for i in 0..1_000u64 {
+            let view = policysmith_netsim::CcView {
+                now_us: i * 1_000,
+                cwnd,
+                prev_cwnd: cwnd,
+                min_rtt_us: 20_000,
+                srtt_us: 20_000 + (i % 40) * 1_000, // sweeps across the gate
+                last_rtt_us: 21_000,
+                inflight_bytes: cwnd * 1_500,
+                inflight_pkts: cwnd,
+                mss: 1_500,
+                delivered_bytes: i * 1_500,
+                delivery_rate_bps: 10_000_000,
+                acked_bytes: 1_500,
+                ssthresh: 64,
+                history: &history,
+            };
+            cwnd = if i % 50 == 49 {
+                policysmith_netsim::CongestionControl::on_loss(&mut cc2, &view)
+            } else {
+                policysmith_netsim::CongestionControl::on_ack(&mut cc2, &view)
+            };
+            assert!(cwnd >= 1, "controller returned a degenerate window");
+        }
+        assert_eq!(cc2.faults, 0, "verified program faulted during execution");
     }
 
     #[test]
@@ -276,7 +289,12 @@ mod tests {
         .unwrap();
         let m = evaluate(Box::new(cc), 20_000_000);
         let reno = evaluate(Box::new(crate::baselines::Reno::new()), 20_000_000);
-        assert!(m.mean_qdelay_us < reno.mean_qdelay_us, "{} vs {}", m.mean_qdelay_us, reno.mean_qdelay_us);
+        assert!(
+            m.mean_qdelay_us < reno.mean_qdelay_us,
+            "{} vs {}",
+            m.mean_qdelay_us,
+            reno.mean_qdelay_us
+        );
         assert!(m.utilization > 0.15, "util {}", m.utilization);
         assert!(m.utilization < reno.utilization);
     }

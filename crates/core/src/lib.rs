@@ -16,6 +16,11 @@
 //! * [`studies::cc`] — the kernel instantiation (§5): checker = the full
 //!   parse→check→lower→**kbpf-verify** pipeline; evaluator = emulated
 //!   12 Mbps / 20 ms link;
+//! * [`studies::lb`] — the load-balancing instantiation (third workload,
+//!   beyond the paper): checker = DSL parse + `Mode::Lb` check; evaluator
+//!   = mean-slowdown improvement over round-robin on a dispatch-tier
+//!   scenario — proof that a new controller slots in behind the same
+//!   [`Study`](search::Study) boundary unchanged;
 //! * [`library`] — the §3.1 context layer: a library of synthesized
 //!   heuristics plus a guardrail-style drift monitor that triggers
 //!   re-synthesis.

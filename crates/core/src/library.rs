@@ -68,7 +68,12 @@ impl HeuristicLibrary {
                 let s = scorer(e);
                 (e, s)
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| {
+                // NaN-safe: a scorer returning NaN (e.g. a degenerate
+                // improvement ratio) must neither panic nor win.
+                let key = |v: f64| if v.is_nan() { f64::NEG_INFINITY } else { v };
+                key(a.1).total_cmp(&key(b.1))
+            })
     }
 }
 
@@ -188,5 +193,72 @@ mod tests {
     #[should_panic]
     fn monitor_rejects_bad_params() {
         ContextMonitor::new(0, 1.5);
+    }
+
+    #[test]
+    fn empty_library_has_no_best() {
+        let lib = HeuristicLibrary::new();
+        assert!(lib.is_empty());
+        assert_eq!(lib.len(), 0);
+        assert!(lib.best_for(|_| 1.0).is_none());
+    }
+
+    #[test]
+    fn single_entry_library_always_wins() {
+        let mut lib = HeuristicLibrary::new();
+        lib.add(LibraryEntry { context: "only".into(), source: "obj.count".into(), score: 0.2 });
+        let (best, score) = lib.best_for(|e| e.score * 2.0).unwrap();
+        assert_eq!(best.context, "only");
+        assert!((score - 0.4).abs() < 1e-12);
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn best_for_survives_nan_scores() {
+        let mut lib = HeuristicLibrary::new();
+        lib.add(LibraryEntry { context: "a".into(), source: "obj.count".into(), score: 0.1 });
+        lib.add(LibraryEntry { context: "b".into(), source: "now".into(), score: 0.2 });
+        // a NaN-scoring entry must neither panic the selection nor win it
+        let (best, _) = lib.best_for(|e| if e.context == "a" { f64::NAN } else { 0.5 }).unwrap();
+        assert_eq!(best.context, "b");
+    }
+
+    #[test]
+    fn monitor_with_single_sample_window() {
+        // window_size = 1: every sample is a full window. The first sample
+        // sets the baseline; the next degrading sample triggers at once.
+        let mut m = ContextMonitor::new(1, 1.2);
+        assert!(!m.observe(0.30), "first sample only establishes the baseline");
+        assert_eq!(m.baseline(), Some(0.30));
+        assert!(!m.observe(0.35), "within tolerance");
+        assert!(m.observe(0.45), "20% guardrail exceeded");
+        // re-baselining: the next sample defines the new regime
+        assert_eq!(m.baseline(), None);
+        assert!(!m.observe(0.45));
+        assert_eq!(m.baseline(), Some(0.45));
+    }
+
+    #[test]
+    fn monitor_before_full_window_never_triggers() {
+        let mut m = ContextMonitor::new(10, 1.2);
+        for _ in 0..9 {
+            assert!(!m.observe(10.0), "no baseline, no trigger");
+        }
+        assert_eq!(m.baseline(), None, "window not yet full");
+        assert!(!m.observe(10.0));
+        assert_eq!(m.baseline(), Some(10.0), "10th sample completes the window");
+    }
+
+    #[test]
+    fn monitor_improvement_never_triggers() {
+        let mut m = ContextMonitor::new(4, 1.1);
+        for _ in 0..4 {
+            m.observe(0.5);
+        }
+        // quality improves (signal drops): a degradation guardrail must
+        // stay silent no matter how far it improves
+        for _ in 0..40 {
+            assert!(!m.observe(0.05));
+        }
     }
 }

@@ -135,7 +135,7 @@ pub fn run_search<S: Study>(
     for round in 0..cfg.rounds {
         // Exemplars: top-k across all previous rounds (§4.2.1).
         let mut ranked: Vec<&Scored> = all.iter().collect();
-        ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        ranked.sort_by(|a, b| nan_is_worst(b.score).total_cmp(&nan_is_worst(a.score)));
         let exemplars: Vec<Exemplar> = ranked
             .iter()
             .take(cfg.exemplars)
@@ -178,10 +178,7 @@ pub fn run_search<S: Study>(
             round_best = round_best.max(score);
             all.push(Scored { source, score, round });
         }
-        let best_so_far = all
-            .iter()
-            .map(|s| s.score)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best_so_far = all.iter().map(|s| s.score).fold(f64::NEG_INFINITY, f64::max);
         rounds.push(RoundStats {
             round,
             generated: cfg.candidates_per_round,
@@ -195,10 +192,22 @@ pub fn run_search<S: Study>(
     cost.tokens = *generator.ledger();
     let best = all
         .iter()
-        .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+        .max_by(|a, b| nan_is_worst(a.score).total_cmp(&nan_is_worst(b.score)))
         .cloned()
         .expect("search produced no valid candidate");
     SearchOutcome { best, rounds, all, cost }
+}
+
+/// Score key for ranking. Evaluators are supposed to return real numbers,
+/// but a buggy or adversarial study returning NaN must neither panic the
+/// search (the old `partial_cmp(..).unwrap()`) nor win it (`f64::total_cmp`
+/// alone orders positive NaN above +inf): NaN ranks below every real score.
+fn nan_is_worst(score: f64) -> f64 {
+    if score.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        score
+    }
 }
 
 /// Score artifacts on `threads` worker threads (work-stealing via an atomic
@@ -254,9 +263,8 @@ mod tests {
             Ok(e)
         }
         fn evaluate(&self, e: &Expr) -> f64 {
-            let uses_count = e
-                .features()
-                .contains(&policysmith_dsl::Feature::ObjCount) as i32 as f64;
+            let uses_count =
+                e.features().contains(&policysmith_dsl::Feature::ObjCount) as i32 as f64;
             uses_count - e.size() as f64 / 100.0
         }
     }
@@ -298,6 +306,42 @@ mod tests {
         let outcome = run_search(&ToyStudy, &mut llm, &cfg);
         let repaired: usize = outcome.rounds.iter().map(|r| r.passed_after_repair).sum();
         assert!(repaired > 0, "repair path never used");
+    }
+
+    /// Evaluator that returns NaN for every candidate that doesn't read
+    /// `obj.count` — a stand-in for a buggy metric (0/0, mean of empty).
+    struct NanStudy;
+
+    impl Study for NanStudy {
+        type Artifact = Expr;
+        fn mode(&self) -> Mode {
+            Mode::Cache
+        }
+        fn check(&self, source: &str) -> Result<Expr, String> {
+            ToyStudy.check(source)
+        }
+        fn evaluate(&self, e: &Expr) -> f64 {
+            if e.features().contains(&policysmith_dsl::Feature::ObjCount) {
+                1.0 - e.size() as f64 / 100.0
+            } else {
+                f64::NAN
+            }
+        }
+    }
+
+    #[test]
+    fn nan_scores_neither_panic_nor_win() {
+        // Regression: exemplar ranking and best-candidate selection used
+        // `partial_cmp(..).unwrap()`, which panics on NaN.
+        let mut llm = MockLlm::new(GenConfig::cache_defaults(17));
+        let cfg = SearchConfig { rounds: 6, candidates_per_round: 12, ..SearchConfig::quick() };
+        let outcome = run_search(&NanStudy, &mut llm, &cfg);
+        assert!(!outcome.best.score.is_nan(), "NaN must never be selected as best");
+        assert!(outcome.best.score > 0.0, "a real-scored candidate must win");
+        assert!(
+            outcome.all.iter().any(|s| s.score.is_nan()),
+            "test should actually exercise NaN scores"
+        );
     }
 
     #[test]

@@ -33,11 +33,7 @@ impl CacheStudy {
             capacity,
             policysmith_cachesim::policies::Fifo::new(),
         );
-        CacheStudy {
-            trace: trace.clone(),
-            capacity,
-            fifo_miss_ratio: fifo.miss_ratio(),
-        }
+        CacheStudy { trace: trace.clone(), capacity, fifo_miss_ratio: fifo.miss_ratio() }
     }
 
     /// The context's cache capacity, bytes.
@@ -81,14 +77,14 @@ impl Study for CacheStudy {
     }
 
     fn evaluate(&self, expr: &Expr) -> f64 {
-        let mut cache = Cache::new(
-            self.capacity,
-            PriorityPolicy::new("candidate", expr.clone()),
-        );
+        let mut cache = Cache::new(self.capacity, PriorityPolicy::new("candidate", expr.clone()));
         let result = cache.run(&self.trace);
         if cache.policy.first_error().is_some() {
-            // the candidate crashed in production: worst possible score
-            return -1.0;
+            // The candidate crashed in production: rank below everything.
+            // Improvement over FIFO is bounded below by 1 − 1/fifo_mr,
+            // which dips under any finite sentinel once FIFO's miss ratio
+            // is small, so NEG_INFINITY is the only safe crash score.
+            return f64::NEG_INFINITY;
         }
         (self.fifo_miss_ratio - result.miss_ratio()) / self.fifo_miss_ratio.max(1e-9)
     }
@@ -129,11 +125,11 @@ mod tests {
     }
 
     #[test]
-    fn runtime_faults_score_minus_one() {
+    fn runtime_faults_rank_below_every_real_score() {
         let s = study();
         // cache.objects - 1 is zero while exactly one object is resident
         let e = s.check("100 / (cache.objects - 1)").unwrap();
-        assert_eq!(s.evaluate(&e), -1.0);
+        assert_eq!(s.evaluate(&e), f64::NEG_INFINITY);
     }
 
     #[test]

@@ -1,4 +1,7 @@
-//! The paper's two case-study instantiations of the framework.
+//! The case-study instantiations of the framework: the paper's two
+//! (caching §4, kernel congestion control §5) plus the load-balancing
+//! workload that proves the `Study` boundary generalizes.
 
 pub mod cache;
 pub mod cc;
+pub mod lb;

@@ -151,9 +151,7 @@ impl Expr {
             Expr::Int(_) | Expr::Float(_) | Expr::Feat(_) => 1,
             Expr::Neg(a) | Expr::Not(a) | Expr::Abs(a) => 1 + a.depth(),
             Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => 1 + a.depth().max(b.depth()),
-            Expr::If(a, b, c) | Expr::Clamp(a, b, c) => {
-                1 + a.depth().max(b.depth()).max(c.depth())
-            }
+            Expr::If(a, b, c) | Expr::Clamp(a, b, c) => 1 + a.depth().max(b.depth()).max(c.depth()),
         }
     }
 
@@ -292,11 +290,7 @@ mod tests {
 
     #[test]
     fn features_deduplicated() {
-        let e = Expr::bin(
-            BinOp::Add,
-            Expr::feat(Feature::ObjCount),
-            Expr::feat(Feature::ObjCount),
-        );
+        let e = Expr::bin(BinOp::Add, Expr::feat(Feature::ObjCount), Expr::feat(Feature::ObjCount));
         assert_eq!(e.features(), vec![Feature::ObjCount]);
     }
 

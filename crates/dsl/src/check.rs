@@ -85,12 +85,7 @@ pub fn check(e: &Expr, mode: Mode) -> Result<(), CheckError> {
 /// Full check with explicit budgets, collecting *all* errors and warnings
 /// (the generator repairs one fault class at a time, so it wants the
 /// complete list, like a real compiler's stderr).
-pub fn check_with_warnings(
-    e: &Expr,
-    mode: Mode,
-    max_size: usize,
-    max_depth: usize,
-) -> CheckReport {
+pub fn check_with_warnings(e: &Expr, mode: Mode, max_size: usize, max_depth: usize) -> CheckReport {
     let mut report = CheckReport::default();
 
     let size = e.size();
@@ -110,15 +105,11 @@ pub fn check_with_warnings(
                 if !f.param_in_range() {
                     report.errors.push(CheckError::FeatureParamOutOfRange { feature: *f });
                 } else if !f.available_in(mode) {
-                    report
-                        .errors
-                        .push(CheckError::FeatureUnavailable { feature: *f, mode });
+                    report.errors.push(CheckError::FeatureUnavailable { feature: *f, mode });
                 }
             }
-            Expr::Bin(BinOp::Div | BinOp::Rem, _, divisor) => {
-                if !divisor_nonzero(divisor) {
-                    report.warnings.push(Warning::DivisorMayBeZero { node_idx: idx });
-                }
+            Expr::Bin(BinOp::Div | BinOp::Rem, _, divisor) if !divisor_nonzero(divisor) => {
+                report.warnings.push(Warning::DivisorMayBeZero { node_idx: idx });
             }
             _ => {}
         }
@@ -179,7 +170,7 @@ fn provably_nonneg(e: &Expr) -> bool {
         Expr::Int(v) => *v >= 0,
         Expr::Feat(f) => f.range().0 >= 0,
         Expr::Abs(_) => true,
-        Expr::Cmp(..) | Expr::Not(_) => true, // 0/1
+        Expr::Cmp(..) | Expr::Not(_) => true,          // 0/1
         Expr::Bin(BinOp::And | BinOp::Or, ..) => true, // 0/1
         Expr::Bin(BinOp::Add | BinOp::Mul, a, b) => provably_nonneg(a) && provably_nonneg(b),
         Expr::Bin(BinOp::Max, a, b) => provably_nonneg(a) || provably_nonneg(b),
@@ -220,6 +211,29 @@ mod tests {
         // `now` is legal in both
         assert!(report("now", Mode::Cache).ok());
         assert!(report("now", Mode::Kernel).ok());
+    }
+
+    #[test]
+    fn lb_mode_checks_availability_and_divisors() {
+        // the full Lb catalog is legal in Lb mode
+        let r = report(
+            "server.queue_len * 100 / server.speed + server.inflight * req.size \
+             + server.ewma_latency / 1000 + now % 7",
+            Mode::Lb,
+        );
+        assert!(r.ok(), "{:?}", r.errors);
+        assert!(r.warnings.is_empty(), "speed >= 1 and literals are clean divisors");
+        // cross-mode features rejected in all directions
+        assert!(!report("obj.count", Mode::Lb).ok());
+        assert!(!report("cwnd", Mode::Lb).ok());
+        assert!(!report("server.queue_len", Mode::Cache).ok());
+        assert!(!report("req.size", Mode::Kernel).ok());
+        // possibly-zero lb divisors warn
+        let r = report("req.size / server.queue_len", Mode::Lb);
+        assert!(r.ok());
+        assert_eq!(r.warnings.len(), 1);
+        let r = report("req.size / max(server.inflight, 1)", Mode::Lb);
+        assert!(r.warnings.is_empty());
     }
 
     #[test]

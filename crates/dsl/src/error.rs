@@ -47,10 +47,9 @@ impl fmt::Display for ParseError {
             ParseError::UnknownIdentifier { pos, name } => {
                 write!(f, "error: unknown identifier `{name}` at byte {pos}")
             }
-            ParseError::BadArity { pos, func, expected, got } => write!(
-                f,
-                "error: `{func}` expects {expected} argument(s), got {got} (byte {pos})"
-            ),
+            ParseError::BadArity { pos, func, expected, got } => {
+                write!(f, "error: `{func}` expects {expected} argument(s), got {got} (byte {pos})")
+            }
             ParseError::IntOutOfRange { pos, text } => {
                 write!(f, "error: integer literal `{text}` out of range at byte {pos}")
             }
@@ -90,12 +89,9 @@ impl fmt::Display for CheckError {
                 f,
                 "error: floating-point literal `{value}` is not allowed (integer-only template)"
             ),
-            CheckError::FeatureUnavailable { feature, mode } => write!(
-                f,
-                "error: feature `{}` is not available in {:?} mode",
-                feature.name(),
-                mode
-            ),
+            CheckError::FeatureUnavailable { feature, mode } => {
+                write!(f, "error: feature `{}` is not available in {:?} mode", feature.name(), mode)
+            }
             CheckError::FeatureParamOutOfRange { feature } => {
                 write!(f, "error: feature parameter out of range in `{}`", feature.name())
             }

@@ -151,8 +151,14 @@ mod tests {
         assert_eq!(run("9223372036854775807 + 1").unwrap(), i64::MAX);
         assert_eq!(run("-9223372036854775807 - 2").unwrap(), i64::MIN);
         assert_eq!(run("9223372036854775807 * 2").unwrap(), i64::MAX);
-        assert_eq!(eval(&Expr::Neg(Box::new(Expr::Int(i64::MIN))), &MapEnv::new()).unwrap(), i64::MAX);
-        assert_eq!(eval(&Expr::Abs(Box::new(Expr::Int(i64::MIN))), &MapEnv::new()).unwrap(), i64::MAX);
+        assert_eq!(
+            eval(&Expr::Neg(Box::new(Expr::Int(i64::MIN))), &MapEnv::new()).unwrap(),
+            i64::MAX
+        );
+        assert_eq!(
+            eval(&Expr::Abs(Box::new(Expr::Int(i64::MIN))), &MapEnv::new()).unwrap(),
+            i64::MAX
+        );
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub enum Mode {
     /// Kernel `cong_control()` template. Only kernel-visible scalars and the
     /// history arrays are available; programs must pass the kbpf verifier.
     Kernel,
+    /// Load-balancer `score(server, req)` template (userspace dispatch
+    /// tier). The expression is evaluated once per server at dispatch time;
+    /// the request goes to the **lowest-scoring** server (argmin).
+    Lb,
 }
 
 /// Number of entries in each congestion-control history array (§5.0.1: the
@@ -125,6 +129,23 @@ pub enum Feature {
     /// Mean queuing-delay estimate (`srtt - min_rtt`) during the i-th most
     /// recent RTT interval, µs.
     HistQdelay(u8),
+
+    // ---- load balancing: per-server, read at dispatch time ----
+    /// Requests waiting in the server's FIFO queue (excludes the one in
+    /// service).
+    ServerQueueLen,
+    /// EWMA of the server's recent request response times, µs (0 until the
+    /// server has completed its first request).
+    ServerEwmaLatency,
+    /// Server speed in work units per millisecond (≥ 1, so it is always a
+    /// checker-clean divisor — the idiom for normalizing load by capacity).
+    ServerSpeed,
+    /// Unfinished requests assigned to the server (queued + in service).
+    ServerInflight,
+
+    // ---- load balancing: per-request ----
+    /// Service demand of the request being dispatched, in work units (≥ 1).
+    ReqSize,
 }
 
 impl Feature {
@@ -141,6 +162,9 @@ impl Feature {
             | Mss | DeliveredBytes | DeliveryRateBps | LossEvent | AckedBytes | Ssthresh
             | HistRtt(_) | HistDelivered(_) | HistLoss(_) | HistCwnd(_) | HistQdelay(_) => {
                 mode == Mode::Kernel
+            }
+            ServerQueueLen | ServerEwmaLatency | ServerSpeed | ServerInflight | ReqSize => {
+                mode == Mode::Lb
             }
         }
     }
@@ -182,6 +206,10 @@ impl Feature {
             DeliveryRateBps => (0, 1 << 50),
             AckedBytes => (0, 1 << 32),
             HistLoss(_) => (0, 1 << 20),
+            ServerQueueLen | ServerInflight => (0, 1 << 20),
+            ServerEwmaLatency => (0, 1 << 32),
+            ServerSpeed => (1, 1 << 16),
+            ReqSize => (1, 1 << 32),
         }
     }
 
@@ -254,6 +282,11 @@ impl Feature {
             HistLoss(i) => format!("hist_loss[{i}]"),
             HistCwnd(i) => format!("hist_cwnd[{i}]"),
             HistQdelay(i) => format!("hist_qdelay[{i}]"),
+            ServerQueueLen => "server.queue_len".into(),
+            ServerEwmaLatency => "server.ewma_latency".into(),
+            ServerSpeed => "server.speed".into(),
+            ServerInflight => "server.inflight".into(),
+            ReqSize => "req.size".into(),
         }
     }
 
@@ -313,6 +346,9 @@ impl Feature {
                 }
                 v
             }
+            Mode::Lb => {
+                vec![Now, ServerQueueLen, ServerEwmaLatency, ServerSpeed, ServerInflight, ReqSize]
+            }
         }
     }
 }
@@ -338,37 +374,56 @@ mod tests {
     }
 
     #[test]
-    fn cache_features_have_no_ctx_slot() {
-        for f in Feature::catalog(Mode::Cache) {
-            if f == Feature::Now {
-                continue;
+    fn cache_and_lb_features_have_no_ctx_slot() {
+        for mode in [Mode::Cache, Mode::Lb] {
+            for f in Feature::catalog(mode) {
+                if f == Feature::Now {
+                    continue;
+                }
+                assert_eq!(f.ctx_slot(), None, "{f:?} must not be lowerable");
             }
-            assert_eq!(f.ctx_slot(), None, "{f:?} must not be lowerable");
         }
     }
 
     #[test]
     fn mode_partition_is_total() {
-        for f in Feature::catalog(Mode::Cache) {
-            assert!(f.available_in(Mode::Cache));
-        }
-        for f in Feature::catalog(Mode::Kernel) {
-            assert!(f.available_in(Mode::Kernel));
+        for mode in [Mode::Cache, Mode::Kernel, Mode::Lb] {
+            for f in Feature::catalog(mode) {
+                assert!(f.available_in(mode), "{f:?} missing from its own mode");
+            }
         }
         assert!(!Feature::ObjCount.available_in(Mode::Kernel));
         assert!(!Feature::Cwnd.available_in(Mode::Cache));
+        assert!(!Feature::ServerQueueLen.available_in(Mode::Cache));
+        assert!(!Feature::ServerQueueLen.available_in(Mode::Kernel));
+        assert!(!Feature::ObjCount.available_in(Mode::Lb));
+        assert!(!Feature::Cwnd.available_in(Mode::Lb));
         assert!(Feature::Now.available_in(Mode::Cache));
         assert!(Feature::Now.available_in(Mode::Kernel));
+        assert!(Feature::Now.available_in(Mode::Lb));
     }
 
     #[test]
     fn ranges_are_well_formed() {
         let mut all = Feature::catalog(Mode::Cache);
         all.extend(Feature::catalog(Mode::Kernel));
+        all.extend(Feature::catalog(Mode::Lb));
         for f in all {
             let (lo, hi) = f.range();
             assert!(lo <= hi, "{f:?} range inverted");
         }
+    }
+
+    #[test]
+    fn lb_divisor_features_are_nonzero_where_promised() {
+        // The Lb prompt advertises `server.speed` and `req.size` as safe
+        // divisors; their declared ranges must exclude zero.
+        assert!(Feature::ServerSpeed.range().0 > 0);
+        assert!(Feature::ReqSize.range().0 > 0);
+        // and the possibly-idle signals must include zero
+        assert_eq!(Feature::ServerQueueLen.range().0, 0);
+        assert_eq!(Feature::ServerInflight.range().0, 0);
+        assert_eq!(Feature::ServerEwmaLatency.range().0, 0);
     }
 
     #[test]
@@ -385,6 +440,7 @@ mod tests {
         // `Now` is shared between modes; every other name is unique.
         let mut all = Feature::catalog(Mode::Cache);
         all.extend(Feature::catalog(Mode::Kernel));
+        all.extend(Feature::catalog(Mode::Lb));
         let features: std::collections::HashSet<_> = all.iter().copied().collect();
         let names: std::collections::HashSet<_> = all.iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), features.len());

@@ -121,9 +121,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token { kind: TokenKind::Ident(src[start..i].to_string()), pos });
@@ -270,20 +268,12 @@ mod tests {
         assert_eq!(kinds("0.75"), vec![TokenKind::Float("0.75".into())]);
         assert_eq!(
             kinds("ages.p75"),
-            vec![
-                TokenKind::Ident("ages".into()),
-                TokenKind::Dot,
-                TokenKind::Ident("p75".into()),
-            ]
+            vec![TokenKind::Ident("ages".into()), TokenKind::Dot, TokenKind::Ident("p75".into()),]
         );
         // digit-dot-ident: '.' is punctuation, not a float
         assert_eq!(
             kinds("1.x"),
-            vec![
-                TokenKind::Int("1".into()),
-                TokenKind::Dot,
-                TokenKind::Ident("x".into()),
-            ]
+            vec![TokenKind::Int("1".into()), TokenKind::Dot, TokenKind::Ident("x".into()),]
         );
     }
 

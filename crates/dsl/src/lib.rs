@@ -1,8 +1,8 @@
 //! # policysmith-dsl — the heuristic expression language
 //!
 //! PolicySmith candidates are *programs*. This crate defines the small,
-//! integer-only expression language in which both case studies' heuristics
-//! are written:
+//! integer-only expression language in which all three case studies'
+//! heuristics are written:
 //!
 //! * **Cache eviction** (§4 of the paper): a `priority()` function over the
 //!   Table-1 feature set (per-object metadata, percentile aggregates over the
@@ -12,6 +12,28 @@
 //!   kernel-visible state (cwnd, RTT estimates, inflight, …) plus the
 //!   10-interval smoothed *history arrays*. Lowered to `kbpf` bytecode by the
 //!   `policysmith-kbpf` crate and executed only after verification.
+//! * **Load balancing** ([`Mode::Lb`], the third workload beyond the
+//!   paper): a `score(server, req)` function evaluated once per server at
+//!   dispatch time inside `policysmith-lbsim`'s template host; the request
+//!   is sent to the lowest-scoring server (argmin).
+//!
+//! ## `Mode::Lb` feature catalog
+//!
+//! | source syntax         | meaning                                             | range      |
+//! |-----------------------|-----------------------------------------------------|------------|
+//! | `now`                 | virtual time at dispatch, µs                        | `[0, 2^50]`|
+//! | `server.queue_len`    | requests waiting in the server's FIFO queue         | `[0, 2^20]`|
+//! | `server.ewma_latency` | EWMA of the server's recent response times, µs      | `[0, 2^32]`|
+//! | `server.speed`        | server speed, work units per ms (never zero)        | `[1, 2^16]`|
+//! | `server.inflight`     | unfinished requests assigned (queued + in service)  | `[0, 2^20]`|
+//! | `req.size`            | service demand of the dispatched request (never 0)  | `[1, 2^32]`|
+//!
+//! `server.speed` and `req.size` have ranges excluding zero, so they are
+//! checker-clean divisors — `server.queue_len * 1000 / server.speed` is the
+//! canonical capacity-normalized load idiom. Dividing by `server.queue_len`,
+//! `server.inflight`, or `server.ewma_latency` (zero on an idle/fresh
+//! server) draws the usual `DivisorMayBeZero` warning, and the generator
+//! learns the `max(.., 1)` guard from it.
 //!
 //! ## Why integer-only?
 //!

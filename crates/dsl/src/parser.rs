@@ -265,9 +265,7 @@ impl Parser {
                 "abs" => 1,
                 "min" | "max" => 2,
                 "clamp" | "if" => 3,
-                _ => {
-                    return Err(ParseError::UnknownIdentifier { pos, name: format!("{first}()") })
-                }
+                _ => return Err(ParseError::UnknownIdentifier { pos, name: format!("{first}()") }),
             };
             self.i += 1; // consume '('
             let mut args = Vec::new();
@@ -310,10 +308,9 @@ impl Parser {
             self.i += 1;
             let idx_tok = self.bump().ok_or(ParseError::UnexpectedEof { expected: "an index" })?;
             let idx = match &idx_tok.kind {
-                TokenKind::Int(s) => s.parse::<u8>().map_err(|_| ParseError::BadParam {
-                    pos: idx_tok.pos,
-                    name: first.clone(),
-                })?,
+                TokenKind::Int(s) => s
+                    .parse::<u8>()
+                    .map_err(|_| ParseError::BadParam { pos: idx_tok.pos, name: first.clone() })?,
                 other => {
                     return Err(ParseError::UnexpectedToken {
                         pos: idx_tok.pos,
@@ -330,10 +327,7 @@ impl Parser {
                 "hist_cwnd" => Feature::HistCwnd(idx),
                 "hist_qdelay" => Feature::HistQdelay(idx),
                 _ => {
-                    return Err(ParseError::UnknownIdentifier {
-                        pos,
-                        name: format!("{first}[..]"),
-                    })
+                    return Err(ParseError::UnknownIdentifier { pos, name: format!("{first}[..]") })
                 }
             };
             if !feat.param_in_range() {
@@ -404,6 +398,11 @@ fn resolve_path(path: &[String]) -> Option<Feature> {
         ["loss"] => LossEvent,
         ["acked"] => AckedBytes,
         ["ssthresh"] => Ssthresh,
+        ["server", "queue_len"] => ServerQueueLen,
+        ["server", "ewma_latency"] => ServerEwmaLatency,
+        ["server", "speed"] => ServerSpeed,
+        ["server", "inflight"] => ServerInflight,
+        ["req", "size"] => ReqSize,
         [table @ ("counts" | "ages" | "sizes"), p] => {
             let pct: u8 = p.strip_prefix('p')?.parse().ok()?;
             match *table {
@@ -427,11 +426,7 @@ mod tests {
         let e = parse("1 + 2 * 3").unwrap();
         assert_eq!(
             e,
-            Expr::bin(
-                BinOp::Add,
-                Expr::Int(1),
-                Expr::bin(BinOp::Mul, Expr::Int(2), Expr::Int(3))
-            )
+            Expr::bin(BinOp::Add, Expr::Int(1), Expr::bin(BinOp::Mul, Expr::Int(2), Expr::Int(3)))
         );
     }
 
@@ -441,21 +436,13 @@ mod tests {
         let e = parse("1 << 2 + 3").unwrap();
         assert_eq!(
             e,
-            Expr::bin(
-                BinOp::Shl,
-                Expr::Int(1),
-                Expr::bin(BinOp::Add, Expr::Int(2), Expr::Int(3))
-            )
+            Expr::bin(BinOp::Shl, Expr::Int(1), Expr::bin(BinOp::Add, Expr::Int(2), Expr::Int(3)))
         );
         // and a << b < c parses as (a << b) < c
         let e = parse("1 << 2 < 3").unwrap();
         assert_eq!(
             e,
-            Expr::cmp(
-                CmpOp::Lt,
-                Expr::bin(BinOp::Shl, Expr::Int(1), Expr::Int(2)),
-                Expr::Int(3)
-            )
+            Expr::cmp(CmpOp::Lt, Expr::bin(BinOp::Shl, Expr::Int(1), Expr::Int(2)), Expr::Int(3))
         );
     }
 
@@ -464,7 +451,11 @@ mod tests {
         let e = parse("1 ? 2 : 3 ? 4 : 5").unwrap();
         assert_eq!(
             e,
-            Expr::ite(Expr::Int(1), Expr::Int(2), Expr::ite(Expr::Int(3), Expr::Int(4), Expr::Int(5)))
+            Expr::ite(
+                Expr::Int(1),
+                Expr::Int(2),
+                Expr::ite(Expr::Int(3), Expr::Int(4), Expr::Int(5))
+            )
         );
     }
 
@@ -475,14 +466,16 @@ mod tests {
         assert_eq!(parse("hist_rtt[3]").unwrap(), Expr::feat(Feature::HistRtt(3)));
         assert_eq!(parse("min_rtt").unwrap(), Expr::feat(Feature::MinRttUs));
         assert_eq!(parse("cache.used_bytes").unwrap(), Expr::feat(Feature::CacheUsedBytes));
+        assert_eq!(parse("server.queue_len").unwrap(), Expr::feat(Feature::ServerQueueLen));
+        assert_eq!(parse("server.ewma_latency").unwrap(), Expr::feat(Feature::ServerEwmaLatency));
+        assert_eq!(parse("server.speed").unwrap(), Expr::feat(Feature::ServerSpeed));
+        assert_eq!(parse("server.inflight").unwrap(), Expr::feat(Feature::ServerInflight));
+        assert_eq!(parse("req.size").unwrap(), Expr::feat(Feature::ReqSize));
     }
 
     #[test]
     fn intrinsics() {
-        assert_eq!(
-            parse("min(1, 2)").unwrap(),
-            Expr::bin(BinOp::Min, Expr::Int(1), Expr::Int(2))
-        );
+        assert_eq!(parse("min(1, 2)").unwrap(), Expr::bin(BinOp::Min, Expr::Int(1), Expr::Int(2)));
         assert_eq!(
             parse("clamp(cwnd, 2, 100)").unwrap(),
             Expr::Clamp(
@@ -512,10 +505,7 @@ mod tests {
 
     #[test]
     fn unknown_identifier_is_error() {
-        assert!(matches!(
-            parse("obj.weight"),
-            Err(ParseError::UnknownIdentifier { .. })
-        ));
+        assert!(matches!(parse("obj.weight"), Err(ParseError::UnknownIdentifier { .. })));
         assert!(matches!(parse("frobnicate(1)"), Err(ParseError::UnknownIdentifier { .. })));
         assert!(matches!(parse("foo[1]"), Err(ParseError::UnknownIdentifier { .. })));
     }
@@ -529,7 +519,10 @@ mod tests {
 
     #[test]
     fn param_range_errors() {
-        assert!(matches!(parse("ages.p100"), Err(ParseError::UnknownIdentifier { .. }) | Err(ParseError::BadParam { .. })));
+        assert!(matches!(
+            parse("ages.p100"),
+            Err(ParseError::UnknownIdentifier { .. }) | Err(ParseError::BadParam { .. })
+        ));
         assert!(matches!(parse("hist_rtt[10]"), Err(ParseError::BadParam { .. })));
     }
 

@@ -103,10 +103,8 @@ fn pass(e: &Expr) -> Expr {
 
 /// Is the expression guaranteed to evaluate to 0 or 1?
 fn is_boolean(e: &Expr) -> bool {
-    matches!(
-        e,
-        Expr::Cmp(..) | Expr::Not(_) | Expr::Bin(BinOp::And | BinOp::Or, ..)
-    ) || matches!(e, Expr::Int(0) | Expr::Int(1))
+    matches!(e, Expr::Cmp(..) | Expr::Not(_) | Expr::Bin(BinOp::And | BinOp::Or, ..))
+        || matches!(e, Expr::Int(0) | Expr::Int(1))
 }
 
 fn fold_bin(op: BinOp, a: Expr, b: Expr) -> Expr {

@@ -84,17 +84,17 @@ fn arb_expr(features: Vec<Feature>) -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(5, 64, 3, |inner| {
         prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
-            (arb_cmpop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::cmp(op, a, b)),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            (arb_cmpop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::cmp(op, a, b)),
             inner.clone().prop_map(|a| Expr::Neg(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Abs(Box::new(a))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(a, b, c)| Expr::ite(a, b, c)),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Clamp(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| Expr::ite(a, b, c)),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Clamp(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
         ]
     })
 }

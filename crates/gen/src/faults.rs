@@ -49,6 +49,12 @@ impl FaultMix {
         FaultMix { float: 0.45, unguarded_div: 0.40, unknown_ident: 0.10, syntax: 0.05 }
     }
 
+    /// Load-balancing mix: userspace template, so like the cache mix, but
+    /// with more unguarded divisions — per-server rate math invites them.
+    pub fn lb() -> FaultMix {
+        FaultMix { float: 0.35, unguarded_div: 0.20, unknown_ident: 0.30, syntax: 0.15 }
+    }
+
     /// Draw a fault kind according to the weights.
     pub fn sample(&self, rng: &mut StdRng) -> FaultKind {
         let total = self.float + self.unguarded_div + self.unknown_ident + self.syntax;
@@ -72,6 +78,7 @@ fn fake_idents(mode: Mode) -> &'static [&'static str] {
     match mode {
         Mode::Cache => &["obj.frequency", "obj.weight", "cache.pressure", "hist.age", "obj.ttl"],
         Mode::Kernel => &["rtt_var", "bytes_acked", "queue_len", "cwnd_max", "pacing_rate"],
+        Mode::Lb => &["server.load", "server.cpu", "server.rtt", "req.priority", "fleet.size"],
     }
 }
 
@@ -87,6 +94,9 @@ fn risky_divisors(mode: Mode) -> Vec<Feature> {
             Feature::AckedBytes,
             Feature::HistQdelay(0),
         ],
+        Mode::Lb => {
+            vec![Feature::ServerQueueLen, Feature::ServerInflight, Feature::ServerEwmaLatency]
+        }
     }
 }
 
@@ -101,8 +111,7 @@ pub fn inject(kind: FaultKind, expr: &Expr, mode: Mode, rng: &mut StdRng) -> Str
             for _ in 0..8 {
                 let ix = rng.random_range(0..n);
                 if let Some(Expr::Int(v)) = expr.get_subexpr(ix) {
-                    let f = *v as f64
-                        + [0.5, 0.25, 0.75][rng.random_range(0..3usize)];
+                    let f = *v as f64 + [0.5, 0.25, 0.75][rng.random_range(0..3usize)];
                     let mutated = expr.replace_subexpr(ix, &Expr::Float(f));
                     return policysmith_dsl::to_source(&mutated);
                 }

@@ -4,8 +4,8 @@
 //! The [`Generator`] trait is the framework's LLM boundary: a real OpenAI
 //! client would implement it with two API calls. [`MockLlm`] implements it
 //! offline (substitution S1): generation samples a *strategy* per candidate
-//! — fresh motif remix, exemplar mutation, exemplar crossover, or exemplar
-//! + extra term — then optionally corrupts the result with one of the
+//! (fresh motif remix, exemplar mutation, exemplar crossover, or exemplar
+//! plus an extra term), then optionally corrupts the result with one of the
 //! paper's fault classes; repair pattern-matches the diagnostics exactly
 //! the way a feedback-prompted LLM does, succeeding with class-dependent
 //! probability.
@@ -61,6 +61,19 @@ impl GenConfig {
             repair_skill: [0.85, 0.55, 0.5, 0.2],
         }
     }
+
+    /// Calibrated for the load-balancing study: a userspace template like
+    /// caching (no verifier), so fault rates mirror the cache mix.
+    pub fn lb_defaults(seed: u64) -> GenConfig {
+        GenConfig {
+            seed,
+            p_fault: 0.10,
+            p_explore: 0.4,
+            max_motifs: 4,
+            fault_mix: FaultMix::lb(),
+            repair_skill: [0.9, 0.6, 0.6, 0.25],
+        }
+    }
 }
 
 /// The framework's LLM boundary (§3's `Generator`).
@@ -86,21 +99,25 @@ impl MockLlm {
         MockLlm { rng: StdRng::seed_from_u64(cfg.seed), cfg, ledger: TokenLedger::default() }
     }
 
+    /// Sum 2..=max_motifs draws from a motif library — the additive remix
+    /// shape shared by the userspace templates (cache priority, lb score).
+    fn additive_remix(&mut self, lib: &[fn(&mut StdRng) -> Expr]) -> Expr {
+        let k = self.rng.random_range(2..=self.cfg.max_motifs.max(2));
+        let mut expr: Option<Expr> = None;
+        for _ in 0..k {
+            let m = lib[self.rng.random_range(0..lib.len())](&mut self.rng);
+            expr = Some(match expr {
+                Some(acc) => Expr::bin(BinOp::Add, acc, m),
+                None => m,
+            });
+        }
+        expr.unwrap()
+    }
+
     fn fresh_remix(&mut self, mode: Mode) -> Expr {
         match mode {
-            Mode::Cache => {
-                let lib = motifs::cache_motifs();
-                let k = self.rng.random_range(2..=self.cfg.max_motifs.max(2));
-                let mut expr: Option<Expr> = None;
-                for _ in 0..k {
-                    let m = lib[self.rng.random_range(0..lib.len())](&mut self.rng);
-                    expr = Some(match expr {
-                        Some(acc) => Expr::bin(BinOp::Add, acc, m),
-                        None => m,
-                    });
-                }
-                expr.unwrap()
-            }
+            Mode::Cache => self.additive_remix(&motifs::cache_motifs()),
+            Mode::Lb => self.additive_remix(&motifs::lb_motifs()),
             Mode::Kernel => {
                 // canonical kernel shape: if(loss, backoff, growth-side)
                 let growth_lib = motifs::cc_motifs();
@@ -108,14 +125,8 @@ impl MockLlm {
                     growth_lib[self.rng.random_range(0..growth_lib.len())](&mut self.rng);
                 if self.rng.random_bool(0.3) {
                     // nest a second gate
-                    let g2 = growth_lib[self.rng.random_range(0..growth_lib.len())](
-                        &mut self.rng,
-                    );
-                    growth = Expr::ite(
-                        feat_gate(&mut self.rng),
-                        growth,
-                        g2,
-                    );
+                    let g2 = growth_lib[self.rng.random_range(0..growth_lib.len())](&mut self.rng);
+                    growth = Expr::ite(feat_gate(&mut self.rng), growth, g2);
                 }
                 let backoff = motifs::cc_backoff(&mut self.rng);
                 let body = Expr::ite(Expr::Feat(Feature::LossEvent), backoff, growth);
@@ -160,23 +171,24 @@ impl MockLlm {
             }
             2 => {
                 // graft a fresh motif in place of a subtree
-                let motif = match mode {
-                    Mode::Cache => {
-                        let lib = motifs::cache_motifs();
-                        lib[self.rng.random_range(0..lib.len())](&mut self.rng)
-                    }
-                    Mode::Kernel => {
-                        let lib = motifs::cc_motifs();
-                        lib[self.rng.random_range(0..lib.len())](&mut self.rng)
-                    }
+                let lib = match mode {
+                    Mode::Cache => motifs::cache_motifs(),
+                    Mode::Kernel => motifs::cc_motifs(),
+                    Mode::Lb => motifs::lb_motifs(),
                 };
+                let motif = lib[self.rng.random_range(0..lib.len())](&mut self.rng);
                 base.replace_subexpr(ix, &motif)
             }
             _ => {
-                // add a term at the root (cache) / wrap in a gate (kernel)
+                // add a term at the root (userspace) / wrap in a gate (kernel)
                 match mode {
                     Mode::Cache => {
                         let lib = motifs::cache_motifs();
+                        let m = lib[self.rng.random_range(0..lib.len())](&mut self.rng);
+                        Expr::bin(BinOp::Add, base.clone(), m)
+                    }
+                    Mode::Lb => {
+                        let lib = motifs::lb_motifs();
                         let m = lib[self.rng.random_range(0..lib.len())](&mut self.rng);
                         Expr::bin(BinOp::Add, base.clone(), m)
                     }
@@ -218,11 +230,7 @@ fn feat_gate(rng: &mut StdRng) -> Expr {
     {
         use policysmith_dsl::CmpOp;
         match rng.random_range(0..3u8) {
-            0 => Expr::cmp(
-                CmpOp::Lt,
-                Expr::Feat(Feature::Cwnd),
-                Expr::Feat(Feature::Ssthresh),
-            ),
+            0 => Expr::cmp(CmpOp::Lt, Expr::Feat(Feature::Cwnd), Expr::Feat(Feature::Ssthresh)),
             1 => Expr::cmp(
                 CmpOp::Gt,
                 Expr::Feat(Feature::SrttUs),
@@ -232,11 +240,7 @@ fn feat_gate(rng: &mut StdRng) -> Expr {
                     Expr::Int(rng.random_range(2_000..20_000)),
                 ),
             ),
-            _ => Expr::cmp(
-                CmpOp::Gt,
-                Expr::Feat(Feature::HistLoss(0)),
-                Expr::Int(0),
-            ),
+            _ => Expr::cmp(CmpOp::Gt, Expr::Feat(Feature::HistLoss(0)), Expr::Int(0)),
         }
     }
 }
@@ -353,9 +357,7 @@ pub fn guard_divisions(e: &Expr) -> Expr {
         }
         Expr::Bin(op, a, b) => Expr::bin(*op, guard_divisions(a), guard_divisions(b)),
         Expr::Cmp(op, a, b) => Expr::cmp(*op, guard_divisions(a), guard_divisions(b)),
-        Expr::If(a, b, c) => {
-            Expr::ite(guard_divisions(a), guard_divisions(b), guard_divisions(c))
-        }
+        Expr::If(a, b, c) => Expr::ite(guard_divisions(a), guard_divisions(b), guard_divisions(c)),
         Expr::Clamp(a, b, c) => Expr::Clamp(
             Box::new(guard_divisions(a)),
             Box::new(guard_divisions(b)),
@@ -425,6 +427,25 @@ mod tests {
     }
 
     #[test]
+    fn lb_first_pass_rate_matches_calibration() {
+        let valid = count_valid(Mode::Lb, GenConfig::lb_defaults(2), 1_000);
+        let rate = valid as f64 / 1_000.0;
+        assert!((0.84..=0.97).contains(&rate), "lb first-pass rate {rate}");
+    }
+
+    #[test]
+    fn lb_candidates_read_server_state() {
+        let mut llm = MockLlm::new(GenConfig { p_fault: 0.0, ..GenConfig::lb_defaults(8) });
+        let batch = llm.generate(&Prompt::new(Mode::Lb), 50);
+        let with_server = batch.iter().filter(|s| s.contains("server.")).count();
+        assert!(with_server > 40, "lb candidates should read server features: {with_server}/50");
+        for s in &batch {
+            let e = parse(s).unwrap_or_else(|e| panic!("fault-free lb candidate: {s}: {e}"));
+            check(&e, Mode::Lb).unwrap_or_else(|e| panic!("lb candidate failed check: {s}: {e}"));
+        }
+    }
+
+    #[test]
     fn generation_is_deterministic() {
         let mk = || {
             let mut llm = MockLlm::new(GenConfig::cache_defaults(42));
@@ -442,10 +463,7 @@ mod tests {
         }]);
         let batch = llm.generate(&prompt, 40);
         // a meaningful share of candidates must descend from the exemplar
-        let descendants = batch
-            .iter()
-            .filter(|s| s.contains("123") || s.contains("456"))
-            .count();
+        let descendants = batch.iter().filter(|s| s.contains("123") || s.contains("456")).count();
         assert!(descendants >= 5, "only {descendants} descendants in {batch:?}");
     }
 

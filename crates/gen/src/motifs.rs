@@ -56,11 +56,7 @@ pub fn cache_gdsf_ratio(rng: &mut impl RngExt) -> Expr {
 
 /// Size penalty: big objects cost more to keep.
 pub fn cache_size_penalty(rng: &mut impl RngExt) -> Expr {
-    Expr::Neg(Box::new(Expr::bin(
-        BinOp::Div,
-        feat(Feature::ObjSize),
-        int(scale(rng, 50, 5_000)),
-    )))
+    Expr::Neg(Box::new(Expr::bin(BinOp::Div, feat(Feature::ObjSize), int(scale(rng, 50, 5_000)))))
 }
 
 /// History boost: objects we regretted evicting get protected (Table 1's
@@ -79,7 +75,7 @@ pub fn cache_history_boost(rng: &mut impl RngExt) -> Expr {
 
 /// Percentile gate: compare the object against the resident population.
 pub fn cache_percentile_gate(rng: &mut impl RngExt) -> Expr {
-    let p = *[25u8, 50, 70, 75, 90].get(rng.random_range(0..5)).unwrap();
+    let p = *[25u8, 50, 70, 75, 90].get(rng.random_range(0..5usize)).unwrap();
     let bonus = int(scale(rng, 5, 80));
     let malus = Expr::Neg(Box::new(int(scale(rng, 5, 80))));
     match rng.random_range(0..3u8) {
@@ -220,11 +216,7 @@ pub fn cc_hist_trend(rng: &mut impl RngExt) -> Expr {
         Expr::cmp(
             CmpOp::Gt,
             feat(Feature::HistRtt(0)),
-            Expr::bin(
-                BinOp::Add,
-                feat(Feature::HistRtt(far)),
-                int(scale(rng, 1_000, 20_000)),
-            ),
+            Expr::bin(BinOp::Add, feat(Feature::HistRtt(far)), int(scale(rng, 1_000, 20_000))),
         ),
         Expr::bin(BinOp::Max, Expr::bin(BinOp::Sub, feat(Feature::Cwnd), int(2)), int(2)),
         Expr::bin(BinOp::Add, feat(Feature::Cwnd), int(1)),
@@ -247,6 +239,76 @@ pub fn cc_loss_memory(rng: &mut impl RngExt) -> Expr {
 /// All kernel growth-side motifs (the loss side is [`cc_backoff`]).
 pub fn cc_motifs() -> Vec<fn(&mut rand::rngs::StdRng) -> Expr> {
     vec![cc_growth, cc_delay_gate, cc_rate_target, cc_hist_trend, cc_loss_memory]
+}
+
+// ------------------------------------------------------------------- lb --
+//
+// Dispatch-scoring idioms from the load-balancing literature. Scores are
+// argmin (lowest wins), so "load" terms enter positively.
+
+/// JSQ flavour: queue length, optionally weighted.
+pub fn lb_queue_len(rng: &mut impl RngExt) -> Expr {
+    Expr::bin(BinOp::Mul, feat(Feature::ServerQueueLen), int(scale(rng, 1, 1_000)))
+}
+
+/// Speed-normalized backlog — the least-work-left shape for heterogeneous
+/// fleets (`server.speed >= 1`, so the division is checker-clean).
+pub fn lb_normalized_load(rng: &mut impl RngExt) -> Expr {
+    let backlog = if rng.random_bool(0.5) {
+        feat(Feature::ServerInflight)
+    } else {
+        feat(Feature::ServerQueueLen)
+    };
+    Expr::bin(
+        BinOp::Div,
+        Expr::bin(BinOp::Mul, backlog, int(scale(rng, 1_000, 100_000))),
+        feat(Feature::ServerSpeed),
+    )
+}
+
+/// Expected own-completion term: this request's demand on this server.
+pub fn lb_size_cost(rng: &mut impl RngExt) -> Expr {
+    Expr::bin(
+        BinOp::Div,
+        Expr::bin(BinOp::Mul, feat(Feature::ReqSize), int(scale(rng, 10, 1_000))),
+        feat(Feature::ServerSpeed),
+    )
+}
+
+/// Latency-aware term: observed EWMA response time as a congestion signal.
+pub fn lb_latency_signal(rng: &mut impl RngExt) -> Expr {
+    Expr::bin(BinOp::Div, feat(Feature::ServerEwmaLatency), int(scale(rng, 100, 10_000)))
+}
+
+/// Inflight penalty with an idle bonus — avoids servers already saturated.
+pub fn lb_inflight_penalty(rng: &mut impl RngExt) -> Expr {
+    Expr::ite(
+        Expr::cmp(CmpOp::Eq, feat(Feature::ServerInflight), int(0)),
+        Expr::Neg(Box::new(int(scale(rng, 10, 500)))),
+        Expr::bin(BinOp::Mul, feat(Feature::ServerInflight), int(scale(rng, 5, 500))),
+    )
+}
+
+/// Queue-pressure gate: a hard penalty once the queue passes a threshold
+/// (protects against bounded-queue drops during bursts).
+pub fn lb_queue_gate(rng: &mut impl RngExt) -> Expr {
+    Expr::ite(
+        Expr::cmp(CmpOp::Gt, feat(Feature::ServerQueueLen), int(rng.random_range(4..32))),
+        int(scale(rng, 10_000, 1_000_000)),
+        int(0),
+    )
+}
+
+/// All lb scoring motifs.
+pub fn lb_motifs() -> Vec<fn(&mut rand::rngs::StdRng) -> Expr> {
+    vec![
+        lb_queue_len,
+        lb_normalized_load,
+        lb_size_cost,
+        lb_latency_signal,
+        lb_inflight_penalty,
+        lb_queue_gate,
+    ]
 }
 
 #[cfg(test)]
@@ -302,6 +364,25 @@ mod tests {
                 "motif has unguarded division: {}",
                 policysmith_dsl::to_source(e)
             );
+        }
+    }
+
+    #[test]
+    fn lb_motifs_are_checker_clean() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for f in lb_motifs() {
+            for _ in 0..20 {
+                let e = f(&mut rng);
+                check(&e, Mode::Lb)
+                    .unwrap_or_else(|err| panic!("lb motif produced invalid expr: {err}\n{:?}", e));
+                let report =
+                    policysmith_dsl::check_with_warnings(&e, Mode::Lb, usize::MAX, usize::MAX);
+                assert!(
+                    report.warnings.is_empty(),
+                    "lb motif has unguarded division: {}",
+                    policysmith_dsl::to_source(&e)
+                );
+            }
         }
     }
 

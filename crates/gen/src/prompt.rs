@@ -43,6 +43,13 @@ impl Prompt {
                  Kernel constraints: no floating point, no unbounded loops, all \
                  divisions must be provably nonzero (the verifier rejects otherwise)."
                 .to_string(),
+            Mode::Lb => "Implement score(server, req) for a dispatch-tier load balancer. \
+                 The expression is evaluated once per server; the request is sent to \
+                 the LOWEST-scoring server (argmin, ties break to the lower index). \
+                 Integer arithmetic only. Guard divisions against zero — \
+                 server.speed and req.size are never zero, the other features can be. \
+                 O(1) per server per dispatch."
+                .to_string(),
         };
         Prompt { mode, constraints, exemplars: Vec::new(), feedback: None }
     }
@@ -85,10 +92,8 @@ mod tests {
 
     #[test]
     fn renders_all_sections() {
-        let p = Prompt::new(Mode::Cache).with_exemplars(vec![Exemplar {
-            source: "obj.count".into(),
-            score: 0.12,
-        }]);
+        let p = Prompt::new(Mode::Cache)
+            .with_exemplars(vec![Exemplar { source: "obj.count".into(), score: 0.12 }]);
         let text = p.render();
         assert!(text.contains("### Template"));
         assert!(text.contains("obj.count"));
@@ -103,6 +108,17 @@ mod tests {
         assert!(text.contains("cwnd"));
         assert!(text.contains("hist_rtt[0]"));
         assert!(!text.contains("obj.size"));
+    }
+
+    #[test]
+    fn lb_prompt_lists_lb_features() {
+        let text = Prompt::new(Mode::Lb).render();
+        assert!(text.contains("server.queue_len"));
+        assert!(text.contains("server.ewma_latency"));
+        assert!(text.contains("req.size"));
+        assert!(text.contains("argmin"));
+        assert!(!text.contains("obj.size"));
+        assert!(!text.contains("cwnd"));
     }
 
     #[test]

@@ -303,9 +303,8 @@ mod tests {
 
     #[test]
     fn program_disasm_multiline() {
-        let p = Program {
-            insns: vec![Insn::new(Op::MovImm, 0, 0, 7), Insn::new(Op::Exit, 0, 0, 0)],
-        };
+        let p =
+            Program { insns: vec![Insn::new(Op::MovImm, 0, 0, 7), Insn::new(Op::Exit, 0, 0, 0)] };
         let s = p.to_string();
         assert!(s.contains("   0: r0 = 7"));
         assert!(s.contains("   1: exit"));

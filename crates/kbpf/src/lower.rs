@@ -89,10 +89,7 @@ pub fn cc_verify_env() -> VerifyEnv {
 pub fn cc_ctx_features() -> Vec<Feature> {
     let mut feats = Feature::catalog(Mode::Kernel);
     feats.sort_by_key(|f| f.ctx_slot().expect("kernel features all have slots"));
-    debug_assert!(feats
-        .iter()
-        .enumerate()
-        .all(|(i, f)| f.ctx_slot() == Some(i as u16)));
+    debug_assert!(feats.iter().enumerate().all(|(i, f)| f.ctx_slot() == Some(i as u16)));
     feats
 }
 
@@ -173,9 +170,7 @@ impl Compiler {
             Expr::Int(v) => self.set_imm(k, *v),
             Expr::Float(v) => return Err(LowerError::FloatLiteral { value: *v }),
             Expr::Feat(f) => {
-                let slot = f
-                    .ctx_slot()
-                    .ok_or(LowerError::UnsupportedFeature { feature: *f })?;
+                let slot = f.ctx_slot().ok_or(LowerError::UnsupportedFeature { feature: *f })?;
                 match Self::slot_reg(k) {
                     Some(r) => self.push(Insn::new(Op::LdCtx, r, 0, slot as i64)),
                     None => {

@@ -50,18 +50,49 @@ impl VerifyEnv {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifyError {
     EmptyProgram,
-    TooManyInsns { len: usize },
-    BadRegister { pc: usize, reg: u8 },
-    BackEdge { pc: usize, target: i64 },
-    JumpOutOfBounds { pc: usize, target: i64 },
-    FallsOffEnd { pc: usize },
-    CtxOutOfBounds { pc: usize, slot: i64, size: usize },
-    MapOutOfBounds { pc: usize, slot: i64, size: usize },
-    UninitRead { pc: usize, reg: u8 },
+    TooManyInsns {
+        len: usize,
+    },
+    BadRegister {
+        pc: usize,
+        reg: u8,
+    },
+    BackEdge {
+        pc: usize,
+        target: i64,
+    },
+    JumpOutOfBounds {
+        pc: usize,
+        target: i64,
+    },
+    FallsOffEnd {
+        pc: usize,
+    },
+    CtxOutOfBounds {
+        pc: usize,
+        slot: i64,
+        size: usize,
+    },
+    MapOutOfBounds {
+        pc: usize,
+        slot: i64,
+        size: usize,
+    },
+    UninitRead {
+        pc: usize,
+        reg: u8,
+    },
     /// The divisor's interval includes zero.
-    DivByZeroPossible { pc: usize, reg_desc: String, lo: i64, hi: i64 },
+    DivByZeroPossible {
+        pc: usize,
+        reg_desc: String,
+        lo: i64,
+        hi: i64,
+    },
     /// `r0` may be uninitialized at an `exit`.
-    R0NotSet { pc: usize },
+    R0NotSet {
+        pc: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -258,7 +289,7 @@ pub fn verify(prog: &Program, env: &VerifyEnv) -> Result<Interval, VerifyError> 
     let mut r0_at_exit: Option<Interval> = None;
 
     for pc in 0..n {
-        let Some(state) = in_state[pc].clone() else {
+        let Some(state) = in_state[pc] else {
             continue; // unreachable
         };
         let insn = prog.insns[pc];
@@ -365,7 +396,7 @@ pub fn verify(prog: &Program, env: &VerifyEnv) -> Result<Interval, VerifyError> 
 fn propagate(in_state: &mut [Option<AbsState>], target: usize, state: &AbsState) {
     match &mut in_state[target] {
         Some(existing) => *existing = join_states(existing, state),
-        slot @ None => *slot = Some(state.clone()),
+        slot @ None => *slot = Some(*state),
     }
 }
 
@@ -398,7 +429,7 @@ fn branch(
     };
 
     if let Some((rd, ro)) = taken {
-        let mut st = state.clone();
+        let mut st = *state;
         st[insn.dst as usize] = Some(rd);
         if !imm_form {
             st[insn.src as usize] = Some(ro);
@@ -406,7 +437,7 @@ fn branch(
         propagate(in_state, taken_target, &st);
     }
     if let Some((rd, ro)) = fall {
-        let mut st = state.clone();
+        let mut st = *state;
         st[insn.dst as usize] = Some(rd);
         if !imm_form {
             st[insn.src as usize] = Some(ro);
@@ -448,32 +479,28 @@ fn refine_ne(d: Interval, o: Interval) -> Refined {
 fn refine_lt(d: Interval, o: Interval) -> Refined {
     let d_hi = d.hi.min(o.hi.saturating_sub(1));
     let o_lo = o.lo.max(d.lo.saturating_add(1));
-    (d.lo <= d_hi && o_lo <= o.hi)
-        .then(|| (Interval::new(d.lo, d_hi), Interval::new(o_lo, o.hi)))
+    (d.lo <= d_hi && o_lo <= o.hi).then(|| (Interval::new(d.lo, d_hi), Interval::new(o_lo, o.hi)))
 }
 
 /// `d <= o`.
 fn refine_le(d: Interval, o: Interval) -> Refined {
     let d_hi = d.hi.min(o.hi);
     let o_lo = o.lo.max(d.lo);
-    (d.lo <= d_hi && o_lo <= o.hi)
-        .then(|| (Interval::new(d.lo, d_hi), Interval::new(o_lo, o.hi)))
+    (d.lo <= d_hi && o_lo <= o.hi).then(|| (Interval::new(d.lo, d_hi), Interval::new(o_lo, o.hi)))
 }
 
 /// `d > o`.
 fn refine_gt(d: Interval, o: Interval) -> Refined {
     let d_lo = d.lo.max(o.lo.saturating_add(1));
     let o_hi = o.hi.min(d.hi.saturating_sub(1));
-    (d_lo <= d.hi && o.lo <= o_hi)
-        .then(|| (Interval::new(d_lo, d.hi), Interval::new(o.lo, o_hi)))
+    (d_lo <= d.hi && o.lo <= o_hi).then(|| (Interval::new(d_lo, d.hi), Interval::new(o.lo, o_hi)))
 }
 
 /// `d >= o`.
 fn refine_ge(d: Interval, o: Interval) -> Refined {
     let d_lo = d.lo.max(o.lo);
     let o_hi = o.hi.min(d.hi);
-    (d_lo <= d.hi && o.lo <= o_hi)
-        .then(|| (Interval::new(d_lo, d.hi), Interval::new(o.lo, o_hi)))
+    (d_lo <= d.hi && o.lo <= o_hi).then(|| (Interval::new(d_lo, d.hi), Interval::new(o.lo, o_hi)))
 }
 
 /// Pass 1: structure, bounds, registers, forward-only control flow.
@@ -497,7 +524,7 @@ fn structural_check(prog: &Program, env: &VerifyEnv) -> Result<(), VerifyError> 
             if insn.off < 0 {
                 return Err(VerifyError::BackEdge { pc, target });
             }
-            if target as usize >= n + 1 {
+            if target as usize > n {
                 return Err(VerifyError::JumpOutOfBounds { pc, target });
             }
             if target as usize == n {
@@ -505,23 +532,19 @@ fn structural_check(prog: &Program, env: &VerifyEnv) -> Result<(), VerifyError> 
             }
         }
         match insn.op {
-            Op::LdCtx => {
-                if insn.imm < 0 || insn.imm as usize >= env.ctx_ranges.len() {
-                    return Err(VerifyError::CtxOutOfBounds {
-                        pc,
-                        slot: insn.imm,
-                        size: env.ctx_ranges.len(),
-                    });
-                }
+            Op::LdCtx if (insn.imm < 0 || insn.imm as usize >= env.ctx_ranges.len()) => {
+                return Err(VerifyError::CtxOutOfBounds {
+                    pc,
+                    slot: insn.imm,
+                    size: env.ctx_ranges.len(),
+                });
             }
-            Op::LdMap | Op::StMap => {
-                if insn.imm < 0 || insn.imm as usize >= env.map_slots {
-                    return Err(VerifyError::MapOutOfBounds {
-                        pc,
-                        slot: insn.imm,
-                        size: env.map_slots,
-                    });
-                }
+            Op::LdMap | Op::StMap if (insn.imm < 0 || insn.imm as usize >= env.map_slots) => {
+                return Err(VerifyError::MapOutOfBounds {
+                    pc,
+                    slot: insn.imm,
+                    size: env.map_slots,
+                });
             }
             _ => {}
         }
@@ -583,11 +606,7 @@ mod tests {
 
     #[test]
     fn back_edge_rejected() {
-        let p = prog(vec![
-            i(Op::MovImm, 0, 0, 1),
-            j(Op::Ja, 0, 0, 0, -2),
-            i(Op::Exit, 0, 0, 0),
-        ]);
+        let p = prog(vec![i(Op::MovImm, 0, 0, 1), j(Op::Ja, 0, 0, 0, -2), i(Op::Exit, 0, 0, 0)]);
         assert!(matches!(verify(&p, &env2()), Err(VerifyError::BackEdge { pc: 1, .. })));
     }
 
@@ -702,11 +721,7 @@ mod tests {
     #[test]
     fn r0_interval_reported() {
         // r0 = ctx[0] + 5 → [5, 105]
-        let p = prog(vec![
-            i(Op::LdCtx, 0, 0, 0),
-            i(Op::AddImm, 0, 0, 5),
-            i(Op::Exit, 0, 0, 0),
-        ]);
+        let p = prog(vec![i(Op::LdCtx, 0, 0, 0), i(Op::AddImm, 0, 0, 5), i(Op::Exit, 0, 0, 0)]);
         assert_eq!(verify(&p, &env2()).unwrap(), Interval::new(5, 105));
     }
 
@@ -726,12 +741,7 @@ mod tests {
 
     #[test]
     fn diagnostics_kernel_style() {
-        let e = VerifyError::DivByZeroPossible {
-            pc: 4,
-            reg_desc: "R3".into(),
-            lo: 0,
-            hi: 9,
-        };
+        let e = VerifyError::DivByZeroPossible { pc: 4, reg_desc: "R3".into(), lo: 0, hi: 9 };
         assert!(e.to_string().contains("not allowed as divisor"));
         let e = VerifyError::BackEdge { pc: 9, target: 2 };
         assert!(e.to_string().contains("back-edge"));

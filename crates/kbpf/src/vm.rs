@@ -220,11 +220,7 @@ mod tests {
         );
         assert_eq!(r, Ok(i64::MAX));
         let r = run(
-            vec![
-                i(Op::MovImm, 0, 0, i64::MIN),
-                i(Op::DivImm, 0, 0, -1),
-                i(Op::Exit, 0, 0, 0),
-            ],
+            vec![i(Op::MovImm, 0, 0, i64::MIN), i(Op::DivImm, 0, 0, -1), i(Op::Exit, 0, 0, 0)],
             &[],
         );
         assert_eq!(r, Ok(i64::MAX));
@@ -232,10 +228,8 @@ mod tests {
 
     #[test]
     fn division_guard() {
-        let r = run(
-            vec![i(Op::MovImm, 0, 0, 5), i(Op::DivImm, 0, 0, 0), i(Op::Exit, 0, 0, 0)],
-            &[],
-        );
+        let r =
+            run(vec![i(Op::MovImm, 0, 0, 5), i(Op::DivImm, 0, 0, 0), i(Op::Exit, 0, 0, 0)], &[]);
         assert_eq!(r, Err(VmError::DivByZero { pc: 1 }));
     }
 
@@ -285,9 +279,7 @@ mod tests {
 
     #[test]
     fn fuel_exhaustion() {
-        let p = Program {
-            insns: vec![i(Op::MovImm, 0, 0, 1), i(Op::Exit, 0, 0, 0)],
-        };
+        let p = Program { insns: vec![i(Op::MovImm, 0, 0, 1), i(Op::Exit, 0, 0, 0)] };
         let mut map = [];
         assert_eq!(execute_with_fuel(&p, &[], &mut map, 1), Err(VmError::OutOfFuel));
         assert_eq!(execute_with_fuel(&p, &[], &mut map, 2), Ok(1));
@@ -316,15 +308,11 @@ mod tests {
 
     #[test]
     fn shifts_match_dsl_semantics() {
-        let r = run(
-            vec![i(Op::MovImm, 0, 0, 1), i(Op::LshImm, 0, 0, 100), i(Op::Exit, 0, 0, 0)],
-            &[],
-        );
+        let r =
+            run(vec![i(Op::MovImm, 0, 0, 1), i(Op::LshImm, 0, 0, 100), i(Op::Exit, 0, 0, 0)], &[]);
         assert_eq!(r, Ok(i64::MAX)); // clamped to 63, saturating
-        let r = run(
-            vec![i(Op::MovImm, 0, 0, -16), i(Op::RshImm, 0, 0, 2), i(Op::Exit, 0, 0, 0)],
-            &[],
-        );
+        let r =
+            run(vec![i(Op::MovImm, 0, 0, -16), i(Op::RshImm, 0, 0, 2), i(Op::Exit, 0, 0, 0)], &[]);
         assert_eq!(r, Ok(-4));
     }
 }

@@ -1,0 +1,281 @@
+//! The dispatch boundary: what a policy sees, and the classical baselines.
+//!
+//! Each baseline is one of the man-made heuristics §2 of the paper says
+//! operators accumulated for this tier; the study measures how far the
+//! searched policies move past them.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Read-only snapshot of one server at dispatch time — exactly the
+/// `Mode::Lb` feature surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerView {
+    /// Requests waiting in the FIFO queue (excludes the one in service).
+    pub queue_len: usize,
+    /// Unfinished requests assigned (queued + in service).
+    pub inflight: usize,
+    /// Speed, work units per millisecond.
+    pub speed: u32,
+    /// EWMA of recent response times, µs (0 until the first completion).
+    pub ewma_latency_us: u64,
+}
+
+/// Everything a dispatcher may read for one decision.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchView<'a> {
+    /// Virtual time of the arrival, µs.
+    pub now_us: u64,
+    /// Service demand of the request, work units.
+    pub req_size: u64,
+    /// Per-server snapshots, index-aligned with the fleet.
+    pub servers: &'a [ServerView],
+}
+
+/// A dispatch policy: pick the server index for one request.
+///
+/// Implementations must be deterministic given their own state (randomized
+/// policies own a seeded RNG). Returning an out-of-range index is a
+/// simulator panic — the contract mirrors the cache engine's victim rule.
+pub trait Dispatcher {
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+    /// Choose a server for the request described by `view`.
+    fn pick(&mut self, view: &DispatchView<'_>) -> usize;
+}
+
+/// Round-robin: rotate through servers regardless of state.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Dispatcher for RoundRobin {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+    fn pick(&mut self, view: &DispatchView<'_>) -> usize {
+        let ix = self.next % view.servers.len();
+        self.next = (self.next + 1) % view.servers.len();
+        ix
+    }
+}
+
+/// Uniform random server.
+#[derive(Debug, Clone)]
+pub struct Random {
+    rng: StdRng,
+}
+
+impl Random {
+    pub fn new(seed: u64) -> Self {
+        Random { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Dispatcher for Random {
+    fn name(&self) -> &str {
+        "random"
+    }
+    fn pick(&mut self, view: &DispatchView<'_>) -> usize {
+        self.rng.random_range(0..view.servers.len())
+    }
+}
+
+/// Join-shortest-queue: fewest inflight requests (ties to lower index).
+#[derive(Debug, Clone, Default)]
+pub struct Jsq;
+
+impl Jsq {
+    pub fn new() -> Self {
+        Jsq
+    }
+}
+
+impl Dispatcher for Jsq {
+    fn name(&self) -> &str {
+        "jsq"
+    }
+    fn pick(&mut self, view: &DispatchView<'_>) -> usize {
+        argmin(view.servers.iter().map(|s| s.inflight as u64))
+    }
+}
+
+/// Least-loaded: smallest speed-normalized backlog estimate, including the
+/// incoming request's own demand — the strongest classical baseline on
+/// heterogeneous fleets.
+#[derive(Debug, Clone, Default)]
+pub struct LeastLoaded;
+
+impl LeastLoaded {
+    pub fn new() -> Self {
+        LeastLoaded
+    }
+}
+
+impl Dispatcher for LeastLoaded {
+    fn name(&self) -> &str {
+        "least-loaded"
+    }
+    fn pick(&mut self, view: &DispatchView<'_>) -> usize {
+        // backlog proxy: inflight count × mean-demand placeholder (the view
+        // exposes counts, not residual work — same information a real L7
+        // balancer has) plus this request, normalized by speed
+        argmin(
+            view.servers
+                .iter()
+                .map(|s| (s.inflight as u64 + 1) * view.req_size.max(1) * 1_000 / s.speed as u64),
+        )
+    }
+}
+
+/// Power-of-two-choices: sample two distinct servers, take the less loaded
+/// (by inflight), ties to the first sampled.
+#[derive(Debug, Clone)]
+pub struct PowerOfTwo {
+    rng: StdRng,
+}
+
+impl PowerOfTwo {
+    pub fn new(seed: u64) -> Self {
+        PowerOfTwo { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Dispatcher for PowerOfTwo {
+    fn name(&self) -> &str {
+        "power-of-two"
+    }
+    fn pick(&mut self, view: &DispatchView<'_>) -> usize {
+        let n = view.servers.len();
+        if n == 1 {
+            return 0;
+        }
+        let a = self.rng.random_range(0..n);
+        let mut b = self.rng.random_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        if view.servers[b].inflight < view.servers[a].inflight {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+/// Index of the minimum key, ties to the lowest index.
+pub(crate) fn argmin<I: Iterator<Item = u64>>(keys: I) -> usize {
+    let mut best = 0usize;
+    let mut best_key = u64::MAX;
+    for (ix, k) in keys.enumerate() {
+        if k < best_key {
+            best_key = k;
+            best = ix;
+        }
+    }
+    best
+}
+
+/// Names of all classical baselines, strongest-first ordering not implied.
+pub fn lb_baseline_names() -> &'static [&'static str] {
+    &["round-robin", "random", "jsq", "least-loaded", "power-of-two"]
+}
+
+/// Construct a baseline by name (randomized ones get a fixed seed so runs
+/// stay reproducible).
+pub fn by_name(name: &str) -> Option<Box<dyn Dispatcher>> {
+    Some(match name {
+        "round-robin" => Box::new(RoundRobin::new()),
+        "random" => Box::new(Random::new(0x1b)),
+        "jsq" => Box::new(Jsq::new()),
+        "least-loaded" => Box::new(LeastLoaded::new()),
+        "power-of-two" => Box::new(PowerOfTwo::new(0x2c)),
+        _ => return None,
+    })
+}
+
+impl Dispatcher for Box<dyn Dispatcher> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn pick(&mut self, view: &DispatchView<'_>) -> usize {
+        (**self).pick(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_of(servers: &[ServerView]) -> DispatchView<'_> {
+        DispatchView { now_us: 0, req_size: 10, servers }
+    }
+
+    fn sv(queue_len: usize, inflight: usize, speed: u32) -> ServerView {
+        ServerView { queue_len, inflight, speed, ewma_latency_us: 0 }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let servers = [sv(0, 0, 4), sv(0, 0, 4), sv(0, 0, 4)];
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..6).map(|_| rr.pick(&view_of(&servers))).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn jsq_prefers_short_queues_and_breaks_ties_low() {
+        let servers = [sv(3, 4, 4), sv(0, 1, 4), sv(0, 1, 4)];
+        assert_eq!(Jsq::new().pick(&view_of(&servers)), 1);
+    }
+
+    #[test]
+    fn least_loaded_accounts_for_speed() {
+        // same inflight, different speeds: the fast server wins
+        let servers = [sv(2, 3, 1), sv(2, 3, 8)];
+        assert_eq!(LeastLoaded::new().pick(&view_of(&servers)), 1);
+        // a fast server with a deep backlog loses to an idle slow one
+        let servers = [sv(20, 21, 8), sv(0, 0, 1)];
+        assert_eq!(LeastLoaded::new().pick(&view_of(&servers)), 1);
+    }
+
+    #[test]
+    fn power_of_two_picks_less_loaded_of_its_sample() {
+        let servers = [sv(9, 10, 4), sv(0, 0, 4)];
+        let mut p2 = PowerOfTwo::new(1);
+        // with only two servers the sample is always {0, 1}
+        for _ in 0..20 {
+            assert_eq!(p2.pick(&view_of(&servers)), 1);
+        }
+    }
+
+    #[test]
+    fn random_covers_the_fleet_deterministically() {
+        let servers = [sv(0, 0, 4); 4];
+        let run = || {
+            let mut r = Random::new(7);
+            (0..100).map(|_| r.pick(&view_of(&servers))).collect::<Vec<_>>()
+        };
+        let picks = run();
+        assert_eq!(picks, run(), "seeded random must be reproducible");
+        for ix in 0..4 {
+            assert!(picks.contains(&ix), "server {ix} never picked");
+        }
+    }
+
+    #[test]
+    fn registry_is_complete() {
+        for name in lb_baseline_names() {
+            let d = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(d.name(), *name);
+        }
+        assert!(by_name("nope").is_none());
+    }
+}

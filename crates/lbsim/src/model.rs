@@ -1,0 +1,54 @@
+//! Core domain types: servers and requests.
+
+/// Static configuration of one backend server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerCfg {
+    /// Processing speed in work units per millisecond (≥ 1). A request of
+    /// `size` work units occupies the server for `size * 1000 / speed` µs.
+    pub speed: u32,
+    /// Maximum requests waiting in the FIFO queue (excluding the one in
+    /// service). An arrival dispatched to a full server is **dropped**.
+    pub queue_cap: usize,
+}
+
+impl ServerCfg {
+    /// A server with the given speed and queue bound.
+    pub fn new(speed: u32, queue_cap: usize) -> Self {
+        assert!(speed >= 1, "speed must be at least 1 work unit/ms");
+        ServerCfg { speed, queue_cap }
+    }
+
+    /// Service time of `size` work units on this server, µs (≥ 1).
+    pub fn service_us(&self, size: u64) -> u64 {
+        (size * 1000 / self.speed as u64).max(1)
+    }
+}
+
+/// One request offered to the dispatch tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LbRequest {
+    /// Arrival time at the dispatcher, µs.
+    pub arrival_us: u64,
+    /// Service demand in work units (≥ 1).
+    pub size: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_scales_with_speed() {
+        let slow = ServerCfg::new(1, 16);
+        let fast = ServerCfg::new(8, 16);
+        assert_eq!(slow.service_us(6), 6_000);
+        assert_eq!(fast.service_us(6), 750);
+        assert_eq!(fast.service_us(0), 1, "service time is never zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "speed")]
+    fn zero_speed_rejected() {
+        ServerCfg::new(0, 16);
+    }
+}

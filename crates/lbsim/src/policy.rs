@@ -1,0 +1,146 @@
+//! The PolicySmith template host for load balancing.
+//!
+//! A synthesized candidate is a DSL expression in [`Mode::Lb`]; the host
+//! evaluates it once per server at dispatch time and sends the request to
+//! the **lowest-scoring** server (argmin, ties to the lower index) — the
+//! mirror image of the cache host's highest-priority-stays rule, chosen so
+//! "score = estimated cost" reads naturally.
+//!
+//! Runtime faults (division by zero despite the checker's warning) follow
+//! the cache-study contract: the first error is **latched**, the dispatch
+//! falls back to round-robin so the simulation still completes with exact
+//! accounting, and the study scores the candidate as a hard failure.
+
+use crate::dispatch::{DispatchView, Dispatcher};
+use policysmith_dsl::env::MapEnv;
+use policysmith_dsl::{eval, EvalError, Expr, Feature};
+
+/// Dispatcher backed by a `Mode::Lb` scoring expression.
+pub struct ExprDispatcher {
+    name: String,
+    expr: Expr,
+    first_error: Option<EvalError>,
+    fallback_next: usize,
+}
+
+impl ExprDispatcher {
+    /// Host the given (parsed, checked) scoring expression.
+    pub fn new(name: &str, expr: Expr) -> Self {
+        ExprDispatcher { name: name.to_string(), expr, first_error: None, fallback_next: 0 }
+    }
+
+    /// The first runtime fault, if any occurred — the study's hard-failure
+    /// signal (same contract as the cache host's `first_error`).
+    pub fn first_error(&self) -> Option<&EvalError> {
+        self.first_error.as_ref()
+    }
+}
+
+impl Dispatcher for ExprDispatcher {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pick(&mut self, view: &DispatchView<'_>) -> usize {
+        if self.first_error.is_some() {
+            // latched failure: degrade to round-robin, keep the run exact
+            let ix = self.fallback_next % view.servers.len();
+            self.fallback_next = (self.fallback_next + 1) % view.servers.len();
+            return ix;
+        }
+        let mut best = 0usize;
+        let mut best_score = i64::MAX;
+        let mut env = MapEnv::new();
+        env.set(Feature::Now, view.now_us as i64);
+        env.set(Feature::ReqSize, view.req_size as i64);
+        for (ix, s) in view.servers.iter().enumerate() {
+            env.set(Feature::ServerQueueLen, s.queue_len as i64);
+            env.set(Feature::ServerInflight, s.inflight as i64);
+            env.set(Feature::ServerSpeed, s.speed as i64);
+            env.set(Feature::ServerEwmaLatency, s.ewma_latency_us as i64);
+            match eval(&self.expr, &env) {
+                Ok(score) => {
+                    if score < best_score {
+                        best_score = score;
+                        best = ix;
+                    }
+                }
+                Err(e) => {
+                    self.first_error = Some(e);
+                    let ix = self.fallback_next % view.servers.len();
+                    self.fallback_next = (self.fallback_next + 1) % view.servers.len();
+                    return ix;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::ServerView;
+    use policysmith_dsl::{check, parse, Mode};
+
+    fn sv(queue_len: usize, inflight: usize, speed: u32, ewma: u64) -> ServerView {
+        ServerView { queue_len, inflight, speed, ewma_latency_us: ewma }
+    }
+
+    fn host(src: &str) -> ExprDispatcher {
+        let e = parse(src).unwrap();
+        check(&e, Mode::Lb).unwrap();
+        ExprDispatcher::new("test", e)
+    }
+
+    #[test]
+    fn argmin_on_queue_len_is_jsq() {
+        let servers = [sv(4, 5, 4, 0), sv(1, 2, 4, 0), sv(2, 3, 4, 0)];
+        let view = DispatchView { now_us: 0, req_size: 10, servers: &servers };
+        assert_eq!(host("server.queue_len").pick(&view), 1);
+    }
+
+    #[test]
+    fn speed_normalized_score_prefers_fast_servers() {
+        // equal backlog, unequal speed → normalized load picks the fast one
+        let servers = [sv(3, 4, 1, 0), sv(3, 4, 8, 0)];
+        let view = DispatchView { now_us: 0, req_size: 10, servers: &servers };
+        assert_eq!(host("server.inflight * 1000 / server.speed").pick(&view), 1);
+    }
+
+    #[test]
+    fn ties_break_to_the_lower_index() {
+        let servers = [sv(2, 2, 4, 0), sv(2, 2, 4, 0)];
+        let view = DispatchView { now_us: 0, req_size: 10, servers: &servers };
+        assert_eq!(host("server.queue_len").pick(&view), 0);
+    }
+
+    #[test]
+    fn runtime_fault_latches_and_degrades_to_round_robin() {
+        // queue_len is 0 on an idle server → division by zero at runtime
+        let servers = [sv(0, 0, 4, 0), sv(0, 0, 4, 0)];
+        let view = DispatchView { now_us: 0, req_size: 10, servers: &servers };
+        let mut d = host("1000 / server.queue_len");
+        assert!(d.first_error().is_none());
+        let picks: Vec<usize> = (0..4).map(|_| d.pick(&view)).collect();
+        assert!(d.first_error().is_some(), "fault must latch");
+        assert_eq!(picks, vec![0, 1, 0, 1], "fallback is round-robin");
+    }
+
+    #[test]
+    fn full_simulation_with_expr_host_matches_jsq_ordering() {
+        // end-to-end: the expr host with the JSQ expression must land at
+        // exactly the inflight-argmin decisions the native Jsq makes
+        let servers =
+            vec![crate::model::ServerCfg::new(4, 32), crate::model::ServerCfg::new(4, 32)];
+        let cfg = crate::workload::WorkloadCfg {
+            arrivals: crate::workload::ArrivalProcess::Poisson { rate_per_sec: 900.0 },
+            sizes: crate::workload::BoundedPareto::web_default(),
+            n: 4_000,
+        };
+        let reqs = crate::workload::generate(&cfg, 5);
+        let expr_m = crate::sim::run(&servers, &reqs, &mut host("server.inflight"));
+        let jsq_m = crate::sim::run(&servers, &reqs, &mut crate::dispatch::Jsq::new());
+        assert_eq!(expr_m, jsq_m, "server.inflight argmin IS join-shortest-queue");
+    }
+}

@@ -1,0 +1,193 @@
+//! Scenario presets — the "contexts" of the load-balancing study.
+//!
+//! Each preset fixes a fleet, a workload, and a seed, so a scenario names
+//! a reproducible context exactly the way a trace index does in the cache
+//! study. Offered-load figures below use the bounded-Pareto mean of ≈ 5.9
+//! work units per request against the fleet's aggregate speed (work units
+//! per second = Σ speed × 1000).
+
+use crate::model::{LbRequest, ServerCfg};
+use crate::workload::{self, ArrivalProcess, BoundedPareto, WorkloadCfg};
+
+/// A named, reproducible load-balancing context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Context identifier (e.g. `lb/flash-crowd`).
+    pub name: String,
+    /// The server fleet.
+    pub servers: Vec<ServerCfg>,
+    /// The offered workload.
+    pub workload: WorkloadCfg,
+    /// Workload generation seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Generate this scenario's request stream (pure in the scenario).
+    pub fn requests(&self) -> Vec<LbRequest> {
+        workload::generate(&self.workload, self.seed)
+    }
+
+    /// Aggregate fleet speed, work units per second.
+    pub fn fleet_capacity_per_sec(&self) -> f64 {
+        self.servers.iter().map(|s| s.speed as f64 * 1000.0).sum()
+    }
+
+    /// Long-run offered load as a fraction of fleet capacity.
+    pub fn offered_load(&self) -> f64 {
+        self.workload.arrivals.mean_rate_per_sec() * self.workload.sizes.mean()
+            / self.fleet_capacity_per_sec()
+    }
+}
+
+fn fleet(specs: &[(usize, u32, usize)]) -> Vec<ServerCfg> {
+    specs
+        .iter()
+        .flat_map(|&(count, speed, cap)| std::iter::repeat_n(ServerCfg::new(speed, cap), count))
+        .collect()
+}
+
+/// Homogeneous fleet at ~72% load under Poisson arrivals: the benign
+/// context where JSQ-family policies are near-optimal. 8 × speed-4.
+pub fn uniform_fleet() -> Scenario {
+    Scenario {
+        name: "lb/uniform-fleet".into(),
+        servers: fleet(&[(8, 4, 32)]),
+        workload: WorkloadCfg {
+            arrivals: ArrivalProcess::Poisson { rate_per_sec: 3_900.0 },
+            sizes: BoundedPareto::web_default(),
+            n: 30_000,
+        },
+        seed: 0xA1,
+    }
+}
+
+/// Two-tier fleet (4 × speed-8 + 4 × speed-2) at ~72% load: queue length
+/// alone misleads, speed normalization pays. The classic "new hardware
+/// generation behind one VIP" shape.
+pub fn two_tier_fleet() -> Scenario {
+    Scenario {
+        name: "lb/two-tier".into(),
+        servers: fleet(&[(4, 8, 32), (4, 2, 32)]),
+        workload: WorkloadCfg {
+            arrivals: ArrivalProcess::Poisson { rate_per_sec: 4_900.0 },
+            sizes: BoundedPareto::web_default(),
+            n: 30_000,
+        },
+        seed: 0xB2,
+    }
+}
+
+/// Flash crowd on a heterogeneous fleet: calm ~55% load punctuated by
+/// MMPP bursts at ~2.4× capacity that overflow the shallow queues of
+/// speed-blind dispatchers. The headline search context.
+pub fn flash_crowd() -> Scenario {
+    Scenario {
+        name: "lb/flash-crowd".into(),
+        servers: fleet(&[(2, 8, 24), (2, 4, 24), (2, 2, 24)]),
+        workload: WorkloadCfg {
+            arrivals: ArrivalProcess::Mmpp {
+                calm_rate_per_sec: 2_600.0,
+                burst_rate_per_sec: 11_500.0,
+                mean_calm_us: 350_000.0,
+                mean_burst_us: 90_000.0,
+            },
+            sizes: BoundedPareto::web_default(),
+            n: 30_000,
+        },
+        seed: 0xC3,
+    }
+}
+
+/// Slow-node degradation: a nominally uniform 6 × speed-4 fleet where one
+/// node runs at speed 1 (failing disk, noisy neighbour). Oblivious
+/// policies keep feeding the sick node its full share.
+pub fn slow_node() -> Scenario {
+    let mut servers = fleet(&[(6, 4, 32)]);
+    servers[3] = ServerCfg::new(1, 32);
+    Scenario {
+        name: "lb/slow-node".into(),
+        servers,
+        workload: WorkloadCfg {
+            arrivals: ArrivalProcess::Poisson { rate_per_sec: 2_400.0 },
+            sizes: BoundedPareto::web_default(),
+            n: 30_000,
+        },
+        seed: 0xD4,
+    }
+}
+
+/// All scenario presets, benign first.
+pub fn all_presets() -> Vec<Scenario> {
+    vec![uniform_fleet(), two_tier_fleet(), flash_crowd(), slow_node()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{by_name, lb_baseline_names};
+    use crate::sim::simulate;
+
+    #[test]
+    fn presets_are_distinct_and_reproducible() {
+        let names: std::collections::HashSet<String> =
+            all_presets().into_iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 4);
+        assert_eq!(flash_crowd().requests(), flash_crowd().requests());
+    }
+
+    #[test]
+    fn offered_loads_are_in_the_documented_bands() {
+        let uf = uniform_fleet();
+        assert!((0.6..0.85).contains(&uf.offered_load()), "{}", uf.offered_load());
+        let tt = two_tier_fleet();
+        assert!((0.6..0.85).contains(&tt.offered_load()), "{}", tt.offered_load());
+        let fc = flash_crowd();
+        assert!((0.6..0.95).contains(&fc.offered_load()), "{}", fc.offered_load());
+        let sn = slow_node();
+        assert!((0.6..0.85).contains(&sn.offered_load()), "{}", sn.offered_load());
+    }
+
+    #[test]
+    fn every_baseline_completes_every_preset() {
+        for sc in all_presets() {
+            for name in lb_baseline_names() {
+                let mut d = by_name(name).unwrap();
+                let m = simulate(&sc, &mut d);
+                assert_eq!(m.offered, sc.workload.n as u64, "{}/{name}", sc.name);
+                assert_eq!(m.completed + m.dropped, m.offered, "{}/{name}", sc.name);
+                assert!(m.mean_slowdown() >= 1.0 || m.offered == 0, "{}/{name}", sc.name);
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_punishes_speed_blind_dispatch() {
+        let sc = flash_crowd();
+        let mut jsq = by_name("jsq").unwrap();
+        let mut ll = by_name("least-loaded").unwrap();
+        let mj = simulate(&sc, &mut jsq);
+        let ml = simulate(&sc, &mut ll);
+        assert!(
+            ml.mean_slowdown() < mj.mean_slowdown(),
+            "least-loaded {} must beat jsq {} on the flash crowd",
+            ml.mean_slowdown(),
+            mj.mean_slowdown()
+        );
+    }
+
+    #[test]
+    fn slow_node_hurts_round_robin_most() {
+        let sc = slow_node();
+        let mut rr = by_name("round-robin").unwrap();
+        let mut jsq = by_name("jsq").unwrap();
+        let mr = simulate(&sc, &mut rr);
+        let mj = simulate(&sc, &mut jsq);
+        assert!(
+            mj.mean_slowdown() < mr.mean_slowdown(),
+            "jsq {} must beat rr {} when one node is sick",
+            mj.mean_slowdown(),
+            mr.mean_slowdown()
+        );
+    }
+}

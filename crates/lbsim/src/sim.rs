@@ -1,0 +1,346 @@
+//! The discrete-event engine and the metrics the study scores.
+//!
+//! Two event sources drive the system: request arrivals (pre-generated,
+//! time-ordered) and service completions (a min-heap). Completions at or
+//! before an arrival instant are applied first, so the dispatcher always
+//! sees up-to-date queues; ties inside the heap break on server index.
+//! A run is a pure function of `(servers, requests, dispatcher)`.
+
+use crate::dispatch::{DispatchView, Dispatcher, ServerView};
+use crate::model::{LbRequest, ServerCfg};
+use crate::scenario::Scenario;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Mean-slowdown penalty charged per dropped request — an SLO-style cost
+/// standing in for the retry/timeout a real client would suffer. Large
+/// enough that overflowing bounded queues can never pay off.
+pub const DROP_SLOWDOWN_PENALTY: f64 = 100.0;
+
+/// EWMA weight (1/8 new sample, like TCP's srtt) for per-server latency.
+const EWMA_SHIFT: u32 = 3;
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LbMetrics {
+    /// Requests offered to the dispatcher.
+    pub offered: u64,
+    /// Requests that completed service.
+    pub completed: u64,
+    /// Requests dropped at a full queue.
+    pub dropped: u64,
+    /// Sum of per-request slowdowns over completed requests.
+    pub sum_slowdown: f64,
+    /// Sum of response times over completed requests, µs.
+    pub sum_response_us: u64,
+    /// Busy time per server, µs (index-aligned with the fleet).
+    pub busy_us: Vec<u64>,
+    /// Virtual time of the last event, µs.
+    pub duration_us: u64,
+    /// Deepest queue observed on any server.
+    pub max_queue_seen: usize,
+}
+
+impl LbMetrics {
+    /// Mean slowdown over all offered requests; a completed request
+    /// contributes `response / ideal` (ideal = its service time on an
+    /// unloaded fastest server), a dropped one contributes
+    /// [`DROP_SLOWDOWN_PENALTY`]. Lower is better; 1.0 is unreachable
+    /// perfection.
+    pub fn mean_slowdown(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        (self.sum_slowdown + self.dropped as f64 * DROP_SLOWDOWN_PENALTY) / self.offered as f64
+    }
+
+    /// Mean response time over completed requests, µs.
+    pub fn mean_response_us(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.sum_response_us as f64 / self.completed as f64
+    }
+
+    /// Fraction of offered requests dropped.
+    pub fn drop_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.dropped as f64 / self.offered as f64
+    }
+
+    /// Mean busy fraction across the fleet.
+    pub fn utilization(&self) -> f64 {
+        if self.duration_us == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.busy_us.iter().sum();
+        busy as f64 / (self.duration_us as f64 * self.busy_us.len() as f64)
+    }
+}
+
+struct ServerState {
+    cfg: ServerCfg,
+    /// Waiting requests: (request index, service time on this server, µs).
+    queue: VecDeque<(usize, u64)>,
+    /// In-service request: (request index, finish time, µs).
+    in_service: Option<(usize, u64)>,
+    ewma_latency_us: u64,
+    busy_us: u64,
+}
+
+impl ServerState {
+    fn view(&self) -> ServerView {
+        ServerView {
+            queue_len: self.queue.len(),
+            inflight: self.queue.len() + usize::from(self.in_service.is_some()),
+            speed: self.cfg.speed,
+            ewma_latency_us: self.ewma_latency_us,
+        }
+    }
+}
+
+/// Run `requests` (time-ordered) against `servers` under `dispatcher`.
+///
+/// # Panics
+/// If the fleet is empty, requests are out of order, or the dispatcher
+/// returns an out-of-range index.
+pub fn run(
+    servers: &[ServerCfg],
+    requests: &[LbRequest],
+    dispatcher: &mut dyn Dispatcher,
+) -> LbMetrics {
+    assert!(!servers.is_empty(), "need at least one server");
+    let vmax = servers.iter().map(|s| s.speed).max().unwrap();
+    let ideal = ServerCfg::new(vmax, usize::MAX >> 1);
+
+    let mut fleet: Vec<ServerState> = servers
+        .iter()
+        .map(|&cfg| ServerState {
+            cfg,
+            queue: VecDeque::new(),
+            in_service: None,
+            ewma_latency_us: 0,
+            busy_us: 0,
+        })
+        .collect();
+    // completion agenda: (finish time, server index)
+    let mut completions: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+
+    let mut m = LbMetrics {
+        offered: requests.len() as u64,
+        completed: 0,
+        dropped: 0,
+        sum_slowdown: 0.0,
+        sum_response_us: 0,
+        busy_us: vec![0; servers.len()],
+        duration_us: 0,
+        max_queue_seen: 0,
+    };
+
+    let mut views: Vec<ServerView> = Vec::with_capacity(fleet.len());
+    let mut last_arrival = 0u64;
+
+    let complete_until = |t: u64,
+                          fleet: &mut Vec<ServerState>,
+                          completions: &mut BinaryHeap<Reverse<(u64, usize)>>,
+                          m: &mut LbMetrics| {
+        while let Some(&Reverse((finish, six))) = completions.peek() {
+            if finish > t {
+                break;
+            }
+            completions.pop();
+            let s = &mut fleet[six];
+            let (rix, _) = s.in_service.take().expect("completion without service");
+            let req = &requests[rix];
+            let response = finish - req.arrival_us;
+            m.completed += 1;
+            m.sum_response_us += response;
+            m.sum_slowdown += response as f64 / ideal.service_us(req.size) as f64;
+            m.duration_us = m.duration_us.max(finish);
+            s.ewma_latency_us = if s.ewma_latency_us == 0 {
+                response
+            } else {
+                s.ewma_latency_us - (s.ewma_latency_us >> EWMA_SHIFT) + (response >> EWMA_SHIFT)
+            };
+            if let Some((nrix, service)) = s.queue.pop_front() {
+                s.in_service = Some((nrix, finish + service));
+                s.busy_us += service;
+                completions.push(Reverse((finish + service, six)));
+            }
+        }
+    };
+
+    for (rix, req) in requests.iter().enumerate() {
+        assert!(req.arrival_us >= last_arrival, "requests must be time-ordered");
+        last_arrival = req.arrival_us;
+        complete_until(req.arrival_us, &mut fleet, &mut completions, &mut m);
+        m.duration_us = m.duration_us.max(req.arrival_us);
+
+        views.clear();
+        views.extend(fleet.iter().map(ServerState::view));
+        let view = DispatchView { now_us: req.arrival_us, req_size: req.size, servers: &views };
+        let six = dispatcher.pick(&view);
+        assert!(six < fleet.len(), "dispatcher returned server {six} of {}", fleet.len());
+
+        let s = &mut fleet[six];
+        let service = s.cfg.service_us(req.size);
+        if s.in_service.is_none() {
+            s.in_service = Some((rix, req.arrival_us + service));
+            s.busy_us += service;
+            completions.push(Reverse((req.arrival_us + service, six)));
+        } else if s.queue.len() < s.cfg.queue_cap {
+            s.queue.push_back((rix, service));
+            m.max_queue_seen = m.max_queue_seen.max(s.queue.len());
+        } else {
+            m.dropped += 1;
+        }
+    }
+    complete_until(u64::MAX, &mut fleet, &mut completions, &mut m);
+
+    for (ix, s) in fleet.iter().enumerate() {
+        m.busy_us[ix] = s.busy_us;
+    }
+    m
+}
+
+/// Run a [`Scenario`] end to end (generates its workload, then [`run`]s).
+pub fn simulate<D: Dispatcher>(scenario: &Scenario, dispatcher: &mut D) -> LbMetrics {
+    run(&scenario.servers, &scenario.requests(), dispatcher)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::{Jsq, LeastLoaded, Random, RoundRobin};
+    use crate::model::LbRequest;
+
+    fn uniform_servers(n: usize, speed: u32, cap: usize) -> Vec<ServerCfg> {
+        (0..n).map(|_| ServerCfg::new(speed, cap)).collect()
+    }
+
+    /// Back-to-back equal requests onto one server: pure queueing math.
+    #[test]
+    fn single_server_fifo_math() {
+        let servers = uniform_servers(1, 1, 16);
+        // size 5 → 5 ms service; arrivals every 1 ms
+        let reqs: Vec<LbRequest> =
+            (0..4).map(|i| LbRequest { arrival_us: 1_000 * (i + 1), size: 5 }).collect();
+        let m = run(&servers, &reqs, &mut RoundRobin::new());
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.dropped, 0);
+        // completions at 6, 11, 16, 21 ms → responses 5, 9, 13, 17 ms
+        assert_eq!(m.sum_response_us, (5 + 9 + 13 + 17) * 1_000);
+        assert_eq!(m.duration_us, 21_000);
+        assert_eq!(m.busy_us[0], 20_000);
+    }
+
+    #[test]
+    fn bounded_queue_drops_overflow() {
+        let servers = uniform_servers(1, 1, 2);
+        // 5 simultaneous-ish arrivals: 1 in service + 2 queued + 2 dropped
+        let reqs: Vec<LbRequest> =
+            (0..5).map(|i| LbRequest { arrival_us: 10 + i, size: 1_000 }).collect();
+        let m = run(&servers, &reqs, &mut RoundRobin::new());
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.dropped, 2);
+        assert!(m.mean_slowdown() > DROP_SLOWDOWN_PENALTY * 2.0 / 5.0);
+    }
+
+    #[test]
+    fn conservation_and_determinism() {
+        let servers = vec![ServerCfg::new(4, 8), ServerCfg::new(2, 8), ServerCfg::new(1, 8)];
+        let cfg = crate::workload::WorkloadCfg {
+            arrivals: crate::workload::ArrivalProcess::Poisson { rate_per_sec: 900.0 },
+            sizes: crate::workload::BoundedPareto::web_default(),
+            n: 8_000,
+        };
+        let reqs = crate::workload::generate(&cfg, 42);
+        let run_once = || run(&servers, &reqs, &mut Jsq::new());
+        let (a, b) = (run_once(), run_once());
+        assert_eq!(a, b, "simulation must be deterministic");
+        assert_eq!(a.completed + a.dropped, a.offered);
+        assert!(a.utilization() > 0.0 && a.utilization() <= 1.0);
+        assert!(a.mean_response_us() > 0.0);
+    }
+
+    #[test]
+    fn jsq_beats_random_on_a_uniform_fleet() {
+        let servers = uniform_servers(8, 4, 32);
+        let cfg = crate::workload::WorkloadCfg {
+            arrivals: crate::workload::ArrivalProcess::Poisson { rate_per_sec: 3_800.0 },
+            sizes: crate::workload::BoundedPareto::web_default(),
+            n: 20_000,
+        };
+        let reqs = crate::workload::generate(&cfg, 7);
+        let jsq = run(&servers, &reqs, &mut Jsq::new());
+        let rnd = run(&servers, &reqs, &mut Random::new(3));
+        assert!(
+            jsq.mean_slowdown() < rnd.mean_slowdown() * 0.8,
+            "jsq {} vs random {}",
+            jsq.mean_slowdown(),
+            rnd.mean_slowdown()
+        );
+    }
+
+    #[test]
+    fn speed_awareness_wins_on_a_heterogeneous_fleet() {
+        // 2 fast + 4 slow: JSQ sends equal shares to unequal servers
+        let mut servers = uniform_servers(2, 8, 32);
+        servers.extend(uniform_servers(4, 1, 32));
+        let cfg = crate::workload::WorkloadCfg {
+            arrivals: crate::workload::ArrivalProcess::Poisson { rate_per_sec: 2_200.0 },
+            sizes: crate::workload::BoundedPareto::web_default(),
+            n: 20_000,
+        };
+        let reqs = crate::workload::generate(&cfg, 11);
+        let jsq = run(&servers, &reqs, &mut Jsq::new());
+        let ll = run(&servers, &reqs, &mut LeastLoaded::new());
+        assert!(
+            ll.mean_slowdown() < jsq.mean_slowdown(),
+            "least-loaded {} vs jsq {}",
+            ll.mean_slowdown(),
+            jsq.mean_slowdown()
+        );
+    }
+
+    #[test]
+    fn ewma_latency_tracks_congestion() {
+        // saturate one server and keep another idle; a latency-aware view
+        // must separate them. Dispatch by fixed pattern: all to server 0.
+        struct AllToZero;
+        impl Dispatcher for AllToZero {
+            fn name(&self) -> &str {
+                "all-to-zero"
+            }
+            fn pick(&mut self, _v: &DispatchView<'_>) -> usize {
+                0
+            }
+        }
+        let servers = uniform_servers(2, 1, 512);
+        let reqs: Vec<LbRequest> =
+            (0..200).map(|i| LbRequest { arrival_us: i * 100, size: 10 }).collect();
+        let m = run(&servers, &reqs, &mut AllToZero);
+        assert_eq!(m.completed, 200);
+        assert!(m.busy_us[1] == 0, "server 1 must stay idle");
+        assert!(m.max_queue_seen > 50, "server 0 must build a deep queue");
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatcher returned server")]
+    fn out_of_range_pick_panics() {
+        struct Bad;
+        impl Dispatcher for Bad {
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn pick(&mut self, _v: &DispatchView<'_>) -> usize {
+                usize::MAX
+            }
+        }
+        let servers = uniform_servers(1, 1, 4);
+        let reqs = vec![LbRequest { arrival_us: 1, size: 1 }];
+        run(&servers, &reqs, &mut Bad);
+    }
+}

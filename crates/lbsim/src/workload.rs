@@ -1,0 +1,255 @@
+//! Workload synthesis: arrival processes × service-demand distributions.
+//!
+//! Load-balancing policies differentiate under exactly two stresses, and
+//! the generators here produce both:
+//!
+//! * **heavy-tailed sizes** — one elephant behind a short queue beats a
+//!   long queue of mice, so queue *length* and work *left* diverge; the
+//!   bounded-Pareto sampler controls how hard;
+//! * **burstiness** — a Poisson stream at moderate load barely separates
+//!   policies, while an MMPP on/off process overflows bounded queues
+//!   during bursts and rewards dispatchers that spread the spike.
+//!
+//! Generation is a pure function of `(cfg, seed)`.
+
+use crate::model::LbRequest;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Bounded Pareto service-demand distribution (work units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    /// Tail exponent (lower = heavier tail; web traffic ≈ 1.1–1.5).
+    pub alpha: f64,
+    /// Minimum size, work units (≥ 1).
+    pub min: u64,
+    /// Maximum size, work units.
+    pub max: u64,
+}
+
+impl BoundedPareto {
+    /// Classic heavy-tailed request mix: α = 1.5 over [2, 10 000].
+    pub fn web_default() -> Self {
+        BoundedPareto { alpha: 1.5, min: 2, max: 10_000 }
+    }
+
+    /// Draw one size by inverse-CDF.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        assert!(self.min >= 1 && self.min < self.max, "degenerate size range");
+        let (l, h, a) = (self.min as f64, self.max as f64, self.alpha);
+        let u: f64 = rng.random_range(0.0..1.0);
+        let la = l.powf(-a);
+        let ha = h.powf(-a);
+        let x = (la - u * (la - ha)).powf(-1.0 / a);
+        (x as u64).clamp(self.min, self.max)
+    }
+
+    /// Analytic mean of the distribution, work units.
+    pub fn mean(&self) -> f64 {
+        let (l, h, a) = (self.min as f64, self.max as f64, self.alpha);
+        if (a - 1.0).abs() < 1e-9 {
+            // α = 1: E = ln(H/L) · L / (1 − L/H)
+            return l * (h / l).ln() / (1.0 - l / h);
+        }
+        l.powf(a) / (1.0 - (l / h).powf(a)) * a / (a - 1.0) * (l.powf(1.0 - a) - h.powf(1.0 - a))
+    }
+}
+
+/// Arrival process of the request stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant rate.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_per_sec: f64,
+    },
+    /// Markov-modulated on/off process: exponential dwell times in a calm
+    /// state and a burst state, each with its own Poisson rate — the
+    /// standard model for flash crowds.
+    Mmpp {
+        /// Arrival rate in the calm state, requests per second.
+        calm_rate_per_sec: f64,
+        /// Arrival rate during bursts, requests per second.
+        burst_rate_per_sec: f64,
+        /// Mean dwell time in the calm state, µs.
+        mean_calm_us: f64,
+        /// Mean dwell time in the burst state, µs.
+        mean_burst_us: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Long-run mean arrival rate, requests per second.
+    pub fn mean_rate_per_sec(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } => rate_per_sec,
+            ArrivalProcess::Mmpp {
+                calm_rate_per_sec,
+                burst_rate_per_sec,
+                mean_calm_us,
+                mean_burst_us,
+            } => {
+                let total = mean_calm_us + mean_burst_us;
+                (calm_rate_per_sec * mean_calm_us + burst_rate_per_sec * mean_burst_us) / total
+            }
+        }
+    }
+}
+
+/// One workload: an arrival process, a size distribution, and a length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadCfg {
+    pub arrivals: ArrivalProcess,
+    pub sizes: BoundedPareto,
+    /// Number of requests to generate.
+    pub n: usize,
+}
+
+/// Exponential draw with the given mean, µs (≥ 1).
+fn exp_us(rng: &mut StdRng, mean_us: f64) -> u64 {
+    let u: f64 = rng.random_range(0.0..1.0);
+    let x = -mean_us * (1.0 - u).max(1e-300).ln();
+    (x as u64).max(1)
+}
+
+/// Generate the request stream. Pure in `(cfg, seed)`.
+pub fn generate(cfg: &WorkloadCfg, seed: u64) -> Vec<LbRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(cfg.n);
+    let mut now_us: u64 = 0;
+
+    match cfg.arrivals {
+        ArrivalProcess::Poisson { rate_per_sec } => {
+            assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+            let mean_iat = 1e6 / rate_per_sec;
+            for _ in 0..cfg.n {
+                now_us += exp_us(&mut rng, mean_iat);
+                out.push(LbRequest { arrival_us: now_us, size: cfg.sizes.sample(&mut rng) });
+            }
+        }
+        ArrivalProcess::Mmpp {
+            calm_rate_per_sec,
+            burst_rate_per_sec,
+            mean_calm_us,
+            mean_burst_us,
+        } => {
+            assert!(calm_rate_per_sec > 0.0 && burst_rate_per_sec > 0.0);
+            let mut bursting = false;
+            let mut phase_ends_us = exp_us(&mut rng, mean_calm_us);
+            while out.len() < cfg.n {
+                let rate = if bursting { burst_rate_per_sec } else { calm_rate_per_sec };
+                let next = now_us + exp_us(&mut rng, 1e6 / rate);
+                if next >= phase_ends_us {
+                    // state flip; re-draw the arrival in the new state from
+                    // the flip instant (memorylessness makes this exact)
+                    now_us = phase_ends_us;
+                    bursting = !bursting;
+                    let dwell = if bursting { mean_burst_us } else { mean_calm_us };
+                    phase_ends_us = now_us + exp_us(&mut rng, dwell);
+                    continue;
+                }
+                now_us = next;
+                out.push(LbRequest { arrival_us: now_us, size: cfg.sizes.sample(&mut rng) });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadCfg {
+            arrivals: ArrivalProcess::Poisson { rate_per_sec: 1_000.0 },
+            sizes: BoundedPareto::web_default(),
+            n: 5_000,
+        };
+        assert_eq!(generate(&cfg, 7), generate(&cfg, 7));
+        assert_ne!(generate(&cfg, 7), generate(&cfg, 8));
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let cfg = WorkloadCfg {
+            arrivals: ArrivalProcess::Poisson { rate_per_sec: 2_000.0 },
+            sizes: BoundedPareto::web_default(),
+            n: 40_000,
+        };
+        let reqs = generate(&cfg, 3);
+        let span_s = reqs.last().unwrap().arrival_us as f64 / 1e6;
+        let rate = reqs.len() as f64 / span_s;
+        assert!((rate - 2_000.0).abs() < 100.0, "empirical rate {rate}");
+        assert!(reqs.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+    }
+
+    #[test]
+    fn pareto_sizes_are_heavy_tailed_and_bounded() {
+        let p = BoundedPareto::web_default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<u64> = (0..200_000).map(|_| p.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| (p.min..=p.max).contains(&x)));
+        let mean = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+        assert!(
+            (mean - p.mean()).abs() / p.mean() < 0.15,
+            "empirical mean {mean} vs analytic {}",
+            p.mean()
+        );
+        // heavy tail: the top 1% carries a disproportionate share
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let top1: u64 = sorted[sorted.len() - sorted.len() / 100..].iter().sum();
+        let share = top1 as f64 / xs.iter().sum::<u64>() as f64;
+        assert!(share > 0.2, "top-1% share {share}");
+    }
+
+    #[test]
+    fn mmpp_bursts_modulate_local_rate() {
+        let cfg = WorkloadCfg {
+            arrivals: ArrivalProcess::Mmpp {
+                calm_rate_per_sec: 500.0,
+                burst_rate_per_sec: 8_000.0,
+                mean_calm_us: 400_000.0,
+                mean_burst_us: 60_000.0,
+            },
+            sizes: BoundedPareto::web_default(),
+            n: 30_000,
+        };
+        let reqs = generate(&cfg, 11);
+        // windowed rates must show both regimes: some 50 ms windows far
+        // above the long-run mean, some far below
+        let mean_rate = cfg.arrivals.mean_rate_per_sec();
+        let window_us = 50_000u64;
+        let end = reqs.last().unwrap().arrival_us;
+        let mut counts = vec![0u32; (end / window_us + 1) as usize];
+        for r in &reqs {
+            counts[(r.arrival_us / window_us) as usize] += 1;
+        }
+        let to_rate = |c: u32| c as f64 / (window_us as f64 / 1e6);
+        let hot = counts.iter().filter(|&&c| to_rate(c) > 2.0 * mean_rate).count();
+        let cold = counts.iter().filter(|&&c| to_rate(c) < 0.7 * mean_rate).count();
+        assert!(hot > 0, "no burst windows observed");
+        assert!(cold > counts.len() / 4, "no calm windows observed");
+    }
+
+    #[test]
+    fn mmpp_mean_rate_formula() {
+        let a = ArrivalProcess::Mmpp {
+            calm_rate_per_sec: 100.0,
+            burst_rate_per_sec: 1_000.0,
+            mean_calm_us: 900_000.0,
+            mean_burst_us: 100_000.0,
+        };
+        assert!((a.mean_rate_per_sec() - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_mean_alpha_one_branch() {
+        let p = BoundedPareto { alpha: 1.0, min: 2, max: 1_000 };
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean: f64 = (0..100_000).map(|_| p.sample(&mut rng) as f64).sum::<f64>() / 100_000.0;
+        assert!((mean - p.mean()).abs() / p.mean() < 0.1, "{mean} vs {}", p.mean());
+    }
+}

@@ -207,7 +207,12 @@ impl Sender {
             self.next_seq += 1;
             self.unacked.insert(
                 seq,
-                SentPacket { sent_us: now_us, size: self.mss, retransmitted: false, dup_evidence: 0 },
+                SentPacket {
+                    sent_us: now_us,
+                    size: self.mss,
+                    retransmitted: false,
+                    dup_evidence: 0,
+                },
             );
             self.inflight_bytes += self.mss as u64;
             out.push(SendAction::Transmit { seq, size: self.mss });
@@ -238,16 +243,10 @@ impl Sender {
     fn roll_interval(&mut self, now_us: u64) {
         let interval = self.srtt_us.max(1_000);
         if now_us.saturating_sub(self.interval_start_us) >= interval {
-            let mean_rtt = if self.interval_rtt_n > 0 {
-                (self.interval_rtt_sum / self.interval_rtt_n) as i64
-            } else {
-                self.srtt_us as i64
-            };
-            let mean_cwnd = if self.interval_cwnd_n > 0 {
-                (self.interval_cwnd_sum / self.interval_cwnd_n) as i64
-            } else {
-                self.cwnd as i64
-            };
+            let mean_rtt = (self.interval_rtt_sum.checked_div(self.interval_rtt_n))
+                .unwrap_or(self.srtt_us) as i64;
+            let mean_cwnd = (self.interval_cwnd_sum.checked_div(self.interval_cwnd_n))
+                .unwrap_or(self.cwnd) as i64;
             let min_rtt = if self.min_rtt_us == u64::MAX { 0 } else { self.min_rtt_us };
             let qdelay = (self.srtt_us.saturating_sub(min_rtt)) as i64;
             self.history.push(

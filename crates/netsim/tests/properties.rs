@@ -2,9 +2,7 @@
 //! controller — including adversarially erratic ones — the transport and
 //! link must uphold conservation and bounds invariants.
 
-use policysmith_netsim::{
-    CcView, CongestionControl, LinkCfg, SimConfig, Simulation,
-};
+use policysmith_netsim::{CcView, CongestionControl, LinkCfg, SimConfig, Simulation};
 use proptest::prelude::*;
 
 /// A controller that replays an arbitrary cwnd sequence — the worst case

@@ -85,8 +85,8 @@ impl DatasetSpec {
 
 /// Volume names of the real MSR Cambridge dataset, for familiar output.
 const MSR_NAMES: [&str; 14] = [
-    "hm", "mds", "prn", "proj", "prxy", "rsrch", "src1", "src2", "stg", "ts", "usr", "wdev",
-    "web", "mix",
+    "hm", "mds", "prn", "proj", "prxy", "rsrch", "src1", "src2", "stg", "ts", "usr", "wdev", "web",
+    "mix",
 ];
 
 /// Convenience accessor for the CloudPhysics-like dataset.
@@ -214,8 +214,7 @@ mod tests {
 
     #[test]
     fn meta_distribution_varies_across_traces() {
-        let alphas: Vec<f64> =
-            (0..20).map(|i| CLOUDPHYSICS.params(i).zipf_alpha).collect();
+        let alphas: Vec<f64> = (0..20).map(|i| CLOUDPHYSICS.params(i).zipf_alpha).collect();
         let min = alphas.iter().cloned().fold(f64::MAX, f64::min);
         let max = alphas.iter().cloned().fold(f64::MIN, f64::max);
         assert!(max - min > 0.1, "alphas too uniform: {alphas:?}");

@@ -22,7 +22,10 @@ use std::path::Path;
 pub enum TraceIoError {
     Io(std::io::Error),
     /// Malformed line with its 1-based line number.
-    Parse { line: usize, reason: String },
+    Parse {
+        line: usize,
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -98,9 +101,9 @@ pub fn read_csv(name: &str, reader: impl Read) -> Result<Trace, TraceIoError> {
                 reason: format!("missing field `{what}`"),
             })
         };
-        let time_us: u64 = parse(parts.next(), "time_us")?.parse().map_err(|e| {
-            TraceIoError::Parse { line: i + 1, reason: format!("time_us: {e}") }
-        })?;
+        let time_us: u64 = parse(parts.next(), "time_us")?
+            .parse()
+            .map_err(|e| TraceIoError::Parse { line: i + 1, reason: format!("time_us: {e}") })?;
         let obj: u64 = parse(parts.next(), "obj")?
             .parse()
             .map_err(|e| TraceIoError::Parse { line: i + 1, reason: format!("obj: {e}") })?;
@@ -167,8 +170,7 @@ mod tests {
 
     #[test]
     fn rejects_time_regression() {
-        let err =
-            read_csv("x", "time_us,obj,size,op\n10,1,2,r\n5,1,2,r\n".as_bytes()).unwrap_err();
+        let err = read_csv("x", "time_us,obj,size,op\n10,1,2,r\n5,1,2,r\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("backwards"));
     }
 

@@ -72,12 +72,12 @@ impl Default for WorkloadParams {
     /// stand-in for a "typical" VM volume.
     fn default() -> Self {
         WorkloadParams {
-            objects: 20_000,
-            zipf_alpha: 0.9,
-            p_stack: 0.4,
+            objects: 10_000,
+            zipf_alpha: 1.0,
+            p_stack: 0.45,
             stack_geom_p: 0.05,
-            p_scan_start: 0.0005,
-            scan_len: (200, 2_000),
+            p_scan_start: 0.0003,
+            scan_len: (150, 1_200),
             p_loop_start: 0.0002,
             loop_len: (100, 800),
             loop_laps: (2, 5),
@@ -166,8 +166,7 @@ pub fn generate(name: &str, params: &WorkloadParams, seed: u64, n: usize) -> Tra
                     phase = Phase::Scan { next_obj: start, remaining: len };
                     start
                 } else if rng.random_bool(params.p_loop_start) {
-                    let len =
-                        rng.random_range(params.loop_len.0..=params.loop_len.1) as u64;
+                    let len = rng.random_range(params.loop_len.0..=params.loop_len.1) as u64;
                     let laps = rng.random_range(params.loop_laps.0..=params.loop_laps.1);
                     let start = next_fresh;
                     next_fresh += len;
@@ -272,12 +271,14 @@ mod tests {
 
     #[test]
     fn skew_produces_hot_objects() {
-        let mut p = WorkloadParams::default();
-        p.p_stack = 0.0;
-        p.p_scan_start = 0.0;
-        p.p_loop_start = 0.0;
-        p.churn_interval = 0;
-        p.zipf_alpha = 1.1;
+        let p = WorkloadParams {
+            p_stack: 0.0,
+            p_scan_start: 0.0,
+            p_loop_start: 0.0,
+            churn_interval: 0,
+            zipf_alpha: 1.1,
+            ..WorkloadParams::default()
+        };
         let t = generate("t", &p, 3, 50_000);
         let mut counts: HashMap<u64, usize> = HashMap::new();
         for r in &t.requests {
@@ -287,18 +288,16 @@ mod tests {
         freq.sort_unstable_by(|a, b| b.cmp(a));
         // top-10 objects should carry a large share under alpha=1.1
         let top10: usize = freq.iter().take(10).sum();
-        assert!(
-            top10 as f64 > 0.15 * t.len() as f64,
-            "top10 carried only {top10} of {}",
-            t.len()
-        );
+        assert!(top10 as f64 > 0.15 * t.len() as f64, "top10 carried only {top10} of {}", t.len());
     }
 
     #[test]
     fn scans_introduce_fresh_objects() {
-        let mut p = WorkloadParams::default();
-        p.p_scan_start = 0.01;
-        p.scan_len = (100, 200);
+        let mut p = WorkloadParams {
+            p_scan_start: 0.01,
+            scan_len: (100, 200),
+            ..WorkloadParams::default()
+        };
         let with_scans = generate("t", &p, 4, 30_000);
         p.p_scan_start = 0.0;
         let without = generate("t", &p, 4, 30_000);
@@ -311,12 +310,14 @@ mod tests {
 
     #[test]
     fn churn_rotates_popular_set() {
-        let mut p = WorkloadParams::default();
-        p.churn_interval = 5_000;
-        p.churn_frac = 0.2;
-        p.p_stack = 0.0;
-        p.p_scan_start = 0.0;
-        p.p_loop_start = 0.0;
+        let p = WorkloadParams {
+            churn_interval: 5_000,
+            churn_frac: 0.2,
+            p_stack: 0.0,
+            p_scan_start: 0.0,
+            p_loop_start: 0.0,
+            ..WorkloadParams::default()
+        };
         let t = generate("t", &p, 5, 40_000);
         // objects beyond the initial universe must appear
         assert!(t.requests.iter().any(|r| r.obj >= p.objects as u64));
@@ -324,8 +325,7 @@ mod tests {
 
     #[test]
     fn write_fraction_respected() {
-        let mut p = WorkloadParams::default();
-        p.write_frac = 0.5;
+        let p = WorkloadParams { write_frac: 0.5, ..WorkloadParams::default() };
         let t = generate("t", &p, 6, 20_000);
         let writes = t.requests.iter().filter(|r| r.op == OpKind::Write).count();
         let frac = writes as f64 / t.len() as f64;
@@ -334,10 +334,12 @@ mod tests {
 
     #[test]
     fn stack_draws_increase_short_reuse() {
-        let mut hi = WorkloadParams::default();
-        hi.p_stack = 0.8;
-        hi.p_scan_start = 0.0;
-        hi.p_loop_start = 0.0;
+        let hi = WorkloadParams {
+            p_stack: 0.8,
+            p_scan_start: 0.0,
+            p_loop_start: 0.0,
+            ..WorkloadParams::default()
+        };
         let mut lo = hi.clone();
         lo.p_stack = 0.0;
         let reuse_within = |t: &Trace, w: usize| {

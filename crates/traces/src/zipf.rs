@@ -106,8 +106,8 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..20 {
-            let emp = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
             assert!(
                 (emp - z.pmf(k)).abs() < 0.01,
                 "rank {k}: empirical {emp:.4} vs pmf {:.4}",
@@ -119,10 +119,8 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let z = Zipf::new(1000, 0.8);
-        let a: Vec<usize> =
-            (0..100).map(|_| z.sample(&mut StdRng::seed_from_u64(42))).collect();
-        let b: Vec<usize> =
-            (0..100).map(|_| z.sample(&mut StdRng::seed_from_u64(42))).collect();
+        let a: Vec<usize> = (0..100).map(|_| z.sample(&mut StdRng::seed_from_u64(42))).collect();
+        let b: Vec<usize> = (0..100).map(|_| z.sample(&mut StdRng::seed_from_u64(42))).collect();
         assert_eq!(a, b);
     }
 

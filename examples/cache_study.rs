@@ -23,8 +23,12 @@ fn main() {
         let study = CacheStudy::new(&trace);
         let mut llm = MockLlm::new(GenConfig::cache_defaults(idx as u64));
         let best = run_search(&study, &mut llm, &cfg).best;
-        println!("synthesized for {}: {:+.2}% over FIFO\n  {}", trace.name,
-            best.score * 100.0, best.source);
+        println!(
+            "synthesized for {}: {:+.2}% over FIFO\n  {}",
+            trace.name,
+            best.score * 100.0,
+            best.source
+        );
         heuristics.push((trace.name.clone(), best.source));
     }
 

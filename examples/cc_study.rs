@@ -34,7 +34,8 @@ fn main() {
     println!("{:50} {:>7} {:>10}", "verified candidate", "util%", "qdelay ms");
     for c in verified.iter().take(10) {
         let m = evaluate(Box::new(KbpfCc::new(c.clone())), 10_000_000);
-        let short = if c.source.len() > 48 { format!("{}…", &c.source[..47]) } else { c.source.clone() };
+        let short =
+            if c.source.len() > 48 { format!("{}…", &c.source[..47]) } else { c.source.clone() };
         println!("{:50} {:>6.1} {:>9.1}", short, m.utilization * 100.0, m.mean_qdelay_us / 1000.0);
     }
 

@@ -24,7 +24,11 @@ fn main() {
     let mut llm = MockLlm::new(GenConfig::cache_defaults(1));
     let best = run_search(&study, &mut llm, &cfg).best;
     println!("deployed for {}: {:+.2}% over FIFO", morning.name, best.score * 100.0);
-    library.add(LibraryEntry { context: morning.name.clone(), source: best.source.clone(), score: best.score });
+    library.add(LibraryEntry {
+        context: morning.name.clone(),
+        source: best.source.clone(),
+        score: best.score,
+    });
 
     // Serve the morning regime, then an (implicit) shift to the evening
     // regime: a structurally different trace through the same cache.
@@ -36,7 +40,9 @@ fn main() {
     let mut drift_at = None;
 
     let window = 1_000;
-    for (i, chunk) in morning.requests.chunks(window).chain(evening.requests.chunks(window)).enumerate() {
+    for (i, chunk) in
+        morning.requests.chunks(window).chain(evening.requests.chunks(window)).enumerate()
+    {
         let before = cache.result();
         for req in chunk {
             cache.request(req);
@@ -55,7 +61,11 @@ fn main() {
     let study2 = CacheStudy::new(&evening);
     let mut llm2 = MockLlm::new(GenConfig::cache_defaults(2));
     let best2 = run_search(&study2, &mut llm2, &cfg).best;
-    library.add(LibraryEntry { context: evening.name.clone(), source: best2.source.clone(), score: best2.score });
+    library.add(LibraryEntry {
+        context: evening.name.clone(),
+        source: best2.source.clone(),
+        score: best2.score,
+    });
     println!("re-synthesized for {}: {:+.2}% over FIFO", evening.name, best2.score * 100.0);
 
     // An adaptation system can now pick per context.

@@ -13,8 +13,12 @@ fn main() {
     // 1. A context: one workload trace + a cache sized at 10% of footprint.
     let trace = policysmith::traces::cloudphysics().trace(89, 40_000);
     let study = CacheStudy::new(&trace);
-    println!("context: {} ({} requests, FIFO miss ratio {:.3})",
-        trace.name, trace.len(), study.fifo_miss_ratio());
+    println!(
+        "context: {} ({} requests, FIFO miss ratio {:.3})",
+        trace.name,
+        trace.len(),
+        study.fifo_miss_ratio()
+    );
 
     // 2. A Generator. `MockLlm` is the offline stand-in; implement the
     //    `policysmith::gen::Generator` trait to plug in a real LLM.
@@ -31,7 +35,10 @@ fn main() {
     // 4. Compare against the strongest classical baseline.
     let gdsf = study.improvement(policysmith::cachesim::policies::Gdsf::new());
     println!("  GDSF for reference:    {:+.2}%", gdsf * 100.0);
-    println!("\nsimulated LLM cost: {} requests, ${:.4}",
-        outcome.cost.tokens.requests, outcome.cost.cost_usd());
+    println!(
+        "\nsimulated LLM cost: {} requests, ${:.4}",
+        outcome.cost.tokens.requests,
+        outcome.cost.cost_usd()
+    );
     let _ = study.evaluate(&policysmith::dsl::parse(&outcome.best.source).unwrap());
 }

@@ -9,5 +9,6 @@ pub use policysmith_core as core;
 pub use policysmith_dsl as dsl;
 pub use policysmith_gen as gen;
 pub use policysmith_kbpf as kbpf;
+pub use policysmith_lbsim as lbsim;
 pub use policysmith_netsim as netsim;
 pub use policysmith_traces as traces;

@@ -1,10 +1,11 @@
-//! Cross-crate integration tests: the full PolicySmith pipeline for both
-//! case studies, exercised exactly as the paper describes it.
+//! Cross-crate integration tests: the full PolicySmith pipeline for all
+//! three case studies, exercised exactly as the paper describes it.
 
 use policysmith::cachesim::PriorityPolicy;
 use policysmith::core::search::{run_search, SearchConfig, Study};
 use policysmith::core::studies::cache::CacheStudy;
 use policysmith::core::studies::cc::CcStudy;
+use policysmith::core::studies::lb::LbStudy;
 use policysmith::gen::{GenConfig, MockLlm};
 
 fn quick_cfg() -> SearchConfig {
@@ -72,15 +73,10 @@ fn synthesized_cache_policy_runs_on_foreign_traces() {
         let foreign = ds.trace(idx, 15_000);
         let cap = (policysmith::traces::footprint_bytes(&foreign) / 10).max(1);
         let expr = policysmith::dsl::parse(&best.source).unwrap();
-        let mut cache =
-            policysmith::cachesim::Cache::new(cap, PriorityPolicy::new("synth", expr));
+        let mut cache = policysmith::cachesim::Cache::new(cap, PriorityPolicy::new("synth", expr));
         let r = cache.run(&foreign);
         assert_eq!(r.requests, foreign.len() as u64);
-        assert!(
-            cache.policy.first_error().is_none(),
-            "candidate faulted on {}",
-            foreign.name
-        );
+        assert!(cache.policy.first_error().is_none(), "candidate faulted on {}", foreign.name);
     }
 }
 
@@ -104,18 +100,63 @@ fn paper_listing1_and_baselines_coexist_on_one_trace() {
 }
 
 #[test]
+fn lb_search_beats_round_robin_and_jsq_on_the_flash_crowd() {
+    // The acceptance bar for the third workload: the searched policy must
+    // beat both the no-op baseline (round-robin, improvement 0) and the
+    // strongest queue-length heuristic (JSQ) on the hostile context.
+    let study = LbStudy::new(&policysmith::lbsim::scenario::flash_crowd());
+    let jsq = study.baseline_improvement("jsq");
+
+    let mut llm = MockLlm::new(GenConfig::lb_defaults(23));
+    let outcome = run_search(&study, &mut llm, &quick_cfg());
+    assert!(outcome.best.score > 0.0, "must beat round-robin: {:?}", outcome.best);
+    assert!(
+        outcome.best.score > jsq,
+        "search ({:.4}) must beat JSQ ({:.4})",
+        outcome.best.score,
+        jsq
+    );
+    // and the winner re-evaluates to the same score (whole-stack determinism)
+    let re = study.evaluate(&study.check(&outcome.best.source).unwrap());
+    assert!((re - outcome.best.score).abs() < 1e-12);
+}
+
+#[test]
+fn lb_search_is_reproducible_end_to_end() {
+    let run = || {
+        let study = LbStudy::new(&policysmith::lbsim::scenario::flash_crowd());
+        let mut llm = MockLlm::new(GenConfig::lb_defaults(23));
+        run_search(&study, &mut llm, &quick_cfg()).best
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.source, b.source);
+    assert_eq!(a.score, b.score);
+}
+
+#[test]
+fn lb_candidates_run_cleanly_on_foreign_scenarios() {
+    // Table-2 mechanics for the third workload: a policy tuned on the
+    // flash crowd must at least run fault-free on every other preset.
+    let study = LbStudy::new(&policysmith::lbsim::scenario::flash_crowd());
+    let mut llm = MockLlm::new(GenConfig::lb_defaults(31));
+    let best = run_search(&study, &mut llm, &quick_cfg()).best;
+    let expr = policysmith::dsl::parse(&best.source).unwrap();
+
+    for sc in policysmith::lbsim::scenario::all_presets() {
+        let mut host = policysmith::lbsim::ExprDispatcher::new("synth", expr.clone());
+        let m = policysmith::lbsim::simulate(&sc, &mut host);
+        assert_eq!(m.completed + m.dropped, m.offered, "{}", sc.name);
+        assert!(host.first_error().is_none(), "candidate faulted on {}", sc.name);
+    }
+}
+
+#[test]
 fn kernel_candidates_compile_rate_is_in_band() {
     use policysmith::gen::{Generator, Prompt};
     let mut llm = MockLlm::new(GenConfig::kernel_defaults(123));
     let batch = llm.generate(&Prompt::new(policysmith::dsl::Mode::Kernel), 200);
-    let first = batch
-        .iter()
-        .filter(|s| policysmith::cc::check_candidate(s).is_ok())
-        .count();
+    let first = batch.iter().filter(|s| policysmith::cc::check_candidate(s).is_ok()).count();
     let rate = first as f64 / batch.len() as f64;
     // paper band: 63%; allow slack for the statistical fault injection
-    assert!(
-        (0.5..=0.8).contains(&rate),
-        "kernel first-pass rate {rate} out of band"
-    );
+    assert!((0.5..=0.8).contains(&rate), "kernel first-pass rate {rate} out of band");
 }

@@ -1,0 +1,122 @@
+//! `#[derive(Serialize)]` for the vendored serde stand-in.
+//!
+//! Hand-rolled token scanning (no `syn`/`quote` in an offline container):
+//! supports exactly the shape the workspace derives — non-generic structs
+//! with named fields — and emits a `serde::Serialize` impl building a JSON
+//! object in field order. Anything else is a compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Find `struct <Name> { ... }`, skipping attributes and visibility.
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("derive(Serialize): expected a struct name".into()),
+                }
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        body = Some(g.stream());
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        return Err("derive(Serialize): generic structs are not supported by the \
+                             vendored serde shim"
+                            .into());
+                    }
+                    _ => {
+                        return Err(
+                            "derive(Serialize): only structs with named fields are supported \
+                             by the vendored serde shim"
+                                .into(),
+                        );
+                    }
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err(
+                    "derive(Serialize): only structs are supported by the vendored serde shim"
+                        .into(),
+                );
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| "derive(Serialize): no struct found".to_string())?;
+    let body = body.ok_or_else(|| "derive(Serialize): no struct body found".to_string())?;
+
+    let fields = field_names(body)?;
+    let mut pushes = String::new();
+    for f in &fields {
+        pushes.push_str(&format!(
+            "fields.push(({f:?}.to_string(), serde::Serialize::to_value(&self.{f})));\n"
+        ));
+    }
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Object(fields)\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse().map_err(|e| format!("derive(Serialize): emitted invalid code: {e:?}"))
+}
+
+/// Extract field names from a named-field struct body: each field is the
+/// identifier directly before a top-level `:` (angle-bracket depth 0,
+/// skipping attributes and visibility).
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut expecting_field = true; // at start / after a top-level comma
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if angle_depth == 0 && expecting_field => {
+                    if let Some(f) = last_ident.take() {
+                        fields.push(f);
+                    }
+                    expecting_field = false;
+                }
+                ',' if angle_depth == 0 => {
+                    expecting_field = true;
+                    last_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if expecting_field => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            // Attribute brackets `#[..]`, paren groups in visibility
+            // `pub(crate)` or types: nothing to track at top level.
+            _ => {}
+        }
+    }
+    if fields.is_empty() {
+        return Err("derive(Serialize): struct has no named fields".into());
+    }
+    Ok(fields)
+}

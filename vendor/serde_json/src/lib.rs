@@ -1,0 +1,219 @@
+//! Offline, dependency-free stand-in for the `serde_json` crate.
+//!
+//! Renders the vendored `serde` [`Value`] tree to JSON text and provides
+//! the [`json!`] literal macro. Only what `policysmith-bench`'s result
+//! artifacts need: `to_string` / `to_string_pretty` and object/array/expr
+//! literals (object keys are string literals, as in all workspace usage).
+
+pub use serde::Value;
+
+/// Serialization error. Rendering a [`Value`] tree cannot fail, so this is
+/// uninhabited in practice; it exists so call sites can keep serde_json's
+/// `Result` shape.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(v: &T) -> Value {
+    v.to_value()
+}
+
+/// Compact one-line JSON.
+pub fn to_string<T: serde::Serialize>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&v.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Human-readable two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&v.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => render_number(*n, out),
+        Value::String(s) => render_string(s, out),
+        Value::Array(items) => {
+            render_seq(items.iter(), '[', ']', indent, level, out, |item, out| {
+                render(item, indent, level + 1, out);
+            })
+        }
+        Value::Object(pairs) => {
+            render_seq(pairs.iter(), '{', '}', indent, level, out, |(k, val), out| {
+                render_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, level + 1, out);
+            })
+        }
+    }
+}
+
+fn render_seq<I: ExactSizeIterator, F: Fn(I::Item, &mut String)>(
+    items: I,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    level: usize,
+    out: &mut String,
+    each: F,
+) {
+    out.push(open);
+    let n = items.len();
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (level + 1)));
+        }
+        each(item, out);
+        if i + 1 < n {
+            out.push(',');
+            if indent.is_none() {
+                // compact mode separates with nothing extra
+            }
+        }
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * level));
+    }
+    out.push(close);
+}
+
+fn render_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/inf; match serde_json's null
+    } else if n == n.trunc() && n.abs() < 9e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Build a [`Value`] from JSON-looking syntax. Object keys must be string
+/// literals; values may be nested object literals or any
+/// `serde::Serialize` expression (array literals of one element type
+/// serialize through the expression path).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut obj: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_object_internal!(obj ( $($body)+ ));
+        $crate::Value::Object(obj)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Object-body muncher for [`json!`]: one `"key": value` pair per step,
+/// recursing into nested `{ .. }` literals before falling back to plain
+/// expressions (which an `expr` fragment would otherwise swallow as a
+/// block).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ($obj:ident ()) => {};
+    ($obj:ident ( $key:literal : { $($nested:tt)* } , $($rest:tt)* )) => {
+        $obj.extend([($key.to_string(), $crate::json!({ $($nested)* }))]);
+        $crate::json_object_internal!($obj ( $($rest)* ));
+    };
+    ($obj:ident ( $key:literal : { $($nested:tt)* } )) => {
+        $obj.extend([($key.to_string(), $crate::json!({ $($nested)* }))]);
+    };
+    ($obj:ident ( $key:literal : null , $($rest:tt)* )) => {
+        $obj.extend([($key.to_string(), $crate::Value::Null)]);
+        $crate::json_object_internal!($obj ( $($rest)* ));
+    };
+    ($obj:ident ( $key:literal : null )) => {
+        $obj.extend([($key.to_string(), $crate::Value::Null)]);
+    };
+    ($obj:ident ( $key:literal : $val:expr , $($rest:tt)* )) => {
+        $obj.extend([($key.to_string(), $crate::to_value(&$val))]);
+        $crate::json_object_internal!($obj ( $($rest)* ));
+    };
+    ($obj:ident ( $key:literal : $val:expr )) => {
+        $obj.extend([($key.to_string(), $crate::to_value(&$val))]);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_and_nesting() {
+        let v = json!({
+            "name": "policysmith",
+            "ok": true,
+            "pi": 3.25,
+            "counts": [1, 2, 3],
+            "paper": { "util": [0.23, 0.98] },
+        });
+        let s = to_string(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\"name\":\"policysmith\",\"ok\":true,\"pi\":3.25,\
+             \"counts\":[1,2,3],\"paper\":{\"util\":[0.23,0.98]}}"
+        );
+    }
+
+    #[test]
+    fn expressions_interpolate() {
+        let xs = vec![1u64, 2];
+        let name = "trace-a".to_string();
+        let v = json!({ "xs": xs, "name": name, "n": 2usize });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"xs\": [\n"));
+        assert!(s.contains("\"name\": \"trace-a\""));
+        assert!(s.contains("\"n\": 2"));
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = to_string(&"a\"b\\c\nd").unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn integers_render_without_decimal_point() {
+        assert_eq!(to_string(&12_345_678u64).unwrap(), "12345678");
+        assert_eq!(to_string(&(-3i64)).unwrap(), "-3");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+    }
+}
