@@ -1,34 +1,38 @@
-//! Criterion: DSL interpreter vs kbpf VM dispatch cost on a Listing-1-sized
-//! expression, plus verifier cost (the per-candidate Checker overhead).
+//! Criterion: DSL interpreter vs compiled kbpf execution for all three
+//! template modes (the per-decision cost every host pays), plus verifier
+//! and compiler cost (the per-candidate Checker overhead).
+//!
+//! The workload table is shared with the `exp_dsl_vm` summary binary
+//! (`policysmith_bench::vm_workloads`), so both measure the same thing.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use policysmith_dsl::{env::MapEnv, eval, parse, Feature};
-use policysmith_kbpf::{build_ctx, cc_verify_env, compile, execute, verify, SPILL_SLOTS};
+use policysmith_bench::{vm_workloads, SliceEnv};
+use policysmith_dsl::{eval, parse};
+use policysmith_kbpf::{CompiledPolicy, SPILL_SLOTS};
 
 fn bench_dsl_vm(c: &mut Criterion) {
-    let src = "if(loss, max(cwnd >> 1, 2), \
-               if(srtt > min_rtt + 10000, max(cwnd - 1, 2), \
-                  cwnd + max(acked / max(mss, 1), 1)))";
-    let expr = parse(src).unwrap();
-    let env = MapEnv::new()
-        .with(Feature::Cwnd, 40)
-        .with(Feature::SrttUs, 50_000)
-        .with(Feature::MinRttUs, 40_000)
-        .with(Feature::AckedBytes, 1_500)
-        .with(Feature::Mss, 1_500);
-    let prog = compile(&expr).unwrap();
-    let ctx = build_ctx(&env);
+    for (label, mode, src, values) in vm_workloads() {
+        let env = SliceEnv(values);
+        let expr = parse(src).unwrap();
+        let policy = CompiledPolicy::compile(&expr, mode).unwrap();
 
-    c.bench_function("dsl/interpret", |b| b.iter(|| eval(&expr, &env).unwrap()));
-    c.bench_function("kbpf/execute", |b| {
-        let mut map = vec![0i64; SPILL_SLOTS];
-        b.iter(|| execute(&prog, &ctx, &mut map).unwrap())
+        c.bench_function(&format!("dsl/interpret/{label}"), |b| {
+            b.iter(|| eval(&expr, &env).unwrap())
+        });
+        c.bench_function(&format!("kbpf/execute/{label}"), |b| {
+            // steady-state host shape: refill the reusable slab, run the VM
+            let mut ctx = Vec::with_capacity(policy.layout().len());
+            let mut map = vec![0i64; SPILL_SLOTS];
+            b.iter(|| policy.run_with_env(&env, &mut ctx, &mut map).unwrap())
+        });
+    }
+
+    // per-candidate Checker overhead on the cc expression
+    let (_, mode, src, _) = vm_workloads()[0];
+    let expr = parse(src).unwrap();
+    c.bench_function("kbpf/compile+verify", |b| {
+        b.iter(|| CompiledPolicy::compile(&expr, mode).unwrap())
     });
-    c.bench_function("kbpf/verify", |b| {
-        let venv = cc_verify_env();
-        b.iter(|| verify(&prog, &venv).unwrap())
-    });
-    c.bench_function("kbpf/compile", |b| b.iter(|| compile(&expr).unwrap()));
 }
 
 criterion_group! {

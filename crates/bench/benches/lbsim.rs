@@ -1,12 +1,21 @@
 //! Criterion: load-balancer dispatch throughput — native baselines vs the
-//! DSL scoring host, on the flash-crowd scenario.
+//! template host (compiled kbpf vs the interpreter oracle), on the
+//! flash-crowd scenario, plus the isolated per-pick dispatch cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use policysmith_dsl::Mode;
+use policysmith_kbpf::CompiledPolicy;
+use policysmith_lbsim::dispatch::{DispatchView, Dispatcher, ServerView};
 use policysmith_lbsim::{by_name, lb_baseline_names, scenario, sim, ExprDispatcher};
+
+const SCORE_SRC: &str = "server.inflight * 1000 / server.speed + server.queue_len * 50";
 
 fn bench_dispatch(c: &mut Criterion) {
     let sc = scenario::flash_crowd();
     let reqs = sc.requests();
+    let expr = policysmith_dsl::parse(SCORE_SRC).unwrap();
+    let policy = CompiledPolicy::compile(&expr, Mode::Lb).unwrap();
+
     let mut g = c.benchmark_group("lbsim");
     g.throughput(Throughput::Elements(reqs.len() as u64));
     for name in lb_baseline_names() {
@@ -17,14 +26,40 @@ fn bench_dispatch(c: &mut Criterion) {
             });
         });
     }
-    let expr =
-        policysmith_dsl::parse("server.inflight * 1000 / server.speed + server.queue_len * 50")
-            .unwrap();
-    g.bench_function("template-host/normalized-load", |b| {
+    g.bench_function("template-host/compiled", |b| {
         b.iter(|| {
-            let mut host = ExprDispatcher::new("bench", expr.clone());
+            let mut host = ExprDispatcher::new("bench", policy.clone());
             sim::run(&sc.servers, &reqs, &mut host)
         });
+    });
+    g.bench_function("template-host/interpreted", |b| {
+        b.iter(|| {
+            let mut host = ExprDispatcher::interpreted("bench", expr.clone());
+            sim::run(&sc.servers, &reqs, &mut host)
+        });
+    });
+    g.finish();
+
+    // The isolated dispatch decision (the redesign's acceptance metric):
+    // one pick over a 6-server view, compiled vs interpreted.
+    let servers: Vec<ServerView> = (0..6)
+        .map(|i| ServerView {
+            queue_len: i,
+            inflight: i + 1,
+            speed: 1 + (i as u32 % 3) * 3,
+            ewma_latency_us: 900 * i as u64,
+            work_left_us: 2_000 * i as u64,
+        })
+        .collect();
+    let view = DispatchView { now_us: 1_000, req_size: 7, servers: &servers };
+    let mut g = c.benchmark_group("lb-dispatch");
+    g.bench_function("pick/compiled", |b| {
+        let mut host = ExprDispatcher::new("bench", policy.clone());
+        b.iter(|| host.pick(&view))
+    });
+    g.bench_function("pick/interpreted", |b| {
+        let mut host = ExprDispatcher::interpreted("bench", expr.clone());
+        b.iter(|| host.pick(&view))
     });
     g.finish();
 }

@@ -1,0 +1,139 @@
+//! DSLVM: the compile-once host boundary, measured — per-decision cost of
+//! the DSL tree-walking interpreter vs compiled kbpf execution for all
+//! three template modes, plus the lb dispatch hot path (one full argmin
+//! pick over a server fleet) under both engines.
+//!
+//! Writes the interpreter-vs-VM speedup summary to `results/dsl_vm.json`;
+//! the `lb_dispatch` entry is the redesign's acceptance metric (compiled
+//! host ≥ 5× the interpreter host).
+//!
+//! Usage: `exp_dsl_vm`
+
+use policysmith_bench::{vm_workloads, write_json, SliceEnv};
+use policysmith_dsl::{eval, parse, Mode};
+use policysmith_kbpf::{CompiledPolicy, SPILL_SLOTS};
+use policysmith_lbsim::dispatch::{DispatchView, Dispatcher, ServerView};
+use policysmith_lbsim::{scenario, sim, ExprDispatcher};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-reps mean ns/iter for `f`.
+fn bench_ns<R>(iters: u32, reps: u32, mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..iters / 10 {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+struct Row {
+    name: String,
+    interp_ns: f64,
+    compiled_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.interp_ns / self.compiled_ns
+    }
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+
+    // -- per-evaluation cost, one representative expression per mode
+    //    (the table is shared with the dsl_vm criterion bench) --
+    for (label, mode, src, values) in vm_workloads() {
+        let name = format!("{label}_eval");
+        let env = SliceEnv(values);
+        let expr = parse(src).unwrap();
+        let policy = CompiledPolicy::compile(&expr, mode).unwrap();
+        let interp_ns = bench_ns(200_000, 5, || eval(&expr, &env).unwrap());
+        let mut ctx = Vec::with_capacity(policy.layout().len());
+        let mut map = vec![0i64; SPILL_SLOTS];
+        let compiled_ns =
+            bench_ns(200_000, 5, || policy.run_with_env(&env, &mut ctx, &mut map).unwrap());
+        rows.push(Row { name, interp_ns, compiled_ns });
+    }
+
+    // -- the lb dispatch hot path: one argmin pick over a 6-server view --
+    let src = "server.inflight * 1000 / server.speed + server.queue_len * 50";
+    let expr = parse(src).unwrap();
+    let policy = CompiledPolicy::compile(&expr, Mode::Lb).unwrap();
+    let servers: Vec<ServerView> = (0..6)
+        .map(|i| ServerView {
+            queue_len: i,
+            inflight: i + 1,
+            speed: 1 + (i as u32 % 3) * 3,
+            ewma_latency_us: 900 * i as u64,
+            work_left_us: 2_000 * i as u64,
+        })
+        .collect();
+    let view = DispatchView { now_us: 1_000, req_size: 7, servers: &servers };
+    let mut compiled_host = ExprDispatcher::new("vm", policy.clone());
+    let mut interp_host = ExprDispatcher::interpreted("interp", expr.clone());
+    rows.push(Row {
+        name: "lb_dispatch".to_string(),
+        interp_ns: bench_ns(100_000, 5, || interp_host.pick(&view)),
+        compiled_ns: bench_ns(100_000, 5, || compiled_host.pick(&view)),
+    });
+
+    // -- whole-simulation wall time on the flash crowd (includes the
+    //    event loop, so the ratio understates the pure dispatch gain) --
+    let sc = scenario::flash_crowd();
+    let reqs = sc.requests();
+    rows.push(Row {
+        name: "lb_flash_crowd_sim".to_string(),
+        interp_ns: bench_ns(3, 3, || {
+            let mut host = ExprDispatcher::interpreted("interp", expr.clone());
+            sim::run(&sc.servers, &reqs, &mut host)
+        }),
+        compiled_ns: bench_ns(3, 3, || {
+            let mut host = ExprDispatcher::new("vm", policy.clone());
+            sim::run(&sc.servers, &reqs, &mut host)
+        }),
+    });
+
+    println!("{:24} {:>14} {:>14} {:>9}", "bench", "interp ns/op", "compiled ns/op", "speedup");
+    for r in &rows {
+        println!(
+            "{:24} {:>14.1} {:>14.1} {:>8.1}x",
+            r.name,
+            r.interp_ns,
+            r.compiled_ns,
+            r.speedup()
+        );
+    }
+    let lb = rows.iter().find(|r| r.name == "lb_dispatch").unwrap();
+    println!(
+        "\nlb dispatch (compiled vs interpreter host): {:.1}x {}",
+        lb.speedup(),
+        if lb.speedup() >= 5.0 { "— meets the >=5x bar" } else { "— BELOW the 5x bar" }
+    );
+
+    write_json(
+        "dsl_vm",
+        &serde_json::json!({
+            "benches": rows
+                .iter()
+                .map(|r| {
+                    serde_json::json!({
+                        "name": r.name.clone(),
+                        "interp_ns": r.interp_ns,
+                        "compiled_ns": r.compiled_ns,
+                        "speedup": r.speedup(),
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "lb_dispatch_speedup": lb.speedup(),
+            "meets_5x_bar": lb.speedup() >= 5.0,
+        }),
+    );
+}

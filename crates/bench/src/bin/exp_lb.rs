@@ -54,7 +54,7 @@ fn main() {
             studies
                 .iter()
                 .map(|s| {
-                    let mut host = ExprDispatcher::new(label, expr.clone());
+                    let mut host = ExprDispatcher::from_expr(label, &expr);
                     s.improvement(&mut host)
                 })
                 .collect(),

@@ -31,8 +31,7 @@ fn main() {
 
     println!("\n-- seeds for reference --");
     for (name, src) in [("LRU seed", "obj.last_access"), ("LFU seed", "obj.count")] {
-        let e = policysmith_dsl::parse(src).unwrap();
-        let s = study.evaluate(&e);
+        let s = study.evaluate(&study.check(src).expect("seed compiles"));
         println!("{name}: {s:+.4}");
     }
 

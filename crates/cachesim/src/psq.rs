@@ -1,23 +1,28 @@
 //! The PolicySmith cache template host (§4.1.2 of the paper).
 //!
 //! Object metadata lives in a priority structure; a synthesized
-//! `priority()` expression is evaluated **on each access or insertion** to
+//! `priority()` candidate — hosted as a verified, compiled
+//! [`CompiledPolicy`] — is executed **on each access or insertion** to
 //! (re)score the accessed object, and the lowest-scored object is evicted
-//! when space is needed. The expression sees exactly the Table-1 feature
-//! set: per-object metadata, sampled percentile aggregates, and the
-//! recent-eviction history. Priorities of untouched objects are *not*
+//! when space is needed. Each evaluation fills a flat, reusable context
+//! slab with exactly the Table-1 features the candidate reads and runs the
+//! kbpf program: no per-decision allocation, no AST walking. The DSL
+//! interpreter survives only behind [`PriorityPolicy::interpreted`] as the
+//! differential oracle. Priorities of untouched objects are *not*
 //! recomputed (the paper's design: scores update on access), so the host
 //! costs O(log N) per access as §4.1.2 advertises.
 //!
-//! Runtime faults (division by zero — the classic generated-code bug) do
-//! not crash the host: the first fault is latched into
-//! [`PriorityPolicy::first_error`], the object keeps its previous score,
-//! and the evaluator downgrades the candidate (§4.1.3's Checker catches
-//! most, the Evaluator the rest).
+//! Runtime faults (division by zero — the classic generated-code bug; the
+//! compile pipeline marks such candidates `may_fault` instead of rejecting
+//! them, because this host has a defined fallback) do not crash the host:
+//! the first fault is latched into [`PriorityPolicy::first_error`], the
+//! object keeps its previous score, and the evaluator downgrades the
+//! candidate (§4.1.3's Checker catches most, the Evaluator the rest).
 
 use crate::engine::{CacheView, ObjId, Policy};
 use crate::features::{AggregateTracker, EvictionHistory, EvictionRecord};
-use policysmith_dsl::{eval, Expr, Feature, FeatureEnv};
+use policysmith_dsl::{eval, Expr, Feature, FeatureEnv, Mode};
+use policysmith_kbpf::{CompiledPolicy, RuntimeFault, SPILL_SLOTS};
 use std::collections::{BTreeSet, HashMap};
 
 /// Default eviction-history length (entries).
@@ -28,33 +33,84 @@ pub const DEFAULT_REFRESH: u64 = 512;
 /// A cache policy driven by a synthesized priority expression.
 pub struct PriorityPolicy {
     name: String,
-    expr: Expr,
+    engine: Engine,
     /// (score, id) — min score evicted first.
     ranking: BTreeSet<(i64, ObjId)>,
     score: HashMap<ObjId, i64>,
     aggregates: AggregateTracker,
     history: EvictionHistory,
     /// First runtime fault, if any (latched).
-    first_error: Option<policysmith_dsl::EvalError>,
+    first_error: Option<RuntimeFault>,
     evaluations: u64,
 }
 
+enum Engine {
+    /// The production path: compiled bytecode + reusable ctx slab/map.
+    Compiled { policy: CompiledPolicy, ctx: Vec<i64>, map: Vec<i64> },
+    /// The reference oracle, for differential tests and benchmarks.
+    Interpreted { expr: Expr },
+}
+
 impl PriorityPolicy {
-    /// Host `expr` under the given display name.
-    pub fn new(name: impl Into<String>, expr: Expr) -> Self {
-        PriorityPolicy::with_config(name, expr, DEFAULT_HISTORY, DEFAULT_REFRESH)
+    /// Host a compiled (checked, lowered, verified) priority policy.
+    pub fn new(name: impl Into<String>, policy: CompiledPolicy) -> Self {
+        debug_assert_eq!(policy.mode(), Mode::Cache, "cache host needs a Mode::Cache policy");
+        Self::build(
+            name,
+            Engine::Compiled {
+                ctx: Vec::with_capacity(policy.layout().len()),
+                map: vec![0; SPILL_SLOTS],
+                policy,
+            },
+            DEFAULT_HISTORY,
+            DEFAULT_REFRESH,
+        )
+    }
+
+    /// Compile `expr` for `Mode::Cache` and host it. Expressions the
+    /// compile pipeline rejects outright (float literals; nothing else is
+    /// rejectable for checked cache source) fall back to the interpreter
+    /// so hosting stays total.
+    pub fn from_expr(name: impl Into<String>, expr: &Expr) -> Self {
+        match CompiledPolicy::compile(expr, Mode::Cache) {
+            Ok(policy) => Self::new(name, policy),
+            Err(_) => Self::interpreted(name, expr.clone()),
+        }
+    }
+
+    /// Host via the reference interpreter — the differential oracle.
+    pub fn interpreted(name: impl Into<String>, expr: Expr) -> Self {
+        Self::build(name, Engine::Interpreted { expr }, DEFAULT_HISTORY, DEFAULT_REFRESH)
     }
 
     /// Host with explicit history length and snapshot refresh interval.
     pub fn with_config(
         name: impl Into<String>,
-        expr: Expr,
+        policy: CompiledPolicy,
+        history_len: usize,
+        refresh_interval: u64,
+    ) -> Self {
+        Self::build(
+            name,
+            Engine::Compiled {
+                ctx: Vec::with_capacity(policy.layout().len()),
+                map: vec![0; SPILL_SLOTS],
+                policy,
+            },
+            history_len,
+            refresh_interval,
+        )
+    }
+
+    fn build(
+        name: impl Into<String>,
+        engine: Engine,
         history_len: usize,
         refresh_interval: u64,
     ) -> Self {
         PriorityPolicy {
             name: name.into(),
-            expr,
+            engine,
             ranking: BTreeSet::new(),
             score: HashMap::new(),
             aggregates: AggregateTracker::new(refresh_interval),
@@ -69,11 +125,11 @@ impl PriorityPolicy {
         name: impl Into<String>,
         src: &str,
     ) -> Result<Self, policysmith_dsl::ParseError> {
-        Ok(PriorityPolicy::new(name, policysmith_dsl::parse(src)?))
+        Ok(PriorityPolicy::from_expr(name, &policysmith_dsl::parse(src)?))
     }
 
     /// First runtime fault observed, if any.
-    pub fn first_error(&self) -> Option<&policysmith_dsl::EvalError> {
+    pub fn first_error(&self) -> Option<&RuntimeFault> {
         self.first_error.as_ref()
     }
 
@@ -82,16 +138,31 @@ impl PriorityPolicy {
         self.evaluations
     }
 
-    /// The hosted expression.
+    /// The hosted expression (the compiled engine retains it as the
+    /// reference semantics of its bytecode).
     pub fn expr(&self) -> &Expr {
-        &self.expr
+        match &self.engine {
+            Engine::Compiled { policy, .. } => policy.expr(),
+            Engine::Interpreted { expr } => expr,
+        }
+    }
+
+    /// Is this host running compiled bytecode (vs the interpreter oracle)?
+    pub fn is_compiled(&self) -> bool {
+        matches!(self.engine, Engine::Compiled { .. })
     }
 
     fn rescore(&mut self, id: ObjId, view: &CacheView<'_>) {
         let Some(meta) = view.meta(id) else { return };
         let env = PsqEnv { id, meta, view, aggregates: &self.aggregates, history: &self.history };
         self.evaluations += 1;
-        let new_score = match eval(&self.expr, &env) {
+        let result = match &mut self.engine {
+            Engine::Compiled { policy, ctx, map } => {
+                policy.run_with_env(&env, ctx, map).map_err(RuntimeFault::Vm)
+            }
+            Engine::Interpreted { expr } => eval(expr, &env).map_err(RuntimeFault::Interp),
+        };
+        let new_score = match result {
             Ok(v) => v,
             Err(e) => {
                 if self.first_error.is_none() {
@@ -221,7 +292,9 @@ mod tests {
         use crate::policies::basic::Lru;
         let ids: Vec<u64> = (0..8_000u64).map(|i| (i * 2654435761) % 120).collect();
         let cap = 2_000;
-        let psq = run_ids(PriorityPolicy::new("psq-lru", lru_seed()), &ids, cap).result();
+        let host = PriorityPolicy::from_expr("psq-lru", &lru_seed());
+        assert!(host.is_compiled());
+        let psq = run_ids(host, &ids, cap).result();
         let lru = {
             let mut c = Cache::new(cap, Lru::new());
             for (i, &id) in ids.iter().enumerate() {
@@ -245,7 +318,7 @@ mod tests {
             }
         }
         let cap = 500;
-        let psq = run_ids(PriorityPolicy::new("psq-lfu", lfu_seed()), &ids, cap).result();
+        let psq = run_ids(PriorityPolicy::from_expr("psq-lfu", &lfu_seed()), &ids, cap).result();
         let lfu = {
             let mut c = Cache::new(cap, Lfu::new());
             for (i, &id) in ids.iter().enumerate() {
@@ -262,7 +335,7 @@ mod tests {
     #[test]
     fn history_features_visible_after_eviction() {
         let expr = policysmith_dsl::parse("if(hist.contains, 1000, 0) + obj.last_access").unwrap();
-        let mut c = Cache::new(300, PriorityPolicy::new("hist", expr));
+        let mut c = Cache::new(300, PriorityPolicy::from_expr("hist", &expr));
         let mut t = 0;
         let mut go = |c: &mut Cache<PriorityPolicy>, id: u64| {
             t += 1;
@@ -284,7 +357,9 @@ mod tests {
     fn runtime_fault_is_latched_not_fatal() {
         // cache.objects - 3 hits zero when 3 objects are resident
         let expr = policysmith_dsl::parse("100 / (cache.objects - 3)").unwrap();
-        let c = run_ids(PriorityPolicy::new("faulty", expr), &[1, 2, 3, 4, 5, 6], 300);
+        let host = PriorityPolicy::from_expr("faulty", &expr);
+        assert!(host.is_compiled(), "may-fault candidates still run compiled");
+        let c = run_ids(host, &[1, 2, 3, 4, 5, 6], 300);
         assert!(c.policy.first_error().is_some());
         // simulation completed anyway
         assert_eq!(c.result().requests, 6);
@@ -295,7 +370,7 @@ mod tests {
         let ids: Vec<u64> = (0..10_000u64).map(|i| (i * 31) % 200).collect();
         let expr =
             policysmith_dsl::parse("obj.count * 20 - obj.age / 300 - obj.size / 500").unwrap();
-        let c = run_ids(PriorityPolicy::new("mix", expr), &ids, 2_500);
+        let c = run_ids(PriorityPolicy::from_expr("mix", &expr), &ids, 2_500);
         assert_eq!(c.policy.ranking.len(), c.num_objects());
         assert_eq!(c.policy.score.len(), c.num_objects());
         assert!(c.policy.first_error().is_none());
@@ -306,12 +381,34 @@ mod tests {
     fn percentile_features_flow_through() {
         let expr =
             policysmith_dsl::parse("if(obj.size > sizes.p50, 0 - obj.age, obj.count)").unwrap();
-        let mut c = Cache::new(10_000, PriorityPolicy::new("pct", expr));
+        let mut c = Cache::new(10_000, PriorityPolicy::from_expr("pct", &expr));
         for i in 0..2_000u64 {
             let size = if i % 2 == 0 { 50 } else { 200 };
             c.request(&Request { time_us: i, obj: i % 150, size, op: OpKind::Read });
         }
         assert!(c.policy.first_error().is_none());
         assert!(c.result().hits > 0);
+    }
+
+    #[test]
+    fn compiled_host_matches_the_interpreter_oracle_on_whole_traces() {
+        // the differential check behind the host redesign: same trace,
+        // same expression, compiled vs interpreted → identical outcomes
+        let ids: Vec<u64> = (0..20_000u64).map(|i| (i * 2654435761) % 400).collect();
+        for src in [
+            "obj.count * 20 - obj.age / 300 - obj.size / 500",
+            "if(hist.contains, hist.count * 10 + 50, 0) + obj.last_access",
+            "if(obj.size > sizes.p75, 0 - obj.age, obj.count * counts.p50)",
+        ] {
+            let expr = policysmith_dsl::parse(src).unwrap();
+            let compiled = PriorityPolicy::from_expr("vm", &expr);
+            assert!(compiled.is_compiled());
+            let oracle = PriorityPolicy::interpreted("interp", expr.clone());
+            let a = run_ids(compiled, &ids, 8_000);
+            let b = run_ids(oracle, &ids, 8_000);
+            assert_eq!(a.result(), b.result(), "engines diverged for `{src}`");
+            assert!(a.policy.first_error().is_none());
+            assert!(b.policy.first_error().is_none());
+        }
     }
 }

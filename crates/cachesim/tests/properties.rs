@@ -73,7 +73,7 @@ proptest! {
             "obj.count * 20 - obj.age / 300 - obj.size / 500"
         };
         let expr = policysmith_dsl::parse(src).unwrap();
-        let mut cache = Cache::new(4_000, PriorityPolicy::new("prop", expr));
+        let mut cache = Cache::new(4_000, PriorityPolicy::from_expr("prop", &expr));
         let r = cache.run(&trace);
         prop_assert_eq!(r.requests, trace.len() as u64);
         prop_assert!(cache.used_bytes() <= 4_000);

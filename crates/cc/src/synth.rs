@@ -12,28 +12,28 @@
 //!    division-by-zero etc.). *This* is the stage the paper's §5.0.3
 //!    compile-rate numbers measure.
 //!
-//! A [`VerifiedCandidate`] then runs as a [`KbpfCc`]: each `cong_control`
-//! invocation builds the flat feature context (§5.0.1) from the live
-//! [`CcView`] and executes the program in the VM; `r0` is the new cwnd.
+//! Stages 2–4 are the shared compile-once pipeline
+//! ([`CompiledPolicy::compile`] in `Mode::Kernel`, where verification is
+//! strict) — the same plumbing the cache and lb hosts consume. A
+//! [`VerifiedCandidate`] then runs as a [`KbpfCc`]: each `cong_control`
+//! invocation fills the policy's flat feature context (§5.0.1) from the
+//! live [`CcView`] into a reusable slab and executes the program in the
+//! VM; `r0` is the new cwnd.
 
-use policysmith_dsl::{check_with_warnings, parse, CheckError, Expr, Feature, FeatureEnv, Mode};
+use policysmith_dsl::{parse, Expr, Feature, FeatureEnv, Mode};
 use policysmith_kbpf::{
-    build_ctx, cc_verify_env, compile, execute, verify, Interval, LowerError, Program, VerifyError,
-    SPILL_SLOTS,
+    CompileError, CompiledPolicy, Interval, LowerError, Program, VerifyError, SPILL_SLOTS,
 };
 use policysmith_netsim::{CcView, CongestionControl, HIST_LEN};
 use std::fmt;
 
-/// Template budgets for kernel candidates (tighter than the cache side:
-/// kernel code must stay small).
-pub const KERNEL_MAX_SIZE: usize = 256;
-pub const KERNEL_MAX_DEPTH: usize = 24;
+pub use policysmith_kbpf::{KERNEL_MAX_DEPTH, KERNEL_MAX_SIZE};
 
 /// Where in the pipeline a candidate died.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PipelineError {
     Parse(policysmith_dsl::ParseError),
-    Check(Vec<CheckError>),
+    Check(Vec<policysmith_dsl::CheckError>),
     Lower(LowerError),
     Verify(VerifyError),
 }
@@ -46,6 +46,16 @@ impl PipelineError {
             PipelineError::Check(_) => "check",
             PipelineError::Lower(_) => "lower",
             PipelineError::Verify(_) => "verify",
+        }
+    }
+}
+
+impl From<CompileError> for PipelineError {
+    fn from(e: CompileError) -> Self {
+        match e {
+            CompileError::Check(report) => PipelineError::Check(report.errors),
+            CompileError::Lower(e) => PipelineError::Lower(e),
+            CompileError::Verify(e) => PipelineError::Verify(e),
         }
     }
 }
@@ -68,30 +78,42 @@ impl fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
-/// A candidate that passed all four stages.
+/// A candidate that passed all four stages: the source plus its compiled,
+/// fully verified policy.
 #[derive(Debug, Clone)]
 pub struct VerifiedCandidate {
     pub source: String,
-    pub expr: Expr,
-    pub program: Program,
-    /// Provable bounds on the returned cwnd.
-    pub r0_bounds: Interval,
+    pub policy: CompiledPolicy,
+}
+
+impl VerifiedCandidate {
+    /// The checked expression.
+    pub fn expr(&self) -> &Expr {
+        self.policy.expr()
+    }
+
+    /// The lowered bytecode.
+    pub fn program(&self) -> &Program {
+        self.policy.program()
+    }
+
+    /// Provable bounds on the returned cwnd. Kernel-mode compilation is
+    /// strict, so verification bounds always exist.
+    pub fn r0_bounds(&self) -> Interval {
+        self.policy.r0_bounds().expect("kernel candidates are fully verified")
+    }
 }
 
 /// Run the full pipeline on candidate source.
 pub fn check_candidate(src: &str) -> Result<VerifiedCandidate, PipelineError> {
     let expr = parse(src).map_err(PipelineError::Parse)?;
-    let report = check_with_warnings(&expr, Mode::Kernel, KERNEL_MAX_SIZE, KERNEL_MAX_DEPTH);
-    if !report.ok() {
-        return Err(PipelineError::Check(report.errors));
-    }
-    let program = compile(&expr).map_err(PipelineError::Lower)?;
-    let r0_bounds = verify(&program, &cc_verify_env()).map_err(PipelineError::Verify)?;
-    Ok(VerifiedCandidate { source: src.to_string(), expr, program, r0_bounds })
+    let policy = CompiledPolicy::compile(&expr, Mode::Kernel)?;
+    debug_assert!(!policy.may_fault(), "kernel mode never defers faults");
+    Ok(VerifiedCandidate { source: src.to_string(), policy })
 }
 
 /// Adapter exposing a live [`CcView`] (plus the loss flag) as the DSL
-/// feature environment, from which the flat kbpf context is built.
+/// feature environment, from which the policy's flat context is filled.
 struct CcEnv<'a> {
     view: &'a CcView<'a>,
     loss: bool,
@@ -137,6 +159,8 @@ impl FeatureEnv for CcEnv<'_> {
 /// of the paper's eBPF probe attached to `cong_control`.
 pub struct KbpfCc {
     candidate: VerifiedCandidate,
+    /// Reusable flat feature context (refilled each invocation).
+    ctx: Vec<i64>,
     /// Persistent scratch map (spills; would be the BPF map in the paper).
     map: Vec<i64>,
     name: String,
@@ -149,8 +173,9 @@ impl KbpfCc {
     pub fn new(candidate: VerifiedCandidate) -> Self {
         KbpfCc {
             name: format!("kbpf:{}", &candidate.source[..candidate.source.len().min(24)]),
-            candidate,
+            ctx: Vec::with_capacity(candidate.policy.layout().len()),
             map: vec![0; SPILL_SLOTS],
+            candidate,
             faults: 0,
         }
     }
@@ -167,8 +192,7 @@ impl KbpfCc {
 
     fn invoke(&mut self, view: &CcView<'_>, loss: bool) -> u64 {
         let env = CcEnv { view, loss };
-        let ctx = build_ctx(&env);
-        match execute(&self.candidate.program, &ctx, &mut self.map) {
+        match self.candidate.policy.run_with_env(&env, &mut self.ctx, &mut self.map) {
             Ok(r0) => r0.clamp(2, 1 << 20) as u64,
             Err(_) => {
                 // Unreachable for verified programs; fail safe.
@@ -273,7 +297,8 @@ mod tests {
     #[test]
     fn r0_bounds_reported() {
         let c = check_candidate("clamp(cwnd * 2, 4, 256)").unwrap();
-        assert!(c.r0_bounds.lo >= 4 && c.r0_bounds.hi <= 256);
+        let r0 = c.r0_bounds();
+        assert!(r0.lo >= 4 && r0.hi <= 256);
     }
 
     #[test]

@@ -10,17 +10,21 @@
 //!
 //! * [`search`] — the generic search loop, population management, round
 //!   statistics and the cost ledger (§4.2.6);
-//! * [`studies::cache`] — the web-caching instantiation (§4): checker =
-//!   DSL parse + cache-mode check; evaluator = miss-ratio improvement over
-//!   FIFO on one trace at 10%-of-footprint capacity;
-//! * [`studies::cc`] — the kernel instantiation (§5): checker = the full
-//!   parse→check→lower→**kbpf-verify** pipeline; evaluator = emulated
+//!
+//! Every study's Checker is now the same compile-once pipeline
+//! (parse → mode-check → kbpf lowering → **verify**), so every Evaluator
+//! executes verified bytecode rather than walking the AST:
+//!
+//! * [`studies::cache`] — the web-caching instantiation (§4): evaluator =
+//!   miss-ratio improvement over FIFO on one trace at 10%-of-footprint
+//!   capacity;
+//! * [`studies::cc`] — the kernel instantiation (§5): verification is
+//!   strict (the verifier is the Checker); evaluator = emulated
 //!   12 Mbps / 20 ms link;
 //! * [`studies::lb`] — the load-balancing instantiation (third workload,
-//!   beyond the paper): checker = DSL parse + `Mode::Lb` check; evaluator
-//!   = mean-slowdown improvement over round-robin on a dispatch-tier
-//!   scenario — proof that a new controller slots in behind the same
-//!   [`Study`](search::Study) boundary unchanged;
+//!   beyond the paper): evaluator = mean-slowdown improvement over
+//!   round-robin on a dispatch-tier scenario — proof that a new controller
+//!   slots in behind the same [`Study`](search::Study) boundary unchanged;
 //! * [`library`] — the §3.1 context layer: a library of synthesized
 //!   heuristics plus a guardrail-style drift monitor that triggers
 //!   re-synthesis.

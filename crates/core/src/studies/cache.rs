@@ -1,15 +1,19 @@
 //! The web-caching instantiation (§4).
 //!
 //! Context = one trace + a cache sized at 10% of its footprint (§4.1.4).
-//! The Checker is the DSL parser + cache-mode checker (§4.1.3: "most
-//! errors surface as build failures"); the Evaluator replays the trace
-//! through the priority-template host and scores the **miss-ratio
-//! improvement over FIFO** — the exact metric Fig. 2 plots — with runtime
-//! faults (division by zero) scored as a hard failure.
+//! The Checker is the full compile-once pipeline — parse → cache-mode
+//! check → kbpf lowering → verification (§4.1.3: "most errors surface as
+//! build failures") — so the artifact handed to the Evaluator is a
+//! verified [`CompiledPolicy`], not an AST. The Evaluator replays the
+//! trace through the priority-template host (pure VM execution on the hot
+//! path) and scores the **miss-ratio improvement over FIFO** — the exact
+//! metric Fig. 2 plots — with runtime faults (division by zero, deferred
+//! by the userspace verification policy) scored as a hard failure.
 
 use crate::search::Study;
 use policysmith_cachesim::{Cache, PriorityPolicy};
-use policysmith_dsl::{check_with_warnings, parse, Expr, Mode};
+use policysmith_dsl::{parse, Mode};
+use policysmith_kbpf::CompiledPolicy;
 use policysmith_traces::Trace;
 
 /// One caching context: trace + capacity + FIFO reference point.
@@ -55,29 +59,19 @@ impl CacheStudy {
 }
 
 impl Study for CacheStudy {
-    type Artifact = Expr;
+    type Artifact = CompiledPolicy;
 
     fn mode(&self) -> Mode {
         Mode::Cache
     }
 
-    fn check(&self, source: &str) -> Result<Expr, String> {
+    fn check(&self, source: &str) -> Result<CompiledPolicy, String> {
         let expr = parse(source).map_err(|e| e.to_string())?;
-        let report = check_with_warnings(
-            &expr,
-            Mode::Cache,
-            policysmith_dsl::check::DEFAULT_MAX_SIZE,
-            policysmith_dsl::check::DEFAULT_MAX_DEPTH,
-        );
-        if report.ok() {
-            Ok(expr)
-        } else {
-            Err(report.stderr())
-        }
+        CompiledPolicy::compile(&expr, Mode::Cache).map_err(|e| e.to_string())
     }
 
-    fn evaluate(&self, expr: &Expr) -> f64 {
-        let mut cache = Cache::new(self.capacity, PriorityPolicy::new("candidate", expr.clone()));
+    fn evaluate(&self, policy: &CompiledPolicy) -> f64 {
+        let mut cache = Cache::new(self.capacity, PriorityPolicy::new("candidate", policy.clone()));
         let result = cache.run(&self.trace);
         if cache.policy.first_error().is_some() {
             // The candidate crashed in production: rank below everything.
@@ -130,6 +124,26 @@ mod tests {
         // cache.objects - 1 is zero while exactly one object is resident
         let e = s.check("100 / (cache.objects - 1)").unwrap();
         assert_eq!(s.evaluate(&e), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn compiled_artifact_scores_match_the_interpreter_oracle() {
+        // the study-level differential check: `check()` hands back a
+        // verified CompiledPolicy, and evaluating it (pure VM execution)
+        // must land at exactly the interpreter host's improvement
+        let s = study();
+        for src in [
+            "obj.last_access",
+            "obj.count * 20 - obj.age / 300 - obj.size / 500",
+            "if(hist.contains, hist.count * 10 + 50, 0) + obj.last_access",
+        ] {
+            let compiled = s.evaluate(&s.check(src).unwrap());
+            let oracle = s.improvement(policysmith_cachesim::PriorityPolicy::interpreted(
+                "oracle",
+                policysmith_dsl::parse(src).unwrap(),
+            ));
+            assert_eq!(compiled, oracle, "engines diverged for `{src}`");
+        }
     }
 
     #[test]

@@ -2,16 +2,21 @@
 //! paper's two case studies.
 //!
 //! Context = one [`Scenario`] (fleet + workload + seed). The Checker is
-//! the DSL parser + `Mode::Lb` checker (userspace template, like caching);
-//! the Evaluator replays the scenario through the argmin scoring host and
-//! scores the **mean-slowdown improvement over round-robin** — the
-//! load-balancing analogue of the cache study's miss-ratio-over-FIFO, with
-//! runtime faults (division by zero on an idle server) scored as a hard
-//! failure. Round-robin is the natural denominator: it is what the
-//! dispatch tier does before anyone writes a heuristic at all.
+//! the full compile-once pipeline — parse → `Mode::Lb` check → kbpf
+//! lowering → verification — so the artifact is a verified
+//! [`CompiledPolicy`] (userspace template: unprovable divisions are
+//! deferred to the host's latched fallback rather than rejected). The
+//! Evaluator replays the scenario through the argmin scoring host (pure
+//! VM execution per server per dispatch) and scores the **mean-slowdown
+//! improvement over round-robin** — the load-balancing analogue of the
+//! cache study's miss-ratio-over-FIFO, with runtime faults (division by
+//! zero on an idle server) scored as a hard failure. Round-robin is the
+//! natural denominator: it is what the dispatch tier does before anyone
+//! writes a heuristic at all.
 
 use crate::search::Study;
-use policysmith_dsl::{check_with_warnings, parse, Expr, Mode};
+use policysmith_dsl::{parse, Mode};
+use policysmith_kbpf::CompiledPolicy;
 use policysmith_lbsim::{sim, Dispatcher, ExprDispatcher, LbRequest, Scenario};
 
 /// One load-balancing context: scenario + round-robin reference point.
@@ -59,29 +64,19 @@ impl LbStudy {
 }
 
 impl Study for LbStudy {
-    type Artifact = Expr;
+    type Artifact = CompiledPolicy;
 
     fn mode(&self) -> Mode {
         Mode::Lb
     }
 
-    fn check(&self, source: &str) -> Result<Expr, String> {
+    fn check(&self, source: &str) -> Result<CompiledPolicy, String> {
         let expr = parse(source).map_err(|e| e.to_string())?;
-        let report = check_with_warnings(
-            &expr,
-            Mode::Lb,
-            policysmith_dsl::check::DEFAULT_MAX_SIZE,
-            policysmith_dsl::check::DEFAULT_MAX_DEPTH,
-        );
-        if report.ok() {
-            Ok(expr)
-        } else {
-            Err(report.stderr())
-        }
+        CompiledPolicy::compile(&expr, Mode::Lb).map_err(|e| e.to_string())
     }
 
-    fn evaluate(&self, expr: &Expr) -> f64 {
-        let mut host = ExprDispatcher::new("candidate", expr.clone());
+    fn evaluate(&self, policy: &CompiledPolicy) -> f64 {
+        let mut host = ExprDispatcher::new("candidate", policy.clone());
         let m = sim::run(&self.scenario.servers, &self.requests, &mut host);
         if host.first_error().is_some() {
             // The candidate crashed in production: rank below everything.
@@ -141,6 +136,25 @@ mod tests {
         let worst = s.evaluate(&s.check("0 - server.queue_len").unwrap());
         assert!(worst.is_finite());
         assert!(f64::NEG_INFINITY < worst);
+    }
+
+    #[test]
+    fn compiled_artifact_scores_match_the_interpreter_oracle() {
+        // the study-level differential check: evaluating the verified
+        // CompiledPolicy (pure VM execution per server) must land at
+        // exactly the interpreter host's improvement — identical picks,
+        // identical slowdowns
+        let s = study();
+        for src in [
+            "server.inflight",
+            "server.inflight * 1000 / server.speed + server.queue_len * 50",
+            "server.work_left + req.size * 1000 / server.speed",
+        ] {
+            let compiled = s.evaluate(&s.check(src).unwrap());
+            let mut oracle =
+                ExprDispatcher::interpreted("oracle", policysmith_dsl::parse(src).unwrap());
+            assert_eq!(compiled, s.improvement(&mut oracle), "engines diverged for `{src}`");
+        }
     }
 
     #[test]

@@ -10,10 +10,14 @@
 //! Each feature carries:
 //! * a [`Mode`] availability (cache template vs. kernel template),
 //! * a conservative value **range** used by the kbpf verifier's interval
-//!   analysis (e.g. `hist.contains ∈ [0,1]`, `mss ∈ [1, 65535]`), and
-//! * for kernel features, a fixed slot in the flat context array the kbpf
-//!   program loads from (mirroring how the paper's eBPF probe reads features
-//!   out of a BPF map written by the kernel-module scaffold).
+//!   analysis (e.g. `hist.contains ∈ [0,1]`, `mss ∈ [1, 65535]`).
+//!
+//! Context-array slots are *not* fixed here: the kbpf compiler assigns each
+//! expression a minimal per-candidate layout (`policysmith_kbpf::CtxLayout`)
+//! covering exactly the features it reads, for every mode uniformly —
+//! mirroring how the paper's eBPF probe reads features out of a BPF map
+//! written by the kernel-module scaffold, without hard-coding the map shape
+//! into the language.
 
 /// Which template a heuristic targets. Determines the legal feature set and
 /// how strict the checker is (§4.1.2 vs §5.0.1 of the paper).
@@ -142,6 +146,11 @@ pub enum Feature {
     ServerSpeed,
     /// Unfinished requests assigned to the server (queued + in service).
     ServerInflight,
+    /// Residual work on the server, µs of service time: the remaining
+    /// in-service time plus the service times of everything queued. The
+    /// "least-work-left" signal the classical literature assumes an oracle
+    /// for; our dispatch tier tracks it exactly.
+    ServerWorkLeft,
 
     // ---- load balancing: per-request ----
     /// Service demand of the request being dispatched, in work units (≥ 1).
@@ -163,9 +172,8 @@ impl Feature {
             | HistRtt(_) | HistDelivered(_) | HistLoss(_) | HistCwnd(_) | HistQdelay(_) => {
                 mode == Mode::Kernel
             }
-            ServerQueueLen | ServerEwmaLatency | ServerSpeed | ServerInflight | ReqSize => {
-                mode == Mode::Lb
-            }
+            ServerQueueLen | ServerEwmaLatency | ServerSpeed | ServerInflight | ServerWorkLeft
+            | ReqSize => mode == Mode::Lb,
         }
     }
 
@@ -208,39 +216,10 @@ impl Feature {
             HistLoss(_) => (0, 1 << 20),
             ServerQueueLen | ServerInflight => (0, 1 << 20),
             ServerEwmaLatency => (0, 1 << 32),
+            ServerWorkLeft => (0, 1 << 40),
             ServerSpeed => (1, 1 << 16),
             ReqSize => (1, 1 << 32),
         }
-    }
-
-    /// Slot of this feature in the flat kernel context array read by kbpf
-    /// programs (`LdCtx` instruction). `None` for cache-only features, which
-    /// are never lowered to bytecode.
-    pub fn ctx_slot(self) -> Option<u16> {
-        use Feature::*;
-        let h = CC_HISTORY_LEN as u16;
-        Some(match self {
-            Now => 0,
-            Cwnd => 1,
-            PrevCwnd => 2,
-            MinRttUs => 3,
-            SrttUs => 4,
-            LastRttUs => 5,
-            InflightBytes => 6,
-            InflightPkts => 7,
-            Mss => 8,
-            DeliveredBytes => 9,
-            DeliveryRateBps => 10,
-            LossEvent => 11,
-            AckedBytes => 12,
-            Ssthresh => 13,
-            HistRtt(i) => CC_CTX_HIST_BASE + i as u16,
-            HistDelivered(i) => CC_CTX_HIST_BASE + h + i as u16,
-            HistLoss(i) => CC_CTX_HIST_BASE + 2 * h + i as u16,
-            HistCwnd(i) => CC_CTX_HIST_BASE + 3 * h + i as u16,
-            HistQdelay(i) => CC_CTX_HIST_BASE + 4 * h + i as u16,
-            _ => return None,
-        })
     }
 
     /// Canonical source-syntax name of the feature.
@@ -286,6 +265,7 @@ impl Feature {
             ServerEwmaLatency => "server.ewma_latency".into(),
             ServerSpeed => "server.speed".into(),
             ServerInflight => "server.inflight".into(),
+            ServerWorkLeft => "server.work_left".into(),
             ReqSize => "req.size".into(),
         }
     }
@@ -347,43 +327,23 @@ impl Feature {
                 v
             }
             Mode::Lb => {
-                vec![Now, ServerQueueLen, ServerEwmaLatency, ServerSpeed, ServerInflight, ReqSize]
+                vec![
+                    Now,
+                    ServerQueueLen,
+                    ServerEwmaLatency,
+                    ServerSpeed,
+                    ServerInflight,
+                    ServerWorkLeft,
+                    ReqSize,
+                ]
             }
         }
     }
 }
 
-/// First context slot holding history arrays (after the 14 scalars).
-pub const CC_CTX_HIST_BASE: u16 = 14;
-
-/// Total size of the kernel context array in `i64` slots.
-pub const CC_CTX_SLOTS: u16 = CC_CTX_HIST_BASE + 5 * CC_HISTORY_LEN as u16;
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn ctx_slots_are_unique_and_in_bounds() {
-        let mut seen = std::collections::HashSet::new();
-        for f in Feature::catalog(Mode::Kernel) {
-            let slot = f.ctx_slot().expect("kernel feature must have a slot");
-            assert!(slot < CC_CTX_SLOTS, "{f:?} slot {slot} out of bounds");
-            assert!(seen.insert(slot), "duplicate slot {slot} for {f:?}");
-        }
-    }
-
-    #[test]
-    fn cache_and_lb_features_have_no_ctx_slot() {
-        for mode in [Mode::Cache, Mode::Lb] {
-            for f in Feature::catalog(mode) {
-                if f == Feature::Now {
-                    continue;
-                }
-                assert_eq!(f.ctx_slot(), None, "{f:?} must not be lowerable");
-            }
-        }
-    }
 
     #[test]
     fn mode_partition_is_total() {
@@ -424,6 +384,7 @@ mod tests {
         assert_eq!(Feature::ServerQueueLen.range().0, 0);
         assert_eq!(Feature::ServerInflight.range().0, 0);
         assert_eq!(Feature::ServerEwmaLatency.range().0, 0);
+        assert_eq!(Feature::ServerWorkLeft.range().0, 0);
     }
 
     #[test]

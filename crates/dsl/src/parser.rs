@@ -402,6 +402,7 @@ fn resolve_path(path: &[String]) -> Option<Feature> {
         ["server", "ewma_latency"] => ServerEwmaLatency,
         ["server", "speed"] => ServerSpeed,
         ["server", "inflight"] => ServerInflight,
+        ["server", "work_left"] => ServerWorkLeft,
         ["req", "size"] => ReqSize,
         [table @ ("counts" | "ages" | "sizes"), p] => {
             let pct: u8 = p.strip_prefix('p')?.parse().ok()?;
@@ -470,6 +471,7 @@ mod tests {
         assert_eq!(parse("server.ewma_latency").unwrap(), Expr::feat(Feature::ServerEwmaLatency));
         assert_eq!(parse("server.speed").unwrap(), Expr::feat(Feature::ServerSpeed));
         assert_eq!(parse("server.inflight").unwrap(), Expr::feat(Feature::ServerInflight));
+        assert_eq!(parse("server.work_left").unwrap(), Expr::feat(Feature::ServerWorkLeft));
         assert_eq!(parse("req.size").unwrap(), Expr::feat(Feature::ReqSize));
     }
 

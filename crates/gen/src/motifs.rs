@@ -289,6 +289,23 @@ pub fn lb_inflight_penalty(rng: &mut impl RngExt) -> Expr {
     )
 }
 
+/// Least-work-left: the exact residual backlog plus this request's own
+/// demand, both normalized by speed — the strongest classical shape now
+/// that the dispatch tier tracks residual work (`server.speed >= 1`, so
+/// both divisions are checker-clean).
+pub fn lb_work_left(rng: &mut impl RngExt) -> Expr {
+    let own_cost = Expr::bin(
+        BinOp::Div,
+        Expr::bin(BinOp::Mul, feat(Feature::ReqSize), int(1_000)),
+        feat(Feature::ServerSpeed),
+    );
+    if rng.random_bool(0.5) {
+        Expr::bin(BinOp::Add, feat(Feature::ServerWorkLeft), own_cost)
+    } else {
+        Expr::bin(BinOp::Div, feat(Feature::ServerWorkLeft), int(scale(rng, 100, 10_000)))
+    }
+}
+
 /// Queue-pressure gate: a hard penalty once the queue passes a threshold
 /// (protects against bounded-queue drops during bursts).
 pub fn lb_queue_gate(rng: &mut impl RngExt) -> Expr {
@@ -307,6 +324,7 @@ pub fn lb_motifs() -> Vec<fn(&mut rand::rngs::StdRng) -> Expr> {
         lb_size_cost,
         lb_latency_signal,
         lb_inflight_penalty,
+        lb_work_left,
         lb_queue_gate,
     ]
 }

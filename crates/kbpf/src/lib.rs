@@ -3,7 +3,8 @@
 //! The congestion-control case study (§5 of the paper) runs LLM-generated
 //! decision logic inside the Linux kernel by compiling it to eBPF and
 //! letting **the eBPF verifier act as the framework's `Checker`**. This
-//! crate rebuilds that substrate:
+//! crate rebuilds that substrate — and generalizes it into the
+//! compile-once host boundary every case study consumes:
 //!
 //! * [`isa`] — a register bytecode closely modeled on eBPF (11 × `i64`
 //!   registers, ALU + conditional forward jumps, context loads, scratch
@@ -14,28 +15,36 @@
 //!   backward jump (so accepted programs provably terminate);
 //! * [`vm`] — the interpreter, bit-for-bit equivalent to the DSL
 //!   interpreter on verified programs;
-//! * [`lower`] — the DSL → kbpf compiler plus the `cong_control` context
-//!   layout shared with `policysmith-cc`.
+//! * [`lower`] — the DSL → kbpf compiler, parameterized by a context
+//!   layout so any template's features lower;
+//! * [`compile`] — the host-facing API: [`CtxLayout`] (per-candidate
+//!   feature→slot ABI with mode-specific verification intervals) and
+//!   [`CompiledPolicy`] (check → lower → verify once, then zero-allocation
+//!   execution on the host's hot path).
 //!
 //! ```
-//! use policysmith_kbpf::{compile, verify, execute, cc_verify_env, build_ctx, SPILL_SLOTS};
-//! use policysmith_dsl::{parse, env::MapEnv, Feature};
+//! use policysmith_kbpf::CompiledPolicy;
+//! use policysmith_dsl::{parse, env::MapEnv, Feature, Mode};
 //!
 //! let expr = parse("if(loss, max(cwnd >> 1, 2), cwnd + 1)").unwrap();
-//! let prog = compile(&expr).unwrap();
-//! verify(&prog, &cc_verify_env()).unwrap();
+//! let policy = CompiledPolicy::compile(&expr, Mode::Kernel).unwrap();
+//! assert!(!policy.may_fault()); // fully verified: faults are impossible
 //!
 //! let env = MapEnv::new().with(Feature::Cwnd, 10).with(Feature::LossEvent, 1);
-//! let mut map = vec![0i64; SPILL_SLOTS];
-//! assert_eq!(execute(&prog, &build_ctx(&env), &mut map).unwrap(), 5);
+//! assert_eq!(policy.eval_once(&env).unwrap(), 5);
 //! ```
 
+pub mod compile;
 pub mod isa;
 pub mod lower;
 pub mod verifier;
 pub mod vm;
 
+pub use compile::{
+    mode_budgets, CompileError, CompiledPolicy, CtxLayout, RuntimeFault, Verification,
+    KERNEL_MAX_DEPTH, KERNEL_MAX_SIZE,
+};
 pub use isa::{Insn, Op, Program, MAX_INSNS, REG_COUNT};
-pub use lower::{build_ctx, cc_ctx_features, cc_verify_env, compile, LowerError, SPILL_SLOTS};
+pub use lower::{LowerError, SPILL_SLOTS};
 pub use verifier::{verify, Interval, VerifyEnv, VerifyError};
-pub use vm::{execute, execute_with_fuel, VmError};
+pub use vm::{execute, execute_verified, execute_with_fuel, VmError};

@@ -1,10 +1,12 @@
 //! DSL → kbpf compilation.
 //!
-//! Lowers a checked `cong_control` expression to loop-free bytecode. The
-//! compiler is a straightforward stack machine: expression stack slot `k`
-//! lives in register `r{k+1}` for `k < 8` and spills to the scratch map
-//! above that; `r9`/`r10` are reload scratch, `r0` carries the result to
-//! `exit`.
+//! Lowers a checked expression to loop-free bytecode against a
+//! [`CtxLayout`](crate::compile::CtxLayout): every feature read becomes a
+//! `LdCtx` from the slot the layout assigned it, so one compiler serves the
+//! cache, kernel, and lb templates alike. The compiler is a straightforward
+//! stack machine: expression stack slot `k` lives in register `r{k+1}` for
+//! `k < 8` and spills to the scratch map above that; `r9`/`r10` are reload
+//! scratch, `r0` carries the result to `exit`.
 //!
 //! Division is lowered **unguarded** (`DivReg`), exactly as written in the
 //! source — proving the divisor nonzero is the verifier's job, not the
@@ -13,9 +15,9 @@
 //! *fails verification*, and the stderr fed back teaches it the
 //! `x / max(y, 1)` idiom.
 
+use crate::compile::CtxLayout;
 use crate::isa::{Insn, Op, Program, MAX_INSNS};
-use crate::verifier::VerifyEnv;
-use policysmith_dsl::{BinOp, CmpOp, Expr, Feature, FeatureEnv, Mode};
+use policysmith_dsl::{BinOp, CmpOp, Expr, Feature};
 use std::fmt;
 
 /// Number of expression-stack slots held directly in registers (`r1..r8`).
@@ -28,14 +30,15 @@ const SCRATCH_B: u8 = 10;
 pub const SPILL_SLOTS: usize = 64;
 
 /// Compilation failures. These are "compile errors" in the paper's pipeline
-/// (as opposed to verifier rejections): float literals and cache-only
-/// features cannot be expressed in kernel bytecode at all.
+/// (as opposed to verifier rejections): float literals cannot be expressed
+/// in bytecode at all, and a feature outside the layout has no slot to load
+/// from (unreachable when the layout was built from the same expression).
 #[derive(Debug, Clone, PartialEq)]
 pub enum LowerError {
-    /// Kernel code cannot contain floating point (§5: "floating-point ops
+    /// Bytecode cannot contain floating point (§5: "floating-point ops
     /// disallowed").
     FloatLiteral { value: f64 },
-    /// Feature has no kernel context slot (cache-template features).
+    /// Feature has no slot in the supplied context layout.
     UnsupportedFeature { feature: Feature },
     /// Expression too deep for the spill area or emitted program too long.
     TooComplex,
@@ -51,7 +54,7 @@ impl fmt::Display for LowerError {
             ),
             LowerError::UnsupportedFeature { feature } => write!(
                 f,
-                "error: unknown kernel symbol `{}` (feature unavailable in cong_control)",
+                "error: unknown symbol `{}` (feature absent from the context layout)",
                 feature.name()
             ),
             LowerError::TooComplex => write!(f, "error: expression too complex to lower"),
@@ -61,9 +64,10 @@ impl fmt::Display for LowerError {
 
 impl std::error::Error for LowerError {}
 
-/// Compile `e` to a kbpf program returning the expression value in `r0`.
-pub fn compile(e: &Expr) -> Result<Program, LowerError> {
-    let mut c = Compiler { insns: Vec::new() };
+/// Compile `e` against `layout` to a kbpf program returning the expression
+/// value in `r0`.
+pub fn compile(e: &Expr, layout: &CtxLayout) -> Result<Program, LowerError> {
+    let mut c = Compiler { insns: Vec::new(), layout };
     c.expr(e, 0)?;
     let r = c.load(0, SCRATCH_A);
     if r != 0 {
@@ -76,33 +80,12 @@ pub fn compile(e: &Expr) -> Result<Program, LowerError> {
     Ok(Program { insns: c.insns })
 }
 
-/// The verification environment for `cong_control` programs: context ranges
-/// from the kernel feature catalog, spill-sized map.
-pub fn cc_verify_env() -> VerifyEnv {
-    let feats = cc_ctx_features();
-    let ctx_ranges = feats.iter().map(|f| f.range()).collect();
-    VerifyEnv { ctx_ranges, map_slots: SPILL_SLOTS }
-}
-
-/// Kernel features ordered by context slot; the harness uses this to build
-/// the flat ctx array each invocation.
-pub fn cc_ctx_features() -> Vec<Feature> {
-    let mut feats = Feature::catalog(Mode::Kernel);
-    feats.sort_by_key(|f| f.ctx_slot().expect("kernel features all have slots"));
-    debug_assert!(feats.iter().enumerate().all(|(i, f)| f.ctx_slot() == Some(i as u16)));
-    feats
-}
-
-/// Materialize the flat context array from any [`FeatureEnv`].
-pub fn build_ctx(env: &impl FeatureEnv) -> Vec<i64> {
-    cc_ctx_features().iter().map(|f| env.feature(*f)).collect()
-}
-
-struct Compiler {
+struct Compiler<'a> {
     insns: Vec<Insn>,
+    layout: &'a CtxLayout,
 }
 
-impl Compiler {
+impl Compiler<'_> {
     fn push(&mut self, i: Insn) {
         self.insns.push(i);
     }
@@ -170,7 +153,8 @@ impl Compiler {
             Expr::Int(v) => self.set_imm(k, *v),
             Expr::Float(v) => return Err(LowerError::FloatLiteral { value: *v }),
             Expr::Feat(f) => {
-                let slot = f.ctx_slot().ok_or(LowerError::UnsupportedFeature { feature: *f })?;
+                let slot =
+                    self.layout.slot(*f).ok_or(LowerError::UnsupportedFeature { feature: *f })?;
                 match Self::slot_reg(k) {
                     Some(r) => self.push(Insn::new(Op::LdCtx, r, 0, slot as i64)),
                     None => {
@@ -320,16 +304,18 @@ mod tests {
     use crate::verifier::verify;
     use crate::vm::execute;
     use policysmith_dsl::env::MapEnv;
-    use policysmith_dsl::{eval, parse};
+    use policysmith_dsl::{eval, parse, Mode};
 
-    /// Compile, verify, execute against a ctx built from `env`, and compare
-    /// with the interpreter.
+    /// Compile against the expression's own layout, verify, execute with a
+    /// ctx filled from `env`, and compare with the interpreter.
     fn check_equiv(src: &str, env: &MapEnv) {
         let e = parse(src).unwrap();
-        let prog = compile(&e).unwrap();
-        verify(&prog, &cc_verify_env())
+        let layout = CtxLayout::for_expr(&e, Mode::Kernel);
+        let prog = compile(&e, &layout).unwrap();
+        verify(&prog, &layout.verify_env())
             .unwrap_or_else(|err| panic!("verify failed for `{src}`:\n{prog}\n{err}"));
-        let ctx = build_ctx(env);
+        let mut ctx = Vec::new();
+        layout.fill(env, &mut ctx);
         let mut map = vec![0i64; SPILL_SLOTS];
         let vm_result = execute(&prog, &ctx, &mut map).unwrap();
         let interp = eval(&e, env).unwrap();
@@ -395,21 +381,26 @@ mod tests {
     #[test]
     fn unguarded_division_compiles_but_fails_verify() {
         let e = parse("cwnd / inflight").unwrap(); // inflight may be 0
-        let prog = compile(&e).unwrap();
-        let err = verify(&prog, &cc_verify_env()).unwrap_err();
+        let layout = CtxLayout::for_expr(&e, Mode::Kernel);
+        let prog = compile(&e, &layout).unwrap();
+        let err = verify(&prog, &layout.verify_env()).unwrap_err();
         assert!(err.to_string().contains("not allowed as divisor"), "{err}");
     }
 
     #[test]
     fn float_fails_to_lower() {
         let e = parse("cwnd * 1.5").unwrap();
-        assert!(matches!(compile(&e), Err(LowerError::FloatLiteral { .. })));
+        let layout = CtxLayout::for_expr(&e, Mode::Kernel);
+        assert!(matches!(compile(&e, &layout), Err(LowerError::FloatLiteral { .. })));
     }
 
     #[test]
-    fn cache_feature_fails_to_lower() {
-        let e = parse("obj.count + 1").unwrap();
-        assert!(matches!(compile(&e), Err(LowerError::UnsupportedFeature { .. })));
+    fn feature_outside_the_layout_fails_to_lower() {
+        // a layout built for a *different* expression has no slot for cwnd
+        let other = parse("srtt").unwrap();
+        let layout = CtxLayout::for_expr(&other, Mode::Kernel);
+        let e = parse("cwnd + 1").unwrap();
+        assert!(matches!(compile(&e, &layout), Err(LowerError::UnsupportedFeature { .. })));
     }
 
     #[test]
@@ -450,16 +441,11 @@ mod tests {
     }
 
     #[test]
-    fn ctx_features_cover_all_slots() {
-        let feats = cc_ctx_features();
-        assert_eq!(feats.len() as u16, policysmith_dsl::feature::CC_CTX_SLOTS);
-    }
-
-    #[test]
     fn r0_bounds_from_verifier_are_sound() {
         let e = parse("clamp(cwnd * 2, 2, 1024)").unwrap();
-        let prog = compile(&e).unwrap();
-        let r0 = verify(&prog, &cc_verify_env()).unwrap();
+        let layout = CtxLayout::for_expr(&e, Mode::Kernel);
+        let prog = compile(&e, &layout).unwrap();
+        let r0 = verify(&prog, &layout.verify_env()).unwrap();
         assert!(r0.lo >= 2 && r0.hi <= 1024, "r0 bounds {:?}", r0);
     }
 }

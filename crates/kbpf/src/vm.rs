@@ -168,6 +168,116 @@ pub fn execute_with_fuel(
     }
 }
 
+/// Execute a program that already passed the structural verifier — the
+/// compile-once hot path. Compared to [`execute`] this drops the fuel
+/// counter (forward-only jumps terminate by construction), the per-insn
+/// register validation, and the per-insn fault plumbing; the only
+/// remaining error is the runtime division guard, reachable solely for
+/// userspace programs the pipeline marked `may_fault`.
+///
+/// This is a second copy of the ISA semantics and MUST stay in step with
+/// [`execute`]: any opcode or semantics change lands in both. The
+/// equivalence property suite (`tests/equivalence.rs`) cross-checks the
+/// two loops (result *and* scratch-map state) on hundreds of random
+/// compiled programs per run, so a divergence fails CI immediately.
+///
+/// # Panics
+/// If the program never passed the verifier, or `ctx`/`map` are smaller
+/// than the sizes it was verified against (a caller contract violation,
+/// surfaced by the slice bounds checks).
+pub fn execute_verified(prog: &Program, ctx: &[i64], map: &mut [i64]) -> Result<i64, VmError> {
+    let insns = prog.insns.as_slice();
+    // 16-slot register file with masked indexing: the verifier proved every
+    // register number < REG_COUNT (= 11), so the mask is semantically a
+    // no-op — it exists purely to let the compiler elide bounds checks.
+    let mut regs = [0i64; 16];
+    let mut pc: usize = 0;
+    macro_rules! dst {
+        ($insn:expr) => {
+            regs[($insn.dst & 15) as usize]
+        };
+    }
+    macro_rules! src {
+        ($insn:expr) => {
+            regs[($insn.src & 15) as usize]
+        };
+    }
+    macro_rules! jump_if {
+        ($insn:expr, $cond:expr) => {
+            if $cond {
+                pc = pc + 1 + $insn.off as usize;
+                continue;
+            }
+        };
+    }
+    loop {
+        let insn = &insns[pc];
+        use Op::*;
+        match insn.op {
+            MovImm => dst!(insn) = insn.imm,
+            MovReg => dst!(insn) = src!(insn),
+            AddImm => dst!(insn) = dst!(insn).saturating_add(insn.imm),
+            AddReg => dst!(insn) = dst!(insn).saturating_add(src!(insn)),
+            SubImm => dst!(insn) = dst!(insn).saturating_sub(insn.imm),
+            SubReg => dst!(insn) = dst!(insn).saturating_sub(src!(insn)),
+            MulImm => dst!(insn) = dst!(insn).saturating_mul(insn.imm),
+            MulReg => dst!(insn) = dst!(insn).saturating_mul(src!(insn)),
+            DivImm => {
+                if insn.imm == 0 {
+                    return Err(VmError::DivByZero { pc });
+                }
+                dst!(insn) = div_sat(dst!(insn), insn.imm);
+            }
+            DivReg => {
+                let b = src!(insn);
+                if b == 0 {
+                    return Err(VmError::DivByZero { pc });
+                }
+                dst!(insn) = div_sat(dst!(insn), b);
+            }
+            RemImm => {
+                if insn.imm == 0 {
+                    return Err(VmError::DivByZero { pc });
+                }
+                dst!(insn) = rem_sat(dst!(insn), insn.imm);
+            }
+            RemReg => {
+                let b = src!(insn);
+                if b == 0 {
+                    return Err(VmError::DivByZero { pc });
+                }
+                dst!(insn) = rem_sat(dst!(insn), b);
+            }
+            Neg => dst!(insn) = dst!(insn).saturating_neg(),
+            LshImm => dst!(insn) = shl_sat(dst!(insn), insn.imm),
+            LshReg => dst!(insn) = shl_sat(dst!(insn), src!(insn)),
+            RshImm => dst!(insn) = shr_arith(dst!(insn), insn.imm),
+            RshReg => dst!(insn) = shr_arith(dst!(insn), src!(insn)),
+            Ja => {
+                pc = pc + 1 + insn.off as usize;
+                continue;
+            }
+            JeqImm => jump_if!(insn, dst!(insn) == insn.imm),
+            JeqReg => jump_if!(insn, dst!(insn) == src!(insn)),
+            JneImm => jump_if!(insn, dst!(insn) != insn.imm),
+            JneReg => jump_if!(insn, dst!(insn) != src!(insn)),
+            JltImm => jump_if!(insn, dst!(insn) < insn.imm),
+            JltReg => jump_if!(insn, dst!(insn) < src!(insn)),
+            JleImm => jump_if!(insn, dst!(insn) <= insn.imm),
+            JleReg => jump_if!(insn, dst!(insn) <= src!(insn)),
+            JgtImm => jump_if!(insn, dst!(insn) > insn.imm),
+            JgtReg => jump_if!(insn, dst!(insn) > src!(insn)),
+            JgeImm => jump_if!(insn, dst!(insn) >= insn.imm),
+            JgeReg => jump_if!(insn, dst!(insn) >= src!(insn)),
+            LdCtx => dst!(insn) = ctx[insn.imm as usize],
+            LdMap => dst!(insn) = map[insn.imm as usize],
+            StMap => map[insn.imm as usize] = src!(insn),
+            Exit => return Ok(regs[0]),
+        }
+        pc += 1;
+    }
+}
+
 fn op_is_imm(op: Op) -> bool {
     use Op::*;
     matches!(op, JeqImm | JneImm | JltImm | JleImm | JgtImm | JgeImm)
@@ -304,6 +414,44 @@ mod tests {
             execute_with_fuel(&p, &[], &mut map, 10),
             Err(VmError::PcOutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn verified_fast_path_agrees_with_the_defensive_interpreter() {
+        // a branchy program exercising ALU, jumps, ctx, and map
+        let insns = vec![
+            i(Op::LdCtx, 1, 0, 0),
+            i(Op::MovImm, 2, 0, 10),
+            j(Op::JgtReg, 1, 2, 0, 2),
+            i(Op::MovImm, 0, 0, 7),
+            j(Op::Ja, 0, 0, 0, 3),
+            i(Op::MulImm, 1, 0, 3),
+            i(Op::StMap, 0, 1, 2),
+            i(Op::LdMap, 0, 0, 2),
+            i(Op::Exit, 0, 0, 0),
+        ];
+        let p = Program { insns };
+        for c in [0i64, 11, 100] {
+            let mut m1 = [0i64; 8];
+            let mut m2 = [0i64; 8];
+            assert_eq!(execute(&p, &[c], &mut m1), execute_verified(&p, &[c], &mut m2));
+            assert_eq!(m1, m2);
+        }
+    }
+
+    #[test]
+    fn verified_fast_path_keeps_the_division_guard() {
+        let p = Program {
+            insns: vec![
+                i(Op::MovImm, 0, 0, 5),
+                i(Op::LdCtx, 1, 0, 0),
+                i(Op::DivReg, 0, 1, 0),
+                i(Op::Exit, 0, 0, 0),
+            ],
+        };
+        let mut map = [0i64; 1];
+        assert_eq!(execute_verified(&p, &[0], &mut map), Err(VmError::DivByZero { pc: 2 }));
+        assert_eq!(execute_verified(&p, &[2], &mut map), Ok(2));
     }
 
     #[test]

@@ -1,17 +1,22 @@
-//! Property tests tying the whole kernel pipeline together:
+//! Property tests tying the whole compile-once pipeline together, for all
+//! three template modes:
 //!
-//! 1. **Verifier soundness.** If `verify` accepts a compiled program, then
-//!    executing it on *any* context whose values respect the declared
-//!    ranges never faults (no division by zero, no bounds violations, no
-//!    fuel exhaustion with the default budget).
-//! 2. **Compiler correctness.** On fault-free inputs the VM and the DSL
-//!    interpreter agree bit-for-bit.
+//! 1. **Verifier soundness.** If the pipeline reports a candidate fully
+//!    verified, executing it on *any* context whose values respect the
+//!    declared feature ranges never faults (no division by zero, no bounds
+//!    violations, no fuel exhaustion with the default budget).
+//! 2. **Compiler correctness.** The VM and the DSL interpreter agree
+//!    bit-for-bit — `dsl::eval` is the specification, the compiled program
+//!    the implementation. This includes the fault cases: a division by
+//!    zero at runtime surfaces as `VmError::DivByZero` exactly when the
+//!    interpreter reports `EvalError::DivByZero`, so the hosts' latched
+//!    fallback fires identically for both engines.
 //! 3. **Interval soundness.** The `r0` interval the verifier reports
 //!    contains every observed runtime result.
 
 use policysmith_dsl::env::MapEnv;
 use policysmith_dsl::{eval, BinOp, CmpOp, Expr, Feature, Mode};
-use policysmith_kbpf::{build_ctx, cc_verify_env, compile, execute, verify, SPILL_SLOTS};
+use policysmith_kbpf::{execute, CompiledPolicy, VmError, SPILL_SLOTS};
 use proptest::prelude::*;
 
 fn kernel_features() -> Vec<Feature> {
@@ -33,6 +38,41 @@ fn kernel_features() -> Vec<Feature> {
         Feature::HistDelivered(2),
         Feature::HistLoss(1),
         Feature::HistQdelay(0),
+    ]
+}
+
+fn cache_features() -> Vec<Feature> {
+    // Table-1 surface, including parameterized percentiles outside the
+    // catalog's representative set (p60) — the generic layout must slot
+    // them all.
+    vec![
+        Feature::Now,
+        Feature::ObjCount,
+        Feature::ObjLastAccess,
+        Feature::ObjSize,
+        Feature::ObjAge,
+        Feature::ObjTimeInCache,
+        Feature::CountsPct(50),
+        Feature::AgesPct(60),
+        Feature::SizesPct(90),
+        Feature::HistContains,
+        Feature::HistCount,
+        Feature::HistTimeSinceEvict,
+        Feature::CacheObjects,
+        Feature::CacheUsedBytes,
+        Feature::CacheCapacity,
+    ]
+}
+
+fn lb_features() -> Vec<Feature> {
+    vec![
+        Feature::Now,
+        Feature::ServerQueueLen,
+        Feature::ServerEwmaLatency,
+        Feature::ServerSpeed,
+        Feature::ServerInflight,
+        Feature::ServerWorkLeft,
+        Feature::ReqSize,
     ]
 }
 
@@ -63,10 +103,10 @@ fn arb_cmpop() -> impl Strategy<Value = CmpOp> {
     ]
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
+fn arb_expr(features: Vec<Feature>) -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         (-1_000i64..1_000).prop_map(Expr::Int),
-        proptest::sample::select(kernel_features()).prop_map(Expr::Feat),
+        proptest::sample::select(features).prop_map(Expr::Feat),
     ];
     leaf.prop_recursive(5, 48, 3, |inner| {
         prop_oneof![
@@ -87,9 +127,8 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 
 /// A random environment whose values respect each feature's declared range
 /// (clipped to keep arithmetic interesting but finite).
-fn arb_env() -> impl Strategy<Value = MapEnv> {
-    let feats = kernel_features();
-    let ranges: Vec<_> = feats
+fn arb_env(features: Vec<Feature>) -> impl Strategy<Value = MapEnv> {
+    let ranges: Vec<_> = features
         .iter()
         .map(|f| {
             let (lo, hi) = f.range();
@@ -98,63 +137,111 @@ fn arb_env() -> impl Strategy<Value = MapEnv> {
         .collect();
     ranges.prop_map(move |vs| {
         let mut env = MapEnv::new();
-        for (f, v) in feats.iter().zip(vs) {
+        for (f, v) in features.iter().zip(vs) {
             env.set(*f, v);
         }
         env
     })
 }
 
+/// The shared oracle check: compile in `mode`, execute against `env`, and
+/// demand bit-for-bit agreement with `dsl::eval` — result *and* fault.
+fn assert_compiled_matches_interpreter(e: &Expr, env: &MapEnv, mode: Mode) -> TestCaseResult {
+    let policy = match CompiledPolicy::compile(e, mode) {
+        Ok(p) => p,
+        // Userspace compiles reject only on budgets (possible for deeply
+        // nested random trees); kernel ones additionally on verification.
+        // Either way the pipeline discards the candidate; nothing to check.
+        Err(_) => return Ok(()),
+    };
+    // In kernel mode a successful compile IS full verification.
+    prop_assert!(mode != Mode::Kernel || !policy.may_fault(), "kernel mode must not defer faults");
+    let mut ctx = Vec::new();
+    let mut map = vec![0i64; SPILL_SLOTS];
+    let got = policy.run_with_env(env, &mut ctx, &mut map);
+    let want = eval(e, env);
+    // `run` uses the verified fast path; the defensive interpreter is a
+    // second implementation of the same ISA and must never diverge from it
+    // (this is the guard that keeps the two VM loops in sync).
+    let mut map2 = vec![0i64; SPILL_SLOTS];
+    let defensive = execute(policy.program(), &ctx, &mut map2);
+    prop_assert_eq!(&got, &defensive, "fast-path and defensive VM disagree:\n{}", policy.program());
+    prop_assert_eq!(&map, &map2, "scratch maps diverged:\n{}", policy.program());
+    match (got, want) {
+        (Ok(g), Ok(w)) => {
+            prop_assert_eq!(g, w, "program:\n{}", policy.program());
+            if let Some(r0) = policy.r0_bounds() {
+                prop_assert!(
+                    r0.lo <= g && g <= r0.hi,
+                    "r0 = {} outside verified bounds [{}, {}]\n{}",
+                    g,
+                    r0.lo,
+                    r0.hi,
+                    policy.program()
+                );
+            }
+        }
+        (Err(VmError::DivByZero { .. }), Err(policysmith_dsl::EvalError::DivByZero)) => {
+            // identical fault: both engines trip the same host fallback —
+            // which the static pipeline must have predicted as possible
+            prop_assert!(
+                policy.may_fault(),
+                "a fully verified program faulted: {}",
+                policy.program()
+            );
+        }
+        (got, want) => {
+            return Err(TestCaseError::fail(format!(
+                "engines disagree: vm={got:?} interp={want:?}\n{}",
+                policy.program()
+            )));
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn verified_programs_never_fault_and_match_interpreter(
-        e in arb_expr(),
-        env in arb_env(),
+    fn kernel_verified_programs_never_fault_and_match_interpreter(
+        e in arb_expr(kernel_features()),
+        env in arb_env(kernel_features()),
     ) {
-        let Ok(prog) = compile(&e) else {
-            // Only floats / cache features fail to lower; arb_expr emits
-            // neither.
-            return Err(TestCaseError::fail("lowering failed unexpectedly"));
-        };
-        let venv = cc_verify_env();
-        let Ok(r0_bounds) = verify(&prog, &venv) else {
-            // Rejection is fine (e.g. unguarded division): the pipeline
-            // simply discards the candidate. Nothing further to check.
-            return Ok(());
-        };
-
-        let ctx = build_ctx(&env);
-        let mut map = vec![0i64; SPILL_SLOTS];
-        // 1. soundness: a verified program must not fault
-        let got = execute(&prog, &ctx, &mut map)
-            .map_err(|err| TestCaseError::fail(format!("verified program faulted: {err}\n{prog}")))?;
-        // 2. compiler correctness: interpreter must agree (and must not
-        //    fault either, since the verifier proved divisors nonzero)
-        let want = eval(&e, &env)
-            .map_err(|err| TestCaseError::fail(format!("interpreter faulted on verified program: {err}")))?;
-        prop_assert_eq!(got, want, "program:\n{}", prog);
-        // 3. interval soundness
-        prop_assert!(r0_bounds.contains(got),
-            "r0 = {} outside verified bounds [{}, {}]\n{}", got, r0_bounds.lo, r0_bounds.hi, prog);
+        // (the helper additionally asserts kernel mode never defers faults,
+        // so its fault arm is unreachable here)
+        assert_compiled_matches_interpreter(&e, &env, Mode::Kernel)?;
     }
 
     #[test]
-    fn checker_warnings_predict_verifier_on_divisions(e in arb_expr()) {
+    fn cache_compiled_execution_matches_interpreter_including_faults(
+        e in arb_expr(cache_features()),
+        env in arb_env(cache_features()),
+    ) {
+        assert_compiled_matches_interpreter(&e, &env, Mode::Cache)?;
+    }
+
+    #[test]
+    fn lb_compiled_execution_matches_interpreter_including_faults(
+        e in arb_expr(lb_features()),
+        env in arb_env(lb_features()),
+    ) {
+        assert_compiled_matches_interpreter(&e, &env, Mode::Lb)?;
+    }
+
+    #[test]
+    fn checker_warnings_predict_verifier_on_divisions(e in arb_expr(kernel_features())) {
         // If the DSL checker reports no division warnings, the verifier
         // must not reject for division-by-zero (its interval analysis is
         // strictly stronger than the syntactic guard analysis).
         let report = policysmith_dsl::check_with_warnings(&e, Mode::Kernel, usize::MAX, usize::MAX);
         prop_assume!(report.ok());
         if report.warnings.is_empty() {
-            if let Ok(prog) = compile(&e) {
-                if let Err(err) = verify(&prog, &cc_verify_env()) {
-                    prop_assert!(
-                        !err.to_string().contains("divisor"),
-                        "checker said guarded, verifier disagreed: {}\n{}", err, prog
-                    );
-                }
+            if let Err(err) = CompiledPolicy::compile(&e, Mode::Kernel) {
+                prop_assert!(
+                    !err.to_string().contains("divisor"),
+                    "checker said guarded, verifier disagreed: {}", err
+                );
             }
         }
     }

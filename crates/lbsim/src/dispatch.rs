@@ -19,6 +19,10 @@ pub struct ServerView {
     pub speed: u32,
     /// EWMA of recent response times, µs (0 until the first completion).
     pub ewma_latency_us: u64,
+    /// Residual work, µs of service time: remaining in-service time plus
+    /// the service times of everything queued. The exact least-work-left
+    /// signal (0 on an idle server).
+    pub work_left_us: u64,
 }
 
 /// Everything a dispatcher may read for one decision.
@@ -124,9 +128,11 @@ impl Dispatcher for LeastLoaded {
         "least-loaded"
     }
     fn pick(&mut self, view: &DispatchView<'_>) -> usize {
-        // backlog proxy: inflight count × mean-demand placeholder (the view
-        // exposes counts, not residual work — same information a real L7
-        // balancer has) plus this request, normalized by speed
+        // backlog proxy: inflight count × mean-demand placeholder plus this
+        // request, normalized by speed. Deliberately ignores the exact
+        // `work_left_us` signal — this is the classical heuristic under the
+        // information assumption a real L7 balancer historically had
+        // (counts, not residual work); searched policies may use both
         argmin(
             view.servers
                 .iter()
@@ -219,7 +225,7 @@ mod tests {
     }
 
     fn sv(queue_len: usize, inflight: usize, speed: u32) -> ServerView {
-        ServerView { queue_len, inflight, speed, ewma_latency_us: 0 }
+        ServerView { queue_len, inflight, speed, ewma_latency_us: 0, work_left_us: 0 }
     }
 
     #[test]

@@ -1,38 +1,148 @@
 //! The PolicySmith template host for load balancing.
 //!
-//! A synthesized candidate is a DSL expression in [`Mode::Lb`]; the host
-//! evaluates it once per server at dispatch time and sends the request to
-//! the **lowest-scoring** server (argmin, ties to the lower index) — the
-//! mirror image of the cache host's highest-priority-stays rule, chosen so
-//! "score = estimated cost" reads naturally.
+//! A synthesized candidate arrives as a verified [`CompiledPolicy`] in
+//! [`Mode::Lb`]; the host executes its kbpf program once per server at
+//! dispatch time — filling a flat, reusable context slab, no allocation,
+//! no tree-walking — and sends the request to the **lowest-scoring**
+//! server (argmin, ties to the lower index), the mirror image of the cache
+//! host's highest-priority-stays rule.
 //!
-//! Runtime faults (division by zero despite the checker's warning) follow
-//! the cache-study contract: the first error is **latched**, the dispatch
+//! The DSL interpreter is *not* on this hot path. It survives behind
+//! [`ExprDispatcher::interpreted`] as the differential oracle: the study
+//! integration tests replay whole scenarios through both engines and
+//! demand identical picks.
+//!
+//! Runtime faults (division by zero despite the checker's warning; the
+//! compile pipeline marks such candidates `may_fault`) follow the
+//! cache-study contract: the first error is **latched**, the dispatch
 //! falls back to round-robin so the simulation still completes with exact
 //! accounting, and the study scores the candidate as a hard failure.
 
 use crate::dispatch::{DispatchView, Dispatcher};
 use policysmith_dsl::env::MapEnv;
-use policysmith_dsl::{eval, EvalError, Expr, Feature};
+use policysmith_dsl::{eval, Expr, Feature, Mode};
+use policysmith_kbpf::{CompiledPolicy, RuntimeFault, SPILL_SLOTS};
 
-/// Dispatcher backed by a `Mode::Lb` scoring expression.
+/// Dispatcher backed by a `Mode::Lb` scoring policy.
 pub struct ExprDispatcher {
     name: String,
-    expr: Expr,
-    first_error: Option<EvalError>,
+    engine: Engine,
+    first_error: Option<RuntimeFault>,
     fallback_next: usize,
 }
 
+enum Engine {
+    /// The production path: compiled bytecode + reusable ctx slab/map,
+    /// with the layout pre-split into a fill plan (which slot gets which
+    /// per-dispatch / per-server value) so the hot loop does no feature
+    /// matching at all.
+    Compiled {
+        policy: CompiledPolicy,
+        ctx: Vec<i64>,
+        map: Vec<i64>,
+        /// Per-request invariant slots, filled once per pick.
+        invariant_slots: FillPlan<InvariantField>,
+        /// Per-server feature slots, filled in the argmin loop.
+        server_slots: FillPlan<ServerField>,
+    },
+    /// The reference oracle: `dsl::eval` over a `MapEnv`, kept only for
+    /// differential testing and the interpreter-vs-VM benchmarks.
+    Interpreted { expr: Expr },
+}
+
+/// `(ctx slot, field to write there)` pairs, precomputed per layout.
+type FillPlan<F> = Vec<(usize, F)>;
+
+#[derive(Clone, Copy)]
+enum InvariantField {
+    Now,
+    ReqSize,
+}
+
+#[derive(Clone, Copy)]
+enum ServerField {
+    QueueLen,
+    Inflight,
+    Speed,
+    EwmaLatency,
+    WorkLeft,
+}
+
+/// Split a layout into the two fill plans.
+fn fill_plans(policy: &CompiledPolicy) -> (FillPlan<InvariantField>, FillPlan<ServerField>) {
+    let mut invariant = Vec::new();
+    let mut server = Vec::new();
+    for (slot, f) in policy.layout().features().iter().enumerate() {
+        match f {
+            Feature::Now => invariant.push((slot, InvariantField::Now)),
+            Feature::ReqSize => invariant.push((slot, InvariantField::ReqSize)),
+            Feature::ServerQueueLen => server.push((slot, ServerField::QueueLen)),
+            Feature::ServerInflight => server.push((slot, ServerField::Inflight)),
+            Feature::ServerSpeed => server.push((slot, ServerField::Speed)),
+            Feature::ServerEwmaLatency => server.push((slot, ServerField::EwmaLatency)),
+            Feature::ServerWorkLeft => server.push((slot, ServerField::WorkLeft)),
+            // non-lb features cannot survive the Mode::Lb check
+            _ => unreachable!("non-lb feature in a Mode::Lb layout"),
+        }
+    }
+    (invariant, server)
+}
+
 impl ExprDispatcher {
-    /// Host the given (parsed, checked) scoring expression.
-    pub fn new(name: &str, expr: Expr) -> Self {
-        ExprDispatcher { name: name.to_string(), expr, first_error: None, fallback_next: 0 }
+    /// Host a compiled (checked, lowered, verified) scoring policy.
+    pub fn new(name: &str, policy: CompiledPolicy) -> Self {
+        debug_assert_eq!(policy.mode(), Mode::Lb, "lb host needs a Mode::Lb policy");
+        let (invariant_slots, server_slots) = fill_plans(&policy);
+        ExprDispatcher {
+            name: name.to_string(),
+            engine: Engine::Compiled {
+                ctx: vec![0; policy.layout().len()],
+                map: vec![0; SPILL_SLOTS],
+                policy,
+                invariant_slots,
+                server_slots,
+            },
+            first_error: None,
+            fallback_next: 0,
+        }
+    }
+
+    /// Compile `expr` for `Mode::Lb` and host it. Expressions the compile
+    /// pipeline rejects outright (float literals; every other rejection is
+    /// impossible for checked lb source) fall back to the interpreter so
+    /// hosting stays total.
+    pub fn from_expr(name: &str, expr: &Expr) -> Self {
+        match CompiledPolicy::compile(expr, Mode::Lb) {
+            Ok(policy) => Self::new(name, policy),
+            Err(_) => Self::interpreted(name, expr.clone()),
+        }
+    }
+
+    /// Host via the reference interpreter — the differential oracle.
+    pub fn interpreted(name: &str, expr: Expr) -> Self {
+        ExprDispatcher {
+            name: name.to_string(),
+            engine: Engine::Interpreted { expr },
+            first_error: None,
+            fallback_next: 0,
+        }
     }
 
     /// The first runtime fault, if any occurred — the study's hard-failure
     /// signal (same contract as the cache host's `first_error`).
-    pub fn first_error(&self) -> Option<&EvalError> {
+    pub fn first_error(&self) -> Option<&RuntimeFault> {
         self.first_error.as_ref()
+    }
+
+    /// Is this host running compiled bytecode (vs the interpreter oracle)?
+    pub fn is_compiled(&self) -> bool {
+        matches!(self.engine, Engine::Compiled { .. })
+    }
+
+    fn fallback(&mut self, n: usize) -> usize {
+        let ix = self.fallback_next % n;
+        self.fallback_next = (self.fallback_next + 1) % n;
+        ix
     }
 }
 
@@ -42,38 +152,82 @@ impl Dispatcher for ExprDispatcher {
     }
 
     fn pick(&mut self, view: &DispatchView<'_>) -> usize {
+        let n = view.servers.len();
         if self.first_error.is_some() {
             // latched failure: degrade to round-robin, keep the run exact
-            let ix = self.fallback_next % view.servers.len();
-            self.fallback_next = (self.fallback_next + 1) % view.servers.len();
-            return ix;
+            return self.fallback(n);
         }
         let mut best = 0usize;
         let mut best_score = i64::MAX;
-        let mut env = MapEnv::new();
-        env.set(Feature::Now, view.now_us as i64);
-        env.set(Feature::ReqSize, view.req_size as i64);
-        for (ix, s) in view.servers.iter().enumerate() {
-            env.set(Feature::ServerQueueLen, s.queue_len as i64);
-            env.set(Feature::ServerInflight, s.inflight as i64);
-            env.set(Feature::ServerSpeed, s.speed as i64);
-            env.set(Feature::ServerEwmaLatency, s.ewma_latency_us as i64);
-            match eval(&self.expr, &env) {
-                Ok(score) => {
-                    if score < best_score {
-                        best_score = score;
-                        best = ix;
+        let fault = match &mut self.engine {
+            Engine::Compiled { policy, ctx, map, invariant_slots, server_slots } => {
+                // per-dispatch invariants once, per-server slots in the loop
+                for &(slot, field) in invariant_slots.iter() {
+                    ctx[slot] = match field {
+                        InvariantField::Now => view.now_us as i64,
+                        InvariantField::ReqSize => view.req_size as i64,
+                    };
+                }
+                let mut fault = None;
+                for (ix, s) in view.servers.iter().enumerate() {
+                    for &(slot, field) in server_slots.iter() {
+                        ctx[slot] = match field {
+                            ServerField::QueueLen => s.queue_len as i64,
+                            ServerField::Inflight => s.inflight as i64,
+                            ServerField::Speed => s.speed as i64,
+                            ServerField::EwmaLatency => s.ewma_latency_us as i64,
+                            ServerField::WorkLeft => s.work_left_us as i64,
+                        };
+                    }
+                    match policy.run(ctx, map) {
+                        Ok(score) => {
+                            if score < best_score {
+                                best_score = score;
+                                best = ix;
+                            }
+                        }
+                        Err(e) => {
+                            fault = Some(RuntimeFault::Vm(e));
+                            break;
+                        }
                     }
                 }
-                Err(e) => {
-                    self.first_error = Some(e);
-                    let ix = self.fallback_next % view.servers.len();
-                    self.fallback_next = (self.fallback_next + 1) % view.servers.len();
-                    return ix;
+                fault
+            }
+            Engine::Interpreted { expr } => {
+                let mut env = MapEnv::new();
+                env.set(Feature::Now, view.now_us as i64);
+                env.set(Feature::ReqSize, view.req_size as i64);
+                let mut fault = None;
+                for (ix, s) in view.servers.iter().enumerate() {
+                    env.set(Feature::ServerQueueLen, s.queue_len as i64);
+                    env.set(Feature::ServerInflight, s.inflight as i64);
+                    env.set(Feature::ServerSpeed, s.speed as i64);
+                    env.set(Feature::ServerEwmaLatency, s.ewma_latency_us as i64);
+                    env.set(Feature::ServerWorkLeft, s.work_left_us as i64);
+                    match eval(expr, &env) {
+                        Ok(score) => {
+                            if score < best_score {
+                                best_score = score;
+                                best = ix;
+                            }
+                        }
+                        Err(e) => {
+                            fault = Some(RuntimeFault::Interp(e));
+                            break;
+                        }
+                    }
                 }
+                fault
+            }
+        };
+        match fault {
+            None => best,
+            Some(f) => {
+                self.first_error = Some(f);
+                self.fallback(n)
             }
         }
-        best
     }
 }
 
@@ -81,23 +235,25 @@ impl Dispatcher for ExprDispatcher {
 mod tests {
     use super::*;
     use crate::dispatch::ServerView;
-    use policysmith_dsl::{check, parse, Mode};
+    use policysmith_dsl::parse;
 
     fn sv(queue_len: usize, inflight: usize, speed: u32, ewma: u64) -> ServerView {
-        ServerView { queue_len, inflight, speed, ewma_latency_us: ewma }
+        ServerView { queue_len, inflight, speed, ewma_latency_us: ewma, work_left_us: 0 }
     }
 
     fn host(src: &str) -> ExprDispatcher {
         let e = parse(src).unwrap();
-        check(&e, Mode::Lb).unwrap();
-        ExprDispatcher::new("test", e)
+        let policy = CompiledPolicy::compile(&e, Mode::Lb).unwrap();
+        ExprDispatcher::new("test", policy)
     }
 
     #[test]
     fn argmin_on_queue_len_is_jsq() {
         let servers = [sv(4, 5, 4, 0), sv(1, 2, 4, 0), sv(2, 3, 4, 0)];
         let view = DispatchView { now_us: 0, req_size: 10, servers: &servers };
-        assert_eq!(host("server.queue_len").pick(&view), 1);
+        let mut d = host("server.queue_len");
+        assert!(d.is_compiled(), "study candidates must run compiled");
+        assert_eq!(d.pick(&view), 1);
     }
 
     #[test]
@@ -109,6 +265,18 @@ mod tests {
     }
 
     #[test]
+    fn work_left_scores_see_the_residual_backlog() {
+        let mut a = sv(1, 2, 4, 0);
+        a.work_left_us = 9_000;
+        let mut b = sv(3, 4, 4, 0);
+        b.work_left_us = 2_000; // more requests but less actual work
+        let servers = [a, b];
+        let view = DispatchView { now_us: 0, req_size: 10, servers: &servers };
+        assert_eq!(host("server.work_left").pick(&view), 1);
+        assert_eq!(host("server.queue_len").pick(&view), 0);
+    }
+
+    #[test]
     fn ties_break_to_the_lower_index() {
         let servers = [sv(2, 2, 4, 0), sv(2, 2, 4, 0)];
         let view = DispatchView { now_us: 0, req_size: 10, servers: &servers };
@@ -117,7 +285,8 @@ mod tests {
 
     #[test]
     fn runtime_fault_latches_and_degrades_to_round_robin() {
-        // queue_len is 0 on an idle server → division by zero at runtime
+        // queue_len is 0 on an idle server → division by zero at runtime;
+        // the compile pipeline flags it, the VM guard catches it
         let servers = [sv(0, 0, 4, 0), sv(0, 0, 4, 0)];
         let view = DispatchView { now_us: 0, req_size: 10, servers: &servers };
         let mut d = host("1000 / server.queue_len");
@@ -142,5 +311,43 @@ mod tests {
         let expr_m = crate::sim::run(&servers, &reqs, &mut host("server.inflight"));
         let jsq_m = crate::sim::run(&servers, &reqs, &mut crate::dispatch::Jsq::new());
         assert_eq!(expr_m, jsq_m, "server.inflight argmin IS join-shortest-queue");
+    }
+
+    #[test]
+    fn compiled_host_matches_the_interpreter_oracle_on_whole_scenarios() {
+        // the differential check behind the host redesign: same scenario,
+        // same expression, compiled vs interpreted → identical metrics
+        for src in [
+            "server.inflight * 1000 / server.speed + server.queue_len * 50",
+            "server.work_left + req.size * 1000 / server.speed",
+            "if(server.queue_len > 8, 100000, server.ewma_latency / 100 + server.inflight * 10)",
+        ] {
+            let e = parse(src).unwrap();
+            for sc in crate::scenario::all_presets() {
+                let reqs = sc.requests();
+                let mut compiled =
+                    ExprDispatcher::new("vm", CompiledPolicy::compile(&e, Mode::Lb).unwrap());
+                let mut oracle = ExprDispatcher::interpreted("interp", e.clone());
+                let vm_m = crate::sim::run(&sc.servers, &reqs, &mut compiled);
+                let or_m = crate::sim::run(&sc.servers, &reqs, &mut oracle);
+                assert_eq!(vm_m, or_m, "engines diverged on {} for `{src}`", sc.name);
+                assert!(compiled.first_error().is_none());
+                assert!(oracle.first_error().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn faulting_candidates_latch_identically_in_both_engines() {
+        let e = parse("req.size / server.inflight").unwrap(); // idle → /0
+        let sc = crate::scenario::uniform_fleet();
+        let reqs = sc.requests();
+        let mut compiled = ExprDispatcher::from_expr("vm", &e);
+        let mut oracle = ExprDispatcher::interpreted("interp", e.clone());
+        let vm_m = crate::sim::run(&sc.servers, &reqs, &mut compiled);
+        let or_m = crate::sim::run(&sc.servers, &reqs, &mut oracle);
+        assert!(compiled.first_error().is_some());
+        assert!(oracle.first_error().is_some());
+        assert_eq!(vm_m, or_m, "latched fallback must be engine-independent");
     }
 }

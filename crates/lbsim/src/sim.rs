@@ -86,17 +86,24 @@ struct ServerState {
     queue: VecDeque<(usize, u64)>,
     /// In-service request: (request index, finish time, µs).
     in_service: Option<(usize, u64)>,
+    /// Sum of the queued requests' service times, µs (excludes in-service).
+    queued_work_us: u64,
     ewma_latency_us: u64,
     busy_us: u64,
 }
 
 impl ServerState {
-    fn view(&self) -> ServerView {
+    fn view(&self, now: u64) -> ServerView {
+        // residual work: what remains of the in-service request at `now`
+        // (completions ≤ now have already been applied) plus the queue
+        let in_service_left =
+            self.in_service.map(|(_, finish)| finish.saturating_sub(now)).unwrap_or(0);
         ServerView {
             queue_len: self.queue.len(),
             inflight: self.queue.len() + usize::from(self.in_service.is_some()),
             speed: self.cfg.speed,
             ewma_latency_us: self.ewma_latency_us,
+            work_left_us: self.queued_work_us + in_service_left,
         }
     }
 }
@@ -121,6 +128,7 @@ pub fn run(
             cfg,
             queue: VecDeque::new(),
             in_service: None,
+            queued_work_us: 0,
             ewma_latency_us: 0,
             busy_us: 0,
         })
@@ -165,6 +173,7 @@ pub fn run(
                 s.ewma_latency_us - (s.ewma_latency_us >> EWMA_SHIFT) + (response >> EWMA_SHIFT)
             };
             if let Some((nrix, service)) = s.queue.pop_front() {
+                s.queued_work_us -= service;
                 s.in_service = Some((nrix, finish + service));
                 s.busy_us += service;
                 completions.push(Reverse((finish + service, six)));
@@ -179,7 +188,7 @@ pub fn run(
         m.duration_us = m.duration_us.max(req.arrival_us);
 
         views.clear();
-        views.extend(fleet.iter().map(ServerState::view));
+        views.extend(fleet.iter().map(|s| s.view(req.arrival_us)));
         let view = DispatchView { now_us: req.arrival_us, req_size: req.size, servers: &views };
         let six = dispatcher.pick(&view);
         assert!(six < fleet.len(), "dispatcher returned server {six} of {}", fleet.len());
@@ -192,6 +201,7 @@ pub fn run(
             completions.push(Reverse((req.arrival_us + service, six)));
         } else if s.queue.len() < s.cfg.queue_cap {
             s.queue.push_back((rix, service));
+            s.queued_work_us += service;
             m.max_queue_seen = m.max_queue_seen.max(s.queue.len());
         } else {
             m.dropped += 1;
@@ -325,6 +335,57 @@ mod tests {
         assert_eq!(m.completed, 200);
         assert!(m.busy_us[1] == 0, "server 1 must stay idle");
         assert!(m.max_queue_seen > 50, "server 0 must build a deep queue");
+    }
+
+    #[test]
+    fn work_left_tracks_residual_service_exactly() {
+        // Single server, speed 1: size-5 requests take 5 ms each. Record
+        // the work_left the dispatcher observes at every arrival.
+        struct Recorder(Vec<u64>);
+        impl Dispatcher for Recorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn pick(&mut self, v: &DispatchView<'_>) -> usize {
+                self.0.push(v.servers[0].work_left_us);
+                0
+            }
+        }
+        let servers = uniform_servers(1, 1, 16);
+        // arrivals at 1, 2, 3, 4 ms; each needs 5 ms of service
+        let reqs: Vec<LbRequest> =
+            (0..4).map(|i| LbRequest { arrival_us: 1_000 * (i + 1), size: 5 }).collect();
+        let mut rec = Recorder(Vec::new());
+        let m = run(&servers, &reqs, &mut rec);
+        // at t=1ms: idle (0). t=2ms: in-service started at 1ms, finishes at
+        // 6ms → 4ms left. t=3ms: 3ms left + one queued 5ms. t=4ms: 2ms
+        // left + two queued.
+        assert_eq!(rec.0, vec![0, 4_000, 3_000 + 5_000, 2_000 + 10_000]);
+        assert_eq!(m.completed, 4);
+    }
+
+    #[test]
+    fn work_left_drains_back_to_zero_between_bursts() {
+        struct Probe {
+            last: u64,
+        }
+        impl Dispatcher for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn pick(&mut self, v: &DispatchView<'_>) -> usize {
+                self.last = v.servers[0].work_left_us;
+                0
+            }
+        }
+        let servers = uniform_servers(1, 1, 16);
+        // burst at 0..3ms, then a straggler long after the drain
+        let mut reqs: Vec<LbRequest> =
+            (0..3).map(|i| LbRequest { arrival_us: i * 1_000, size: 4 }).collect();
+        reqs.push(LbRequest { arrival_us: 1_000_000, size: 4 });
+        let mut p = Probe { last: u64::MAX };
+        run(&servers, &reqs, &mut p);
+        assert_eq!(p.last, 0, "work_left must read 0 once the backlog drained");
     }
 
     #[test]

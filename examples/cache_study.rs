@@ -44,7 +44,7 @@ fn main() {
             let trace = ds.trace(idx, 40_000);
             let study = CacheStudy::new(&trace);
             let expr = policysmith::dsl::parse(source).unwrap();
-            let score = study.improvement(PriorityPolicy::new("h", expr));
+            let score = study.improvement(PriorityPolicy::from_expr("h", &expr));
             print!("  {:+15.2}%", score * 100.0);
         }
         println!();

@@ -35,7 +35,7 @@ fn main() {
     let evening = ds.trace(55, 40_000);
     let expr = policysmith::dsl::parse(&best.source).unwrap();
     let cap = study.capacity();
-    let mut cache = Cache::new(cap, PriorityPolicy::new("deployed", expr));
+    let mut cache = Cache::new(cap, PriorityPolicy::from_expr("deployed", &expr));
     let mut monitor = ContextMonitor::new(20, 1.15);
     let mut drift_at = None;
 
@@ -72,7 +72,7 @@ fn main() {
     let (pick, score) = library
         .best_for(|e| {
             let expr = policysmith::dsl::parse(&e.source).unwrap();
-            study2.improvement(PriorityPolicy::new("lib", expr))
+            study2.improvement(PriorityPolicy::from_expr("lib", &expr))
         })
         .unwrap();
     println!(

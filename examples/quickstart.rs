@@ -40,5 +40,5 @@ fn main() {
         outcome.cost.tokens.requests,
         outcome.cost.cost_usd()
     );
-    let _ = study.evaluate(&policysmith::dsl::parse(&outcome.best.source).unwrap());
+    let _ = study.evaluate(&study.check(&outcome.best.source).unwrap());
 }

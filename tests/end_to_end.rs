@@ -73,7 +73,8 @@ fn synthesized_cache_policy_runs_on_foreign_traces() {
         let foreign = ds.trace(idx, 15_000);
         let cap = (policysmith::traces::footprint_bytes(&foreign) / 10).max(1);
         let expr = policysmith::dsl::parse(&best.source).unwrap();
-        let mut cache = policysmith::cachesim::Cache::new(cap, PriorityPolicy::new("synth", expr));
+        let mut cache =
+            policysmith::cachesim::Cache::new(cap, PriorityPolicy::from_expr("synth", &expr));
         let r = cache.run(&foreign);
         assert_eq!(r.requests, foreign.len() as u64);
         assert!(cache.policy.first_error().is_none(), "candidate faulted on {}", foreign.name);
@@ -143,7 +144,7 @@ fn lb_candidates_run_cleanly_on_foreign_scenarios() {
     let expr = policysmith::dsl::parse(&best.source).unwrap();
 
     for sc in policysmith::lbsim::scenario::all_presets() {
-        let mut host = policysmith::lbsim::ExprDispatcher::new("synth", expr.clone());
+        let mut host = policysmith::lbsim::ExprDispatcher::from_expr("synth", &expr);
         let m = policysmith::lbsim::simulate(&sc, &mut host);
         assert_eq!(m.completed + m.dropped, m.offered, "{}", sc.name);
         assert!(host.first_error().is_none(), "candidate faulted on {}", sc.name);

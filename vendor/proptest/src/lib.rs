@@ -7,10 +7,20 @@
 //! `proptest!` test-harness macro with `prop_assert*` / `prop_assume!`.
 //!
 //! Differences from real proptest, deliberately accepted:
-//! * **No shrinking.** A failing case reports its assertion message (which
-//!   the tests already format with full context) but is not minimized.
+//! * **Minimal shrinking only.** On failure the harness greedily minimizes
+//!   the failing input with [`Strategy::shrink`]: integer ranges halve
+//!   toward their lower bound, vectors shrink their length (and shrink
+//!   elements in place), tuples shrink one component at a time. The
+//!   remaining gap vs real proptest: shrinking does **not** traverse
+//!   `prop_map` / `prop_recursive` / `prop_oneof` adapters (real proptest
+//!   threads lazy value trees through every combinator), so composite
+//!   values like generated `Expr` trees are reported as sampled, not
+//!   minimized — only their directly-bound integer/vector siblings shrink.
+//!   The failure message still carries the full formatted context.
 //! * **Deterministic seeding.** Case `i` of a test derives its RNG from a
-//!   fixed seed and `i`, so failures reproduce exactly across runs.
+//!   fixed seed and `i`, so failures reproduce exactly across runs (and
+//!   every shrink candidate is re-run through the same test body, so the
+//!   minimized counterexample is a true failure, never an artifact).
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -75,6 +85,14 @@ pub trait Strategy {
 
     /// Draw one value.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate simplifications of `v`, simplest first. The default is no
+    /// shrinking (adapters like [`Map`] cannot invert their closure); see
+    /// the crate docs for which strategies implement it.
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let _ = v;
+        Vec::new()
+    }
 
     /// Transform generated values.
     fn prop_map<U, F: Fn(Self::Value) -> U + 'static>(self, f: F) -> Map<Self, F>
@@ -147,6 +165,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn sample(&self, rng: &mut StdRng) -> T {
         self.0.sample(rng)
     }
+    fn shrink(&self, v: &T) -> Vec<T> {
+        self.0.shrink(v)
+    }
 }
 
 /// Uniform choice between alternative strategies (backs `prop_oneof!`).
@@ -174,12 +195,33 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-macro_rules! impl_range_strategy {
+/// Integer shrink ladder: the range's lower bound first (the simplest
+/// value), then the midpoint between it and the failing value (128-bit
+/// arithmetic, so extreme ranges cannot overflow).
+macro_rules! int_shrink {
+    ($t:ty, $lo:expr, $v:expr) => {{
+        let (lo, v) = ($lo, $v);
+        let mut out = Vec::new();
+        if v != lo {
+            out.push(lo);
+            let mid = ((lo as i128 + v as i128) / 2) as $t;
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+        }
+        out
+    }};
+}
+
+macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.random_range(self.clone())
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                int_shrink!($t, self.start, *v)
             }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
@@ -187,18 +229,51 @@ macro_rules! impl_range_strategy {
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.random_range(self.clone())
             }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                int_shrink!($t, *self.start(), *v)
+            }
         }
     )*};
 }
 
-impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// f64 ranges sample but do not shrink (no meaningful "simplest" ladder
+// without proptest's value trees).
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident / $ix:tt),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             fn sample(&self, rng: &mut StdRng) -> Self::Value {
                 ($(self.$ix.sample(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                // one component at a time, the others held fixed
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$ix.shrink(&v.$ix) {
+                        let mut nv = v.clone();
+                        nv.$ix = cand;
+                        out.push(nv);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -214,10 +289,25 @@ impl_tuple_strategy! {
 
 /// Element-wise sampling of a vector of strategies (proptest impls this
 /// for `Vec<S>` too; used for "one value per feature" environments).
-impl<S: Strategy> Strategy for Vec<S> {
+impl<S: Strategy> Strategy for Vec<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
         self.iter().map(|s| s.sample(rng)).collect()
+    }
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        // fixed length (one slot per strategy): shrink elements in place
+        let mut out = Vec::new();
+        for (i, s) in self.iter().enumerate() {
+            for cand in s.shrink(&v[i]) {
+                let mut nv = v.clone();
+                nv[i] = cand;
+                out.push(nv);
+            }
+        }
+        out
     }
 }
 
@@ -270,11 +360,34 @@ pub mod collection {
         max_exclusive: usize,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let len = rng.random_range(self.min..self.max_exclusive);
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // shrink the length first (halve toward min, then drop one)…
+            if v.len() > self.min {
+                let half = self.min.max(v.len() / 2);
+                if half < v.len() {
+                    out.push(v[..half].to_vec());
+                }
+                out.push(v[..v.len() - 1].to_vec());
+            }
+            // …then elements in place
+            for (i, x) in v.iter().enumerate() {
+                for cand in self.element.shrink(x) {
+                    let mut nv = v.clone();
+                    nv[i] = cand;
+                    out.push(nv);
+                }
+            }
+            out
         }
     }
 
@@ -333,6 +446,71 @@ pub fn seed_for(test_name: &str) -> u64 {
 /// Fresh deterministic RNG for case `case` of the named test.
 pub fn case_rng(test_name: &str, case: u32) -> StdRng {
     StdRng::seed_from_u64(seed_for(test_name) ^ ((case as u64) << 32 | 0x5bd1_e995))
+}
+
+/// Total shrink candidates tried per failure, across all rounds.
+const SHRINK_BUDGET: usize = 512;
+
+/// The harness body behind the `proptest!` macro: run `cfg.cases`
+/// deterministic cases of `run` over values drawn from `strat`, minimizing
+/// the first failure via [`shrink_failure`] before panicking.
+pub fn run_proptest<S: Strategy>(
+    cfg: ProptestConfig,
+    test_name: &str,
+    strat: &S,
+    mut run: impl FnMut(&S::Value) -> TestCaseResult,
+) {
+    let mut rejected: u32 = 0;
+    for case in 0..cfg.cases {
+        let mut rng = case_rng(test_name, case);
+        let vals = strat.sample(&mut rng);
+        match run(&vals) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                let (_min, msg, steps) = shrink_failure(strat, vals, msg, &mut run);
+                panic!(
+                    "proptest `{}` failed at case {}/{} (after {} shrink steps): {}",
+                    test_name, case, cfg.cases, steps, msg
+                );
+            }
+        }
+    }
+    assert!(
+        rejected < cfg.cases,
+        "proptest `{test_name}`: every case was rejected by prop_assume!"
+    );
+}
+
+/// Greedily minimize a failing input: try each [`Strategy::shrink`]
+/// candidate of the current counterexample, move to the first one that
+/// still fails, repeat until no candidate fails (or the budget runs out).
+/// Returns the minimized value, its failure message, and the number of
+/// successful shrink steps.
+pub fn shrink_failure<S: Strategy + ?Sized>(
+    strat: &S,
+    mut current: S::Value,
+    mut message: String,
+    test: &mut dyn FnMut(&S::Value) -> TestCaseResult,
+) -> (S::Value, String, u32) {
+    let mut steps = 0u32;
+    let mut budget = SHRINK_BUDGET;
+    'outer: while budget > 0 {
+        for cand in strat.shrink(&current) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(TestCaseError::Fail(m)) = test(&cand) {
+                current = cand;
+                message = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // no candidate still fails: local minimum reached
+    }
+    (current, message, steps)
 }
 
 /// Uniform choice between strategies of a common value type.
@@ -441,26 +619,15 @@ macro_rules! __proptest_fns {
     ) => {
         $(#[$meta])*
         fn $name() {
-            let cfg: $crate::ProptestConfig = $cfg;
-            let mut rejected: u32 = 0;
-            for case in 0..cfg.cases {
-                let mut rng = $crate::case_rng(concat!(module_path!(), "::", stringify!($name)), case);
-                $(let $pat = $crate::Strategy::sample(&$strat, &mut rng);)+
-                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                    (|| { $body Ok(()) })();
-                match outcome {
-                    Ok(()) => {}
-                    Err($crate::TestCaseError::Reject(_)) => rejected += 1,
-                    Err($crate::TestCaseError::Fail(msg)) => {
-                        panic!("proptest `{}` failed at case {}/{}: {}",
-                            stringify!($name), case, cfg.cases, msg);
-                    }
-                }
-            }
-            assert!(
-                rejected < cfg.cases,
-                "proptest `{}`: every case was rejected by prop_assume!",
-                stringify!($name)
+            let __ps_strat = ($($strat,)+);
+            $crate::run_proptest(
+                $cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                &__ps_strat,
+                |__ps_vals| {
+                    let ($($pat,)+) = ::std::clone::Clone::clone(__ps_vals);
+                    (|| { $body Ok(()) })()
+                },
             );
         }
         $crate::__proptest_fns! { ($cfg); $($rest)* }
@@ -530,5 +697,54 @@ mod tests {
             prop_assert_eq!(ys.len(), ys.len());
             prop_assert_ne!(ys.len(), 0);
         }
+    }
+
+    #[test]
+    fn int_ranges_shrink_toward_the_lower_bound() {
+        let s = 10i64..=1_000;
+        let cands = Strategy::shrink(&s, &900);
+        assert_eq!(cands, vec![10, 455]);
+        assert!(Strategy::shrink(&s, &10).is_empty(), "lower bound is minimal");
+        let s = 0u32..100;
+        assert_eq!(Strategy::shrink(&s, &1), vec![0]);
+    }
+
+    #[test]
+    fn vec_strategies_shrink_length_then_elements() {
+        let s = crate::collection::vec(0i64..100, 1..8);
+        let cands = Strategy::shrink(&s, &vec![60, 60, 60, 60]);
+        assert!(cands.contains(&vec![60, 60]), "halved length missing");
+        assert!(cands.contains(&vec![60, 60, 60]), "drop-one missing");
+        assert!(cands.contains(&vec![0, 60, 60, 60]), "element shrink missing");
+        assert!(Strategy::shrink(&s, &vec![0]).is_empty(), "minimal vec stays");
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let s = (0i64..100, 0i64..100);
+        let cands = Strategy::shrink(&s, &(80, 40));
+        assert!(cands.contains(&(0, 40)));
+        assert!(cands.contains(&(80, 0)));
+        assert!(!cands.contains(&(0, 0)), "components shrink independently");
+    }
+
+    #[test]
+    fn shrink_failure_minimizes_a_threshold_counterexample() {
+        // property "x < 37" fails for x >= 37; greedy shrinking from a big
+        // failing sample must land well below the starting point, and the
+        // reported minimum must itself still fail.
+        let strat = (0i64..=1_000_000,);
+        let mut test = |v: &(i64,)| -> TestCaseResult {
+            if v.0 >= 37 {
+                Err(TestCaseError::fail(format!("x = {} is not < 37", v.0)))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, steps) = crate::shrink_failure(&strat, (900_000,), "seed".into(), &mut test);
+        assert!(min.0 >= 37, "minimized value must still fail");
+        assert!(min.0 <= 73, "greedy halving should land near the threshold, got {}", min.0);
+        assert!(steps > 0);
+        assert!(msg.contains(&min.0.to_string()), "message reflects the minimum: {msg}");
     }
 }
