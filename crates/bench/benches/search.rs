@@ -13,13 +13,7 @@ fn bench_search(c: &mut Criterion) {
     c.bench_function("search/1-round-8-candidates-10k-trace", |b| {
         b.iter(|| {
             let mut llm = MockLlm::new(GenConfig::cache_defaults(1));
-            let cfg = SearchConfig {
-                rounds: 1,
-                candidates_per_round: 8,
-                exemplars: 2,
-                repair: true,
-                threads: 2,
-            };
+            let cfg = SearchConfig { rounds: 1, candidates_per_round: 8, ..SearchConfig::quick() };
             run_search(&study, &mut llm, &cfg)
         })
     });

@@ -34,20 +34,20 @@ fn main() {
                  {}k in / {}k out tokens, ${:.4}",
                 h.context,
                 c.candidates_evaluated,
-                c.cpu_seconds,
+                c.cpu_seconds(),
                 c.tokens.input_tokens / 1_000,
                 c.tokens.output_tokens / 1_000,
                 c.cost_usd()
             );
             total_in += c.tokens.input_tokens;
             total_out += c.tokens.output_tokens;
-            total_cpu += c.cpu_seconds;
+            total_cpu += c.cpu_seconds();
             total_cost += c.cost_usd();
             rows.push(serde_json::json!({
                 "label": label,
                 "context": h.context,
                 "candidates": c.candidates_evaluated,
-                "cpu_seconds": c.cpu_seconds,
+                "cpu_seconds": c.cpu_seconds(),
                 "input_tokens": c.tokens.input_tokens,
                 "output_tokens": c.tokens.output_tokens,
                 "cost_usd": c.cost_usd(),

@@ -1,0 +1,208 @@
+//! SEARCH THROUGHPUT: whole-search wall-clock, measured layer by layer —
+//! the §4.2.6 "search is cheap enough to re-run constantly" claim, pushed
+//! as fast as the hardware allows.
+//!
+//! Four configurations run the *same* search (same seed, same candidate
+//! stream, `exemplar_lag = 1` everywhere so the pipelined and sequential
+//! executors do identical work and their outcomes are asserted equal):
+//!
+//! 1. `pr2_baseline`   — sequential rounds, the reference cache host
+//!    (`BTreeSet` ranking, unconditional tracker maintenance), no score
+//!    memo: the evaluator exactly as PR 2 left it. The engine-level
+//!    fast-hash improvement cannot be toggled per run and speeds this
+//!    config up too, so the recorded speedup is a *lower bound* on the
+//!    true improvement over the PR 2 tree.
+//! 2. `heap_host`      — + slab + lazy-deletion heap in the evaluator.
+//! 3. `heap_memo`      — + cross-candidate score memo.
+//! 4. `pipelined`      — + round N+1 generation/checking overlapped with
+//!    round N evaluation.
+//!
+//! A fifth pair repeats sequential-vs-pipelined with a simulated LLM
+//! round-trip latency (the mock generator answers in microseconds; a real
+//! deployment waits tens of milliseconds per batch), showing the overlap
+//! gain the paper's setting would actually see.
+//!
+//! Exit status doubles as the CI regression guard: non-zero if the
+//! pipelined executor fails to keep up with the sequential one (generous
+//! slack for noisy runners).
+//!
+//! Usage: `exp_search_throughput [--fast] [--requests N] [--seed N]`
+
+use policysmith_bench::{write_json, ExpOpts};
+use policysmith_core::search::{run_search, SearchConfig, SearchOutcome};
+use policysmith_core::studies::cache::CacheStudy;
+use policysmith_gen::{GenConfig, Generator, MockLlm, Prompt, TokenLedger};
+use policysmith_traces::cloudphysics;
+use std::time::{Duration, Instant};
+
+/// Wraps the mock generator with a per-batch round-trip latency — the
+/// candidate stream is unchanged, only wall time is affected.
+struct SlowGen {
+    inner: MockLlm,
+    latency: Duration,
+}
+
+impl Generator for SlowGen {
+    fn generate(&mut self, prompt: &Prompt, n: usize) -> Vec<String> {
+        std::thread::sleep(self.latency);
+        self.inner.generate(prompt, n)
+    }
+    fn repair(&mut self, prompt: &Prompt, source: &str, stderr: &str) -> Option<String> {
+        self.inner.repair(prompt, source, stderr)
+    }
+    fn ledger(&self) -> &TokenLedger {
+        self.inner.ledger()
+    }
+}
+
+struct Row {
+    name: &'static str,
+    wall_seconds: f64,
+    outcome: SearchOutcome,
+}
+
+impl Row {
+    fn candidates_per_sec(&self) -> f64 {
+        self.outcome.all.len() as f64 / self.wall_seconds
+    }
+}
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    // --fast caps the trace; an explicit smaller --requests still wins
+    let requests = if opts.fast { opts.requests.min(12_000) } else { opts.requests };
+    let (rounds, cpr) = if opts.fast { (8, 12) } else { (12, 20) };
+    let reps = if opts.fast { 2 } else { 3 };
+
+    let trace = cloudphysics().trace(89, requests);
+    let heap_study = CacheStudy::new(&trace);
+    let btree_study = CacheStudy::new(&trace).with_btree_host();
+
+    let base = SearchConfig {
+        rounds,
+        candidates_per_round: cpr,
+        exemplar_lag: 1,
+        score_memo: false,
+        threads: opts.threads,
+        ..SearchConfig::quick()
+    };
+    let memo = SearchConfig { score_memo: true, ..base };
+    let piped = memo.pipelined();
+
+    let run_once = |study: &CacheStudy, cfg: &SearchConfig, latency_ms: u64| {
+        let inner = MockLlm::new(GenConfig::cache_defaults(opts.seed));
+        let t0 = Instant::now();
+        let outcome = if latency_ms == 0 {
+            let mut llm = inner;
+            run_search(study, &mut llm, cfg)
+        } else {
+            let mut llm = SlowGen { inner, latency: Duration::from_millis(latency_ms) };
+            run_search(study, &mut llm, cfg)
+        };
+        (t0.elapsed().as_secs_f64(), outcome)
+    };
+
+    // Interleave repetitions across configurations (A B C … A B C …) so a
+    // load spike on a shared runner penalizes every config alike; keep the
+    // best rep per config.
+    let configs: Vec<(&'static str, &CacheStudy, &SearchConfig, u64)> = vec![
+        ("pr2_baseline", &btree_study, &base, 0),
+        ("heap_host", &heap_study, &base, 0),
+        ("heap_memo", &heap_study, &memo, 0),
+        ("pipelined", &heap_study, &piped, 0),
+        ("seq_llm_latency", &heap_study, &memo, 30),
+        ("pipe_llm_latency", &heap_study, &piped, 30),
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+    for rep in 0..reps {
+        for (i, &(name, study, cfg, latency)) in configs.iter().enumerate() {
+            let (wall, outcome) = run_once(study, cfg, latency);
+            if rep == 0 {
+                rows.push(Row { name, wall_seconds: wall, outcome });
+            } else if wall < rows[i].wall_seconds {
+                rows[i].wall_seconds = wall;
+            }
+        }
+    }
+
+    // Every configuration ran the same search: the optimizations must not
+    // change what the search finds, only how fast it finds it.
+    for r in &rows[1..] {
+        assert_eq!(
+            rows[0].outcome.best, r.outcome.best,
+            "`{}` changed the search outcome — optimization is unsound",
+            r.name
+        );
+    }
+
+    println!(
+        "search throughput ({requests} requests, {rounds} rounds x {cpr} candidates, {} threads)",
+        opts.threads
+    );
+    println!(
+        "{:18} {:>9} {:>12} {:>7} {:>10}",
+        "config", "wall s", "cands/s", "evals", "memo hits"
+    );
+    for r in &rows {
+        println!(
+            "{:18} {:>9.3} {:>12.1} {:>7} {:>10}",
+            r.name,
+            r.wall_seconds,
+            r.candidates_per_sec(),
+            r.outcome.cost.candidates_evaluated,
+            r.outcome.cost.memo_hits
+        );
+    }
+
+    let wall = |name: &str| rows.iter().find(|r| r.name == name).unwrap().wall_seconds;
+    let speedup_total = wall("pr2_baseline") / wall("pipelined");
+    let pipe_vs_seq = wall("heap_memo") / wall("pipelined");
+    let pipe_vs_seq_llm = wall("seq_llm_latency") / wall("pipe_llm_latency");
+    println!(
+        "\npipelined+heap+memo vs PR 2 baseline: {speedup_total:.2}x {}",
+        if speedup_total >= 1.5 { "— meets the >=1.5x bar" } else { "— BELOW the 1.5x bar" }
+    );
+    println!("pipelined vs sequential (same host+memo): {pipe_vs_seq:.2}x");
+    println!("pipelined vs sequential at 30 ms LLM latency: {pipe_vs_seq_llm:.2}x");
+
+    write_json(
+        "search_throughput",
+        &serde_json::json!({
+            "requests": requests,
+            "rounds": rounds,
+            "candidates_per_round": cpr,
+            "threads": opts.threads,
+            "configs": rows
+                .iter()
+                .map(|r| {
+                    serde_json::json!({
+                        "name": r.name,
+                        "wall_seconds": r.wall_seconds,
+                        "candidates_per_sec": r.candidates_per_sec(),
+                        "candidates_evaluated": r.outcome.cost.candidates_evaluated,
+                        "memo_hits": r.outcome.cost.memo_hits,
+                        "gen_seconds": r.outcome.cost.gen_seconds,
+                        "eval_cpu_seconds": r.outcome.cost.eval_cpu_seconds,
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "speedup_vs_pr2_baseline": speedup_total,
+            "meets_1_5x_bar": speedup_total >= 1.5,
+            "pipelined_vs_sequential": pipe_vs_seq,
+            "pipelined_vs_sequential_llm_latency": pipe_vs_seq_llm,
+        }),
+    );
+
+    // CI regression guard: the pipelined executor must at least keep pace
+    // with the sequential one on the same host + memo configuration. The
+    // 1.10 slack absorbs noisy shared runners; a real scheduling
+    // regression shows up far above it.
+    if wall("pipelined") > wall("heap_memo") * 1.10 {
+        eprintln!(
+            "REGRESSION: pipelined search slower than sequential ({:.3}s vs {:.3}s)",
+            wall("pipelined"),
+            wall("heap_memo")
+        );
+        std::process::exit(2);
+    }
+}

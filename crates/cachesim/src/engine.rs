@@ -10,8 +10,8 @@
 //! uses for age-based features; wall-clock microseconds from the trace are
 //! also available in [`ObjMeta`] for policies that want them.
 
+use crate::util::IdMap;
 use policysmith_traces::{Request, Trace};
-use std::collections::HashMap;
 
 /// Object identifier (trace object id).
 pub type ObjId = u64;
@@ -34,7 +34,7 @@ pub struct ObjMeta {
 
 /// Read-only view of engine state passed to policy callbacks.
 pub struct CacheView<'a> {
-    objects: &'a HashMap<ObjId, ObjMeta>,
+    objects: &'a IdMap<ObjId, ObjMeta>,
     pub vtime: u64,
     pub now_us: u64,
     pub used_bytes: u64,
@@ -120,7 +120,7 @@ impl SimResult {
 /// The cache engine.
 pub struct Cache<P: Policy> {
     pub policy: P,
-    objects: HashMap<ObjId, ObjMeta>,
+    objects: IdMap<ObjId, ObjMeta>,
     used_bytes: u64,
     capacity_bytes: u64,
     vtime: u64,
@@ -148,7 +148,7 @@ impl<P: Policy> Cache<P> {
         assert!(capacity_bytes > 0, "capacity must be positive");
         Cache {
             policy,
-            objects: HashMap::new(),
+            objects: IdMap::default(),
             used_bytes: 0,
             capacity_bytes,
             vtime: 0,

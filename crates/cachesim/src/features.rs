@@ -13,7 +13,8 @@
 //! refreshes.
 
 use crate::engine::{CacheView, ObjId};
-use std::collections::{HashMap, VecDeque};
+use crate::util::IdMap;
+use std::collections::VecDeque;
 
 /// Maximum residents sampled per snapshot refresh.
 const SNAPSHOT_SAMPLE: usize = 256;
@@ -22,7 +23,7 @@ const SNAPSHOT_SAMPLE: usize = 256;
 #[derive(Debug, Default, Clone)]
 pub struct AggregateTracker {
     residents: Vec<ObjId>,
-    slot: HashMap<ObjId, usize>,
+    slot: IdMap<ObjId, usize>,
     /// Sorted access counts of the sampled residents.
     counts: Vec<u64>,
     /// Sorted last-access vtimes of the sampled residents.
@@ -156,7 +157,7 @@ pub struct EvictionRecord {
 /// Bounded history of recent evictions, keyed for `hist.contains` lookups.
 #[derive(Debug, Clone)]
 pub struct EvictionHistory {
-    map: HashMap<ObjId, EvictionRecord>,
+    map: IdMap<ObjId, EvictionRecord>,
     fifo: VecDeque<ObjId>,
     capacity: usize,
 }
@@ -164,7 +165,7 @@ pub struct EvictionHistory {
 impl EvictionHistory {
     /// History remembering the last `capacity` evictions.
     pub fn new(capacity: usize) -> Self {
-        EvictionHistory { map: HashMap::new(), fifo: VecDeque::new(), capacity: capacity.max(1) }
+        EvictionHistory { map: IdMap::default(), fifo: VecDeque::new(), capacity: capacity.max(1) }
     }
 
     /// Record an eviction (most recent record wins for repeated ids).

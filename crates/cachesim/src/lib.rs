@@ -11,6 +11,9 @@
 //!   plus ARC and 2Q).
 //! * [`psq`] — the PolicySmith priority-queue **template host**: runs a
 //!   synthesized `priority()` expression over the Table-1 feature set.
+//! * [`rank`] — the host's eviction-ranking index: a slab + lazy-deletion
+//!   heap on the hot path, with the original `BTreeSet` kept as the
+//!   differential reference.
 //! * [`features`] — percentile aggregates and eviction history backing the
 //!   template.
 //! * [`paper_a`] — the paper's Listing 1 embedded as a runnable policy.
@@ -30,6 +33,7 @@ pub mod features;
 pub mod paper_a;
 pub mod policies;
 pub mod psq;
+pub mod rank;
 pub mod util;
 
 pub use engine::{simulate, Cache, CacheView, ObjId, ObjMeta, Policy, SimResult};

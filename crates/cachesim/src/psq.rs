@@ -21,9 +21,9 @@
 
 use crate::engine::{CacheView, ObjId, Policy};
 use crate::features::{AggregateTracker, EvictionHistory, EvictionRecord};
+use crate::rank::{BTreeRank, EvictionRank, HeapRank, Rank};
 use policysmith_dsl::{eval, Expr, Feature, FeatureEnv, Mode};
 use policysmith_kbpf::{CompiledPolicy, RuntimeFault, SPILL_SLOTS};
-use std::collections::{BTreeSet, HashMap};
 
 /// Default eviction-history length (entries).
 pub const DEFAULT_HISTORY: usize = 1024;
@@ -34,11 +34,18 @@ pub const DEFAULT_REFRESH: u64 = 512;
 pub struct PriorityPolicy {
     name: String,
     engine: Engine,
-    /// (score, id) — min score evicted first.
-    ranking: BTreeSet<(i64, ObjId)>,
-    score: HashMap<ObjId, i64>,
+    /// (score, id) index — min score evicted first. Slab + lazy heap in
+    /// production; the `BTreeSet` reference behind
+    /// [`PriorityPolicy::use_btree_ranking`].
+    rank: Rank,
     aggregates: AggregateTracker,
     history: EvictionHistory,
+    /// Does the hosted expression read any percentile aggregate? If not,
+    /// the sampled snapshots would never be consulted, so the tracker is
+    /// not maintained at all — score-identical, measurably cheaper.
+    uses_aggregates: bool,
+    /// Same gate for the eviction-history features.
+    uses_history: bool,
     /// First runtime fault, if any (latched).
     first_error: Option<RuntimeFault>,
     evaluations: u64,
@@ -108,16 +115,47 @@ impl PriorityPolicy {
         history_len: usize,
         refresh_interval: u64,
     ) -> Self {
+        let feats = match &engine {
+            Engine::Compiled { policy, .. } => policy.expr().features(),
+            Engine::Interpreted { expr } => expr.features(),
+        };
+        let uses_aggregates = feats.iter().any(|f| {
+            matches!(f, Feature::CountsPct(_) | Feature::AgesPct(_) | Feature::SizesPct(_))
+        });
+        let uses_history = feats.iter().any(|f| {
+            matches!(
+                f,
+                Feature::HistContains
+                    | Feature::HistCount
+                    | Feature::HistAgeAtEvict
+                    | Feature::HistTimeSinceEvict
+            )
+        });
         PriorityPolicy {
             name: name.into(),
             engine,
-            ranking: BTreeSet::new(),
-            score: HashMap::new(),
+            rank: Rank::Heap(HeapRank::new()),
             aggregates: AggregateTracker::new(refresh_interval),
             history: EvictionHistory::new(history_len),
+            uses_aggregates,
+            uses_history,
             first_error: None,
             evaluations: 0,
         }
+    }
+
+    /// Flip to the pre-optimization reference host: `BTreeSet` ranking
+    /// plus unconditional aggregate/history maintenance (the original host
+    /// tracked both whether or not the expression read them). Kept for
+    /// differential tests and as the throughput baseline — scores are
+    /// identical to the production host by construction; only the cost
+    /// differs. Must be called before the first request.
+    pub fn use_btree_ranking(mut self) -> Self {
+        assert!(self.rank.is_empty(), "ranking swap only valid on an empty host");
+        self.rank = Rank::BTree(BTreeRank::new());
+        self.uses_aggregates = true;
+        self.uses_history = true;
+        self
     }
 
     /// Parse `src` and host it. Returns the parse error on bad source.
@@ -169,13 +207,10 @@ impl PriorityPolicy {
                     self.first_error = Some(e);
                 }
                 // keep previous score; new objects get the minimum
-                self.score.get(&id).copied().unwrap_or(i64::MIN)
+                self.rank.get(id).unwrap_or(i64::MIN)
             }
         };
-        if let Some(old) = self.score.insert(id, new_score) {
-            self.ranking.remove(&(old, id));
-        }
-        self.ranking.insert((new_score, id));
+        self.rank.set(id, new_score);
     }
 }
 
@@ -185,34 +220,40 @@ impl Policy for PriorityPolicy {
     }
 
     fn on_hit(&mut self, id: ObjId, view: &CacheView<'_>) {
-        self.aggregates.on_access(view);
+        if self.uses_aggregates {
+            self.aggregates.on_access(view);
+        }
         self.rescore(id, view);
     }
 
     fn victim(&mut self, _view: &CacheView<'_>) -> ObjId {
-        self.ranking.first().expect("priority victim from empty cache").1
+        self.rank.peek_min().expect("priority victim from empty cache").1
     }
 
     fn on_evict(&mut self, id: ObjId, view: &CacheView<'_>) {
-        if let Some(old) = self.score.remove(&id) {
-            self.ranking.remove(&(old, id));
+        self.rank.remove(id);
+        if self.uses_aggregates {
+            self.aggregates.remove(id);
         }
-        self.aggregates.remove(id);
-        if let Some(m) = view.meta(id) {
-            self.history.record(
-                id,
-                EvictionRecord {
-                    evict_vtime: view.vtime,
-                    access_count: m.access_count,
-                    age_at_evict: view.vtime.saturating_sub(m.last_vtime),
-                },
-            );
+        if self.uses_history {
+            if let Some(m) = view.meta(id) {
+                self.history.record(
+                    id,
+                    EvictionRecord {
+                        evict_vtime: view.vtime,
+                        access_count: m.access_count,
+                        age_at_evict: view.vtime.saturating_sub(m.last_vtime),
+                    },
+                );
+            }
         }
     }
 
     fn on_insert(&mut self, id: ObjId, view: &CacheView<'_>) {
-        self.aggregates.insert(id);
-        self.aggregates.on_access(view);
+        if self.uses_aggregates {
+            self.aggregates.insert(id);
+            self.aggregates.on_access(view);
+        }
         self.rescore(id, view);
     }
 }
@@ -371,10 +412,21 @@ mod tests {
         let expr =
             policysmith_dsl::parse("obj.count * 20 - obj.age / 300 - obj.size / 500").unwrap();
         let c = run_ids(PriorityPolicy::from_expr("mix", &expr), &ids, 2_500);
-        assert_eq!(c.policy.ranking.len(), c.num_objects());
-        assert_eq!(c.policy.score.len(), c.num_objects());
+        assert_eq!(c.policy.rank.len(), c.num_objects());
         assert!(c.policy.first_error().is_none());
         assert!(c.policy.evaluations() >= ids.len() as u64);
+    }
+
+    #[test]
+    fn btree_reference_host_matches_the_heap_host() {
+        // spot check behind the ranking swap; the exhaustive randomized
+        // differential lives in tests/rank_differential.rs
+        let ids: Vec<u64> = (0..20_000u64).map(|i| (i * 2654435761) % 300).collect();
+        let expr = policysmith_dsl::parse("obj.count * 20 - obj.age / 300").unwrap();
+        let heap = run_ids(PriorityPolicy::from_expr("heap", &expr), &ids, 4_000);
+        let btree =
+            run_ids(PriorityPolicy::from_expr("btree", &expr).use_btree_ranking(), &ids, 4_000);
+        assert_eq!(heap.result(), btree.result(), "ranking structures diverged");
     }
 
     #[test]

@@ -8,11 +8,29 @@
 //! independent simulations. The loop is generic over both the study and
 //! the generator, so a real LLM client slots in behind
 //! [`policysmith_gen::Generator`] unchanged.
+//!
+//! ## Throughput
+//!
+//! Two executors share the round logic. The **sequential** executor is the
+//! paper's loop: generate → check → evaluate, barrier per round. The
+//! **pipelined** executor ([`SearchConfig::pipeline`]) keeps the cores
+//! busy: persistent evaluation workers drain a task queue while the main
+//! thread — which owns the generator — speculatively generates and checks
+//! round N+1 against the exemplar set frozen when round N's evaluation
+//! started. That freeze is expressed as [`SearchConfig::exemplar_lag`]:
+//! round N's prompt ranks candidates from rounds `< N - lag`, so a
+//! sequential run with the same lag produces a bit-identical
+//! [`SearchOutcome`] — the equivalence the tests pin down. Scores are
+//! written lock-free into per-round slots (indexed atomic stores, no
+//! result mutex), and because [`Study::evaluate`] is pure by contract, a
+//! cross-candidate **score memo** ([`SearchConfig::score_memo`]) skips
+//! re-simulating sources the search has already scored.
 
 use policysmith_dsl::Mode;
 use policysmith_gen::{Exemplar, Generator, Prompt, TokenLedger};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 /// One case-study instantiation: the Checker + Evaluator pair of §3.
@@ -46,6 +64,20 @@ pub struct SearchConfig {
     pub repair: bool,
     /// Evaluation threads (1 = serial).
     pub threads: usize,
+    /// Overlap round N+1's generation + checking with round N's
+    /// evaluation. Forces `exemplar_lag >= 1` at run time (the generator
+    /// can only be prompted with rounds whose scores exist when generation
+    /// starts). Same seed → identical outcome, round order preserved.
+    pub pipeline: bool,
+    /// Exemplar staleness, in rounds: round N's prompt ranks candidates
+    /// from rounds `< N - lag`. 0 is the paper's schedule (all previous
+    /// rounds); pipelined execution needs ≥ 1. A sequential run with the
+    /// same lag reproduces the pipelined outcome exactly.
+    pub exemplar_lag: usize,
+    /// Memoize scores across identical sources. Sound because
+    /// [`Study::evaluate`] is pure by contract; changes only the cost
+    /// ledger (`memo_hits`), never the outcome.
+    pub score_memo: bool,
 }
 
 impl SearchConfig {
@@ -57,12 +89,32 @@ impl SearchConfig {
             exemplars: 2,
             repair: true,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            pipeline: false,
+            exemplar_lag: 0,
+            score_memo: true,
         }
     }
 
     /// A small configuration for tests and quick demos.
     pub fn quick() -> SearchConfig {
-        SearchConfig { rounds: 4, candidates_per_round: 8, exemplars: 2, repair: true, threads: 2 }
+        SearchConfig {
+            rounds: 4,
+            candidates_per_round: 8,
+            exemplars: 2,
+            repair: true,
+            threads: 2,
+            pipeline: false,
+            exemplar_lag: 0,
+            score_memo: true,
+        }
+    }
+
+    /// Switch on the pipelined executor (and the ≥1-round exemplar lag it
+    /// requires).
+    pub fn pipelined(mut self) -> SearchConfig {
+        self.pipeline = true;
+        self.exemplar_lag = self.exemplar_lag.max(1);
+        self
     }
 }
 
@@ -88,20 +140,39 @@ pub struct RoundStats {
 }
 
 /// Cost accounting in the units of §4.2.6.
+///
+/// Generation-thread and evaluation-worker time are attributed
+/// separately, so the ledger stays honest when the two overlap under the
+/// pipelined executor: evaluation CPU is *measured* per candidate, never
+/// estimated from wall time × thread count.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CostLedger {
     pub tokens: TokenLedger,
-    /// Wall-clock seconds spent evaluating candidates.
+    /// Wall-clock seconds on the generation thread: prompting, generation,
+    /// checking, repair.
+    pub gen_seconds: f64,
+    /// Wall-clock seconds with candidate evaluations outstanding. Under
+    /// pipelining this overlaps `gen_seconds`; it is how long the search
+    /// waited on simulations, not how much work they did.
     pub eval_seconds: f64,
-    /// CPU-seconds estimate (eval wall time × threads actually used).
-    pub cpu_seconds: f64,
+    /// CPU-seconds measured inside [`Study::evaluate`] across all workers.
+    pub eval_cpu_seconds: f64,
     pub candidates_evaluated: u64,
+    /// Evaluations skipped by the cross-candidate score memo.
+    pub memo_hits: u64,
 }
 
 impl CostLedger {
     /// Estimated API cost in USD (GPT-4o-mini prices).
     pub fn cost_usd(&self) -> f64 {
         self.tokens.cost_usd()
+    }
+
+    /// Total CPU-seconds attributed to the search: generation thread plus
+    /// measured evaluation work. No double counting under pipelining —
+    /// overlapped wall time appears in at most one term.
+    pub fn cpu_seconds(&self) -> f64 {
+        self.gen_seconds + self.eval_cpu_seconds
     }
 }
 
@@ -118,7 +189,8 @@ pub struct SearchOutcome {
     pub cost: CostLedger,
 }
 
-/// Run the search loop.
+/// Run the search loop (sequential or pipelined per
+/// [`SearchConfig::pipeline`]).
 ///
 /// # Panics
 /// If no candidate in the entire search passes the Checker (with the
@@ -128,67 +200,163 @@ pub fn run_search<S: Study>(
     generator: &mut dyn Generator,
     cfg: &SearchConfig,
 ) -> SearchOutcome {
-    let mut all: Vec<Scored> = Vec::new();
-    let mut rounds: Vec<RoundStats> = Vec::new();
-    let mut cost = CostLedger::default();
+    if cfg.pipeline {
+        run_pipelined(
+            study,
+            generator,
+            &SearchConfig { exemplar_lag: cfg.exemplar_lag.max(1), ..*cfg },
+        )
+    } else {
+        run_sequential(study, generator, cfg)
+    }
+}
 
-    for round in 0..cfg.rounds {
-        // Exemplars: top-k across all previous rounds (§4.2.1).
-        let mut ranked: Vec<&Scored> = all.iter().collect();
-        ranked.sort_by(|a, b| nan_is_worst(b.score).total_cmp(&nan_is_worst(a.score)));
-        let exemplars: Vec<Exemplar> = ranked
-            .iter()
-            .take(cfg.exemplars)
-            .map(|s| Exemplar { source: s.source.clone(), score: s.score })
-            .collect();
-        let prompt = Prompt::new(study.mode()).with_exemplars(exemplars);
+/// A generated-and-checked round, not yet evaluated. `sources[i]` is the
+/// accepted source of `artifacts[i]`.
+struct CheckedBatch<A> {
+    sources: Vec<String>,
+    artifacts: Vec<A>,
+    generated: usize,
+    passed_first: usize,
+    passed_after_repair: usize,
+    gen_seconds: f64,
+}
 
-        let batch = generator.generate(&prompt, cfg.candidates_per_round);
-        let mut passed_first = 0;
-        let mut passed_after_repair = 0;
-        let mut artifacts: Vec<(String, S::Artifact)> = Vec::new();
-        for source in batch {
-            match study.check(&source) {
-                Ok(art) => {
-                    passed_first += 1;
-                    artifacts.push((source, art));
-                }
-                Err(stderr) if cfg.repair => {
-                    if let Some(fixed) = generator.repair(&prompt, &source, &stderr) {
-                        if let Ok(art) = study.check(&fixed) {
-                            passed_after_repair += 1;
-                            artifacts.push((fixed, art));
-                        }
+/// Exemplars for `round`: top-k candidates from rounds `< round - lag`
+/// (§4.2.1's all-previous-rounds feedback at lag 0).
+fn exemplars_for(all: &[Scored], round: usize, cfg: &SearchConfig) -> Vec<Exemplar> {
+    let mut ranked: Vec<&Scored> =
+        all.iter().filter(|s| s.round + cfg.exemplar_lag < round).collect();
+    ranked.sort_by(|a, b| nan_is_worst(b.score).total_cmp(&nan_is_worst(a.score)));
+    ranked
+        .iter()
+        .take(cfg.exemplars)
+        .map(|s| Exemplar { source: s.source.clone(), score: s.score })
+        .collect()
+}
+
+/// One generation + checking (+ repair) pass — the generator-thread half
+/// of a round.
+fn generate_and_check<S: Study>(
+    study: &S,
+    generator: &mut dyn Generator,
+    cfg: &SearchConfig,
+    all: &[Scored],
+    round: usize,
+) -> CheckedBatch<S::Artifact> {
+    let t0 = Instant::now();
+    let prompt = Prompt::new(study.mode()).with_exemplars(exemplars_for(all, round, cfg));
+    let batch = generator.generate(&prompt, cfg.candidates_per_round);
+    let generated = batch.len();
+    let mut passed_first = 0;
+    let mut passed_after_repair = 0;
+    let mut sources = Vec::new();
+    let mut artifacts = Vec::new();
+    for source in batch {
+        match study.check(&source) {
+            Ok(art) => {
+                passed_first += 1;
+                sources.push(source);
+                artifacts.push(art);
+            }
+            Err(stderr) if cfg.repair => {
+                if let Some(fixed) = generator.repair(&prompt, &source, &stderr) {
+                    if let Ok(art) = study.check(&fixed) {
+                        passed_after_repair += 1;
+                        sources.push(fixed);
+                        artifacts.push(art);
                     }
                 }
-                Err(_) => {}
             }
+            Err(_) => {}
         }
-
-        // Parallel evaluation.
-        let t0 = Instant::now();
-        let scores = evaluate_parallel(study, &artifacts, cfg.threads);
-        let dt = t0.elapsed().as_secs_f64();
-        cost.eval_seconds += dt;
-        cost.cpu_seconds += dt * cfg.threads.min(artifacts.len().max(1)) as f64;
-        cost.candidates_evaluated += artifacts.len() as u64;
-
-        let mut round_best = f64::NEG_INFINITY;
-        for ((source, _), score) in artifacts.into_iter().zip(scores) {
-            round_best = round_best.max(score);
-            all.push(Scored { source, score, round });
-        }
-        let best_so_far = all.iter().map(|s| s.score).fold(f64::NEG_INFINITY, f64::max);
-        rounds.push(RoundStats {
-            round,
-            generated: cfg.candidates_per_round,
-            passed_first,
-            passed_after_repair,
-            best_score_so_far: best_so_far,
-            round_best,
-        });
     }
+    CheckedBatch {
+        sources,
+        artifacts,
+        generated,
+        passed_first,
+        passed_after_repair,
+        gen_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
 
+/// How each accepted candidate of a round gets its score: from the memo,
+/// or from evaluation slot `uniq[i]` (within-round duplicates share one
+/// slot). Built identically by both executors so they stay equivalent.
+struct EvalPlan {
+    /// Per candidate: `Err(score)` = memoized, `Ok(slot)` = uniq slot.
+    slots: Vec<Result<usize, f64>>,
+    /// Candidate index evaluated for each uniq slot.
+    uniq: Vec<usize>,
+}
+
+fn plan_round(sources: &[String], memo: &HashMap<String, f64>, use_memo: bool) -> EvalPlan {
+    let mut slots = Vec::with_capacity(sources.len());
+    let mut uniq = Vec::new();
+    let mut local: HashMap<&str, usize> = HashMap::new();
+    for (i, src) in sources.iter().enumerate() {
+        if !use_memo {
+            slots.push(Ok(uniq.len()));
+            uniq.push(i);
+        } else if let Some(&score) = memo.get(src) {
+            slots.push(Err(score));
+        } else if let Some(&slot) = local.get(src.as_str()) {
+            slots.push(Ok(slot));
+        } else {
+            local.insert(src, uniq.len());
+            slots.push(Ok(uniq.len()));
+            uniq.push(i);
+        }
+    }
+    EvalPlan { slots, uniq }
+}
+
+/// Fold one evaluated round into the outcome accumulators. `uniq_scores`
+/// is index-aligned with `plan.uniq`.
+#[allow(clippy::too_many_arguments)]
+fn finish_round(
+    round: usize,
+    batch: &CheckedBatch<impl Sized>,
+    plan: &EvalPlan,
+    uniq_scores: &[f64],
+    memo: &mut HashMap<String, f64>,
+    use_memo: bool,
+    all: &mut Vec<Scored>,
+    rounds: &mut Vec<RoundStats>,
+    cost: &mut CostLedger,
+) {
+    cost.candidates_evaluated += uniq_scores.len() as u64;
+    cost.memo_hits += (batch.sources.len() - uniq_scores.len()) as u64;
+    let mut round_best = f64::NEG_INFINITY;
+    for (source, slot) in batch.sources.iter().zip(&plan.slots) {
+        let score = match *slot {
+            Ok(u) => uniq_scores[u],
+            Err(memoized) => memoized,
+        };
+        if use_memo && !memo.contains_key(source) {
+            memo.insert(source.clone(), score);
+        }
+        round_best = round_best.max(score);
+        all.push(Scored { source: source.clone(), score, round });
+    }
+    let best_so_far = all.iter().map(|s| s.score).fold(f64::NEG_INFINITY, f64::max);
+    rounds.push(RoundStats {
+        round,
+        generated: batch.generated,
+        passed_first: batch.passed_first,
+        passed_after_repair: batch.passed_after_repair,
+        best_score_so_far: best_so_far,
+        round_best,
+    });
+}
+
+fn seal_outcome(
+    generator: &dyn Generator,
+    all: Vec<Scored>,
+    rounds: Vec<RoundStats>,
+    mut cost: CostLedger,
+) -> SearchOutcome {
     cost.tokens = *generator.ledger();
     let best = all
         .iter()
@@ -196,6 +364,221 @@ pub fn run_search<S: Study>(
         .cloned()
         .expect("search produced no valid candidate");
     SearchOutcome { best, rounds, all, cost }
+}
+
+/// The paper's loop: generate → check → evaluate with a barrier per round.
+fn run_sequential<S: Study>(
+    study: &S,
+    generator: &mut dyn Generator,
+    cfg: &SearchConfig,
+) -> SearchOutcome {
+    let mut all = Vec::new();
+    let mut rounds = Vec::new();
+    let mut cost = CostLedger::default();
+    let mut memo: HashMap<String, f64> = HashMap::new();
+
+    for round in 0..cfg.rounds {
+        let batch = generate_and_check(study, generator, cfg, &all, round);
+        cost.gen_seconds += batch.gen_seconds;
+        let plan = plan_round(&batch.sources, &memo, cfg.score_memo);
+        let to_eval: Vec<&S::Artifact> = plan.uniq.iter().map(|&i| &batch.artifacts[i]).collect();
+        let t0 = Instant::now();
+        let (uniq_scores, cpu) = evaluate_parallel(study, &to_eval, cfg.threads);
+        cost.eval_seconds += t0.elapsed().as_secs_f64();
+        cost.eval_cpu_seconds += cpu;
+        finish_round(
+            round,
+            &batch,
+            &plan,
+            &uniq_scores,
+            &mut memo,
+            cfg.score_memo,
+            &mut all,
+            &mut rounds,
+            &mut cost,
+        );
+    }
+    seal_outcome(generator, all, rounds, cost)
+}
+
+/// One round's evaluation state, shared with the workers. Scores land in
+/// `results` as indexed lock-free `f64`-bit stores.
+struct RoundSlot<A> {
+    artifacts: Vec<A>,
+    /// Artifact index evaluated by each task (the plan's uniq list).
+    tasks: Vec<usize>,
+    results: Vec<AtomicU64>,
+    pending: AtomicUsize,
+}
+
+/// Worker-shared search state for the pipelined executor.
+struct PipelineShared<A> {
+    slots: Vec<OnceLock<RoundSlot<A>>>,
+    queue: Mutex<VecDeque<(usize, usize)>>,
+    work_cv: Condvar,
+    stop: AtomicBool,
+    done_m: Mutex<()>,
+    done_cv: Condvar,
+    /// Nanoseconds spent inside `Study::evaluate`, summed over workers.
+    eval_nanos: AtomicU64,
+    /// First payload of a panicking `Study::evaluate`, re-thrown on the
+    /// main thread so the pipelined executor fails like the sequential one
+    /// instead of deadlocking `wait` on a pending count that never drains.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<A> PipelineShared<A> {
+    fn new(rounds: usize) -> Self {
+        PipelineShared {
+            slots: (0..rounds).map(|_| OnceLock::new()).collect(),
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            done_m: Mutex::new(()),
+            done_cv: Condvar::new(),
+            eval_nanos: AtomicU64::new(0),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Publish a round and enqueue its evaluation tasks.
+    fn submit(&self, round: usize, slot: RoundSlot<A>) {
+        let n = slot.tasks.len();
+        self.slots[round].set(slot).unwrap_or_else(|_| panic!("round {round} submitted twice"));
+        let mut q = self.queue.lock().unwrap();
+        q.extend((0..n).map(|t| (round, t)));
+        drop(q);
+        self.work_cv.notify_all();
+    }
+
+    /// Block until every task of `round` has a score; return them in task
+    /// order. Re-throws an evaluator panic caught on a worker (after
+    /// releasing the workers, so the thread scope can join).
+    fn wait(&self, round: usize) -> Vec<f64> {
+        let slot = self.slots[round].get().expect("waiting on an unsubmitted round");
+        let mut guard = self.done_m.lock().unwrap();
+        while slot.pending.load(Ordering::Acquire) != 0 {
+            guard = self.done_cv.wait(guard).unwrap();
+        }
+        drop(guard);
+        if let Some(payload) = self.panic.lock().unwrap().take() {
+            self.shutdown();
+            std::panic::resume_unwind(payload);
+        }
+        slot.results.iter().map(|bits| f64::from_bits(bits.load(Ordering::Relaxed))).collect()
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.work_cv.notify_all();
+    }
+
+    fn worker<S: Study<Artifact = A>>(&self, study: &S) {
+        loop {
+            let task = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        break Some(t);
+                    }
+                    if self.stop.load(Ordering::Acquire) {
+                        break None;
+                    }
+                    q = self.work_cv.wait(q).unwrap();
+                }
+            };
+            let Some((round, task_ix)) = task else { return };
+            let slot = self.slots[round].get().expect("task for an unsubmitted round");
+            let t0 = Instant::now();
+            // A panicking evaluator must still decrement `pending`, or the
+            // main thread waits forever; catch it here, re-throw in `wait`.
+            let score = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                study.evaluate(&slot.artifacts[slot.tasks[task_ix]])
+            })) {
+                Ok(score) => score,
+                Err(payload) => {
+                    let mut first = self.panic.lock().unwrap();
+                    first.get_or_insert(payload);
+                    f64::NEG_INFINITY
+                }
+            };
+            self.eval_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            slot.results[task_ix].store(score.to_bits(), Ordering::Relaxed);
+            // Release pairs with the Acquire in `wait`: a pending count of
+            // zero implies every score store is visible.
+            if slot.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _guard = self.done_m.lock().unwrap();
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// The pipelined executor: evaluation workers drain a shared queue while
+/// the main thread (which owns the generator) generates and checks the
+/// next round. With `exemplar_lag ≥ 1` the prompt for round N+1 only needs
+/// rounds ≤ N−1, all of which are complete when round N starts evaluating
+/// — so speculation never waits and never changes the outcome.
+fn run_pipelined<S: Study>(
+    study: &S,
+    generator: &mut dyn Generator,
+    cfg: &SearchConfig,
+) -> SearchOutcome {
+    debug_assert!(cfg.exemplar_lag >= 1);
+    let mut all = Vec::new();
+    let mut rounds = Vec::new();
+    let mut cost = CostLedger::default();
+    let mut memo: HashMap<String, f64> = HashMap::new();
+    let shared = PipelineShared::<S::Artifact>::new(cfg.rounds);
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.threads.max(1) {
+            scope.spawn(|| shared.worker(study));
+        }
+        let mut next = if cfg.rounds > 0 {
+            Some(generate_and_check(study, generator, cfg, &all, 0))
+        } else {
+            None
+        };
+        for round in 0..cfg.rounds {
+            let mut batch = next.take().expect("batch generated ahead of its round");
+            cost.gen_seconds += batch.gen_seconds;
+            let plan = plan_round(&batch.sources, &memo, cfg.score_memo);
+            let n_tasks = plan.uniq.len();
+            let t0 = Instant::now();
+            shared.submit(
+                round,
+                RoundSlot {
+                    artifacts: std::mem::take(&mut batch.artifacts),
+                    tasks: plan.uniq.clone(),
+                    results: (0..n_tasks).map(|_| AtomicU64::new(0)).collect(),
+                    pending: AtomicUsize::new(n_tasks),
+                },
+            );
+            // Speculative generation: round N+1, prompted with the
+            // exemplar set frozen at round N's start, runs here while the
+            // workers evaluate round N.
+            if round + 1 < cfg.rounds {
+                next = Some(generate_and_check(study, generator, cfg, &all, round + 1));
+            }
+            let uniq_scores = shared.wait(round);
+            cost.eval_seconds += t0.elapsed().as_secs_f64();
+            finish_round(
+                round,
+                &batch,
+                &plan,
+                &uniq_scores,
+                &mut memo,
+                cfg.score_memo,
+                &mut all,
+                &mut rounds,
+                &mut cost,
+            );
+        }
+        shared.shutdown();
+    });
+    cost.eval_cpu_seconds = shared.eval_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+    seal_outcome(generator, all, rounds, cost)
 }
 
 /// Score key for ranking. Evaluators are supposed to return real numbers,
@@ -210,23 +593,28 @@ fn nan_is_worst(score: f64) -> f64 {
     }
 }
 
-/// Score artifacts on `threads` worker threads (work-stealing via an atomic
-/// cursor; order of results matches input order).
+/// Score artifacts on `threads` worker threads (work-stealing via an
+/// atomic cursor; results land by index as lock-free `f64`-bit stores, in
+/// input order). Returns the scores and the CPU-seconds measured inside
+/// [`Study::evaluate`].
 fn evaluate_parallel<S: Study>(
     study: &S,
-    artifacts: &[(String, S::Artifact)],
+    artifacts: &[&S::Artifact],
     threads: usize,
-) -> Vec<f64> {
+) -> (Vec<f64>, f64) {
     let n = artifacts.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), 0.0);
     }
     let threads = threads.clamp(1, n);
     if threads == 1 {
-        return artifacts.iter().map(|(_, a)| study.evaluate(a)).collect();
+        let t0 = Instant::now();
+        let scores = artifacts.iter().map(|a| study.evaluate(a)).collect();
+        return (scores, t0.elapsed().as_secs_f64());
     }
     let cursor = AtomicUsize::new(0);
-    let results = Mutex::new(vec![f64::NEG_INFINITY; n]);
+    let results: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let nanos = AtomicU64::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -234,12 +622,15 @@ fn evaluate_parallel<S: Study>(
                 if i >= n {
                     break;
                 }
-                let score = study.evaluate(&artifacts[i].1);
-                results.lock().unwrap()[i] = score;
+                let t0 = Instant::now();
+                let score = study.evaluate(artifacts[i]);
+                nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                results[i].store(score.to_bits(), Ordering::Relaxed);
             });
         }
     });
-    results.into_inner().unwrap()
+    let scores = results.iter().map(|bits| f64::from_bits(bits.load(Ordering::Relaxed))).collect();
+    (scores, nanos.load(Ordering::Relaxed) as f64 / 1e9)
 }
 
 #[cfg(test)]
@@ -346,12 +737,148 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_agree() {
-        let artifacts: Vec<(String, Expr)> = ["obj.count", "obj.size + 1", "now"]
-            .iter()
-            .map(|s| (s.to_string(), parse(s).unwrap()))
-            .collect();
-        let serial = evaluate_parallel(&ToyStudy, &artifacts, 1);
-        let parallel = evaluate_parallel(&ToyStudy, &artifacts, 3);
+        let artifacts: Vec<Expr> =
+            ["obj.count", "obj.size + 1", "now"].iter().map(|s| parse(s).unwrap()).collect();
+        let refs: Vec<&Expr> = artifacts.iter().collect();
+        let (serial, _) = evaluate_parallel(&ToyStudy, &refs, 1);
+        let (parallel, _) = evaluate_parallel(&ToyStudy, &refs, 3);
         assert_eq!(serial, parallel);
+    }
+
+    /// Same seed, same lag: the pipelined executor must return an outcome
+    /// identical to the sequential one — same best, same per-candidate
+    /// scores in the same order, same round statistics, same token bill.
+    #[test]
+    fn pipelined_matches_sequential_exactly() {
+        for memo in [true, false] {
+            let base = SearchConfig {
+                rounds: 6,
+                candidates_per_round: 10,
+                exemplar_lag: 1,
+                score_memo: memo,
+                threads: 3,
+                ..SearchConfig::quick()
+            };
+            let run = |cfg: SearchConfig| {
+                let mut llm = MockLlm::new(GenConfig::cache_defaults(9));
+                run_search(&ToyStudy, &mut llm, &cfg)
+            };
+            let seq = run(base);
+            let pipe = run(SearchConfig { pipeline: true, ..base });
+            assert_eq!(seq.best, pipe.best, "memo={memo}");
+            assert_eq!(seq.all, pipe.all, "memo={memo}");
+            assert_eq!(seq.rounds, pipe.rounds, "memo={memo}");
+            assert_eq!(
+                seq.cost.tokens.input_tokens, pipe.cost.tokens.input_tokens,
+                "prompt streams must match (memo={memo})"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_search_is_deterministic() {
+        let cfg = SearchConfig { threads: 3, ..SearchConfig::quick() }.pipelined();
+        let run = || {
+            let mut llm = MockLlm::new(GenConfig::cache_defaults(5));
+            run_search(&ToyStudy, &mut llm, &cfg)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.all, b.all);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    /// The memo only skips redundant simulations; it must never change
+    /// what the search returns.
+    #[test]
+    fn score_memo_changes_cost_not_outcome() {
+        let cfg = SearchConfig { rounds: 6, candidates_per_round: 12, ..SearchConfig::quick() };
+        let run = |memo: bool| {
+            let mut llm = MockLlm::new(GenConfig::cache_defaults(11));
+            run_search(&ToyStudy, &mut llm, &SearchConfig { score_memo: memo, ..cfg })
+        };
+        let with = run(true);
+        let without = run(false);
+        assert_eq!(with.best, without.best);
+        assert_eq!(with.all, without.all);
+        assert!(with.cost.memo_hits > 0, "exemplar-fed rounds should repeat sources");
+        assert_eq!(without.cost.memo_hits, 0);
+        assert_eq!(
+            with.cost.candidates_evaluated + with.cost.memo_hits,
+            without.cost.candidates_evaluated
+        );
+    }
+
+    /// A generator that returns fewer candidates than asked for — the
+    /// batch length, not the configured `candidates_per_round`, must land
+    /// in `RoundStats.generated` or compile rates are inflated.
+    struct StingyGen {
+        inner: MockLlm,
+        cap: usize,
+    }
+
+    impl Generator for StingyGen {
+        fn generate(&mut self, prompt: &Prompt, n: usize) -> Vec<String> {
+            self.inner.generate(prompt, n.min(self.cap))
+        }
+        fn repair(&mut self, prompt: &Prompt, source: &str, stderr: &str) -> Option<String> {
+            self.inner.repair(prompt, source, stderr)
+        }
+        fn ledger(&self) -> &TokenLedger {
+            self.inner.ledger()
+        }
+    }
+
+    #[test]
+    fn round_stats_report_actual_batch_length() {
+        let mut gen = StingyGen { inner: MockLlm::new(GenConfig::cache_defaults(3)), cap: 5 };
+        let cfg = SearchConfig { rounds: 3, candidates_per_round: 20, ..SearchConfig::quick() };
+        let outcome = run_search(&ToyStudy, &mut gen, &cfg);
+        for r in &outcome.rounds {
+            assert_eq!(r.generated, 5, "generated must be the real batch length");
+            assert!(r.passed_first + r.passed_after_repair <= r.generated);
+        }
+    }
+
+    /// An evaluator that panics must fail a pipelined search the same way
+    /// it fails a sequential one — by propagating — never by deadlocking
+    /// the round-completion wait.
+    struct PanickyStudy;
+
+    impl Study for PanickyStudy {
+        type Artifact = Expr;
+        fn mode(&self) -> Mode {
+            Mode::Cache
+        }
+        fn check(&self, source: &str) -> Result<Expr, String> {
+            ToyStudy.check(source)
+        }
+        fn evaluate(&self, _e: &Expr) -> f64 {
+            panic!("evaluator bug");
+        }
+    }
+
+    #[test]
+    fn pipelined_propagates_evaluator_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut llm = MockLlm::new(GenConfig::cache_defaults(2));
+            run_search(&PanickyStudy, &mut llm, &SearchConfig::quick().pipelined())
+        });
+        let payload = result.expect_err("panic must propagate, not hang");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "evaluator bug");
+    }
+
+    #[test]
+    fn cost_ledger_attributes_threads_separately() {
+        let mut llm = MockLlm::new(GenConfig::cache_defaults(23));
+        let cfg = SearchConfig { rounds: 5, candidates_per_round: 10, ..SearchConfig::quick() }
+            .pipelined();
+        let outcome = run_search(&ToyStudy, &mut llm, &cfg);
+        let c = outcome.cost;
+        assert!(c.gen_seconds > 0.0, "generation time must be attributed");
+        assert!(c.eval_cpu_seconds >= 0.0 && c.eval_cpu_seconds.is_finite());
+        assert!((c.cpu_seconds() - (c.gen_seconds + c.eval_cpu_seconds)).abs() < 1e-12);
+        assert!(c.candidates_evaluated > 0);
     }
 }

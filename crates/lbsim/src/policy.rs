@@ -18,9 +18,8 @@
 //! falls back to round-robin so the simulation still completes with exact
 //! accounting, and the study scores the candidate as a hard failure.
 
-use crate::dispatch::{DispatchView, Dispatcher};
-use policysmith_dsl::env::MapEnv;
-use policysmith_dsl::{eval, Expr, Feature, Mode};
+use crate::dispatch::{DispatchView, Dispatcher, ServerView};
+use policysmith_dsl::{eval, Expr, Feature, FeatureEnv, Mode};
 use policysmith_kbpf::{CompiledPolicy, RuntimeFault, SPILL_SLOTS};
 
 /// Dispatcher backed by a `Mode::Lb` scoring policy.
@@ -45,8 +44,9 @@ enum Engine {
         /// Per-server feature slots, filled in the argmin loop.
         server_slots: FillPlan<ServerField>,
     },
-    /// The reference oracle: `dsl::eval` over a `MapEnv`, kept only for
-    /// differential testing and the interpreter-vs-VM benchmarks.
+    /// The reference oracle: `dsl::eval` over a flat field-read
+    /// environment, kept only for differential testing and the
+    /// interpreter-vs-VM benchmarks.
     Interpreted { expr: Expr },
 }
 
@@ -195,16 +195,9 @@ impl Dispatcher for ExprDispatcher {
                 fault
             }
             Engine::Interpreted { expr } => {
-                let mut env = MapEnv::new();
-                env.set(Feature::Now, view.now_us as i64);
-                env.set(Feature::ReqSize, view.req_size as i64);
                 let mut fault = None;
                 for (ix, s) in view.servers.iter().enumerate() {
-                    env.set(Feature::ServerQueueLen, s.queue_len as i64);
-                    env.set(Feature::ServerInflight, s.inflight as i64);
-                    env.set(Feature::ServerSpeed, s.speed as i64);
-                    env.set(Feature::ServerEwmaLatency, s.ewma_latency_us as i64);
-                    env.set(Feature::ServerWorkLeft, s.work_left_us as i64);
+                    let env = OracleEnv { now_us: view.now_us, req_size: view.req_size, server: s };
                     match eval(expr, &env) {
                         Ok(score) => {
                             if score < best_score {
@@ -227,6 +220,32 @@ impl Dispatcher for ExprDispatcher {
                 self.first_error = Some(f);
                 self.fallback(n)
             }
+        }
+    }
+}
+
+/// The oracle's per-`(dispatch, server)` feature environment: plain field
+/// reads off the borrowed views — no hash map, no per-pick allocation —
+/// the same dense treatment the compiled engine's fill plans get, so the
+/// interpreter-vs-VM comparison measures the engines, not the plumbing.
+struct OracleEnv<'a> {
+    now_us: u64,
+    req_size: u64,
+    server: &'a ServerView,
+}
+
+impl FeatureEnv for OracleEnv<'_> {
+    fn feature(&self, f: Feature) -> i64 {
+        match f {
+            Feature::Now => self.now_us as i64,
+            Feature::ReqSize => self.req_size as i64,
+            Feature::ServerQueueLen => self.server.queue_len as i64,
+            Feature::ServerInflight => self.server.inflight as i64,
+            Feature::ServerSpeed => self.server.speed as i64,
+            Feature::ServerEwmaLatency => self.server.ewma_latency_us as i64,
+            Feature::ServerWorkLeft => self.server.work_left_us as i64,
+            // non-lb features cannot survive the Mode::Lb check; be total
+            _ => 0,
         }
     }
 }

@@ -9,7 +9,26 @@ use policysmith::core::studies::lb::LbStudy;
 use policysmith::gen::{GenConfig, MockLlm};
 
 fn quick_cfg() -> SearchConfig {
-    SearchConfig { rounds: 5, candidates_per_round: 10, exemplars: 2, repair: true, threads: 2 }
+    SearchConfig { rounds: 5, candidates_per_round: 10, ..SearchConfig::quick() }
+}
+
+/// The cross-crate version of the pipelined-equivalence guarantee: on a
+/// real cache study (compiled artifacts, trace replay in the evaluator),
+/// the pipelined executor returns exactly the sequential outcome.
+#[test]
+fn pipelined_cache_search_matches_sequential() {
+    let trace = policysmith::traces::cloudphysics().trace(10, 15_000);
+    let study = CacheStudy::new(&trace);
+    let base = SearchConfig { exemplar_lag: 1, threads: 3, ..quick_cfg() };
+    let run = |cfg: SearchConfig| {
+        let mut llm = MockLlm::new(GenConfig::cache_defaults(7));
+        run_search(&study, &mut llm, &cfg)
+    };
+    let seq = run(base);
+    let pipe = run(SearchConfig { pipeline: true, ..base });
+    assert_eq!(seq.best, pipe.best);
+    assert_eq!(seq.all, pipe.all);
+    assert_eq!(seq.rounds, pipe.rounds);
 }
 
 #[test]
