@@ -1,0 +1,128 @@
+//! LB-GEN: the load-balancing analogue of the cache study's Table 2 —
+//! cross-scenario generalization. One policy is synthesized per scenario
+//! preset (its *home* context), then every synthesized policy is evaluated
+//! on every other scenario against the classical baselines (JSQ,
+//! round-robin, least-loaded, …). The output matrix answers the §3.1
+//! question for this domain: how far does a context-specialized heuristic
+//! travel, and how much does the library of all of them (the PS-Oracle
+//! row) buy an adaptation system?
+//!
+//! Usage: `exp_lb_generalization [--fast|--quick] [--seed N]`
+//!
+//! Writes `results/lb_generalization.json` (schema in `results/README.md`).
+
+use policysmith_bench::{write_json, ExpOpts, ImprovementMatrix};
+use policysmith_core::search::{run_search, SearchConfig};
+use policysmith_core::studies::lb::LbStudy;
+use policysmith_gen::{GenConfig, MockLlm};
+use policysmith_lbsim::{lb_baseline_names, scenario, ExprDispatcher};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let cfg = if opts.fast {
+        SearchConfig { rounds: 5, candidates_per_round: 10, ..SearchConfig::paper_cache() }
+    } else {
+        SearchConfig { rounds: 12, candidates_per_round: 20, ..SearchConfig::paper_cache() }
+    };
+
+    let presets = scenario::all_presets();
+    let studies: Vec<LbStudy> = presets.iter().map(LbStudy::new).collect();
+    let n_base = lb_baseline_names().len();
+
+    // -- synthesize one policy per home context --
+    let mut synthesized: Vec<(String, String, f64)> = Vec::new(); // (label, source, home score)
+    for (i, study) in studies.iter().enumerate() {
+        let label = format!("LB-{}", (b'A' + i as u8) as char);
+        let mut llm = MockLlm::new(GenConfig::lb_defaults(
+            opts.seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15),
+        ));
+        let outcome = run_search(study, &mut llm, &cfg);
+        println!(
+            "{label} (home {}): {:+.4} over RR   score(server, req) = {}",
+            study.scenario().name,
+            outcome.best.score,
+            outcome.best.source
+        );
+        synthesized.push((label, outcome.best.source.clone(), outcome.best.score));
+    }
+
+    // -- the scenario × scenario matrix: every policy on every context --
+    let mut policy_names: Vec<String> = lb_baseline_names().iter().map(|s| s.to_string()).collect();
+    policy_names.extend(synthesized.iter().map(|(l, _, _)| l.clone()));
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for name in lb_baseline_names() {
+        rows.push(studies.iter().map(|s| s.baseline_improvement(name)).collect());
+    }
+    for (label, source, _) in &synthesized {
+        let expr = policysmith_dsl::parse(source).expect("stored source parses");
+        rows.push(
+            studies
+                .iter()
+                .map(|s| s.improvement(&mut ExprDispatcher::from_expr(label, &expr)))
+                .collect(),
+        );
+    }
+
+    let matrix = ImprovementMatrix {
+        dataset: "lbsim".into(),
+        trace_names: presets.iter().map(|s| s.name.clone()).collect(),
+        policies: policy_names.clone(),
+        rows,
+    };
+
+    println!("\n=== improvement over round-robin, policy × scenario ===");
+    print!("{:16}", "policy");
+    for sc in &presets {
+        print!("{:>20}", sc.name.trim_start_matches("lb/"));
+    }
+    println!("{:>8}", "mean");
+    for (p, name) in matrix.policies.iter().enumerate() {
+        print!("{name:16}");
+        for v in &matrix.rows[p] {
+            print!("{:>19.1}%", v * 100.0);
+        }
+        println!("{:>7.1}%", matrix.mean(p) * 100.0);
+    }
+
+    // -- Table-2 statistics --
+    let base_ixs: Vec<usize> = (0..n_base).collect();
+    let synth_ixs: Vec<usize> = (n_base..matrix.policies.len()).collect();
+    println!("\n=== generalization (Table-2 statistic) ===");
+    let mut beats_all: Vec<(String, f64)> = Vec::new();
+    for (i, (label, _, home)) in synthesized.iter().enumerate() {
+        let p = n_base + i;
+        let frac = matrix.beats_all_fraction(p, &base_ixs);
+        let away: f64 =
+            matrix.rows[p].iter().enumerate().filter(|&(t, _)| t != i).map(|(_, v)| v).sum::<f64>()
+                / (presets.len() - 1) as f64;
+        println!(
+            "{label}: home {:+.1}%  mean-away {:+.1}%  beats all {} baselines on {:.0}% of scenarios",
+            home * 100.0,
+            away * 100.0,
+            n_base,
+            frac * 100.0
+        );
+        beats_all.push((label.clone(), frac));
+    }
+    let oracle = matrix.oracle(&synth_ixs);
+    let oracle_mean: f64 = oracle.iter().sum::<f64>() / oracle.len() as f64;
+    println!(
+        "PS-Oracle (best stored policy per scenario — the library's value): mean {:+.1}%",
+        oracle_mean * 100.0
+    );
+
+    write_json(
+        "lb_generalization",
+        &serde_json::json!({
+            "scenarios": matrix.trace_names,
+            "rr_mean_slowdown": studies.iter().map(|s| s.rr_slowdown()).collect::<Vec<_>>(),
+            "policies": matrix.policies,
+            "rows": matrix.rows,
+            "synthesized": synthesized,
+            "beats_all_fraction": beats_all,
+            "oracle": oracle,
+            "search": { "rounds": cfg.rounds, "candidates_per_round": cfg.candidates_per_round,
+                        "seed": opts.seed, "fast": opts.fast },
+        }),
+    );
+}

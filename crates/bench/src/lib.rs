@@ -92,8 +92,8 @@ pub struct ExpOpts {
 }
 
 impl ExpOpts {
-    /// Parse from `std::env::args` (supports `--fast`, `--requests N`,
-    /// `--seed N`).
+    /// Parse from `std::env::args` (supports `--fast` / its `--quick`
+    /// alias, `--requests N`, `--seed N`).
     pub fn from_args() -> ExpOpts {
         let args: Vec<String> = std::env::args().collect();
         let mut opts = ExpOpts {
@@ -105,7 +105,7 @@ impl ExpOpts {
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
-                "--fast" => {
+                "--fast" | "--quick" => {
                     opts.fast = true;
                     opts.requests = opts.requests.min(20_000);
                 }

@@ -6,7 +6,7 @@
 //! cache". Maintaining exact order statistics under every access would
 //! dominate runtime, so the tracker keeps a deterministic random sample of
 //! residents and refreshes sorted snapshots every
-//! [`AggregateTracker::refresh_interval`] accesses — the same
+//! `AggregateTracker::refresh_interval` accesses — the same
 //! approximation a production host would make (the paper itself flags the
 //! template's overhead question in §4.1.2). Ages are derived from
 //! last-access snapshots at *query* time, so they stay current between

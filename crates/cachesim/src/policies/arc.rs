@@ -1,4 +1,4 @@
-//! ARC — Adaptive Replacement Cache (FAST '03 [36]).
+//! ARC — Adaptive Replacement Cache (FAST '03 \[36\]).
 //!
 //! Two resident LRU lists — `T1` (seen once recently) and `T2` (seen at
 //! least twice) — shadowed by ghost lists `B1`/`B2`. The adaptation target

@@ -1,4 +1,4 @@
-//! The CACHEUS family (FAST '21 [48]): the SR (scan-resistant) and CR
+//! The CACHEUS family (FAST '21 \[48\]): the SR (scan-resistant) and CR
 //! (churn-resistant) lightweight experts, and CACHEUS itself — an adaptive
 //! two-expert combination with a self-tuning learning rate.
 //!

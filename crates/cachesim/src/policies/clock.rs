@@ -1,5 +1,5 @@
 //! Reference-bit policies: FIFO-Reinsertion (a.k.a. Clock / second chance)
-//! and SIEVE (NSDI '24 [69]).
+//! and SIEVE (NSDI '24 \[69\]).
 //!
 //! Both keep FIFO's O(1) bookkeeping but give re-accessed objects another
 //! round. The difference — and the reason SIEVE wins on skewed web
@@ -54,7 +54,7 @@ impl Policy for FifoReinsertion {
     }
 }
 
-/// SIEVE [69]. Queue orientation: front = newest (insertions), back =
+/// SIEVE \[69\]. Queue orientation: front = newest (insertions), back =
 /// oldest. The hand starts at the back and moves toward the front, evicting
 /// the first unvisited object and clearing bits as it passes.
 #[derive(Debug, Default)]

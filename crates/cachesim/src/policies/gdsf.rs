@@ -1,4 +1,4 @@
-//! GreedyDual-Size-Frequency (Cherkasova [15]).
+//! GreedyDual-Size-Frequency (Cherkasova \[15\]).
 //!
 //! Priority `H(o) = L + freq(o) * cost / size(o)` with uniform cost; `L`
 //! (the "inflation clock") is raised to the priority of each evicted

@@ -1,4 +1,4 @@
-//! LeCaR — Learning Cache Replacement (HotStorage '18 [60]).
+//! LeCaR — Learning Cache Replacement (HotStorage '18 \[60\]).
 //!
 //! Runs two experts — LRU and LFU — as shadow orderings over the *same*
 //! resident set, and keeps a weight per expert. Each eviction samples an

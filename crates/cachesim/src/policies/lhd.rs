@@ -1,4 +1,4 @@
-//! LHD — Least Hit Density (NSDI '18 [7]), sampling variant.
+//! LHD — Least Hit Density (NSDI '18 \[7\]), sampling variant.
 //!
 //! LHD estimates, for each object, its *hit density*: the probability of a
 //! future hit divided by the expected cache space-time the object will

@@ -1,4 +1,4 @@
-//! LIRS — Low Inter-reference Recency Set (SIGMETRICS '02 [30]).
+//! LIRS — Low Inter-reference Recency Set (SIGMETRICS '02 \[30\]).
 //!
 //! Partitions residents into **LIR** (low inter-reference recency, ~99% of
 //! capacity) and **HIR** blocks. A recency stack `S` holds LIR blocks,

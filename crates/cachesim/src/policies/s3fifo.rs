@@ -1,4 +1,4 @@
-//! S3-FIFO (SOSP '23 [64]): "FIFO queues are all you need for cache
+//! S3-FIFO (SOSP '23 \[64\]): "FIFO queues are all you need for cache
 //! eviction".
 //!
 //! Three FIFO queues: a **small** probationary queue (10% of capacity), a

@@ -1,4 +1,4 @@
-//! 2Q (VLDB '94 [31]).
+//! 2Q (VLDB '94 \[31\]).
 //!
 //! Three structures: `A1in`, a FIFO holding first-time objects (25% of
 //! capacity); `A1out`, a ghost FIFO remembering recently demoted ids (worth

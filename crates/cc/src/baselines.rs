@@ -1,8 +1,8 @@
 //! Classical congestion-control baselines.
 //!
 //! These are the hand-written kernel heuristics the paper's §5 motivates
-//! replacing: Reno (AIMD), CUBIC [25] (the Linux default), a simplified
-//! model-based BBR [11], and delay-based Vegas. Each implements
+//! replacing: Reno (AIMD), CUBIC \[25\] (the Linux default), a simplified
+//! model-based BBR \[11\], and delay-based Vegas. Each implements
 //! [`CongestionControl`] against the netsim transport.
 
 use policysmith_netsim::{CcView, CongestionControl};
@@ -43,7 +43,7 @@ impl CongestionControl for Reno {
     }
 }
 
-/// CUBIC [25]: the window grows along a cubic curve anchored at the last
+/// CUBIC \[25\]: the window grows along a cubic curve anchored at the last
 /// loss (`w_max`), giving fast recovery toward the old operating point and
 /// slow probing around it. `C = 0.4`, `β = 0.7` as in the kernel.
 #[derive(Debug)]
@@ -113,7 +113,7 @@ impl CongestionControl for Cubic {
 /// BBR-lite: a two-phase model-based controller. Startup doubles the window
 /// until the delivery-rate model stops improving, then the window tracks
 /// `gain × BDP` (delivery rate × min RTT) with a 1.25/0.75/1.0… probe
-/// cycle. A deliberate simplification of BBR [11] — no pacing, no
+/// cycle. A deliberate simplification of BBR \[11\] — no pacing, no
 /// PROBE_RTT — but the same model-driven character (and the same
 /// insensitivity to isolated losses).
 #[derive(Debug)]

@@ -24,10 +24,11 @@
 //! * [`studies::lb`] — the load-balancing instantiation (third workload,
 //!   beyond the paper): evaluator = mean-slowdown improvement over
 //!   round-robin on a dispatch-tier scenario — proof that a new controller
-//!   slots in behind the same [`Study`](search::Study) boundary unchanged;
+//!   slots in behind the same [`Study`] boundary unchanged;
 //! * [`library`] — the §3.1 context layer: a library of synthesized
-//!   heuristics plus a guardrail-style drift monitor that triggers
-//!   re-synthesis.
+//!   heuristics, a guardrail-style drift monitor, and the
+//!   [`AdaptiveController`] closing the drift → library → re-synthesis
+//!   loop generically over any [`Study`].
 //!
 //! ```no_run
 //! use policysmith_core::search::{run_search, SearchConfig};
@@ -45,5 +46,5 @@ pub mod library;
 pub mod search;
 pub mod studies;
 
-pub use library::{ContextMonitor, HeuristicLibrary, LibraryEntry};
+pub use library::{Adaptation, AdaptiveController, ContextMonitor, HeuristicLibrary, LibraryEntry};
 pub use search::{run_search, CostLedger, RoundStats, Scored, SearchConfig, SearchOutcome, Study};

@@ -1,5 +1,6 @@
-//! The §3.1 context layer: a library of synthesized heuristics and a
-//! guardrail-style drift monitor.
+//! The §3.1 context layer: a library of synthesized heuristics, a
+//! guardrail-style drift monitor, and the [`AdaptiveController`] that
+//! closes the loop for *any* study.
 //!
 //! The paper explicitly scopes context *detection* out ("this paper does
 //! not focus on designing context-detection or runtime-adaptation systems,
@@ -7,7 +8,21 @@
 //! the minimal such trigger so the end-to-end loop (§3.1: drift → offline
 //! re-synthesis → grow the library → adaptation picks from it) can be
 //! demonstrated and tested, not a research contribution.
+//!
+//! The three pieces compose bottom-up:
+//!
+//! * [`HeuristicLibrary`] — the growing store of synthesized policies with
+//!   provenance ([`LibraryEntry`]);
+//! * [`ContextMonitor`] — the drift trigger: a rolling mean over a
+//!   streaming quality signal against a deployment-time baseline;
+//! * [`AdaptiveController`] — monitor + library + re-synthesis fallback,
+//!   generic over [`Study`]: the same controller hosts the cache, lb, and
+//!   cc workloads, because "score a stored entry in the new context" is
+//!   just `check` + `evaluate` and "no stored policy fits" is just
+//!   [`run_search`].
 
+use crate::search::{run_search, SearchConfig, Study};
+use policysmith_gen::Generator;
 use std::collections::VecDeque;
 
 /// One synthesized heuristic with provenance.
@@ -57,7 +72,27 @@ impl HeuristicLibrary {
 
     /// Pick the best heuristic for a context by *evaluating* every stored
     /// candidate with the supplied scorer (the oracle-adaptation model of
-    /// §4.2.4) and returning the winner.
+    /// §4.2.4) and returning the winner together with its score.
+    ///
+    /// Returns `None` on an empty library. Scorers returning `NaN` (a
+    /// degenerate improvement ratio, say) neither panic nor win.
+    ///
+    /// ```
+    /// use policysmith_core::library::{HeuristicLibrary, LibraryEntry};
+    ///
+    /// let mut lib = HeuristicLibrary::new();
+    /// lib.add(LibraryEntry { context: "w10".into(), source: "obj.count".into(), score: 0.31 });
+    /// lib.add(LibraryEntry { context: "w55".into(), source: "obj.last_access".into(), score: 0.24 });
+    ///
+    /// // the adaptation system re-scores every entry in the *current*
+    /// // context — here, recency wins even though frequency scored
+    /// // higher at home
+    /// let (best, score) = lib
+    ///     .best_for(|e| if e.source.contains("last_access") { 0.4 } else { 0.1 })
+    ///     .unwrap();
+    /// assert_eq!(best.context, "w55");
+    /// assert_eq!(score, 0.4);
+    /// ```
     pub fn best_for<F: FnMut(&LibraryEntry) -> f64>(
         &self,
         mut scorer: F,
@@ -99,7 +134,27 @@ impl ContextMonitor {
 
     /// Feed one sample of the quality signal (lower = better, e.g. miss
     /// ratio). Returns `true` when drift is detected — the caller should
-    /// trigger re-synthesis (and this monitor re-baselines).
+    /// trigger re-synthesis (and this monitor re-baselines: the next full
+    /// window after a trigger defines the new regime's baseline).
+    ///
+    /// The first full window establishes the deployment baseline and never
+    /// triggers; before the window fills, nothing triggers.
+    ///
+    /// ```
+    /// use policysmith_core::library::ContextMonitor;
+    ///
+    /// // 3-sample rolling window, trigger at 20% over baseline
+    /// let mut monitor = ContextMonitor::new(3, 1.2);
+    /// for _ in 0..3 {
+    ///     assert!(!monitor.observe(0.30)); // establishes baseline 0.30
+    /// }
+    /// assert_eq!(monitor.baseline(), Some(0.30));
+    ///
+    /// // regime shift: the rolling mean climbs past 0.36 within a window
+    /// let fired: Vec<bool> = (0..3).map(|_| monitor.observe(0.45)).collect();
+    /// assert_eq!(fired.iter().filter(|&&f| f).count(), 1, "exactly one trigger");
+    /// assert_eq!(monitor.baseline(), None, "re-baselining on the new regime");
+    /// ```
     pub fn observe(&mut self, sample: f64) -> bool {
         self.window.push_back(sample);
         if self.window.len() > self.window_size {
@@ -132,6 +187,191 @@ impl ContextMonitor {
     /// Current baseline, if established.
     pub fn baseline(&self) -> Option<f64> {
         self.baseline
+    }
+}
+
+/// How the controller answered one drift trigger (§3.1: adaptation either
+/// picks from the library or grows it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Adaptation {
+    /// A stored heuristic was deployed: either it cleared the reuse
+    /// threshold outright (no search ran), or a fresh search ran but
+    /// failed to beat it in the drifted context (the search winner still
+    /// joins the library; the controller never deploys a policy worse
+    /// than the best one it already knows).
+    FromLibrary {
+        /// The reused entry (its `score` is still the home-context score).
+        entry: LibraryEntry,
+        /// The entry's score re-evaluated in the drifted context.
+        score: f64,
+    },
+    /// No stored policy fit — a fresh [`run_search`] ran offline, its
+    /// winner out-scored every stored policy in the drifted context, and
+    /// it was deployed and added to the library.
+    Resynthesized {
+        /// The new entry: context = the drifted context's name, score =
+        /// the search winner's score there.
+        entry: LibraryEntry,
+    },
+}
+
+impl Adaptation {
+    /// The entry now deployed, whichever way it was obtained.
+    pub fn entry(&self) -> &LibraryEntry {
+        match self {
+            Adaptation::FromLibrary { entry, .. } => entry,
+            Adaptation::Resynthesized { entry } => entry,
+        }
+    }
+
+    /// Did this adaptation run a fresh search?
+    pub fn resynthesized(&self) -> bool {
+        matches!(self, Adaptation::Resynthesized { .. })
+    }
+}
+
+/// The §3.1 loop as a reusable component: monitor a rolling quality
+/// signal, detect drift, consult the [`HeuristicLibrary`], and fall back
+/// to a fresh [`run_search`] when no stored policy fits the new context.
+///
+/// The controller is generic over [`Study`], so one implementation hosts
+/// every workload — caching, load balancing, congestion control. Scoring
+/// a stored entry in the drifted context is `study.check` +
+/// `study.evaluate` (entries that do not even compile under the study's
+/// template — e.g. a cache heuristic consulted for an lb context in a
+/// shared library — score `-∞` and can never be picked); "no stored
+/// policy fits" means the best such score is below the controller's reuse
+/// threshold.
+///
+/// The host's side of the contract is a loop of:
+///
+/// 1. serve traffic with [`deployed`](Self::deployed), sampling the
+///    quality signal (miss ratio, windowed mean slowdown, loss rate —
+///    lower is better) into [`observe`](Self::observe);
+/// 2. when `observe` returns `true`, build a [`Study`] for the *current*
+///    context and call [`adapt`](Self::adapt);
+/// 3. swap the returned entry in and keep serving.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    monitor: ContextMonitor,
+    library: HeuristicLibrary,
+    min_reuse_score: f64,
+    deployed: Option<LibraryEntry>,
+    adaptations: Vec<Adaptation>,
+}
+
+impl AdaptiveController {
+    /// A controller with the given drift trigger and reuse threshold: on
+    /// drift, a stored policy is swapped in only if it scores at least
+    /// `min_reuse_score` when re-evaluated in the drifted context
+    /// (scores are study improvements, e.g. over FIFO or round-robin);
+    /// anything less falls through to re-synthesis.
+    pub fn new(monitor: ContextMonitor, min_reuse_score: f64) -> AdaptiveController {
+        AdaptiveController {
+            monitor,
+            library: HeuristicLibrary::new(),
+            min_reuse_score,
+            deployed: None,
+            adaptations: Vec::new(),
+        }
+    }
+
+    /// Seed the controller with an existing library (e.g. entries carried
+    /// over from earlier deployments).
+    pub fn with_library(mut self, library: HeuristicLibrary) -> AdaptiveController {
+        self.library = library;
+        self
+    }
+
+    /// Deploy a policy: record it as live and add it to the library.
+    pub fn deploy(&mut self, entry: LibraryEntry) {
+        self.library.add(entry.clone());
+        self.deployed = Some(entry);
+    }
+
+    /// The live policy, if one was deployed.
+    pub fn deployed(&self) -> Option<&LibraryEntry> {
+        self.deployed.as_ref()
+    }
+
+    /// The heuristic library grown so far.
+    pub fn library(&self) -> &HeuristicLibrary {
+        &self.library
+    }
+
+    /// The drift monitor (for baseline inspection).
+    pub fn monitor(&self) -> &ContextMonitor {
+        &self.monitor
+    }
+
+    /// Every adaptation performed, in order.
+    pub fn adaptations(&self) -> &[Adaptation] {
+        &self.adaptations
+    }
+
+    /// Feed one sample of the deployed policy's quality signal (lower =
+    /// better). Returns `true` on drift — the cue to call
+    /// [`adapt`](Self::adapt) with a study of the current context.
+    pub fn observe(&mut self, sample: f64) -> bool {
+        self.monitor.observe(sample)
+    }
+
+    /// Answer a drift trigger for the context described by `study`.
+    ///
+    /// Every stored entry is re-scored in the new context (the §4.2.4
+    /// oracle-adaptation model: `check`, then `evaluate`; compile failures
+    /// score `-∞`). If the best stored score reaches the reuse threshold,
+    /// that entry is re-deployed; otherwise [`run_search`] synthesizes a
+    /// fresh policy offline — the §3.1 "disposable heuristics" move — and
+    /// the library grows by its winner. The winner is deployed only if it
+    /// out-scores the best stored policy in this context; a search that
+    /// underperforms the library (small budgets can) still grows it, but
+    /// the better stored policy is what goes live.
+    pub fn adapt<S: Study>(
+        &mut self,
+        context: &str,
+        study: &S,
+        generator: &mut dyn Generator,
+        cfg: &SearchConfig,
+    ) -> Adaptation {
+        let best = self
+            .library
+            .best_for(|e| match study.check(&e.source) {
+                Ok(artifact) => study.evaluate(&artifact),
+                Err(_) => f64::NEG_INFINITY,
+            })
+            .map(|(entry, score)| (entry.clone(), score));
+
+        let adaptation = match best {
+            Some((entry, score)) if score >= self.min_reuse_score => {
+                self.deployed = Some(entry.clone());
+                Adaptation::FromLibrary { entry, score }
+            }
+            best => {
+                let outcome = run_search(study, generator, cfg);
+                let entry = LibraryEntry {
+                    context: context.to_string(),
+                    source: outcome.best.source,
+                    score: outcome.best.score,
+                };
+                self.library.add(entry.clone());
+                match best {
+                    // a small search budget can lose to a stored policy
+                    // that merely missed the reuse bar: never deploy a
+                    // policy worse than the best one already known
+                    Some((stored, score)) if score >= entry.score => {
+                        self.deployed = Some(stored.clone());
+                        Adaptation::FromLibrary { entry: stored, score }
+                    }
+                    _ => {
+                        self.deployed = Some(entry.clone());
+                        Adaptation::Resynthesized { entry }
+                    }
+                }
+            }
+        };
+        self.adaptations.push(adaptation.clone());
+        adaptation
     }
 }
 
@@ -260,5 +500,135 @@ mod tests {
         for _ in 0..40 {
             assert!(!m.observe(0.05));
         }
+    }
+
+    // -- AdaptiveController over a toy study: domain logic without sims --
+
+    use policysmith_dsl::Mode;
+    use policysmith_gen::{Prompt, TokenLedger};
+
+    /// Accepts anything not containing "bad"; scores by source length.
+    struct ToyStudy;
+    impl Study for ToyStudy {
+        type Artifact = String;
+        fn mode(&self) -> Mode {
+            Mode::Cache
+        }
+        fn check(&self, source: &str) -> Result<String, String> {
+            if source.contains("bad") {
+                Err("does not compile here".into())
+            } else {
+                Ok(source.to_string())
+            }
+        }
+        fn evaluate(&self, artifact: &String) -> f64 {
+            artifact.len() as f64 / 100.0
+        }
+    }
+
+    /// Emits a fixed batch once per round; an empty batch makes any
+    /// accidental `run_search` panic, proving no search ran.
+    struct FixedGen {
+        batch: Vec<String>,
+        ledger: TokenLedger,
+    }
+    impl Generator for FixedGen {
+        fn generate(&mut self, _prompt: &Prompt, _n: usize) -> Vec<String> {
+            self.batch.clone()
+        }
+        fn repair(&mut self, _p: &Prompt, _s: &str, _e: &str) -> Option<String> {
+            None
+        }
+        fn ledger(&self) -> &TokenLedger {
+            &self.ledger
+        }
+    }
+
+    fn tiny_cfg() -> SearchConfig {
+        SearchConfig { rounds: 1, candidates_per_round: 1, ..SearchConfig::quick() }
+    }
+
+    fn entry(source: &str, score: f64) -> LibraryEntry {
+        LibraryEntry { context: "home".into(), source: source.into(), score }
+    }
+
+    #[test]
+    fn adapt_reuses_a_fitting_library_entry_without_searching() {
+        let mut ctrl = AdaptiveController::new(ContextMonitor::new(2, 1.2), 0.05);
+        ctrl.deploy(entry("aaaaaaaaaa", 0.3)); // re-scores to 0.10 ≥ 0.05
+        let mut gen = FixedGen { batch: vec![], ledger: TokenLedger::default() };
+        let a = ctrl.adapt("shifted", &ToyStudy, &mut gen, &tiny_cfg());
+        match a {
+            Adaptation::FromLibrary { entry, score } => {
+                assert_eq!(entry.source, "aaaaaaaaaa");
+                assert!((score - 0.10).abs() < 1e-12);
+            }
+            other => panic!("expected reuse, got {other:?}"),
+        }
+        assert!(!ctrl.adaptations()[0].resynthesized());
+        assert_eq!(ctrl.library().len(), 1, "reuse must not grow the library");
+        assert_eq!(ctrl.deployed().unwrap().source, "aaaaaaaaaa");
+    }
+
+    #[test]
+    fn adapt_resynthesizes_when_no_stored_policy_fits() {
+        let mut ctrl = AdaptiveController::new(ContextMonitor::new(2, 1.2), 0.5);
+        ctrl.deploy(entry("aaaaaaaaaa", 0.3)); // re-scores to 0.10 < 0.5
+        let fresh = "f".repeat(64);
+        let mut gen = FixedGen { batch: vec![fresh.clone()], ledger: TokenLedger::default() };
+        let a = ctrl.adapt("shifted", &ToyStudy, &mut gen, &tiny_cfg());
+        assert!(a.resynthesized());
+        assert_eq!(a.entry().source, fresh);
+        assert_eq!(a.entry().context, "shifted");
+        assert_eq!(ctrl.library().len(), 2, "re-synthesis grows the library");
+        assert_eq!(ctrl.deployed().unwrap().source, fresh);
+        assert_eq!(ctrl.adaptations().len(), 1);
+    }
+
+    #[test]
+    fn underperforming_search_falls_back_to_the_best_stored_policy() {
+        // the stored policy misses the (high) reuse bar, so a search runs —
+        // but its winner scores below the stored policy in this context;
+        // the controller must deploy the stored one, not regress
+        let mut ctrl = AdaptiveController::new(ContextMonitor::new(2, 1.2), 0.9);
+        let stored = "s".repeat(40); // re-scores to 0.40 < 0.9
+        ctrl.deploy(entry(&stored, 0.6));
+        let weak = "w".repeat(10); // search winner scores 0.10
+        let mut gen = FixedGen { batch: vec![weak.clone()], ledger: TokenLedger::default() };
+        let a = ctrl.adapt("shifted", &ToyStudy, &mut gen, &tiny_cfg());
+        match a {
+            Adaptation::FromLibrary { entry, score } => {
+                assert_eq!(entry.source, stored);
+                assert!((score - 0.40).abs() < 1e-12);
+            }
+            other => panic!("expected the stored policy to stay live, got {other:?}"),
+        }
+        assert_eq!(ctrl.library().len(), 2, "the search winner still joins the library");
+        assert_eq!(ctrl.deployed().unwrap().source, stored);
+    }
+
+    #[test]
+    fn entries_that_do_not_compile_for_the_study_never_win() {
+        // a shared library may hold other templates' heuristics; they
+        // score -∞ here and fall through to re-synthesis even with a
+        // bottomless reuse threshold
+        let mut ctrl =
+            AdaptiveController::new(ContextMonitor::new(2, 1.2), -1_000.0).with_library({
+                let mut lib = HeuristicLibrary::new();
+                lib.add(entry("bad cross-template source", 0.9));
+                lib
+            });
+        let mut gen = FixedGen { batch: vec!["ok".into()], ledger: TokenLedger::default() };
+        let a = ctrl.adapt("shifted", &ToyStudy, &mut gen, &tiny_cfg());
+        assert!(a.resynthesized());
+        assert_eq!(a.entry().source, "ok");
+    }
+
+    #[test]
+    fn observe_delegates_to_the_monitor() {
+        let mut ctrl = AdaptiveController::new(ContextMonitor::new(1, 1.2), 0.0);
+        assert!(!ctrl.observe(0.30), "first sample only baselines");
+        assert_eq!(ctrl.monitor().baseline(), Some(0.30));
+        assert!(ctrl.observe(0.45), "20% guardrail exceeded");
     }
 }

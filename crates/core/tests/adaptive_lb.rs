@@ -1,0 +1,131 @@
+//! §3.1 end-to-end for the load-balancing domain: a policy synthesized
+//! for a healthy fleet is caught limping by the drift monitor when a node
+//! degrades mid-run, and the [`AdaptiveController`] re-synthesizes a
+//! replacement that beats it on the post-shift phase.
+//!
+//! This is the multi-domain counterpart of the cache-study drift loop in
+//! `examples/context_shift.rs`, pinned as a test.
+
+use policysmith_core::library::{AdaptiveController, ContextMonitor, LibraryEntry};
+use policysmith_core::search::{run_search, SearchConfig};
+use policysmith_core::studies::lb::LbStudy;
+use policysmith_gen::{GenConfig, MockLlm};
+use policysmith_lbsim::{run_phased, run_phased_windowed, scenario, Dispatcher, ExprDispatcher};
+
+/// Arrivals per monitoring window (the host samples its quality signal at
+/// this cadence).
+const WINDOW: usize = 500;
+
+/// Stream the onset phases through `dispatcher` window by window, feeding
+/// each window's resolved mean slowdown into `monitor`. Returns
+/// `(windows in phase 0, first window index that triggered drift)` —
+/// window indices are 1-based over the whole run.
+fn stream_with_monitor<D: Dispatcher>(
+    phases: &[scenario::Scenario],
+    dispatcher: &mut D,
+    monitor: &mut dyn FnMut(f64) -> bool,
+) -> (usize, Option<usize>) {
+    let mut pre_windows = 0;
+    let mut window_ix = 0;
+    let mut drift_at = None;
+    run_phased_windowed(phases, dispatcher, WINDOW, &mut |phase, interval| {
+        window_ix += 1;
+        if phase == 0 {
+            pre_windows = window_ix;
+        }
+        if monitor(interval.resolved_slowdown()) && drift_at.is_none() {
+            drift_at = Some(window_ix);
+        }
+    });
+    (pre_windows, drift_at)
+}
+
+/// Regression pin for the drift signal itself, independent of the search:
+/// a fixed JSQ policy served through the slow-node onset must keep the
+/// guardrail silent while the fleet is healthy and trip it shortly after
+/// the node degrades.
+#[test]
+fn slow_node_onset_drift_detection_is_pinned() {
+    let phases = scenario::slow_node_onset_phases();
+    let expr = policysmith_dsl::parse("server.inflight").unwrap();
+    let mut jsq = ExprDispatcher::from_expr("jsq", &expr);
+    let mut monitor = ContextMonitor::new(6, 1.35);
+    let (pre_windows, drift_at) =
+        stream_with_monitor(&phases, &mut jsq, &mut |sample| monitor.observe(sample));
+
+    assert_eq!(pre_windows, phases[0].workload.n / WINDOW);
+    let drift = drift_at.expect("the onset must be detected");
+    assert!(drift > pre_windows, "no false positive in the healthy phase (fired at {drift})");
+    assert!(
+        drift <= pre_windows + 12,
+        "detection within 12 windows ({} requests) of the onset, got window {drift}",
+        12 * WINDOW
+    );
+}
+
+/// The full adaptation loop: synthesize for the healthy fleet, detect the
+/// onset, re-synthesize for the degraded context, and beat the stale
+/// policy on the post-shift phase.
+#[test]
+fn controller_resynthesizes_after_onset_and_beats_the_stale_policy() {
+    let phases = scenario::slow_node_onset_phases();
+    let (healthy, onset) = (&phases[0], &phases[1]);
+
+    // 1. Synthesize for the healthy regime and deploy it.
+    let healthy_study = LbStudy::new(healthy);
+    let cfg = SearchConfig { rounds: 4, candidates_per_round: 10, ..SearchConfig::quick() };
+    let mut llm = MockLlm::new(GenConfig::lb_defaults(11));
+    let deployed = run_search(&healthy_study, &mut llm, &cfg).best;
+    assert!(deployed.score > 0.0, "the healthy-context search must beat round-robin");
+
+    // The library's only entry will be the stale policy itself; requiring
+    // any reuse to beat what that policy already delivers on the onset
+    // context (by 2% absolute) forces the re-synthesis arm.
+    let onset_study = LbStudy::new(onset);
+    let expr = policysmith_dsl::parse(&deployed.source).unwrap();
+    let mut stale_probe = ExprDispatcher::from_expr("stale", &expr);
+    let stale_improvement = onset_study.improvement(&mut stale_probe);
+    let mut ctrl = AdaptiveController::new(ContextMonitor::new(6, 1.35), stale_improvement + 0.02);
+    ctrl.deploy(LibraryEntry {
+        context: healthy.name.clone(),
+        source: deployed.source.clone(),
+        score: deployed.score,
+    });
+
+    // 2. Serve the shift with the deployed policy; the guardrail must fire
+    //    only after the node degrades.
+    let mut stale_host = ExprDispatcher::from_expr("deployed", &expr);
+    let (pre_windows, drift_at) =
+        stream_with_monitor(&phases, &mut stale_host, &mut |s| ctrl.observe(s));
+    let drift = drift_at.expect("drift must be detected after the onset");
+    assert!(drift > pre_windows, "guardrail fired in the healthy regime (window {drift})");
+
+    // 3. Offline re-synthesis for the drifted context.
+    let resynth_cfg = SearchConfig { rounds: 6, candidates_per_round: 12, ..SearchConfig::quick() };
+    let mut llm2 = MockLlm::new(GenConfig::lb_defaults(12));
+    let adaptation = ctrl.adapt(&onset.name, &onset_study, &mut llm2, &resynth_cfg);
+
+    assert!(adaptation.resynthesized(), "the stale policy cannot clear its own score + 2%");
+    assert_eq!(ctrl.library().len(), 2, "the library grew by the onset policy");
+    assert_eq!(ctrl.deployed().unwrap().context, onset.name);
+    assert!(
+        adaptation.entry().score > stale_improvement,
+        "re-synthesized improvement {:.4} must beat the stale policy's {:.4} on the onset context",
+        adaptation.entry().score,
+        stale_improvement
+    );
+
+    // 4. The decisive metric: replay the whole phased run with both
+    //    policies and compare the post-shift phase.
+    let mut stale_replay = ExprDispatcher::from_expr("stale", &expr);
+    let adapted_expr = policysmith_dsl::parse(&adaptation.entry().source).unwrap();
+    let mut adapted_replay = ExprDispatcher::from_expr("adapted", &adapted_expr);
+    let stale_run = run_phased(&phases, &mut stale_replay);
+    let adapted_run = run_phased(&phases, &mut adapted_replay);
+    assert!(
+        adapted_run.phase_slowdown(1) < stale_run.phase_slowdown(1),
+        "adapted post-shift slowdown {:.3} must beat stale {:.3}",
+        adapted_run.phase_slowdown(1),
+        stale_run.phase_slowdown(1)
+    );
+}

@@ -11,7 +11,7 @@ use crate::feature::Feature;
 
 /// Binary operators. Logical `And`/`Or` operate on truthiness (`x != 0`) and
 /// produce `0`/`1`; everything else is `i64` arithmetic with the totalized
-/// semantics documented in [`crate::eval`].
+/// semantics documented in [`crate::eval`](crate::eval()).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     Add,

@@ -3,7 +3,7 @@
 //! The paper splits the feature surface per case study: Table 1 for caching
 //! (per-object, percentile aggregates, eviction history) and §5.0.1 for
 //! congestion control (cwnd, RTT estimates, inflight, … plus 10-interval
-//! smoothed history arrays per [66]). A [`Feature`] is the resolved, typed
+//! smoothed history arrays per \[66\]). A [`Feature`] is the resolved, typed
 //! form of a dotted identifier in heuristic source (`obj.count`,
 //! `ages.p75`, `hist_rtt[3]`, …).
 //!

@@ -7,7 +7,7 @@
 //! * **Cache eviction** (§4 of the paper): a `priority()` function over the
 //!   Table-1 feature set (per-object metadata, percentile aggregates over the
 //!   resident set, and eviction history). Evaluated by the tree-walking
-//!   [`eval`] interpreter inside the cache simulator's template host.
+//!   [`eval`](eval()) interpreter inside the cache simulator's template host.
 //! * **Congestion control** (§5): a `cong_control()` function over
 //!   kernel-visible state (cwnd, RTT estimates, inflight, …) plus the
 //!   10-interval smoothed *history arrays*. Lowered to `kbpf` bytecode by the
@@ -42,14 +42,14 @@
 //! same choice end-to-end: all programs compute over `i64` with saturating
 //! arithmetic, so the DSL interpreter and the kbpf VM agree bit-for-bit.
 //! Float *literals* are still lexable and parseable — they become
-//! [`Expr::Float`] nodes which the [typechecker](check) rejects — because the
+//! [`Expr::Float`] nodes which the [typechecker](check()) rejects — because the
 //! fault-injection path of the mock generator must be able to produce the
 //! same non-conforming programs a real LLM does.
 //!
 //! ## Defined arithmetic
 //!
 //! Every operator has a total, deterministic semantics shared by the
-//! interpreter and the VM (see [`eval`] for details): `+ - *` saturate,
+//! interpreter and the VM (see [`eval`](eval()) for details): `+ - *` saturate,
 //! `/ %` fault on a zero divisor (a runtime candidate failure in userspace,
 //! a verifier rejection in kernel mode), shifts clamp their amount to
 //! `[0, 63]`, and comparisons/logic produce `0`/`1`.

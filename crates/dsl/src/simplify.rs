@@ -6,7 +6,7 @@
 //! of the checker and for the paper's interpretability argument (§6:
 //! "LLMs can be tuned to produce simpler code").
 //!
-//! The rewrite is semantics-preserving with respect to [`crate::eval`]:
+//! The rewrite is semantics-preserving with respect to [`crate::eval`](crate::eval()):
 //! folding uses the interpreter's own saturating operations, and faulting
 //! subexpressions (`1 / 0`) are left untouched rather than folded.
 

@@ -43,9 +43,11 @@ use policysmith_dsl::check::{CheckReport, DEFAULT_MAX_DEPTH, DEFAULT_MAX_SIZE};
 use policysmith_dsl::{check_with_warnings, EvalError, Expr, Feature, FeatureEnv, Mode};
 use std::fmt;
 
-/// Template budgets for kernel candidates (tighter than the userspace
-/// templates: kernel code must stay small).
+/// Node-count budget for kernel candidates (tighter than the userspace
+/// templates' [`DEFAULT_MAX_SIZE`]: kernel code must stay small).
 pub const KERNEL_MAX_SIZE: usize = 256;
+/// Expression-depth budget for kernel candidates (tighter than the
+/// userspace templates' [`DEFAULT_MAX_DEPTH`]).
 pub const KERNEL_MAX_DEPTH: usize = 24;
 
 /// Node-count and depth budgets applied by [`CompiledPolicy::compile`].
@@ -173,7 +175,9 @@ impl std::error::Error for CompileError {}
 /// Hosts latch the first fault and degrade per their documented fallback.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeFault {
+    /// A fault raised by the bytecode VM (the compiled hot path).
     Vm(VmError),
+    /// A fault raised by the reference interpreter (oracle hosts only).
     Interp(EvalError),
 }
 

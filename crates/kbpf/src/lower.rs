@@ -1,7 +1,7 @@
 //! DSL → kbpf compilation.
 //!
 //! Lowers a checked expression to loop-free bytecode against a
-//! [`CtxLayout`](crate::compile::CtxLayout): every feature read becomes a
+//! [`CtxLayout`]: every feature read becomes a
 //! `LdCtx` from the slot the layout assigned it, so one compiler serves the
 //! cache, kernel, and lb templates alike. The compiler is a straightforward
 //! stack machine: expression stack slot `k` lives in register `r{k+1}` for

@@ -2,7 +2,7 @@
 //!
 //! Executes a program against a read-only context array and a mutable
 //! scratch map, returning `r0`. Semantics match the DSL interpreter
-//! ([`policysmith_dsl::eval`]) exactly — saturating `+ - *`, clamped
+//! ([`policysmith_dsl::eval()`]) exactly — saturating `+ - *`, clamped
 //! shifts, faulting division — which is property-tested in
 //! `tests/equivalence.rs`.
 //!

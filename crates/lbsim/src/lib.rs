@@ -9,17 +9,22 @@
 //!
 //! * [`model`] — servers (heterogeneous speeds, bounded FIFO queues) and
 //!   requests (heavy-tailed service demands);
-//! * [`workload`] — Poisson and bursty (MMPP on/off) arrival processes ×
-//!   bounded-Pareto sizes, all pure functions of a seed;
+//! * [`workload`] — Poisson, bursty (MMPP on/off), and diurnal
+//!   (day/night square wave) arrival processes × bounded-Pareto sizes,
+//!   all pure functions of a seed;
 //! * [`dispatch`] — the [`Dispatcher`] trait plus the classical baselines:
 //!   round-robin, random, JSQ, least-loaded, power-of-two-choices;
 //! * [`policy`] — the PolicySmith **template host**: a synthesized DSL
 //!   expression scores every server at dispatch time and the request goes
 //!   to the argmin (runtime faults are latched, as in the cache host);
-//! * [`scenario`] — four presets (uniform fleet, two-tier fleet, flash
-//!   crowd, slow-node degradation) with documented load factors;
-//! * [`sim`] — the event loop and the metrics the study scores (mean
-//!   slowdown, drops, utilization).
+//! * [`scenario`] — seven presets (uniform fleet, two-tier fleet, flash
+//!   crowd, slow-node degradation, correlated failures, diurnal load,
+//!   slow-node onset) with documented load factors, plus the
+//!   [`scenario::slow_node_onset_phases`] mid-run shift sequence;
+//! * [`sim`] — the event loop ([`LbEngine`], incremental) and the metrics
+//!   the study scores (mean slowdown, drops, utilization); [`run_phased`]
+//!   plays a phase sequence through one live fleet for the
+//!   drift-triggered re-synthesis story.
 //!
 //! Everything is integer-microsecond virtual time; a run is a pure
 //! function of `(scenario, dispatcher)` — bit-for-bit reproducible.
@@ -43,5 +48,5 @@ pub use dispatch::{by_name, lb_baseline_names, DispatchView, Dispatcher, ServerV
 pub use model::{LbRequest, ServerCfg};
 pub use policy::ExprDispatcher;
 pub use scenario::Scenario;
-pub use sim::{simulate, LbMetrics};
+pub use sim::{run_phased, run_phased_windowed, simulate, LbEngine, LbMetrics, PhasedMetrics};
 pub use workload::{ArrivalProcess, BoundedPareto, WorkloadCfg};

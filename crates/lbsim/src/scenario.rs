@@ -5,6 +5,15 @@
 //! study. Offered-load figures below use the bounded-Pareto mean of ≈ 5.9
 //! work units per request against the fleet's aggregate speed (work units
 //! per second = Σ speed × 1000).
+//!
+//! Seven presets ship ([`all_presets`]), spanning the stress axes the
+//! cross-scenario generalization matrix sweeps: fleet heterogeneity
+//! ([`two_tier_fleet`]), burstiness ([`flash_crowd`], [`diurnal_load`]),
+//! and partial failure ([`slow_node`], [`slow_node_onset`],
+//! [`correlated_failures`]). [`slow_node_onset_phases`] additionally packs
+//! the onset preset into a two-phase sequence for
+//! [`run_phased`](crate::sim::run_phased) — the mid-run shift that drives
+//! the drift-triggered re-synthesis story.
 
 use crate::model::{LbRequest, ServerCfg};
 use crate::workload::{self, ArrivalProcess, BoundedPareto, WorkloadCfg};
@@ -117,9 +126,103 @@ pub fn slow_node() -> Scenario {
     }
 }
 
+/// Correlated failures: a 10 × speed-4 fleet loses one failure domain —
+/// three adjacent servers (a rack, an AZ) degrade to speed 1 at once. The
+/// workload stays provisioned for the *healthy* fleet (~72%), so effective
+/// load on the degraded fleet is ~93%: the regime where spreading load
+/// away from the whole sick domain (not just one node) decides survival.
+pub fn correlated_failures() -> Scenario {
+    let mut servers = fleet(&[(10, 4, 32)]);
+    for s in servers.iter_mut().skip(4).take(3) {
+        *s = ServerCfg::new(1, 32);
+    }
+    Scenario {
+        name: "lb/correlated-failures".into(),
+        servers,
+        workload: WorkloadCfg {
+            arrivals: ArrivalProcess::Poisson { rate_per_sec: 4_850.0 },
+            sizes: BoundedPareto::web_default(),
+            n: 30_000,
+        },
+        seed: 0xE5,
+    }
+}
+
+/// Diurnal load on a uniform 6 × speed-4 fleet: a deterministic day/night
+/// square wave (150 ms halves, compressed) alternating ~22% and ~122%
+/// offered load. Nights drain what days overload; policies that spread
+/// the daytime peak across the fleet keep the morning backlog short.
+pub fn diurnal_load() -> Scenario {
+    Scenario {
+        name: "lb/diurnal-load".into(),
+        servers: fleet(&[(6, 4, 32)]),
+        workload: WorkloadCfg {
+            arrivals: ArrivalProcess::Diurnal {
+                low_rate_per_sec: 900.0,
+                high_rate_per_sec: 4_950.0,
+                period_us: 300_000,
+            },
+            sizes: BoundedPareto::web_default(),
+            n: 30_000,
+        },
+        seed: 0xF6,
+    }
+}
+
+/// Slow-node onset, post-shift regime: an 8 × speed-4 fleet provisioned
+/// at ~78% after server 5 has degraded to speed 1. Unlike [`slow_node`]
+/// (whose load was sized to its degraded fleet), the workload here was
+/// sized for the *healthy* fleet, so the onset pushes effective load to
+/// ~86%: the context a policy deployed on the healthy fleet suddenly
+/// finds itself in. See [`slow_node_onset_phases`] for the two-phase
+/// mid-run version.
+pub fn slow_node_onset() -> Scenario {
+    let mut servers = fleet(&[(8, 4, 32)]);
+    servers[5] = ServerCfg::new(1, 32);
+    Scenario {
+        name: "lb/slow-node-onset".into(),
+        servers,
+        workload: WorkloadCfg {
+            arrivals: ArrivalProcess::Poisson { rate_per_sec: 4_200.0 },
+            sizes: BoundedPareto::web_default(),
+            n: 20_000,
+        },
+        seed: 0x17,
+    }
+}
+
+/// The mid-run shift behind [`slow_node_onset`], as a phase sequence for
+/// [`run_phased`](crate::sim::run_phased): phase 0 is the healthy 8 ×
+/// speed-4 fleet under the same arrival rate, phase 1 is the onset — the
+/// same tier after server 5 drops to speed 1, with the queues and
+/// in-flight work of phase 0 still on board. A policy synthesized for
+/// phase 0 meets phase 1 with no warning; the drift monitor's job is to
+/// notice.
+pub fn slow_node_onset_phases() -> Vec<Scenario> {
+    let healthy = Scenario {
+        name: "lb/slow-node-onset/healthy".into(),
+        servers: fleet(&[(8, 4, 32)]),
+        workload: WorkloadCfg {
+            arrivals: ArrivalProcess::Poisson { rate_per_sec: 4_200.0 },
+            sizes: BoundedPareto::web_default(),
+            n: 10_000,
+        },
+        seed: 0x16,
+    };
+    vec![healthy, slow_node_onset()]
+}
+
 /// All scenario presets, benign first.
 pub fn all_presets() -> Vec<Scenario> {
-    vec![uniform_fleet(), two_tier_fleet(), flash_crowd(), slow_node()]
+    vec![
+        uniform_fleet(),
+        two_tier_fleet(),
+        flash_crowd(),
+        slow_node(),
+        correlated_failures(),
+        diurnal_load(),
+        slow_node_onset(),
+    ]
 }
 
 #[cfg(test)]
@@ -132,7 +235,7 @@ mod tests {
     fn presets_are_distinct_and_reproducible() {
         let names: std::collections::HashSet<String> =
             all_presets().into_iter().map(|s| s.name).collect();
-        assert_eq!(names.len(), 4);
+        assert_eq!(names.len(), 7);
         assert_eq!(flash_crowd().requests(), flash_crowd().requests());
     }
 
@@ -146,6 +249,27 @@ mod tests {
         assert!((0.6..0.95).contains(&fc.offered_load()), "{}", fc.offered_load());
         let sn = slow_node();
         assert!((0.6..0.85).contains(&sn.offered_load()), "{}", sn.offered_load());
+        // the failure presets run hot by design: load was provisioned for
+        // the healthy fleet, the degraded fleet has to carry it anyway
+        let cf = correlated_failures();
+        assert!((0.8..0.98).contains(&cf.offered_load()), "{}", cf.offered_load());
+        let so = slow_node_onset();
+        assert!((0.7..0.9).contains(&so.offered_load()), "{}", so.offered_load());
+        let dl = diurnal_load();
+        assert!((0.6..0.85).contains(&dl.offered_load()), "{}", dl.offered_load());
+    }
+
+    #[test]
+    fn onset_phases_share_the_tier_and_split_the_fleet_health() {
+        let phases = slow_node_onset_phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].servers.len(), phases[1].servers.len());
+        assert!(phases[0].servers.iter().all(|s| s.speed == 4), "phase 0 is healthy");
+        assert_eq!(phases[1], slow_node_onset());
+        assert_eq!(phases[1].servers.iter().filter(|s| s.speed == 1).count(), 1);
+        // same provisioning either side of the shift: the workload does
+        // not know the fleet got sick
+        assert_eq!(phases[0].workload.arrivals, phases[1].workload.arrivals);
     }
 
     #[test]

@@ -1,10 +1,23 @@
 //! The discrete-event engine and the metrics the study scores.
 //!
-//! Two event sources drive the system: request arrivals (pre-generated,
-//! time-ordered) and service completions (a min-heap). Completions at or
-//! before an arrival instant are applied first, so the dispatcher always
-//! sees up-to-date queues; ties inside the heap break on server index.
+//! Two event sources drive the system: request arrivals (offered in time
+//! order) and service completions (a min-heap). Completions at or before
+//! an arrival instant are applied first, so the dispatcher always sees
+//! up-to-date queues; ties inside the heap break on server index.
 //! A run is a pure function of `(servers, requests, dispatcher)`.
+//!
+//! Three entry points share one engine:
+//!
+//! * [`run`] — the one-shot batch API: offer a whole request stream, drain,
+//!   return the totals;
+//! * [`run_phased`] — the mid-run scenario-shift API: a sequence of
+//!   [`Scenario`] phases plays back-to-back through one live fleet (queues
+//!   and in-flight work carry across the boundary — nothing drains between
+//!   phases), the fleet is [`LbEngine::reconfigure`]d at each boundary, and
+//!   per-phase metrics come back alongside the combined totals;
+//! * [`LbEngine`] — the incremental engine both are built on, for hosts
+//!   that need to stream arrivals in windows and observe a live quality
+//!   signal between them (the drift-monitor loop of the adaptation story).
 
 use crate::dispatch::{DispatchView, Dispatcher, ServerView};
 use crate::model::{LbRequest, ServerCfg};
@@ -20,7 +33,8 @@ pub const DROP_SLOWDOWN_PENALTY: f64 = 100.0;
 /// EWMA weight (1/8 new sample, like TCP's srtt) for per-server latency.
 const EWMA_SHIFT: u32 = 3;
 
-/// Outcome of one simulation run.
+/// Outcome of one simulation run (or of one interval of an incremental
+/// run — see [`LbEngine::take_interval`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LbMetrics {
     /// Requests offered to the dispatcher.
@@ -42,6 +56,34 @@ pub struct LbMetrics {
 }
 
 impl LbMetrics {
+    fn zero(n_servers: usize) -> LbMetrics {
+        LbMetrics {
+            offered: 0,
+            completed: 0,
+            dropped: 0,
+            sum_slowdown: 0.0,
+            sum_response_us: 0,
+            busy_us: vec![0; n_servers],
+            duration_us: 0,
+            max_queue_seen: 0,
+        }
+    }
+
+    /// Fold another interval's delta into this one (window → phase totals
+    /// in [`run_phased_windowed`]).
+    fn accumulate(&mut self, d: &LbMetrics) {
+        self.offered += d.offered;
+        self.completed += d.completed;
+        self.dropped += d.dropped;
+        self.sum_slowdown += d.sum_slowdown;
+        self.sum_response_us += d.sum_response_us;
+        for (b, &db) in self.busy_us.iter_mut().zip(&d.busy_us) {
+            *b += db;
+        }
+        self.duration_us += d.duration_us;
+        self.max_queue_seen = self.max_queue_seen.max(d.max_queue_seen);
+    }
+
     /// Mean slowdown over all offered requests; a completed request
     /// contributes `response / ideal` (ideal = its service time on an
     /// unloaded fastest server), a dropped one contributes
@@ -52,6 +94,25 @@ impl LbMetrics {
             return 0.0;
         }
         (self.sum_slowdown + self.dropped as f64 * DROP_SLOWDOWN_PENALTY) / self.offered as f64
+    }
+
+    /// Mean slowdown over the requests *resolved* (completed or dropped)
+    /// in this metrics window — the live quality signal a drift monitor
+    /// samples between windows of an incremental run, robust to arrivals
+    /// that are still queued when the window closes.
+    ///
+    /// A window that offered work but resolved *nothing* is a stall —
+    /// every server is stuck mid-service and queues are absorbing the
+    /// arrivals — and scores [`DROP_SLOWDOWN_PENALTY`], the worst signal
+    /// value, so the monitor sees the outage rather than a spuriously
+    /// perfect `0.0`. A genuinely idle window (no arrivals either) scores
+    /// `0.0`: no load, no evidence of degradation.
+    pub fn resolved_slowdown(&self) -> f64 {
+        let resolved = self.completed + self.dropped;
+        if resolved == 0 {
+            return if self.offered == 0 { 0.0 } else { DROP_SLOWDOWN_PENALTY };
+        }
+        (self.sum_slowdown + self.dropped as f64 * DROP_SLOWDOWN_PENALTY) / resolved as f64
     }
 
     /// Mean response time over completed requests, µs.
@@ -71,6 +132,12 @@ impl LbMetrics {
     }
 
     /// Mean busy fraction across the fleet.
+    ///
+    /// Meaningful on *cumulative* (batch / whole-run) metrics. On a
+    /// [`LbEngine::take_interval`] delta it can exceed 1.0, because a
+    /// request's full service time is credited to the window in which its
+    /// service *starts* (a heavy-tailed job longer than the window
+    /// overfills it).
     pub fn utilization(&self) -> f64 {
         if self.duration_us == 0 {
             return 0.0;
@@ -80,16 +147,28 @@ impl LbMetrics {
     }
 }
 
+/// One request's bookkeeping while it waits or runs: fixed at dispatch
+/// time, so a mid-run [`LbEngine::reconfigure`] never rewrites work that
+/// was already admitted under the old fleet configuration.
+#[derive(Debug, Clone, Copy)]
+struct Admitted {
+    arrival_us: u64,
+    /// Service time on the server it was dispatched to, µs.
+    service_us: u64,
+    /// Service time on an unloaded fastest server, µs (the slowdown
+    /// denominator).
+    ideal_us: u64,
+}
+
 struct ServerState {
     cfg: ServerCfg,
-    /// Waiting requests: (request index, service time on this server, µs).
-    queue: VecDeque<(usize, u64)>,
-    /// In-service request: (request index, finish time, µs).
-    in_service: Option<(usize, u64)>,
+    /// Waiting requests, FIFO.
+    queue: VecDeque<Admitted>,
+    /// In-service request and its finish time, µs.
+    in_service: Option<(Admitted, u64)>,
     /// Sum of the queued requests' service times, µs (excludes in-service).
     queued_work_us: u64,
     ewma_latency_us: u64,
-    busy_us: u64,
 }
 
 impl ServerState {
@@ -108,6 +187,199 @@ impl ServerState {
     }
 }
 
+/// The incremental discrete-event engine behind [`run`] and [`run_phased`].
+///
+/// Offer arrivals in time order (singly or in windows), read the
+/// cumulative [`metrics`](Self::metrics) or per-window
+/// [`take_interval`](Self::take_interval) deltas between offers, swap the
+/// fleet configuration mid-run with [`reconfigure`](Self::reconfigure),
+/// and [`drain`](Self::drain) at the end. The batch [`run`] is exactly
+/// `new → offer* → drain`, so incremental and one-shot runs agree
+/// bit-for-bit on the same stream.
+///
+/// The slowdown denominator (service time on an unloaded fastest server)
+/// is fixed from the fleet the engine was *constructed* with, so scores
+/// stay comparable across phases of a reconfigured run.
+pub struct LbEngine {
+    fleet: Vec<ServerState>,
+    /// Completion agenda: (finish time, server index).
+    completions: BinaryHeap<Reverse<(u64, usize)>>,
+    /// The slowdown reference server (fastest initial speed, unbounded
+    /// queue).
+    ideal: ServerCfg,
+    m: LbMetrics,
+    /// Snapshot of `m` at the last [`take_interval`](Self::take_interval).
+    mark: LbMetrics,
+    /// Deepest queue seen since the last interval mark.
+    interval_max_queue: usize,
+    views: Vec<ServerView>,
+    last_arrival: u64,
+}
+
+impl LbEngine {
+    /// A fresh engine over `servers` (panics on an empty fleet).
+    pub fn new(servers: &[ServerCfg]) -> LbEngine {
+        assert!(!servers.is_empty(), "need at least one server");
+        let vmax = servers.iter().map(|s| s.speed).max().unwrap();
+        LbEngine {
+            fleet: servers
+                .iter()
+                .map(|&cfg| ServerState {
+                    cfg,
+                    queue: VecDeque::new(),
+                    in_service: None,
+                    queued_work_us: 0,
+                    ewma_latency_us: 0,
+                })
+                .collect(),
+            completions: BinaryHeap::new(),
+            ideal: ServerCfg::new(vmax, usize::MAX >> 1),
+            m: LbMetrics::zero(servers.len()),
+            mark: LbMetrics::zero(servers.len()),
+            interval_max_queue: 0,
+            views: Vec::with_capacity(servers.len()),
+            last_arrival: 0,
+        }
+    }
+
+    /// Apply every completion due at or before `t`.
+    ///
+    /// This advances the engine's clock: the fleet state now reflects
+    /// everything that happened up to `t`, so later [`offer`](Self::offer)s
+    /// must arrive at or after `t` (earlier arrivals would dispatch against
+    /// a future fleet state and panic the time-order assert). In
+    /// particular, after [`drain`](Self::drain) the engine accepts no
+    /// further arrivals.
+    pub fn complete_until(&mut self, t: u64) {
+        self.last_arrival = self.last_arrival.max(t);
+        while let Some(&Reverse((finish, six))) = self.completions.peek() {
+            if finish > t {
+                break;
+            }
+            self.completions.pop();
+            let s = &mut self.fleet[six];
+            let (req, _) = s.in_service.take().expect("completion without service");
+            let response = finish - req.arrival_us;
+            self.m.completed += 1;
+            self.m.sum_response_us += response;
+            self.m.sum_slowdown += response as f64 / req.ideal_us as f64;
+            self.m.duration_us = self.m.duration_us.max(finish);
+            s.ewma_latency_us = if s.ewma_latency_us == 0 {
+                response
+            } else {
+                s.ewma_latency_us - (s.ewma_latency_us >> EWMA_SHIFT) + (response >> EWMA_SHIFT)
+            };
+            if let Some(next) = s.queue.pop_front() {
+                s.queued_work_us -= next.service_us;
+                s.in_service = Some((next, finish + next.service_us));
+                self.m.busy_us[six] += next.service_us;
+                self.completions.push(Reverse((finish + next.service_us, six)));
+            }
+        }
+    }
+
+    /// Offer one arrival to `dispatcher` and admit (or drop) it.
+    ///
+    /// # Panics
+    /// If arrivals go backwards in time or the dispatcher returns an
+    /// out-of-range index.
+    pub fn offer(&mut self, req: &LbRequest, dispatcher: &mut dyn Dispatcher) {
+        assert!(req.arrival_us >= self.last_arrival, "requests must be time-ordered");
+        self.last_arrival = req.arrival_us;
+        self.complete_until(req.arrival_us);
+        self.m.offered += 1;
+        self.m.duration_us = self.m.duration_us.max(req.arrival_us);
+
+        self.views.clear();
+        self.views.extend(self.fleet.iter().map(|s| s.view(req.arrival_us)));
+        let view =
+            DispatchView { now_us: req.arrival_us, req_size: req.size, servers: &self.views };
+        let six = dispatcher.pick(&view);
+        assert!(six < self.fleet.len(), "dispatcher returned server {six} of {}", self.fleet.len());
+
+        let s = &mut self.fleet[six];
+        let admitted = Admitted {
+            arrival_us: req.arrival_us,
+            service_us: s.cfg.service_us(req.size),
+            ideal_us: self.ideal.service_us(req.size),
+        };
+        if s.in_service.is_none() {
+            let finish = req.arrival_us + admitted.service_us;
+            s.in_service = Some((admitted, finish));
+            self.m.busy_us[six] += admitted.service_us;
+            self.completions.push(Reverse((finish, six)));
+        } else if s.queue.len() < s.cfg.queue_cap {
+            s.queue.push_back(admitted);
+            s.queued_work_us += admitted.service_us;
+            self.m.max_queue_seen = self.m.max_queue_seen.max(s.queue.len());
+            self.interval_max_queue = self.interval_max_queue.max(s.queue.len());
+        } else {
+            // a drop observes the queue at capacity: record the depth even
+            // though nothing was pushed, so an interval whose queues were
+            // filled in an earlier window still reports them (the overload
+            // regime is exactly when the monitor reads this)
+            self.m.max_queue_seen = self.m.max_queue_seen.max(s.queue.len());
+            self.interval_max_queue = self.interval_max_queue.max(s.queue.len());
+            self.m.dropped += 1;
+        }
+    }
+
+    /// Run every outstanding completion (the end of a simulation).
+    pub fn drain(&mut self) {
+        self.complete_until(u64::MAX);
+    }
+
+    /// Swap the fleet configuration mid-run — the scenario-shift primitive.
+    ///
+    /// The server count must be preserved (it is the same dispatch tier
+    /// under changed conditions). New speeds and queue bounds apply to
+    /// requests dispatched *from now on*; work already admitted keeps the
+    /// service time it was admitted with, and the slowdown denominator
+    /// stays the construction-time ideal so phases score comparably.
+    pub fn reconfigure(&mut self, servers: &[ServerCfg]) {
+        assert_eq!(
+            servers.len(),
+            self.fleet.len(),
+            "reconfigure must keep the server count (same tier, new conditions)"
+        );
+        for (state, &cfg) in self.fleet.iter_mut().zip(servers) {
+            state.cfg = cfg;
+        }
+    }
+
+    /// Cumulative metrics since construction.
+    pub fn metrics(&self) -> &LbMetrics {
+        &self.m
+    }
+
+    /// Metrics accumulated since the previous `take_interval` (or since
+    /// construction), then reset the mark — the windowed quality signal of
+    /// the drift-monitor loop. Offers and drops are attributed to the
+    /// interval of their *arrival*, completions to the interval in which
+    /// they finish; `max_queue_seen` is interval-local.
+    pub fn take_interval(&mut self) -> LbMetrics {
+        let d = LbMetrics {
+            offered: self.m.offered - self.mark.offered,
+            completed: self.m.completed - self.mark.completed,
+            dropped: self.m.dropped - self.mark.dropped,
+            sum_slowdown: self.m.sum_slowdown - self.mark.sum_slowdown,
+            sum_response_us: self.m.sum_response_us - self.mark.sum_response_us,
+            busy_us: self
+                .m
+                .busy_us
+                .iter()
+                .zip(&self.mark.busy_us)
+                .map(|(&now, &then)| now - then)
+                .collect(),
+            duration_us: self.m.duration_us - self.mark.duration_us,
+            max_queue_seen: self.interval_max_queue,
+        };
+        self.mark = self.m.clone();
+        self.interval_max_queue = 0;
+        d
+    }
+}
+
 /// Run `requests` (time-ordered) against `servers` under `dispatcher`.
 ///
 /// # Panics
@@ -118,106 +390,117 @@ pub fn run(
     requests: &[LbRequest],
     dispatcher: &mut dyn Dispatcher,
 ) -> LbMetrics {
-    assert!(!servers.is_empty(), "need at least one server");
-    let vmax = servers.iter().map(|s| s.speed).max().unwrap();
-    let ideal = ServerCfg::new(vmax, usize::MAX >> 1);
-
-    let mut fleet: Vec<ServerState> = servers
-        .iter()
-        .map(|&cfg| ServerState {
-            cfg,
-            queue: VecDeque::new(),
-            in_service: None,
-            queued_work_us: 0,
-            ewma_latency_us: 0,
-            busy_us: 0,
-        })
-        .collect();
-    // completion agenda: (finish time, server index)
-    let mut completions: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-
-    let mut m = LbMetrics {
-        offered: requests.len() as u64,
-        completed: 0,
-        dropped: 0,
-        sum_slowdown: 0.0,
-        sum_response_us: 0,
-        busy_us: vec![0; servers.len()],
-        duration_us: 0,
-        max_queue_seen: 0,
-    };
-
-    let mut views: Vec<ServerView> = Vec::with_capacity(fleet.len());
-    let mut last_arrival = 0u64;
-
-    let complete_until = |t: u64,
-                          fleet: &mut Vec<ServerState>,
-                          completions: &mut BinaryHeap<Reverse<(u64, usize)>>,
-                          m: &mut LbMetrics| {
-        while let Some(&Reverse((finish, six))) = completions.peek() {
-            if finish > t {
-                break;
-            }
-            completions.pop();
-            let s = &mut fleet[six];
-            let (rix, _) = s.in_service.take().expect("completion without service");
-            let req = &requests[rix];
-            let response = finish - req.arrival_us;
-            m.completed += 1;
-            m.sum_response_us += response;
-            m.sum_slowdown += response as f64 / ideal.service_us(req.size) as f64;
-            m.duration_us = m.duration_us.max(finish);
-            s.ewma_latency_us = if s.ewma_latency_us == 0 {
-                response
-            } else {
-                s.ewma_latency_us - (s.ewma_latency_us >> EWMA_SHIFT) + (response >> EWMA_SHIFT)
-            };
-            if let Some((nrix, service)) = s.queue.pop_front() {
-                s.queued_work_us -= service;
-                s.in_service = Some((nrix, finish + service));
-                s.busy_us += service;
-                completions.push(Reverse((finish + service, six)));
-            }
-        }
-    };
-
-    for (rix, req) in requests.iter().enumerate() {
-        assert!(req.arrival_us >= last_arrival, "requests must be time-ordered");
-        last_arrival = req.arrival_us;
-        complete_until(req.arrival_us, &mut fleet, &mut completions, &mut m);
-        m.duration_us = m.duration_us.max(req.arrival_us);
-
-        views.clear();
-        views.extend(fleet.iter().map(|s| s.view(req.arrival_us)));
-        let view = DispatchView { now_us: req.arrival_us, req_size: req.size, servers: &views };
-        let six = dispatcher.pick(&view);
-        assert!(six < fleet.len(), "dispatcher returned server {six} of {}", fleet.len());
-
-        let s = &mut fleet[six];
-        let service = s.cfg.service_us(req.size);
-        if s.in_service.is_none() {
-            s.in_service = Some((rix, req.arrival_us + service));
-            s.busy_us += service;
-            completions.push(Reverse((req.arrival_us + service, six)));
-        } else if s.queue.len() < s.cfg.queue_cap {
-            s.queue.push_back((rix, service));
-            s.queued_work_us += service;
-            m.max_queue_seen = m.max_queue_seen.max(s.queue.len());
-        } else {
-            m.dropped += 1;
-        }
+    let mut engine = LbEngine::new(servers);
+    for req in requests {
+        engine.offer(req, dispatcher);
     }
-    complete_until(u64::MAX, &mut fleet, &mut completions, &mut m);
-
-    for (ix, s) in fleet.iter().enumerate() {
-        m.busy_us[ix] = s.busy_us;
-    }
-    m
+    engine.drain();
+    engine.m
 }
 
 /// Run a [`Scenario`] end to end (generates its workload, then [`run`]s).
 pub fn simulate<D: Dispatcher>(scenario: &Scenario, dispatcher: &mut D) -> LbMetrics {
     run(&scenario.servers, &scenario.requests(), dispatcher)
+}
+
+/// Outcome of a phased run: combined totals plus per-phase attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedMetrics {
+    /// Totals across all phases (what a single [`run`] over the stitched
+    /// stream would report).
+    pub combined: LbMetrics,
+    /// Per-phase deltas, one per input phase: arrivals/drops attributed to
+    /// the phase they arrive in, completions to the phase they finish in
+    /// (the final phase absorbs the drain tail).
+    pub per_phase: Vec<LbMetrics>,
+    /// Virtual start time of each phase, µs (first entry is 0).
+    pub boundaries_us: Vec<u64>,
+}
+
+impl PhasedMetrics {
+    /// The post-shift quality signal for phase `i`: mean slowdown over the
+    /// requests resolved during that phase.
+    pub fn phase_slowdown(&self, i: usize) -> f64 {
+        self.per_phase[i].resolved_slowdown()
+    }
+}
+
+/// Play a sequence of [`Scenario`] phases back-to-back through one live
+/// fleet — the mid-run scenario-shift mechanism.
+///
+/// Each phase's request stream is generated from its own workload and
+/// seed, then shifted to start where the previous phase's arrivals ended.
+/// At every boundary the engine is [`reconfigure`](LbEngine::reconfigure)d
+/// to the next phase's fleet (server counts must match); queues and
+/// in-flight work carry across — nothing drains between phases, which is
+/// exactly why a policy synthesized for phase 0 can be caught limping in
+/// phase 1.
+///
+/// # Panics
+/// If `phases` is empty or a phase changes the server count.
+pub fn run_phased<D: Dispatcher>(phases: &[Scenario], dispatcher: &mut D) -> PhasedMetrics {
+    run_phased_windowed(phases, dispatcher, usize::MAX, &mut |_, _| {})
+}
+
+/// [`run_phased`] with a live monitoring tap: within each phase, arrivals
+/// are offered in windows of `window` requests, and after every window
+/// `on_window(phase_ix, interval)` receives that window's
+/// [`take_interval`](LbEngine::take_interval) delta — the cadence at which
+/// a drift monitor samples [`LbMetrics::resolved_slowdown`]. A phase's
+/// final window additionally absorbs the completions due by the phase
+/// boundary (or, for the last phase, the drain tail), so the window deltas
+/// of a phase sum to its `per_phase` entry.
+pub fn run_phased_windowed<D: Dispatcher>(
+    phases: &[Scenario],
+    dispatcher: &mut D,
+    window: usize,
+    on_window: &mut dyn FnMut(usize, &LbMetrics),
+) -> PhasedMetrics {
+    assert!(!phases.is_empty(), "need at least one phase");
+    assert!(window > 0, "window must hold at least one request");
+    let mut engine = LbEngine::new(&phases[0].servers);
+    let mut per_phase = Vec::with_capacity(phases.len());
+    let mut boundaries_us = Vec::with_capacity(phases.len());
+    let mut offset = 0u64;
+
+    for (i, phase) in phases.iter().enumerate() {
+        if i > 0 {
+            // shift the fleet into the new regime at the boundary instant
+            engine.reconfigure(&phase.servers);
+        }
+        boundaries_us.push(offset);
+        let requests = phase.requests();
+        let last = i == phases.len() - 1;
+        let next_offset = offset + requests.last().map(|r| r.arrival_us).unwrap_or(0);
+        let mut phase_total = LbMetrics::zero(engine.fleet.len());
+        // an empty phase still closes with one (empty) window
+        let chunks: Vec<&[LbRequest]> = if requests.is_empty() {
+            vec![&requests[..]]
+        } else {
+            requests.chunks(window).collect()
+        };
+        let n_chunks = chunks.len();
+        for (c, chunk) in chunks.into_iter().enumerate() {
+            for req in chunk {
+                let shifted = LbRequest { arrival_us: offset + req.arrival_us, size: req.size };
+                engine.offer(&shifted, dispatcher);
+            }
+            if c == n_chunks - 1 {
+                // close the phase: run it to its boundary (or to the end)
+                if last {
+                    engine.drain();
+                } else {
+                    engine.complete_until(next_offset);
+                }
+            }
+            let interval = engine.take_interval();
+            phase_total.accumulate(&interval);
+            on_window(i, &interval);
+        }
+        per_phase.push(phase_total);
+        offset = next_offset;
+    }
+    PhasedMetrics { combined: engine.m, per_phase, boundaries_us }
 }
 
 #[cfg(test)]
@@ -403,5 +686,136 @@ mod tests {
         let servers = uniform_servers(1, 1, 4);
         let reqs = vec![LbRequest { arrival_us: 1, size: 1 }];
         run(&servers, &reqs, &mut Bad);
+    }
+
+    #[test]
+    fn incremental_engine_matches_batch_run() {
+        // the refactor's contract: offering one-by-one with interval takes
+        // in between must reproduce the one-shot totals bit-for-bit
+        let servers = vec![ServerCfg::new(4, 8), ServerCfg::new(2, 8), ServerCfg::new(1, 8)];
+        let cfg = crate::workload::WorkloadCfg {
+            arrivals: crate::workload::ArrivalProcess::Poisson { rate_per_sec: 900.0 },
+            sizes: crate::workload::BoundedPareto::web_default(),
+            n: 6_000,
+        };
+        let reqs = crate::workload::generate(&cfg, 9);
+        let batch = run(&servers, &reqs, &mut Jsq::new());
+
+        let mut engine = LbEngine::new(&servers);
+        let mut jsq = Jsq::new();
+        let mut intervals = Vec::new();
+        for chunk in reqs.chunks(500) {
+            for req in chunk {
+                engine.offer(req, &mut jsq);
+            }
+            intervals.push(engine.take_interval());
+        }
+        engine.drain();
+        intervals.push(engine.take_interval());
+        assert_eq!(*engine.metrics(), batch);
+
+        // interval deltas partition the totals exactly (integer fields)
+        let offered: u64 = intervals.iter().map(|d| d.offered).sum();
+        let completed: u64 = intervals.iter().map(|d| d.completed).sum();
+        let dropped: u64 = intervals.iter().map(|d| d.dropped).sum();
+        let resp: u64 = intervals.iter().map(|d| d.sum_response_us).sum();
+        assert_eq!(offered, batch.offered);
+        assert_eq!(completed, batch.completed);
+        assert_eq!(dropped, batch.dropped);
+        assert_eq!(resp, batch.sum_response_us);
+        let slow: f64 = intervals.iter().map(|d| d.sum_slowdown).sum();
+        assert!((slow - batch.sum_slowdown).abs() < 1e-6 * batch.sum_slowdown.max(1.0));
+    }
+
+    #[test]
+    fn reconfigure_applies_to_new_dispatches_only() {
+        // one server, speed 4: a size-8 request takes 2 ms. Degrade to
+        // speed 1 mid-run: the admitted request keeps its 2 ms, the next
+        // one takes 8 ms.
+        let servers = uniform_servers(1, 4, 16);
+        let mut engine = LbEngine::new(&servers);
+        let mut rr = RoundRobin::new();
+        engine.offer(&LbRequest { arrival_us: 1_000, size: 8 }, &mut rr);
+        engine.reconfigure(&uniform_servers(1, 1, 16));
+        engine.offer(&LbRequest { arrival_us: 1_500, size: 8 }, &mut rr);
+        engine.drain();
+        let m = engine.metrics();
+        assert_eq!(m.completed, 2);
+        // first: 1000→3000 (2 ms at speed 4). second: queued, starts at
+        // 3000, runs 8 ms at speed 1 → finishes 11000 (response 9500)
+        assert_eq!(m.sum_response_us, 2_000 + 9_500);
+        assert_eq!(m.duration_us, 11_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn offering_before_the_completion_clock_panics() {
+        // complete_until advances the engine clock; an earlier arrival
+        // would dispatch against a future fleet state and must be rejected
+        let mut engine = LbEngine::new(&uniform_servers(1, 4, 16));
+        engine.complete_until(10_000);
+        engine.offer(&LbRequest { arrival_us: 5_000, size: 1 }, &mut RoundRobin::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "server count")]
+    fn reconfigure_rejects_fleet_resizes() {
+        let mut engine = LbEngine::new(&uniform_servers(2, 4, 16));
+        engine.reconfigure(&uniform_servers(3, 4, 16));
+    }
+
+    #[test]
+    fn phased_run_stitches_phases_and_carries_backlog() {
+        let phases = crate::scenario::slow_node_onset_phases();
+        let p = run_phased(&phases, &mut Jsq::new());
+        assert_eq!(p.per_phase.len(), 2);
+        assert_eq!(p.boundaries_us.len(), 2);
+        assert_eq!(p.boundaries_us[0], 0);
+        assert!(p.boundaries_us[1] > 0);
+        // conservation across the whole phased run
+        assert_eq!(p.combined.completed + p.combined.dropped, p.combined.offered);
+        let offered: u64 = p.per_phase.iter().map(|d| d.offered).sum();
+        assert_eq!(offered, p.combined.offered);
+        // arrivals per phase match the phase workloads
+        assert_eq!(p.per_phase[0].offered, phases[0].workload.n as u64);
+        assert_eq!(p.per_phase[1].offered, phases[1].workload.n as u64);
+        // determinism
+        assert_eq!(p, run_phased(&phases, &mut Jsq::new()));
+    }
+
+    #[test]
+    fn windowed_phased_run_partitions_the_phase_totals() {
+        let phases = crate::scenario::slow_node_onset_phases();
+        let coarse = run_phased(&phases, &mut Jsq::new());
+        let mut windows: Vec<(usize, LbMetrics)> = Vec::new();
+        let fine = run_phased_windowed(&phases, &mut Jsq::new(), 500, &mut |phase, d| {
+            windows.push((phase, d.clone()));
+        });
+        // same combined totals, same arrival attribution per phase
+        assert_eq!(fine.combined, coarse.combined);
+        assert_eq!(fine.boundaries_us, coarse.boundaries_us);
+        for (f, c) in fine.per_phase.iter().zip(&coarse.per_phase) {
+            assert_eq!(f.offered, c.offered);
+            assert_eq!(f.completed, c.completed);
+            assert_eq!(f.dropped, c.dropped);
+            assert_eq!(f.sum_response_us, c.sum_response_us);
+            assert!((f.sum_slowdown - c.sum_slowdown).abs() < 1e-6 * c.sum_slowdown.max(1.0));
+        }
+        // windows partition the phases: counts and integer fields add up
+        for (i, p) in fine.per_phase.iter().enumerate() {
+            let offered: u64 =
+                windows.iter().filter(|(w, _)| *w == i).map(|(_, d)| d.offered).sum();
+            assert_eq!(offered, p.offered, "phase {i}");
+        }
+        assert_eq!(windows.iter().filter(|(w, _)| *w == 0).count(), 20, "10k pre arrivals / 500");
+    }
+
+    #[test]
+    fn single_phase_run_equals_batch_run() {
+        let sc = crate::scenario::uniform_fleet();
+        let phased = run_phased(std::slice::from_ref(&sc), &mut Jsq::new());
+        let batch = simulate(&sc, &mut Jsq::new());
+        assert_eq!(phased.combined, batch);
+        assert_eq!(phased.per_phase[0], batch);
     }
 }

@@ -76,6 +76,19 @@ pub enum ArrivalProcess {
         /// Mean dwell time in the burst state, µs.
         mean_burst_us: f64,
     },
+    /// Deterministic day/night modulation: a square wave alternating
+    /// between a low-rate ("night") and a high-rate ("day") Poisson regime,
+    /// each occupying half of every period. Unlike [`Mmpp`](Self::Mmpp),
+    /// the regime boundaries are fixed instants — the compressed diurnal
+    /// cycle every dispatch tier rides.
+    Diurnal {
+        /// Arrival rate in the low half-period, requests per second.
+        low_rate_per_sec: f64,
+        /// Arrival rate in the high half-period, requests per second.
+        high_rate_per_sec: f64,
+        /// Full cycle length, µs (each regime dwells `period_us / 2`).
+        period_us: u64,
+    },
 }
 
 impl ArrivalProcess {
@@ -91,6 +104,10 @@ impl ArrivalProcess {
             } => {
                 let total = mean_calm_us + mean_burst_us;
                 (calm_rate_per_sec * mean_calm_us + burst_rate_per_sec * mean_burst_us) / total
+            }
+            ArrivalProcess::Diurnal { low_rate_per_sec, high_rate_per_sec, .. } => {
+                // the two regimes dwell exactly half a period each
+                (low_rate_per_sec + high_rate_per_sec) / 2.0
             }
         }
     }
@@ -146,6 +163,27 @@ pub fn generate(cfg: &WorkloadCfg, seed: u64) -> Vec<LbRequest> {
                     bursting = !bursting;
                     let dwell = if bursting { mean_burst_us } else { mean_calm_us };
                     phase_ends_us = now_us + exp_us(&mut rng, dwell);
+                    continue;
+                }
+                now_us = next;
+                out.push(LbRequest { arrival_us: now_us, size: cfg.sizes.sample(&mut rng) });
+            }
+        }
+        ArrivalProcess::Diurnal { low_rate_per_sec, high_rate_per_sec, period_us } => {
+            assert!(low_rate_per_sec > 0.0 && high_rate_per_sec > 0.0);
+            assert!(period_us >= 2, "diurnal period must hold two regimes");
+            let half = period_us / 2;
+            while out.len() < cfg.n {
+                // even half-periods are the low regime, odd ones the high
+                let phase = now_us / half;
+                let rate =
+                    if phase.is_multiple_of(2) { low_rate_per_sec } else { high_rate_per_sec };
+                let next = now_us + exp_us(&mut rng, 1e6 / rate);
+                let phase_ends_us = (phase + 1) * half;
+                if next >= phase_ends_us {
+                    // regime flip at a fixed instant; memorylessness lets us
+                    // re-draw the arrival from the boundary (as in Mmpp)
+                    now_us = phase_ends_us;
                     continue;
                 }
                 now_us = next;
@@ -243,6 +281,52 @@ mod tests {
             mean_burst_us: 100_000.0,
         };
         assert!((a.mean_rate_per_sec() - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_halves_alternate_around_the_mean() {
+        let cfg = WorkloadCfg {
+            arrivals: ArrivalProcess::Diurnal {
+                low_rate_per_sec: 500.0,
+                high_rate_per_sec: 4_000.0,
+                period_us: 200_000,
+            },
+            sizes: BoundedPareto::web_default(),
+            n: 30_000,
+        };
+        let reqs = generate(&cfg, 17);
+        assert!(reqs.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+        // count arrivals per half-period: the regime boundaries are fixed,
+        // so even halves must run far below odd halves
+        let half = 100_000u64;
+        let end = reqs.last().unwrap().arrival_us;
+        let mut counts = vec![0u32; (end / half + 1) as usize];
+        for r in &reqs {
+            counts[(r.arrival_us / half) as usize] += 1;
+        }
+        let full: &[u32] = &counts[..counts.len() - 1]; // last half is partial
+        let evens: f64 = full.iter().step_by(2).map(|&c| c as f64).sum();
+        let odds: f64 = full.iter().skip(1).step_by(2).map(|&c| c as f64).sum();
+        assert!(odds > evens * 3.0, "high halves {odds} vs low halves {evens}");
+        // long-run rate matches the analytic mean of the two regimes
+        let rate = reqs.len() as f64 / (end as f64 / 1e6);
+        let mean = cfg.arrivals.mean_rate_per_sec();
+        assert!((rate - mean).abs() / mean < 0.1, "empirical {rate} vs analytic {mean}");
+    }
+
+    #[test]
+    fn diurnal_generation_is_deterministic() {
+        let cfg = WorkloadCfg {
+            arrivals: ArrivalProcess::Diurnal {
+                low_rate_per_sec: 900.0,
+                high_rate_per_sec: 4_950.0,
+                period_us: 300_000,
+            },
+            sizes: BoundedPareto::web_default(),
+            n: 10_000,
+        };
+        assert_eq!(generate(&cfg, 21), generate(&cfg, 21));
+        assert_ne!(generate(&cfg, 21), generate(&cfg, 22));
     }
 
     #[test]

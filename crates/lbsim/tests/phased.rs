@@ -1,0 +1,80 @@
+//! Determinism and regression properties for the scenario presets and the
+//! phased (mid-run shift) machinery:
+//!
+//! 1. **Preset determinism** — every preset's request stream is a pure
+//!    function of the scenario (bit-identical across generations).
+//! 2. **Diurnal generator properties** — arbitrary day/night parameters
+//!    produce deterministic, time-ordered, exactly-n streams.
+//! 3. **Phased-run determinism** — `run_phased` is a pure function of
+//!    `(phases, dispatcher)` for every classical baseline.
+//! 4. **Onset regression** — the slow-node onset visibly degrades the
+//!    post-shift phase for queue-aware baselines (the signal the drift
+//!    monitor keys on; the monitor-side onset pin lives in
+//!    `crates/core/tests/adaptive_lb.rs`).
+
+use policysmith_lbsim::workload::{generate, ArrivalProcess, BoundedPareto, WorkloadCfg};
+use policysmith_lbsim::{by_name, lb_baseline_names, run_phased, scenario};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn preset_request_streams_are_bit_identical(preset_ix in 0usize..7) {
+        let presets = scenario::all_presets();
+        prop_assert_eq!(presets.len(), 7);
+        let sc = &presets[preset_ix];
+        prop_assert_eq!(sc.requests(), sc.requests(), "{}", &sc.name);
+    }
+
+    #[test]
+    fn diurnal_workloads_are_deterministic_and_ordered(
+        low_rate in 200u64..2_000,
+        spread in 2u64..8,
+        period_ms in 2u64..500,
+        n in 1usize..4_000,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = WorkloadCfg {
+            arrivals: ArrivalProcess::Diurnal {
+                low_rate_per_sec: low_rate as f64,
+                high_rate_per_sec: (low_rate * spread) as f64,
+                period_us: period_ms * 1_000,
+            },
+            sizes: BoundedPareto::web_default(),
+            n,
+        };
+        let stream = generate(&cfg, seed);
+        prop_assert_eq!(&stream, &generate(&cfg, seed), "same seed, same stream");
+        prop_assert_eq!(stream.len(), n);
+        prop_assert!(stream.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+        prop_assert!(stream.iter().all(|r| r.size >= 1));
+    }
+
+    #[test]
+    fn phased_runs_are_deterministic_for_every_baseline(dispatcher_ix in 0usize..5) {
+        let phases = scenario::slow_node_onset_phases();
+        let name = lb_baseline_names()[dispatcher_ix];
+        let run = || run_phased(&phases, &mut by_name(name).unwrap());
+        prop_assert_eq!(run(), run(), "{}", name);
+    }
+}
+
+/// The onset must be *visible*: for queue-aware baselines the post-shift
+/// phase's resolved slowdown rises well past the healthy phase's — this is
+/// the margin the drift monitor detects, pinned here against engine or
+/// preset regressions.
+#[test]
+fn slow_node_onset_degrades_the_post_shift_phase() {
+    let phases = scenario::slow_node_onset_phases();
+    for name in ["jsq", "least-loaded"] {
+        let p = run_phased(&phases, &mut by_name(name).unwrap());
+        let (pre, post) = (p.phase_slowdown(0), p.phase_slowdown(1));
+        assert!(
+            post > pre * 1.35,
+            "{name}: post-shift slowdown {post:.3} must exceed healthy {pre:.3} by ≥ 35%"
+        );
+        assert_eq!(p.combined.offered, p.per_phase[0].offered + p.per_phase[1].offered);
+        assert_eq!(p.combined.completed + p.combined.dropped, p.combined.offered);
+    }
+}

@@ -1,7 +1,7 @@
 //! # policysmith-netsim — deterministic discrete-event network emulation
 //!
 //! The congestion-control case study (§5 of the paper) evaluates candidates
-//! "on a 12 Mbps, 20 ms delay emulated link" built with Mahimahi [42]. This
+//! "on a 12 Mbps, 20 ms delay emulated link" built with Mahimahi \[42\]. This
 //! crate rebuilds that substrate (substitution S4b in DESIGN.md) as a
 //! discrete-event simulator:
 //!

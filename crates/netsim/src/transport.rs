@@ -7,7 +7,7 @@
 //! congestion event per window), and falls back to a coarse RTO. RTT
 //! estimation follows RFC 6298 (srtt/rttvar EWMAs, Karn's rule on
 //! retransmits); a delivery-rate estimator and the paper's 10-interval
-//! smoothed history arrays ([66]) complete the §5.0.1 feature surface that
+//! smoothed history arrays (\[66\]) complete the §5.0.1 feature surface that
 //! [`CcView`] exposes to policies.
 
 use std::collections::BTreeMap;

@@ -8,9 +8,9 @@
 //! dataset share structure (so a heuristic tuned on one stays competitive
 //! on many), while differing enough that no single baseline dominates.
 //!
-//! CloudPhysics [61] collected week-long traces from diverse customer VMs:
+//! CloudPhysics \[61\] collected week-long traces from diverse customer VMs:
 //! our meta-distribution spans skew-heavy database-ish volumes, scan-heavy
-//! backup-ish volumes, and loop-heavy analytics-ish volumes. MSR [40] is 14
+//! backup-ish volumes, and loop-heavy analytics-ish volumes. MSR \[40\] is 14
 //! production servers with higher write fractions, stronger skew, and
 //! larger working sets.
 

@@ -1,8 +1,8 @@
 //! # policysmith-traces — workload substrate for the caching case study
 //!
 //! The paper evaluates on two real block-I/O datasets: **CloudPhysics**
-//! (105 week-long VM traces, [61]) and **MSR Cambridge** (14 production
-//! server traces, [40]). Neither ships with this repository, so this crate
+//! (105 week-long VM traces, \[61\]) and **MSR Cambridge** (14 production
+//! server traces, \[40\]). Neither ships with this repository, so this crate
 //! provides (substitution S2 in DESIGN.md):
 //!
 //! * [`synth`] — a parameterized workload generator reproducing the

@@ -1,30 +1,53 @@
-//! §3.1 end-to-end: deploy a heuristic, detect an implicit context shift
-//! with the guardrail monitor, re-synthesize offline, and grow the
-//! heuristic library.
+//! §3.1 end-to-end, in BOTH userspace domains: deploy a synthesized
+//! heuristic, detect an implicit context shift with the guardrail
+//! monitor, re-synthesize offline through the [`AdaptiveController`], and
+//! grow the heuristic library.
+//!
+//! * **Caching**: the workload drifts from a morning trace to a
+//!   structurally different evening trace through the same cache.
+//! * **Load balancing**: a healthy fleet loses a node mid-run
+//!   (slow-node onset) while the dispatch policy keeps serving.
 //!
 //! ```sh
 //! cargo run --release --example context_shift
 //! ```
 
 use policysmith::cachesim::{Cache, PriorityPolicy};
-use policysmith::core::library::{ContextMonitor, HeuristicLibrary, LibraryEntry};
+use policysmith::core::library::{AdaptiveController, ContextMonitor, LibraryEntry};
 use policysmith::core::search::{run_search, SearchConfig};
 use policysmith::core::studies::cache::CacheStudy;
+use policysmith::core::studies::lb::LbStudy;
 use policysmith::gen::{GenConfig, MockLlm};
+use policysmith::lbsim::{run_phased, run_phased_windowed, scenario, ExprDispatcher};
 use policysmith::traces::cloudphysics;
 
 fn main() {
+    cache_domain();
+    lb_domain();
+}
+
+/// Caching: morning regime → evening regime through one live cache.
+fn cache_domain() {
+    println!("== cache domain: morning → evening workload shift ==");
     let ds = cloudphysics();
     let cfg = SearchConfig { rounds: 6, candidates_per_round: 12, ..SearchConfig::paper_cache() };
-    let mut library = HeuristicLibrary::new();
 
-    // Synthesize for the morning regime (trace w10).
+    // Synthesize for the morning regime (trace w10) and deploy.
     let morning = ds.trace(10, 40_000);
     let study = CacheStudy::new(&morning);
     let mut llm = MockLlm::new(GenConfig::cache_defaults(1));
     let best = run_search(&study, &mut llm, &cfg).best;
     println!("deployed for {}: {:+.2}% over FIFO", morning.name, best.score * 100.0);
-    library.add(LibraryEntry {
+
+    // The reuse bar: a stored policy must beat what the deployed one
+    // already delivers on the drifted context by 2% absolute, else the
+    // controller re-synthesizes.
+    let evening = ds.trace(55, 40_000);
+    let study2 = CacheStudy::new(&evening);
+    let expr = policysmith::dsl::parse(&best.source).unwrap();
+    let stale_on_evening = study2.improvement(PriorityPolicy::from_expr("stale", &expr));
+    let mut ctrl = AdaptiveController::new(ContextMonitor::new(20, 1.15), stale_on_evening + 0.02);
+    ctrl.deploy(LibraryEntry {
         context: morning.name.clone(),
         source: best.source.clone(),
         score: best.score,
@@ -32,13 +55,9 @@ fn main() {
 
     // Serve the morning regime, then an (implicit) shift to the evening
     // regime: a structurally different trace through the same cache.
-    let evening = ds.trace(55, 40_000);
-    let expr = policysmith::dsl::parse(&best.source).unwrap();
     let cap = study.capacity();
     let mut cache = Cache::new(cap, PriorityPolicy::from_expr("deployed", &expr));
-    let mut monitor = ContextMonitor::new(20, 1.15);
     let mut drift_at = None;
-
     let window = 1_000;
     for (i, chunk) in
         morning.requests.chunks(window).chain(evening.requests.chunks(window)).enumerate()
@@ -49,7 +68,7 @@ fn main() {
         }
         let after = cache.result();
         let window_mr = (after.misses - before.misses) as f64 / chunk.len() as f64;
-        if monitor.observe(window_mr) && drift_at.is_none() {
+        if ctrl.observe(window_mr) && drift_at.is_none() {
             drift_at = Some(i);
             println!("guardrail fired at window {i} (rolling miss ratio degraded)");
         }
@@ -57,28 +76,85 @@ fn main() {
     let drift = drift_at.expect("the regime change must be detected");
     assert!(drift >= morning.len() / window, "no false positive in the home regime");
 
-    // Offline re-synthesis for the new context; the library grows (§3.1).
-    let study2 = CacheStudy::new(&evening);
+    // Offline adaptation for the new context; the library grows (§3.1).
     let mut llm2 = MockLlm::new(GenConfig::cache_defaults(2));
-    let best2 = run_search(&study2, &mut llm2, &cfg).best;
-    library.add(LibraryEntry {
-        context: evening.name.clone(),
-        source: best2.source.clone(),
-        score: best2.score,
-    });
-    println!("re-synthesized for {}: {:+.2}% over FIFO", evening.name, best2.score * 100.0);
-
-    // An adaptation system can now pick per context.
-    let (pick, score) = library
-        .best_for(|e| {
-            let expr = policysmith::dsl::parse(&e.source).unwrap();
-            study2.improvement(PriorityPolicy::from_expr("lib", &expr))
-        })
-        .unwrap();
+    let adaptation = ctrl.adapt(&evening.name, &study2, &mut llm2, &cfg);
     println!(
-        "library pick for the evening regime: the {} heuristic ({:+.2}%) — {} entries total",
-        pick.context,
-        score * 100.0,
-        library.len()
+        "adaptation: {} for {} ({:+.2}% over FIFO; stale policy was {:+.2}%) — {} entries total\n",
+        if adaptation.resynthesized() { "re-synthesized" } else { "library hit" },
+        evening.name,
+        adaptation.entry().score * 100.0,
+        stale_on_evening * 100.0,
+        ctrl.library().len()
     );
+}
+
+/// Load balancing: a node degrades mid-run under a live dispatch policy.
+fn lb_domain() {
+    println!("== lb domain: slow-node onset mid-run ==");
+    let phases = scenario::slow_node_onset_phases();
+    let (healthy, onset) = (&phases[0], &phases[1]);
+    let cfg = SearchConfig { rounds: 4, candidates_per_round: 10, ..SearchConfig::paper_cache() };
+
+    // Synthesize for the healthy fleet and deploy.
+    let healthy_study = LbStudy::new(healthy);
+    let mut llm = MockLlm::new(GenConfig::lb_defaults(11));
+    let best = run_search(&healthy_study, &mut llm, &cfg).best;
+    println!("deployed for {}: {:+.2}% over round-robin", healthy.name, best.score * 100.0);
+
+    let onset_study = LbStudy::new(onset);
+    let expr = policysmith::dsl::parse(&best.source).unwrap();
+    let mut stale_probe = ExprDispatcher::from_expr("stale", &expr);
+    let stale_on_onset = onset_study.improvement(&mut stale_probe);
+    let mut ctrl = AdaptiveController::new(ContextMonitor::new(6, 1.35), stale_on_onset + 0.02);
+    ctrl.deploy(LibraryEntry {
+        context: healthy.name.clone(),
+        source: best.source.clone(),
+        score: best.score,
+    });
+
+    // Serve both phases through one live fleet, sampling windowed mean
+    // slowdown; server 5 drops to speed 1 at the boundary.
+    let mut host = ExprDispatcher::from_expr("deployed", &expr);
+    let window = 500;
+    let mut drift_at = None;
+    let mut windows = 0usize;
+    let mut prev_phase = 0usize;
+    run_phased_windowed(&phases, &mut host, window, &mut |phase, interval| {
+        if phase != prev_phase {
+            prev_phase = phase;
+            println!("(server 5 degrades to speed 1 at window {windows})");
+        }
+        windows += 1;
+        if ctrl.observe(interval.resolved_slowdown()) && drift_at.is_none() {
+            drift_at = Some((phase, windows));
+            println!("guardrail fired at window {windows} (windowed slowdown degraded)");
+        }
+    });
+    let (drift_phase, _) = drift_at.expect("the onset must be detected");
+    assert_eq!(drift_phase, 1, "no false positive on the healthy fleet");
+
+    // Offline adaptation; then replay the shift with both policies.
+    let resynth_cfg =
+        SearchConfig { rounds: 6, candidates_per_round: 12, ..SearchConfig::paper_cache() };
+    let mut llm2 = MockLlm::new(GenConfig::lb_defaults(12));
+    let adaptation = ctrl.adapt(&onset.name, &onset_study, &mut llm2, &resynth_cfg);
+    println!(
+        "adaptation: {} for {} ({:+.2}% over RR; stale policy was {:+.2}%) — {} entries total",
+        if adaptation.resynthesized() { "re-synthesized" } else { "library hit" },
+        onset.name,
+        adaptation.entry().score * 100.0,
+        stale_on_onset * 100.0,
+        ctrl.library().len()
+    );
+
+    let adapted_expr = policysmith::dsl::parse(&adaptation.entry().source).unwrap();
+    let stale_run = run_phased(&phases, &mut ExprDispatcher::from_expr("stale", &expr));
+    let adapted_run = run_phased(&phases, &mut ExprDispatcher::from_expr("adapted", &adapted_expr));
+    println!(
+        "post-shift mean slowdown: stale {:.4} → adapted {:.4}",
+        stale_run.phase_slowdown(1),
+        adapted_run.phase_slowdown(1)
+    );
+    assert!(adapted_run.phase_slowdown(1) < stale_run.phase_slowdown(1));
 }
