@@ -1,7 +1,10 @@
 //! LB: the third-workload experiment — synthesize a dispatch policy per
 //! scenario preset, sweep every preset with every baseline and every
 //! synthesized policy, and report the cross-scenario improvement matrix
-//! (the load-balancing analogue of Figure 2 / Table 2).
+//! (the load-balancing analogue of Figure 2 / Table 2). A second section
+//! sweeps fleet sizes into the hundreds of servers and records
+//! per-dispatch decision latency alongside quality — the scaling axis the
+//! serving runtime (`exp_serve`) builds on.
 //!
 //! Usage: `exp_lb [--fast] [--seed N]`
 
@@ -9,7 +12,12 @@ use policysmith_bench::{write_json, ExpOpts};
 use policysmith_core::search::{run_search, SearchConfig};
 use policysmith_core::studies::lb::LbStudy;
 use policysmith_gen::{GenConfig, MockLlm};
-use policysmith_lbsim::{lb_baseline_names, scenario, ExprDispatcher};
+use policysmith_lbsim::workload::{ArrivalProcess, BoundedPareto, WorkloadCfg};
+use policysmith_lbsim::{
+    lb_baseline_names, scenario, sim, DispatchView, Dispatcher, ExprDispatcher, Scenario, ServerCfg,
+};
+use policysmith_serve::LatencyHistogram;
+use std::time::Instant;
 
 fn main() {
     let opts = ExpOpts::from_args();
@@ -75,6 +83,8 @@ fn main() {
         println!();
     }
 
+    let fleet_sweep = fleet_size_sweep(&opts);
+
     write_json(
         "lb",
         &serde_json::json!({
@@ -83,6 +93,98 @@ fn main() {
             "policies": policy_names,
             "rows": rows,
             "synthesized": synthesized,
+            "fleet_sweep": fleet_sweep,
         }),
     );
+}
+
+/// Per-pick timing wrapper: the per-dispatch decision latency includes
+/// everything a policy does per decision (for scoring policies, one VM
+/// execution per server — O(fleet) by construction).
+struct Timed<D> {
+    inner: D,
+    hist: LatencyHistogram,
+}
+
+impl<D: Dispatcher> Dispatcher for Timed<D> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn pick(&mut self, view: &DispatchView<'_>) -> usize {
+        let t0 = Instant::now();
+        let p = self.inner.pick(view);
+        self.hist.record(t0.elapsed().as_nanos() as u64);
+        p
+    }
+}
+
+/// Sweep uniform fleets of 16/64/256 servers at ~72% offered load and
+/// measure both quality (mean slowdown vs round-robin) and per-dispatch
+/// decision latency for every classical baseline plus the canonical
+/// compiled scoring policy. Closes the ROADMAP's "fleet sizes into the
+/// hundreds of servers" bullet and gives `exp_serve` its baseline column.
+fn fleet_size_sweep(opts: &ExpOpts) -> Vec<serde_json::Value> {
+    const WORK_LEFT: &str = "server.work_left + req.size * 1000 / server.speed";
+    let n_requests = if opts.fast { 10_000 } else { 30_000 };
+    let mut out = Vec::new();
+    println!("\n=== fleet-size sweep: per-dispatch latency at scale ===");
+    for &n_servers in &[16usize, 64, 256] {
+        // ~72% load: rate = 0.72 × (n × speed 4 × 1000 work-units/s) /
+        // mean request size (≈ 5.9, bounded-Pareto web default)
+        let sc = Scenario {
+            name: format!("lb/uniform-{n_servers}"),
+            servers: (0..n_servers).map(|_| ServerCfg::new(4, 32)).collect(),
+            workload: WorkloadCfg {
+                arrivals: ArrivalProcess::Poisson { rate_per_sec: 488.0 * n_servers as f64 },
+                sizes: BoundedPareto::web_default(),
+                n: n_requests,
+            },
+            seed: 0xF1EE7 ^ n_servers as u64,
+        };
+        let requests = sc.requests();
+        let rr =
+            sim::run(&sc.servers, &requests, &mut policysmith_lbsim::dispatch::RoundRobin::new());
+        let rr_slowdown = rr.mean_slowdown();
+        println!("  {n_servers} servers (rr mean slowdown {rr_slowdown:.3}):");
+
+        let mut policies = Vec::new();
+        let mut measure = |name: &str, d: &mut dyn Dispatcher| {
+            let mut timed = Timed { inner: d, hist: LatencyHistogram::new() };
+            let m = sim::run(&sc.servers, &requests, &mut timed);
+            let h = &timed.hist;
+            println!(
+                "    {name:>14}: slowdown {:>8.3}  mean {:>6.0} ns  p50 {:>6} ns  p99 {:>7} ns",
+                m.mean_slowdown(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            );
+            policies.push(serde_json::json!({
+                "name": name,
+                "mean_slowdown": m.mean_slowdown(),
+                "improvement_over_rr": (rr_slowdown - m.mean_slowdown()) / rr_slowdown.max(1e-9),
+                "picks": h.count(),
+                "mean_ns": h.mean(),
+                "p50_ns": h.quantile(0.50),
+                "p99_ns": h.quantile(0.99),
+                "p999_ns": h.quantile(0.999),
+            }));
+        };
+        for name in lb_baseline_names() {
+            let mut d = policysmith_lbsim::by_name(name).unwrap();
+            measure(name, &mut d);
+        }
+        let expr = policysmith_dsl::parse(WORK_LEFT).unwrap();
+        let mut compiled = ExprDispatcher::from_expr("PS-work-left", &expr);
+        measure("PS-work-left", &mut compiled);
+
+        out.push(serde_json::json!({
+            "servers": n_servers,
+            "requests": n_requests,
+            "offered_load": sc.offered_load(),
+            "rr_mean_slowdown": rr_slowdown,
+            "policies": policies,
+        }));
+    }
+    out
 }

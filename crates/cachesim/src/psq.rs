@@ -30,6 +30,29 @@ pub const DEFAULT_HISTORY: usize = 1024;
 /// Default aggregate snapshot refresh interval (accesses).
 pub const DEFAULT_REFRESH: u64 = 512;
 
+/// Does `feats` read any percentile-aggregate feature? (Gates the
+/// [`AggregateTracker`] upkeep; shared by construction and
+/// [`PriorityPolicy::swap_policy`] so the two can never drift apart.)
+fn reads_aggregates(feats: &[Feature]) -> bool {
+    feats
+        .iter()
+        .any(|f| matches!(f, Feature::CountsPct(_) | Feature::AgesPct(_) | Feature::SizesPct(_)))
+}
+
+/// Does `feats` read any eviction-history feature? (Gates the
+/// [`EvictionHistory`] upkeep.)
+fn reads_history(feats: &[Feature]) -> bool {
+    feats.iter().any(|f| {
+        matches!(
+            f,
+            Feature::HistContains
+                | Feature::HistCount
+                | Feature::HistAgeAtEvict
+                | Feature::HistTimeSinceEvict
+        )
+    })
+}
+
 /// A cache policy driven by a synthesized priority expression.
 pub struct PriorityPolicy {
     name: String,
@@ -119,18 +142,8 @@ impl PriorityPolicy {
             Engine::Compiled { policy, .. } => policy.expr().features(),
             Engine::Interpreted { expr } => expr.features(),
         };
-        let uses_aggregates = feats.iter().any(|f| {
-            matches!(f, Feature::CountsPct(_) | Feature::AgesPct(_) | Feature::SizesPct(_))
-        });
-        let uses_history = feats.iter().any(|f| {
-            matches!(
-                f,
-                Feature::HistContains
-                    | Feature::HistCount
-                    | Feature::HistAgeAtEvict
-                    | Feature::HistTimeSinceEvict
-            )
-        });
+        let uses_aggregates = reads_aggregates(&feats);
+        let uses_history = reads_history(&feats);
         PriorityPolicy {
             name: name.into(),
             engine,
@@ -156,6 +169,58 @@ impl PriorityPolicy {
         self.uses_aggregates = true;
         self.uses_history = true;
         self
+    }
+
+    /// Keep the feature trackers (percentile aggregates + eviction
+    /// history) maintained whether or not the *current* expression reads
+    /// them. Costs the upkeep the access-gated default elides; required
+    /// for hosts that may [`swap_policy`](Self::swap_policy) mid-run,
+    /// since a policy swapped in later may read features the deposed one
+    /// never touched — and a tracker only engaged at swap time would
+    /// start empty. Must be called before the first request.
+    pub fn track_everything(mut self) -> Self {
+        assert!(self.rank.is_empty(), "tracking switch only valid on an empty host");
+        self.uses_aggregates = true;
+        self.uses_history = true;
+        self
+    }
+
+    /// Hot-swap the hosted policy mid-run — the cache half of the serving
+    /// runtime's publish step.
+    ///
+    /// Follows the template's own update discipline (§4.1.2: scores update
+    /// **on access**): resident objects keep the priority the deposed
+    /// policy last gave them and are re-scored by the new policy on their
+    /// next access or insertion, so the swap itself touches no per-object
+    /// state and completes in O(layout) — no stop-the-world rescore, no
+    /// allocation beyond the new context slab. Any latched runtime fault
+    /// belonged to the deposed policy and is cleared; construct the host
+    /// with [`track_everything`](Self::track_everything) when swaps are
+    /// possible, so aggregate/history features the new policy reads have
+    /// been maintained all along.
+    pub fn swap_policy(&mut self, policy: CompiledPolicy) {
+        debug_assert_eq!(policy.mode(), Mode::Cache, "cache host needs a Mode::Cache policy");
+        let feats = policy.expr().features();
+        // A tracker engaged only now would be cold: already-resident
+        // objects were never inserted, so percentile/history reads would
+        // be silently wrong. Refuse instead — swap-capable hosts opt into
+        // `track_everything` up front.
+        assert!(
+            self.uses_aggregates || !reads_aggregates(&feats),
+            "swapped-in policy reads percentile aggregates but the tracker was never \
+             maintained; construct the host with track_everything()"
+        );
+        assert!(
+            self.uses_history || !reads_history(&feats),
+            "swapped-in policy reads eviction history but the tracker was never \
+             maintained; construct the host with track_everything()"
+        );
+        self.engine = Engine::Compiled {
+            ctx: Vec::with_capacity(policy.layout().len()),
+            map: vec![0; SPILL_SLOTS],
+            policy,
+        };
+        self.first_error = None;
     }
 
     /// Parse `src` and host it. Returns the parse error on bad source.
@@ -440,6 +505,52 @@ mod tests {
         }
         assert!(c.policy.first_error().is_none());
         assert!(c.result().hits > 0);
+    }
+
+    #[test]
+    fn swap_policy_rescoring_applies_on_access() {
+        // LRU host: highest last_access survives. Fill 3 objects, then swap
+        // to anti-LRU (0 - obj.last_access) and re-touch them: the rescored
+        // priorities must invert the eviction order.
+        let lru = CompiledPolicy::compile(&lru_seed(), Mode::Cache).unwrap();
+        let mut c = Cache::new(300, PriorityPolicy::new("swap", lru).track_everything());
+        c.request(&req(1, 1));
+        c.request(&req(2, 2));
+        c.request(&req(3, 3));
+        let anti = policysmith_dsl::parse("0 - obj.last_access").unwrap();
+        c.policy.swap_policy(CompiledPolicy::compile(&anti, Mode::Cache).unwrap());
+        // re-touch in the same order: scores update on access (§4.1.2)
+        c.request(&req(4, 1));
+        c.request(&req(5, 2));
+        c.request(&req(6, 3));
+        // next insertion must evict object 3 (most recent ⇒ lowest
+        // anti-LRU priority), not object 1 as LRU would
+        c.request(&req(7, 4));
+        assert!(c.contains(1), "anti-LRU protects the oldest");
+        assert!(!c.contains(3), "anti-LRU evicts the most recent");
+        assert!(c.policy.first_error().is_none());
+    }
+
+    #[test]
+    fn swap_policy_clears_the_latched_fault() {
+        let faulty = policysmith_dsl::parse("100 / (cache.objects - 3)").unwrap();
+        let host = PriorityPolicy::new(
+            "swap-fault",
+            CompiledPolicy::compile(&faulty, Mode::Cache).unwrap(),
+        )
+        .track_everything();
+        let mut c = Cache::new(600, host);
+        for (i, id) in (1..=6u64).enumerate() {
+            c.request(&req(i as u64, id));
+        }
+        assert!(c.policy.first_error().is_some(), "deposed policy faulted");
+        let sane = CompiledPolicy::compile(&lru_seed(), Mode::Cache).unwrap();
+        c.policy.swap_policy(sane);
+        assert!(c.policy.first_error().is_none(), "new policy starts with a clean slate");
+        for (i, id) in (1..=6u64).enumerate() {
+            c.request(&req(100 + i as u64, id));
+        }
+        assert!(c.policy.first_error().is_none());
     }
 
     #[test]

@@ -28,5 +28,8 @@ pub use netsim_reexport::*;
 pub use synth::{check_candidate, KbpfCc, PipelineError, VerifiedCandidate};
 
 mod netsim_reexport {
-    pub use policysmith_netsim::{CcView, CongestionControl};
+    // SimConfig/LinkCfg ride along because `evaluate_with` takes them:
+    // callers parameterizing the scenario (a drifted link as a new search
+    // context) should not need a direct netsim dependency.
+    pub use policysmith_netsim::{CcView, CongestionControl, LinkCfg, SimConfig};
 }

@@ -46,5 +46,7 @@ pub mod library;
 pub mod search;
 pub mod studies;
 
-pub use library::{Adaptation, AdaptiveController, ContextMonitor, HeuristicLibrary, LibraryEntry};
+pub use library::{
+    Adaptation, AdaptiveController, ContextMonitor, HeuristicLibrary, LibraryEntry, SearchNeeded,
+};
 pub use search::{run_search, CostLedger, RoundStats, Scored, SearchConfig, SearchOutcome, Study};

@@ -21,7 +21,7 @@
 //!   just `check` + `evaluate` and "no stored policy fits" is just
 //!   [`run_search`].
 
-use crate::search::{run_search, SearchConfig, Study};
+use crate::search::{run_search, Scored, SearchConfig, Study};
 use policysmith_gen::Generator;
 use std::collections::VecDeque;
 
@@ -140,6 +140,15 @@ impl ContextMonitor {
     /// The first full window establishes the deployment baseline and never
     /// triggers; before the window fills, nothing triggers.
     ///
+    /// Degenerate samples are handled, not propagated: a `NaN` sample (a
+    /// 0/0 quality ratio over an empty window, say) carries no evidence
+    /// either way and is **ignored** — it neither fills the window nor
+    /// poisons the rolling mean. `+∞` samples (a stalled window scored as
+    /// an outage) *do* participate: they trigger against any established
+    /// baseline, but a window whose mean is non-finite can never *become*
+    /// the baseline — the monitor waits for the signal to return to finite
+    /// values before (re-)baselining.
+    ///
     /// ```
     /// use policysmith_core::library::ContextMonitor;
     ///
@@ -156,6 +165,9 @@ impl ContextMonitor {
     /// assert_eq!(monitor.baseline(), None, "re-baselining on the new regime");
     /// ```
     pub fn observe(&mut self, sample: f64) -> bool {
+        if sample.is_nan() {
+            return false;
+        }
         self.window.push_back(sample);
         if self.window.len() > self.window_size {
             self.window.pop_front();
@@ -166,8 +178,12 @@ impl ContextMonitor {
         let mean = self.window.iter().sum::<f64>() / self.window.len() as f64;
         match self.baseline {
             None => {
-                // first full window defines the deployment baseline
-                self.baseline = Some(mean);
+                // first full window with a *finite* mean defines the
+                // deployment baseline (an ∞ sample still in the window
+                // cannot define a regime to degrade from)
+                if mean.is_finite() {
+                    self.baseline = Some(mean);
+                }
                 false
             }
             Some(base) => {
@@ -230,6 +246,26 @@ impl Adaptation {
     }
 }
 
+/// The ticket half of the controller's non-blocking API: returned by
+/// [`AdaptiveController::try_reuse`] when no stored policy clears the
+/// reuse threshold. It records the best stored entry re-scored in the
+/// drifted context, so [`AdaptiveController::finish_search`] can later
+/// decide between the externally-run search winner and what the library
+/// already held — without re-scoring anything.
+#[derive(Debug)]
+pub struct SearchNeeded {
+    /// Best stored entry and its score in the drifted context (`None` on
+    /// an empty library, or when nothing compiled under the study).
+    best_stored: Option<(LibraryEntry, f64)>,
+}
+
+impl SearchNeeded {
+    /// The best stored entry re-scored in the drifted context, if any.
+    pub fn best_stored(&self) -> Option<(&LibraryEntry, f64)> {
+        self.best_stored.as_ref().map(|(e, s)| (e, *s))
+    }
+}
+
 /// The §3.1 loop as a reusable component: monitor a rolling quality
 /// signal, detect drift, consult the [`HeuristicLibrary`], and fall back
 /// to a fresh [`run_search`] when no stored policy fits the new context.
@@ -251,6 +287,15 @@ impl Adaptation {
 /// 2. when `observe` returns `true`, build a [`Study`] for the *current*
 ///    context and call [`adapt`](Self::adapt);
 /// 3. swap the returned entry in and keep serving.
+///
+/// Hosts that must not stop the world (an online serving runtime) use the
+/// non-blocking split of step 2 instead: [`try_reuse`](Self::try_reuse)
+/// answers immediately when a stored policy fits, and hands back a
+/// [`SearchNeeded`] ticket otherwise; the host runs [`run_search`] on its
+/// own background thread while decisions keep flowing, then folds the
+/// winner in with [`finish_search`](Self::finish_search). `adapt` is
+/// exactly `try_reuse` + `run_search` + `finish_search` in one blocking
+/// call.
 #[derive(Debug)]
 pub struct AdaptiveController {
     monitor: ContextMonitor,
@@ -334,6 +379,27 @@ impl AdaptiveController {
         generator: &mut dyn Generator,
         cfg: &SearchConfig,
     ) -> Adaptation {
+        match self.try_reuse(study) {
+            Ok(adaptation) => adaptation,
+            Err(needed) => {
+                let outcome = run_search(study, generator, cfg);
+                self.finish_search(context, needed, outcome.best)
+            }
+        }
+    }
+
+    /// The poll half of the non-blocking API: re-score every stored entry
+    /// in the context described by `study` and, if the best one clears the
+    /// reuse threshold, deploy it and return the finished [`Adaptation`].
+    /// Otherwise return a [`SearchNeeded`] ticket — the caller runs the
+    /// search itself (on whatever thread, budget, or executor it likes;
+    /// a serving host keeps answering decision requests meanwhile) and
+    /// completes the adaptation with [`finish_search`](Self::finish_search).
+    ///
+    /// "Non-blocking" here means *no generation search runs inside the
+    /// controller*; re-scoring the library still costs one `check` +
+    /// `evaluate` per stored entry.
+    pub fn try_reuse<S: Study>(&mut self, study: &S) -> Result<Adaptation, SearchNeeded> {
         let best = self
             .library
             .best_for(|e| match study.check(&e.source) {
@@ -342,32 +408,45 @@ impl AdaptiveController {
             })
             .map(|(entry, score)| (entry.clone(), score));
 
-        let adaptation = match best {
+        match best {
             Some((entry, score)) if score >= self.min_reuse_score => {
                 self.deployed = Some(entry.clone());
-                Adaptation::FromLibrary { entry, score }
+                let adaptation = Adaptation::FromLibrary { entry, score };
+                self.adaptations.push(adaptation.clone());
+                Ok(adaptation)
             }
-            best => {
-                let outcome = run_search(study, generator, cfg);
-                let entry = LibraryEntry {
-                    context: context.to_string(),
-                    source: outcome.best.source,
-                    score: outcome.best.score,
-                };
-                self.library.add(entry.clone());
-                match best {
-                    // a small search budget can lose to a stored policy
-                    // that merely missed the reuse bar: never deploy a
-                    // policy worse than the best one already known
-                    Some((stored, score)) if score >= entry.score => {
-                        self.deployed = Some(stored.clone());
-                        Adaptation::FromLibrary { entry: stored, score }
-                    }
-                    _ => {
-                        self.deployed = Some(entry.clone());
-                        Adaptation::Resynthesized { entry }
-                    }
-                }
+            best_stored => Err(SearchNeeded { best_stored }),
+        }
+    }
+
+    /// Complete an adaptation begun by [`try_reuse`](Self::try_reuse):
+    /// fold the externally-run search `winner` into the library and deploy
+    /// the better of it and the ticket's best stored entry (a small search
+    /// budget can lose to a stored policy that merely missed the reuse
+    /// bar — the controller never deploys a policy worse than the best one
+    /// it already knows). `winner.score` must be the winner's score in the
+    /// drifted context — which is what [`run_search`] on the drifted
+    /// study's `best` reports.
+    pub fn finish_search(
+        &mut self,
+        context: &str,
+        needed: SearchNeeded,
+        winner: Scored,
+    ) -> Adaptation {
+        let entry = LibraryEntry {
+            context: context.to_string(),
+            source: winner.source,
+            score: winner.score,
+        };
+        self.library.add(entry.clone());
+        let adaptation = match needed.best_stored {
+            Some((stored, score)) if score >= entry.score => {
+                self.deployed = Some(stored.clone());
+                Adaptation::FromLibrary { entry: stored, score }
+            }
+            _ => {
+                self.deployed = Some(entry.clone());
+                Adaptation::Resynthesized { entry }
             }
         };
         self.adaptations.push(adaptation.clone());
@@ -487,6 +566,79 @@ mod tests {
         assert_eq!(m.baseline(), None, "window not yet full");
         assert!(!m.observe(10.0));
         assert_eq!(m.baseline(), Some(10.0), "10th sample completes the window");
+    }
+
+    #[test]
+    fn monitor_ignores_nan_samples() {
+        let mut m = ContextMonitor::new(3, 1.5);
+        for _ in 0..3 {
+            assert!(!m.observe(0.30));
+        }
+        assert_eq!(m.baseline(), Some(0.30));
+        // NaN carries no evidence: ignored entirely, window untouched
+        for _ in 0..10 {
+            assert!(!m.observe(f64::NAN));
+        }
+        assert_eq!(m.baseline(), Some(0.30), "NaN must not disturb the baseline");
+        // the window still holds the three 0.30 samples; the second
+        // degraded sample pushes the rolling mean past the 50% guardrail
+        assert!(!m.observe(0.60), "mean 0.40 is inside the 0.45 guardrail");
+        assert!(m.observe(0.60), "real degradation still fires after NaNs");
+    }
+
+    #[test]
+    fn monitor_treats_infinite_samples_as_outage_but_never_as_baseline() {
+        let mut m = ContextMonitor::new(2, 1.5);
+        // an ∞ sample in the first window: no baseline can be established
+        // until it rolls out
+        assert!(!m.observe(f64::INFINITY));
+        assert!(!m.observe(0.30));
+        assert_eq!(m.baseline(), None, "a non-finite mean must not become the baseline");
+        assert!(!m.observe(0.30), "finite window establishes the baseline");
+        assert_eq!(m.baseline(), Some(0.30));
+        // with a baseline in place, an ∞ sample (stalled window scored as
+        // an outage) triggers immediately
+        assert!(m.observe(f64::INFINITY));
+        assert_eq!(m.baseline(), None, "trigger re-baselines");
+        // and the re-established baseline again waits out the infinity
+        assert!(!m.observe(f64::INFINITY));
+        assert!(!m.observe(0.45));
+        assert_eq!(m.baseline(), None);
+        assert!(!m.observe(0.45));
+        assert_eq!(m.baseline(), Some(0.45));
+    }
+
+    #[test]
+    fn monitor_tolerance_exactly_at_the_boundary_does_not_trigger() {
+        // the guardrail is strict: mean must EXCEED base × tolerance
+        let mut m = ContextMonitor::new(1, 1.2);
+        assert!(!m.observe(0.50)); // baseline 0.50, threshold 0.60
+        assert!(!m.observe(0.60), "exactly at the boundary must not fire");
+        assert_eq!(m.baseline(), Some(0.50), "boundary sample must not re-baseline");
+        assert!(m.observe(0.60 + 1e-9), "just past the boundary fires");
+    }
+
+    #[test]
+    fn monitor_reestablishes_baseline_from_the_new_regime_after_reset() {
+        let mut m = ContextMonitor::new(4, 1.25);
+        for _ in 0..4 {
+            m.observe(0.20);
+        }
+        assert_eq!(m.baseline(), Some(0.20));
+        // shift: trigger once, then the NEXT full window (pure new-regime
+        // samples, not the mixed transition window) defines the baseline
+        let mut fired = 0;
+        for _ in 0..8 {
+            if m.observe(0.40) {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1);
+        assert_eq!(m.baseline(), Some(0.40), "baseline must be the new regime's level");
+        // stable at the new level: no further triggers
+        for _ in 0..20 {
+            assert!(!m.observe(0.40));
+        }
     }
 
     #[test]
@@ -622,6 +774,74 @@ mod tests {
         let a = ctrl.adapt("shifted", &ToyStudy, &mut gen, &tiny_cfg());
         assert!(a.resynthesized());
         assert_eq!(a.entry().source, "ok");
+    }
+
+    #[test]
+    fn try_reuse_answers_without_a_ticket_when_a_stored_policy_fits() {
+        let mut ctrl = AdaptiveController::new(ContextMonitor::new(2, 1.2), 0.05);
+        ctrl.deploy(entry("aaaaaaaaaa", 0.3)); // re-scores to 0.10 ≥ 0.05
+        let a = ctrl.try_reuse(&ToyStudy).expect("stored policy clears the bar");
+        match a {
+            Adaptation::FromLibrary { entry, score } => {
+                assert_eq!(entry.source, "aaaaaaaaaa");
+                assert!((score - 0.10).abs() < 1e-12);
+            }
+            other => panic!("expected reuse, got {other:?}"),
+        }
+        assert_eq!(ctrl.adaptations().len(), 1);
+        assert_eq!(ctrl.deployed().unwrap().source, "aaaaaaaaaa");
+    }
+
+    #[test]
+    fn split_api_reproduces_adapt_exactly() {
+        // the non-blocking split (try_reuse → external search →
+        // finish_search) must land at the same deployed policy, library,
+        // and adaptation record as the blocking `adapt` — including the
+        // never-regress case where the search winner loses to a stored
+        // policy that merely missed the reuse bar
+        for (stored_len, fresh_len) in [(40usize, 10usize), (10, 64)] {
+            let build = || {
+                let mut c = AdaptiveController::new(ContextMonitor::new(2, 1.2), 0.9);
+                c.deploy(entry(&"s".repeat(stored_len), 0.6));
+                c
+            };
+            let fresh = "f".repeat(fresh_len);
+
+            let mut blocking = build();
+            let mut gen = FixedGen { batch: vec![fresh.clone()], ledger: TokenLedger::default() };
+            let a = blocking.adapt("shifted", &ToyStudy, &mut gen, &tiny_cfg());
+
+            let mut split = build();
+            let ticket = split.try_reuse(&ToyStudy).expect_err("0.9 bar is out of reach");
+            assert!(
+                ticket.best_stored().is_some_and(|(e, s)| {
+                    e.source == "s".repeat(stored_len)
+                        && (s - stored_len as f64 / 100.0).abs() < 1e-12
+                }),
+                "ticket must carry the re-scored best stored entry"
+            );
+            // the "external search": same generator, same config, run by the caller
+            let mut gen2 = FixedGen { batch: vec![fresh.clone()], ledger: TokenLedger::default() };
+            let outcome = run_search(&ToyStudy, &mut gen2, &tiny_cfg());
+            let b = split.finish_search("shifted", ticket, outcome.best);
+
+            assert_eq!(a, b, "stored_len={stored_len}");
+            assert_eq!(blocking.deployed(), split.deployed());
+            assert_eq!(blocking.library().entries(), split.library().entries());
+            assert_eq!(blocking.adaptations(), split.adaptations());
+        }
+    }
+
+    #[test]
+    fn finish_search_on_an_empty_library_deploys_the_winner() {
+        let mut ctrl = AdaptiveController::new(ContextMonitor::new(2, 1.2), 0.5);
+        let ticket = ctrl.try_reuse(&ToyStudy).expect_err("empty library cannot reuse");
+        assert!(ticket.best_stored().is_none());
+        let winner = Scored { source: "w".repeat(30), score: 0.30, round: 0 };
+        let a = ctrl.finish_search("ctx", ticket, winner);
+        assert!(a.resynthesized());
+        assert_eq!(ctrl.library().len(), 1);
+        assert_eq!(ctrl.deployed().unwrap().source, "w".repeat(30));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! ablation bench.
 
 use crate::search::Study;
-use policysmith_cc::{check_candidate, evaluate, KbpfCc, VerifiedCandidate};
+use policysmith_cc::{check_candidate, evaluate_with, KbpfCc, SimConfig, VerifiedCandidate};
 use policysmith_dsl::Mode;
 
 /// Weight of the queuing-delay penalty in the score.
@@ -18,27 +18,49 @@ pub const DELAY_WEIGHT: f64 = 0.5;
 /// Normalizer: the buffer's worst-case queuing delay on the paper link.
 pub const QDELAY_NORM_US: f64 = 40_000.0;
 
-/// The kernel CC search context.
+/// The kernel CC search context: an emulated link plus an evaluation
+/// length. The paper evaluates on one fixed link; making the scenario a
+/// study *parameter* is what lets the adaptation loop treat a link-property
+/// shift (an RTT or bandwidth step mid-deployment) as just another drifted
+/// context to re-synthesize for.
 pub struct CcStudy {
-    /// Emulation length per evaluation, µs.
-    pub duration_us: u64,
+    cfg: SimConfig,
 }
 
 impl CcStudy {
-    /// Default: 10-second emulated runs (a compromise between fidelity and
-    /// search throughput; the experiment binaries use 30 s like the paper).
+    /// Default: the paper link with 10-second emulated runs (a compromise
+    /// between fidelity and search throughput; the experiment binaries use
+    /// 30 s like the paper).
     pub fn new() -> Self {
-        CcStudy { duration_us: 10_000_000 }
+        Self::with_duration(10_000_000)
     }
 
-    /// Explicit emulation length.
+    /// The paper link with an explicit emulation length.
     pub fn with_duration(duration_us: u64) -> Self {
-        CcStudy { duration_us }
+        let mut cfg = SimConfig::paper_scenario();
+        cfg.duration_us = duration_us;
+        CcStudy { cfg }
+    }
+
+    /// An explicit emulated scenario — a drifted link (longer RTT, less
+    /// bandwidth, deeper buffer) is a different search context.
+    pub fn with_scenario(cfg: SimConfig) -> Self {
+        CcStudy { cfg }
+    }
+
+    /// Emulation length per evaluation, µs.
+    pub fn duration_us(&self) -> u64 {
+        self.cfg.duration_us
+    }
+
+    /// The emulated scenario candidates are scored on.
+    pub fn scenario(&self) -> &SimConfig {
+        &self.cfg
     }
 
     /// The §5.0.3 metrics for one verified candidate.
     pub fn metrics(&self, candidate: &VerifiedCandidate) -> policysmith_cc::CcMetrics {
-        evaluate(Box::new(KbpfCc::new(candidate.clone())), self.duration_us)
+        evaluate_with(self.cfg, Box::new(KbpfCc::new(candidate.clone())))
     }
 }
 

@@ -194,6 +194,12 @@ impl std::error::Error for RuntimeFault {}
 
 /// A candidate that survived the compile-once pipeline: checked, lowered,
 /// verified, ready for zero-allocation execution.
+///
+/// A `CompiledPolicy` is immutable owned data (`Send + Sync + Clone`): a
+/// serving runtime may publish one through a lock-free handle and let any
+/// number of threads execute it concurrently — [`run`](Self::run) takes
+/// `&self` and keeps all mutable state in caller-owned buffers. The
+/// assertion below makes that contract a compile-time fact, not a habit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledPolicy {
     expr: Expr,
@@ -201,6 +207,13 @@ pub struct CompiledPolicy {
     program: Program,
     verification: Verification,
 }
+
+// The serving-runtime contract: policies cross threads and are shared
+// behind swap handles. Breaking it (an Rc, a Cell) must fail to compile.
+const _: () = {
+    const fn requires_send_sync_clone<T: Send + Sync + Clone>() {}
+    requires_send_sync_clone::<CompiledPolicy>()
+};
 
 impl CompiledPolicy {
     /// Run the full pipeline on a parsed candidate: template check (with

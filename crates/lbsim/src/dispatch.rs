@@ -216,6 +216,15 @@ impl Dispatcher for Box<dyn Dispatcher> {
     }
 }
 
+impl<D: Dispatcher + ?Sized> Dispatcher for &mut D {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn pick(&mut self, view: &DispatchView<'_>) -> usize {
+        (**self).pick(view)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,6 +47,14 @@ impl Scenario {
         self.workload.arrivals.mean_rate_per_sec() * self.workload.sizes.mean()
             / self.fleet_capacity_per_sec()
     }
+
+    /// The same context with a different workload seed — how a serving
+    /// runtime shards one preset across thread-confined worker engines
+    /// (each worker replays its own statistically-identical stream).
+    pub fn with_seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
 }
 
 fn fleet(specs: &[(usize, u32, usize)]) -> Vec<ServerCfg> {

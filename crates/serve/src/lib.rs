@@ -1,0 +1,49 @@
+//! # policysmith-serve — the online policy-serving runtime
+//!
+//! The paper's §3.1 loop ends at "deploy the synthesized policy"; this
+//! crate is the deployment. It closes the gap between the offline world
+//! (batch simulators, stop-the-world re-synthesis) and the ROADMAP's
+//! production-shaped one: **serve decision requests continuously, adapt in
+//! the background, and never pause the traffic**.
+//!
+//! Three layers:
+//!
+//! * [`swap`] — the lock-free hot-swap handle: a [`PolicyCell`] publishes
+//!   a new [`CompiledPolicy`](policysmith_kbpf::CompiledPolicy) with one
+//!   atomic pointer swap; in-flight decisions never observe a torn value,
+//!   and deposed policies are reclaimed by a small epoch-based scheme
+//!   once no reader can still hold them. Every publish lands in the serve
+//!   log with generation, provenance, and timestamp.
+//! * [`loadgen`] — the deterministic open-loop load generator: the seven
+//!   lb scenario presets (single- or multi-phase; a phase boundary is the
+//!   drift injection) and cache trace replay via `crates/traces`, sharded
+//!   across workers by reseeding so every thread-confined engine replays
+//!   its own stream.
+//! * [`runtime`] — N serving workers (lb dispatch picks off an
+//!   [`LbEngine`](policysmith_lbsim::LbEngine) fleet, cache admit/evict
+//!   priority decisions off a [`Cache`](policysmith_cachesim::Cache)), a
+//!   telemetry channel into the
+//!   [`ContextMonitor`](policysmith_core::library::ContextMonitor), and a
+//!   background adaptation thread running the
+//!   [`AdaptiveController`](policysmith_core::library::AdaptiveController)'s
+//!   non-blocking split: consult the heuristic library on drift, fall
+//!   back to a full pipelined [`run_search`](policysmith_core::run_search),
+//!   publish the winner through the cell.
+//!
+//! The no-drift contract is differential: a single-worker serve run with
+//! no publishes is **decision-for-decision identical** to the equivalent
+//! batch simulator run (`tests/differential.rs` pins this, pick sequences
+//! included). Throughput, decision-latency percentiles, adoption-pause
+//! distribution, and the drift-recovery timeline are measured by the
+//! `exp_serve` bench bin (`results/serve.json`).
+
+pub mod loadgen;
+pub mod runtime;
+pub mod swap;
+pub mod telemetry;
+
+pub use runtime::{
+    serve_cache, serve_lb, AdaptationEvent, Resynth, ServeConfig, ServeReport, WorkerStats,
+};
+pub use swap::{Guard, PolicyCell, ReaderHandle, SwapRecord};
+pub use telemetry::{LatencyHistogram, WindowSample};

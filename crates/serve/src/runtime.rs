@@ -1,0 +1,522 @@
+//! The serving runtime: N worker threads answering decision requests off
+//! thread-confined simulator engines, one hot-swap [`PolicyCell`], and a
+//! background adaptation thread running the §3.1 loop continuously.
+//!
+//! ## Decision path (per worker, lock-free)
+//!
+//! A worker owns its backing engine (a [`policysmith_lbsim::LbEngine`] fleet or a
+//! [`Cache`]) and a host built from the policy generation it last
+//! adopted. Per decision it (1) checks [`PolicyCell::generation`] — one
+//! relaxed atomic load; (2) on change, pins an epoch guard, clones the
+//! new policy out of the cell, rebuilds its host, and records the
+//! adoption pause; (3) runs the decision through the host. Decisions are
+//! never dropped and never block on a lock: a publish lands *between*
+//! two decisions, never inside one.
+//!
+//! ## Adaptation path (background, never stops serving)
+//!
+//! Workers stream per-window [`WindowSample`]s (window quality signal,
+//! decision counts, serving generation) over a channel. The adaptation
+//! thread feeds the signal into the
+//! `AdaptiveController`'s
+//! [`ContextMonitor`]; on drift it runs the controller's non-blocking
+//! split — `try_reuse` against the heuristic library, then a full
+//! [`run_search`] (the pipelined executor) when nothing stored fits — and
+//! publishes the winner through the cell. Serving continues at full rate
+//! throughout; the only cost any worker ever pays is its own adoption
+//! pause (microseconds, measured).
+
+use crate::swap::{PolicyCell, ReaderHandle, SwapRecord};
+use crate::telemetry::{LatencyHistogram, WindowSample};
+use policysmith_cachesim::{Cache, PriorityPolicy, SimResult};
+use policysmith_core::library::{Adaptation, AdaptiveController, ContextMonitor};
+use policysmith_core::search::{run_search, SearchConfig, Study};
+use policysmith_dsl::Mode;
+use policysmith_gen::Generator;
+use policysmith_kbpf::CompiledPolicy;
+use policysmith_lbsim::{
+    run_phased_windowed, DispatchView, Dispatcher, ExprDispatcher, LbMetrics, Scenario,
+};
+use policysmith_traces::Trace;
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Runtime knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker (serving) threads.
+    pub workers: usize,
+    /// Decisions per telemetry window.
+    pub window: usize,
+    /// Sample every k-th decision's latency (1 = all; >1 keeps the
+    /// clock off the hot path at high decision rates).
+    pub latency_sample_every: u64,
+    /// Drift monitor: rolling windows per mean.
+    pub monitor_window: usize,
+    /// Drift monitor: degradation tolerance (e.g. 1.35 = trigger at +35%).
+    pub monitor_tolerance: f64,
+    /// Reuse bar for stored heuristics on drift (study-score units).
+    pub min_reuse_score: f64,
+    /// Record every decision (the differential tests; costs memory).
+    pub record_decisions: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            window: 500,
+            latency_sample_every: 4,
+            monitor_window: 6,
+            monitor_tolerance: 1.35,
+            min_reuse_score: 0.0,
+            record_decisions: false,
+        }
+    }
+}
+
+/// The background re-synthesis half of a serve run: the drifted-context
+/// study the controller scores against, and the generator + search budget
+/// it may spend. `None` disables adaptation (the cell still accepts
+/// external publishes).
+pub struct Resynth<S: Study> {
+    /// Context name recorded in the library (e.g. `lb/slow-node-onset`).
+    pub context: String,
+    /// Study of the (drifted) context.
+    pub study: S,
+    /// Generator the background search drives.
+    pub generator: Box<dyn Generator + Send>,
+    /// Search budget. Use [`SearchConfig::pipelined`] — the search runs on
+    /// the adaptation thread and should keep its eval workers busy.
+    pub search: SearchConfig,
+}
+
+/// What one drift trigger did, for the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptationEvent {
+    /// Generation the answer was published as.
+    pub generation: u64,
+    /// Context the controller adapted to.
+    pub context: String,
+    /// Did a fresh search run and win (vs a library reuse)?
+    pub resynthesized: bool,
+    /// Deployed policy's score in the drifted context.
+    pub score: f64,
+    /// Deployed policy source.
+    pub source: String,
+    /// Microseconds from drift trigger to publish (the background
+    /// re-synthesis latency — serving continues throughout).
+    pub resynthesis_micros: u64,
+}
+
+/// One worker's serving outcome.
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Decisions served (every offered request was decided — the runtime
+    /// never drops or blocks a decision).
+    pub decisions: u64,
+    /// Wall-clock seconds spent serving.
+    pub wall_seconds: f64,
+    /// Sampled decision latencies, ns.
+    pub latency: LatencyHistogram,
+    /// Policy-adoption pauses, ns (one entry per generation adopted after
+    /// the first).
+    pub swap_pauses_ns: Vec<u64>,
+    /// Final cumulative lb metrics (lb workers).
+    pub lb_metrics: Option<LbMetrics>,
+    /// Final cache counters (cache workers).
+    pub cache_result: Option<SimResult>,
+    /// Every decision in order (only when
+    /// [`ServeConfig::record_decisions`]): lb = server index picked,
+    /// cache = 1 hit / 0 miss.
+    pub decisions_log: Option<Vec<u32>>,
+}
+
+/// Everything a finished serve run reports.
+pub struct ServeReport {
+    /// Per-worker outcomes.
+    pub workers: Vec<WorkerStats>,
+    /// Every telemetry window, in controller-arrival order.
+    pub windows: Vec<WindowSample>,
+    /// The serve log (one entry per publish).
+    pub swaps: Vec<SwapRecord>,
+    /// Every background adaptation that changed the live policy, in order.
+    pub adaptations: Vec<AdaptationEvent>,
+    /// Drift triggers whose adaptation re-selected the already-live
+    /// source: answered by the controller, but not published (a no-op
+    /// swap would only churn generations). A noisy quality signal under a
+    /// tight tolerance shows up here instead of in the swap log.
+    pub suppressed_triggers: u64,
+    /// The controller after the run (library, monitor, adaptation trail).
+    pub controller: AdaptiveController,
+    /// Wall-clock seconds from first worker start to last worker finish.
+    pub wall_seconds: f64,
+}
+
+impl ServeReport {
+    /// Total decisions across workers.
+    pub fn total_decisions(&self) -> u64 {
+        self.workers.iter().map(|w| w.decisions).sum()
+    }
+
+    /// Aggregate decisions per second (total decisions over the run's
+    /// wall time — the sustained-throughput figure).
+    pub fn decisions_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_decisions() as f64 / self.wall_seconds
+    }
+
+    /// Fleet-wide latency histogram (merged worker samples).
+    pub fn latency(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for w in &self.workers {
+            h.merge(&w.latency);
+        }
+        h
+    }
+
+    /// All adoption pauses across workers, ns.
+    pub fn swap_pauses_ns(&self) -> Vec<u64> {
+        let mut v: Vec<u64> =
+            self.workers.iter().flat_map(|w| w.swap_pauses_ns.iter().copied()).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Serve lb dispatch decisions: worker `w` plays `shards[w]` (a phase
+/// sequence — phase boundaries are the drift injection) through its own
+/// [`policysmith_lbsim::LbEngine`], dispatching every arrival with the currently-published
+/// policy. See [`lb_shards`](crate::loadgen::lb_shards) for building the shards.
+pub fn serve_lb<S: Study + Send>(
+    shards: &[Vec<Scenario>],
+    initial: CompiledPolicy,
+    cfg: &ServeConfig,
+    resynth: Option<Resynth<S>>,
+) -> ServeReport {
+    assert!(!shards.is_empty() && shards.iter().all(|s| !s.is_empty()), "need phases per worker");
+    debug_assert_eq!(initial.mode(), Mode::Lb);
+    serve(cfg, initial, resynth, shards, |worker, shard, handle, tx, c| {
+        run_lb_worker(worker, shard, handle, tx, c)
+    })
+}
+
+/// Serve cache decisions: worker `w` replays `shards[w]` through its own
+/// [`Cache`] sized at `capacity` bytes, every request priced by the
+/// currently-published priority policy. See [`CacheReplay`](crate::loadgen::CacheReplay).
+pub fn serve_cache<S: Study + Send>(
+    shards: &[Trace],
+    capacity: u64,
+    initial: CompiledPolicy,
+    cfg: &ServeConfig,
+    resynth: Option<Resynth<S>>,
+) -> ServeReport {
+    assert!(!shards.is_empty(), "need a trace per worker");
+    debug_assert_eq!(initial.mode(), Mode::Cache);
+    serve(cfg, initial, resynth, shards, move |worker, trace, handle, tx, c| {
+        run_cache_worker(worker, trace, capacity, handle, tx, c)
+    })
+}
+
+/// The shared scaffold: spawn one worker per shard plus the adaptation
+/// thread, join everything, assemble the report.
+fn serve<S: Study + Send, Shard: Sync>(
+    cfg: &ServeConfig,
+    initial: CompiledPolicy,
+    resynth: Option<Resynth<S>>,
+    shards: &[Shard],
+    worker_fn: impl Fn(
+            usize,
+            &Shard,
+            ReaderHandle<'_, CompiledPolicy>,
+            &mpsc::Sender<WindowSample>,
+            &ServeConfig,
+        ) -> WorkerStats
+        + Sync,
+) -> ServeReport {
+    let mode = initial.mode();
+    let initial_expr = initial.expr().clone();
+    let cell = PolicyCell::new(initial, shards.len() + 1);
+    let (tx, rx) = mpsc::channel::<WindowSample>();
+    let monitor = ContextMonitor::new(cfg.monitor_window, cfg.monitor_tolerance);
+    let mut controller = AdaptiveController::new(monitor, cfg.min_reuse_score);
+
+    let t0 = Instant::now();
+    let (stats, background) = std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(shards.len());
+        for (w, shard) in shards.iter().enumerate() {
+            let handle = cell.register();
+            let tx = tx.clone();
+            let cfg = cfg.clone();
+            let worker_fn = &worker_fn;
+            joins.push(scope.spawn(move || worker_fn(w, shard, handle, &tx, &cfg)));
+        }
+        drop(tx); // the adaptation loop ends when the last worker hangs up
+        let ctrl = &mut controller;
+        let cellref = &cell;
+        let background =
+            scope.spawn(move || adaptation_loop(rx, ctrl, resynth, cellref, mode, initial_expr));
+        let stats: Vec<WorkerStats> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        (stats, background.join().unwrap())
+    });
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let (windows, adaptations, suppressed_triggers) = background;
+
+    ServeReport {
+        workers: stats,
+        windows,
+        swaps: cell.swap_log(),
+        adaptations,
+        suppressed_triggers,
+        controller,
+        wall_seconds,
+    }
+}
+
+/// The background §3.1 loop: drain telemetry, detect drift, answer it
+/// without ever pausing the workers.
+fn adaptation_loop<S: Study>(
+    rx: mpsc::Receiver<WindowSample>,
+    controller: &mut AdaptiveController,
+    mut resynth: Option<Resynth<S>>,
+    cell: &PolicyCell<CompiledPolicy>,
+    mode: Mode,
+    initial_expr: policysmith_dsl::Expr,
+) -> (Vec<WindowSample>, Vec<AdaptationEvent>, u64) {
+    let mut windows = Vec::new();
+    let mut adaptations = Vec::new();
+    let mut live_expr = initial_expr;
+    let mut suppressed = 0u64;
+    while let Ok(sample) = rx.recv() {
+        // Only observe windows served by the live generation: samples that
+        // were in flight while a search ran describe the deposed policy,
+        // and re-triggering on them would answer drift that is already
+        // answered.
+        let stale = sample.generation < cell.generation();
+        let signal = sample.signal;
+        windows.push(sample);
+        if stale || !controller.observe(signal) {
+            continue;
+        }
+        let Some(r) = resynth.as_mut() else { continue };
+        let t0 = Instant::now();
+        let adaptation = match controller.try_reuse(&r.study) {
+            Ok(a) => a,
+            Err(ticket) => {
+                // The blocking part runs HERE, on the adaptation thread —
+                // workers keep serving decisions against the old policy
+                // until the publish below.
+                let outcome = run_search(&r.study, r.generator.as_mut(), &r.search);
+                controller.finish_search(&r.context, ticket, outcome.best)
+            }
+        };
+        let source = adaptation.entry().source.clone();
+        let expr = policysmith_dsl::parse(&source).expect("library sources parse");
+        if expr == live_expr {
+            // the controller re-selected what is already serving — the
+            // initially-deployed policy included (the comparison is
+            // structural, so formatting differences don't defeat it): a
+            // noisy signal re-fired the monitor, and publishing again
+            // would only churn generations for a policy nobody replaces
+            suppressed += 1;
+            continue;
+        }
+        let policy = CompiledPolicy::compile(&expr, mode)
+            .expect("adaptation winners survived this study's checker");
+        let (verb, score) = match &adaptation {
+            Adaptation::FromLibrary { score, .. } => ("reused", *score),
+            Adaptation::Resynthesized { entry } => ("resynthesized", entry.score),
+        };
+        let generation = cell.publish(
+            policy,
+            format!(
+                "adaptation #{}: {verb} for {} ({score:+.4})",
+                adaptations.len() + 1,
+                r.context
+            ),
+        );
+        adaptations.push(AdaptationEvent {
+            generation,
+            context: r.context.clone(),
+            resynthesized: adaptation.resynthesized(),
+            score,
+            source: source.clone(),
+            resynthesis_micros: t0.elapsed().as_micros() as u64,
+        });
+        live_expr = expr;
+    }
+    (windows, adaptations, suppressed)
+}
+
+/// The lb worker's serving host, layered over the batch engine's own
+/// phased driver: per pick it (1) adopts any newly published generation
+/// (pin → clone → rebuild, timed as the adoption pause), (2) scores the
+/// fleet with the live compiled policy, sampling decision latency and
+/// optionally recording the pick. Because the worker drives
+/// [`run_phased_windowed`] with this host, the serve path *is* the batch
+/// path plus this wrapper — the decision-identity guarantee is structural,
+/// not mirrored code.
+struct ServeLbHost<'h, 'c> {
+    handle: &'h mut ReaderHandle<'c, CompiledPolicy>,
+    inner: ExprDispatcher,
+    /// Shared with the window callback so samples can report the
+    /// generation that served them (worker-local, single-threaded).
+    generation: Rc<Cell<u64>>,
+    pauses_ns: Vec<u64>,
+    latency: LatencyHistogram,
+    sample_every: u64,
+    decisions: u64,
+    log: Option<Vec<u32>>,
+}
+
+impl Dispatcher for ServeLbHost<'_, '_> {
+    fn name(&self) -> &str {
+        "serve"
+    }
+
+    fn pick(&mut self, view: &DispatchView<'_>) -> usize {
+        let now = self.handle.cell().generation();
+        if now != self.generation.get() {
+            let t0 = Instant::now();
+            let policy = self.handle.pin().clone();
+            self.inner = ExprDispatcher::new("serve", policy);
+            self.generation.set(now);
+            self.pauses_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+        let sampled = self.sample_every <= 1 || self.decisions.is_multiple_of(self.sample_every);
+        let t0 = sampled.then(Instant::now);
+        let p = self.inner.pick(view);
+        if let Some(t0) = t0 {
+            self.latency.record(t0.elapsed().as_nanos() as u64);
+        }
+        if let Some(log) = self.log.as_mut() {
+            log.push(p as u32);
+        }
+        self.decisions += 1;
+        p
+    }
+}
+
+fn run_lb_worker(
+    worker: usize,
+    phases: &[Scenario],
+    mut handle: ReaderHandle<'_, CompiledPolicy>,
+    tx: &mpsc::Sender<WindowSample>,
+    cfg: &ServeConfig,
+) -> WorkerStats {
+    let started = Instant::now();
+    // initial adoption is deployment, not a swap: not a recorded pause
+    let initial_generation = handle.cell().generation();
+    let initial = handle.pin().clone();
+    let generation = Rc::new(Cell::new(initial_generation));
+    let mut host = ServeLbHost {
+        handle: &mut handle,
+        inner: ExprDispatcher::new("serve", initial),
+        generation: Rc::clone(&generation),
+        pauses_ns: Vec::new(),
+        latency: LatencyHistogram::new(),
+        sample_every: cfg.latency_sample_every,
+        decisions: 0,
+        log: cfg.record_decisions.then(Vec::new),
+    };
+    let mut seq = 0u64;
+    let phased = run_phased_windowed(phases, &mut host, cfg.window, &mut |phase, interval| {
+        let _ = tx.send(WindowSample {
+            worker,
+            seq,
+            phase,
+            decisions: interval.offered,
+            signal: interval.resolved_slowdown(),
+            generation: generation.get(),
+            at_micros: started.elapsed().as_micros() as u64,
+        });
+        seq += 1;
+    });
+
+    WorkerStats {
+        worker,
+        decisions: host.decisions,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        latency: host.latency,
+        swap_pauses_ns: host.pauses_ns,
+        lb_metrics: Some(phased.combined),
+        cache_result: None,
+        decisions_log: host.log,
+    }
+}
+
+fn run_cache_worker(
+    worker: usize,
+    trace: &Trace,
+    capacity: u64,
+    mut handle: ReaderHandle<'_, CompiledPolicy>,
+    tx: &mpsc::Sender<WindowSample>,
+    cfg: &ServeConfig,
+) -> WorkerStats {
+    // swap-capable hosts keep every tracker warm (see `track_everything`)
+    let initial = handle.pin().clone();
+    let mut cache = Cache::new(capacity, PriorityPolicy::new("serve", initial).track_everything());
+    let mut generation = handle.cell().generation();
+    let mut pauses_ns = Vec::new();
+    let mut latency = LatencyHistogram::new();
+    let mut log = cfg.record_decisions.then(Vec::new);
+    let mut decisions = 0u64;
+    let started = Instant::now();
+
+    for (seq, chunk) in trace.requests.chunks(cfg.window).enumerate() {
+        let before = cache.result();
+        for req in chunk {
+            let now = handle.cell().generation();
+            if now != generation {
+                let t0 = Instant::now();
+                let policy = handle.pin().clone();
+                cache.policy.swap_policy(policy);
+                generation = now;
+                pauses_ns.push(t0.elapsed().as_nanos() as u64);
+            }
+            let sampled =
+                cfg.latency_sample_every <= 1 || decisions.is_multiple_of(cfg.latency_sample_every);
+            let t0 = sampled.then(Instant::now);
+            let hit = cache.request(req);
+            if let Some(t0) = t0 {
+                latency.record(t0.elapsed().as_nanos() as u64);
+            }
+            if let Some(log) = log.as_mut() {
+                log.push(hit as u32);
+            }
+            decisions += 1;
+        }
+        let after = cache.result();
+        let window_requests = after.requests - before.requests;
+        let window_mr = if window_requests == 0 {
+            0.0
+        } else {
+            (after.misses - before.misses) as f64 / window_requests as f64
+        };
+        let _ = tx.send(WindowSample {
+            worker,
+            seq: seq as u64,
+            phase: 0,
+            decisions: window_requests,
+            signal: window_mr,
+            generation,
+            at_micros: started.elapsed().as_micros() as u64,
+        });
+    }
+
+    WorkerStats {
+        worker,
+        decisions,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        latency,
+        swap_pauses_ns: pauses_ns,
+        lb_metrics: None,
+        cache_result: Some(cache.result()),
+        decisions_log: log,
+    }
+}

@@ -1,0 +1,326 @@
+//! The lock-free hot-swap handle: an arc-swap-style publication cell with
+//! epoch-based reclamation.
+//!
+//! A [`PolicyCell`] owns the live policy. Writer side: the background
+//! adaptation thread [`publish`](PolicyCell::publish)es a replacement with
+//! one atomic pointer swap — in-flight readers never observe a torn value,
+//! because the swap replaces a *pointer*, never mutates the pointee.
+//! Reader side: each serving worker [`register`](PolicyCell::register)s
+//! once and then [`pin`](ReaderHandle::pin)s an epoch guard around every
+//! access; the guard's borrow is valid for as long as it is held, no
+//! matter how many publishes land meanwhile.
+//!
+//! Deposed policies are retired, not freed: a retired value is reclaimed
+//! only once every registered reader has advanced past the epoch of its
+//! retirement (or is quiescent). The scheme is the classic epoch-based
+//! reclamation argument, kept deliberately small:
+//!
+//! * the cell holds a global epoch counter, bumped **after** each pointer
+//!   swap;
+//! * a reader pins by loading the global epoch into its own slot *before*
+//!   loading the pointer (both `SeqCst`). If the slot holds epoch `e ≥ r`
+//!   (the bump of some retirement `r`), the reader's pointer load is after
+//!   the swap in the `SeqCst` total order — it cannot hold the value
+//!   retired at `r`;
+//! * the writer therefore frees a retirement `r` once
+//!   `min(active reader epochs) ≥ r`; quiescent readers (slot =
+//!   `u64::MAX`) hold nothing and never block reclamation.
+//!
+//! Every publish is recorded in the serve log ([`SwapRecord`]): generation
+//! counter, provenance string, swap timestamp, and the retire backlog at
+//! that instant — the audit trail the `exp_serve` drift timeline renders.
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Metadata of one [`PolicyCell::publish`] — the serve log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapRecord {
+    /// Generation installed by this publish (the initial value is
+    /// generation 0; the first publish installs generation 1).
+    pub generation: u64,
+    /// Who/why: e.g. `"adaptation #1: resynthesized for lb/slow-node-onset"`.
+    pub provenance: String,
+    /// Microseconds since the cell was created.
+    pub at_micros: u64,
+    /// Retired-but-unreclaimed values immediately after this publish
+    /// (readers still pinned in older epochs keep them alive).
+    pub retire_backlog: usize,
+}
+
+/// A lock-free publication cell for `Send + Sync` values (compiled
+/// policies, in this crate), with epoch-based reclamation of deposed
+/// values. See the [module docs](self) for the safety argument.
+pub struct PolicyCell<T: Send + Sync> {
+    /// The live value. Only ever swapped whole; pointees are immutable.
+    current: AtomicPtr<T>,
+    /// Global epoch == number of publishes so far. Doubles as the cheap
+    /// per-decision "did anything change?" generation counter.
+    epoch: AtomicU64,
+    /// Per-reader pinned epochs; `u64::MAX` = quiescent.
+    readers: Box<[AtomicU64]>,
+    registered: AtomicUsize,
+    /// Retired values: `(retire_epoch, ptr)`, reclaimed on later publishes
+    /// and on drop.
+    retired: Mutex<Vec<(u64, *mut T)>>,
+    log: Mutex<Vec<SwapRecord>>,
+    start: Instant,
+}
+
+// The raw pointers all came from `Box<T>` with `T: Send + Sync`; the cell
+// hands out only `&T` (via guards) and frees under the reclamation
+// protocol, so sharing the cell across threads is sound.
+unsafe impl<T: Send + Sync> Send for PolicyCell<T> {}
+unsafe impl<T: Send + Sync> Sync for PolicyCell<T> {}
+
+impl<T: Send + Sync> PolicyCell<T> {
+    /// A cell serving `initial` at generation 0, with capacity for
+    /// `max_readers` registered reader handles.
+    pub fn new(initial: T, max_readers: usize) -> PolicyCell<T> {
+        PolicyCell {
+            current: AtomicPtr::new(Box::into_raw(Box::new(initial))),
+            epoch: AtomicU64::new(0),
+            readers: (0..max_readers).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            registered: AtomicUsize::new(0),
+            retired: Mutex::new(Vec::new()),
+            log: Mutex::new(Vec::new()),
+            start: Instant::now(),
+        }
+    }
+
+    /// Register one reader (typically: one serving worker thread). Panics
+    /// once `max_readers` handles exist — reclamation scans exactly the
+    /// registered slots, so handles must never be minted ad hoc.
+    pub fn register(&self) -> ReaderHandle<'_, T> {
+        let slot = self.registered.fetch_add(1, Ordering::SeqCst);
+        assert!(slot < self.readers.len(), "reader capacity exhausted ({})", self.readers.len());
+        ReaderHandle { cell: self, slot }
+    }
+
+    /// The current generation — an atomic load, cheap enough for a
+    /// serving worker to check on **every** decision. Workers compare it
+    /// against the generation they last adopted and re-pin only on change;
+    /// a momentarily stale read just delays adoption by one decision.
+    pub fn generation(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Publish a new value: one pointer swap (readers never see a torn
+    /// value — they see the old pointee or the new one, both intact),
+    /// retire the deposed value, reclaim whatever no reader can still
+    /// hold, and append to the serve log. Returns the new generation.
+    pub fn publish(&self, value: T, provenance: impl Into<String>) -> u64 {
+        let fresh = Box::into_raw(Box::new(value));
+        let old = self.current.swap(fresh, Ordering::SeqCst);
+        // Bump AFTER the swap: a reader pinned at `>= generation` is
+        // guaranteed to load the fresh pointer (SeqCst total order).
+        let generation = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let backlog = {
+            let mut retired = self.retired.lock().unwrap();
+            retired.push((generation, old));
+            self.reclaim_locked(&mut retired);
+            retired.len()
+        };
+        self.log.lock().unwrap().push(SwapRecord {
+            generation,
+            provenance: provenance.into(),
+            at_micros: self.start.elapsed().as_micros() as u64,
+            retire_backlog: backlog,
+        });
+        generation
+    }
+
+    /// Free every retirement no reader can still hold. Caller holds the
+    /// retire lock.
+    fn reclaim_locked(&self, retired: &mut Vec<(u64, *mut T)>) {
+        let n = self.registered.load(Ordering::SeqCst).min(self.readers.len());
+        let min_active =
+            self.readers[..n].iter().map(|r| r.load(Ordering::SeqCst)).min().unwrap_or(u64::MAX);
+        retired.retain(|&(retire_epoch, ptr)| {
+            if retire_epoch <= min_active {
+                // Safety: every registered reader is either quiescent or
+                // pinned at an epoch ≥ the retire epoch, i.e. it loaded
+                // the pointer after this value was deposed.
+                drop(unsafe { Box::from_raw(ptr) });
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Retired values not yet reclaimed (observability; bounded by the
+    /// number of publishes that landed while some reader stayed pinned).
+    pub fn retire_backlog(&self) -> usize {
+        self.retired.lock().unwrap().len()
+    }
+
+    /// The serve log: one [`SwapRecord`] per publish, in order.
+    pub fn swap_log(&self) -> Vec<SwapRecord> {
+        self.log.lock().unwrap().clone()
+    }
+}
+
+impl<T: Send + Sync> Drop for PolicyCell<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no guards can be alive (they borrow the cell).
+        drop(unsafe { Box::from_raw(self.current.load(Ordering::SeqCst)) });
+        for (_, ptr) in self.retired.lock().unwrap().drain(..) {
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
+}
+
+/// One registered reader's identity. [`pin`](Self::pin) takes `&mut self`
+/// so a handle can hold at most one guard at a time — re-pinning under a
+/// live guard would overwrite the slot's epoch and could unpin the value
+/// the guard still borrows.
+pub struct ReaderHandle<'c, T: Send + Sync> {
+    cell: &'c PolicyCell<T>,
+    slot: usize,
+}
+
+impl<'c, T: Send + Sync> ReaderHandle<'c, T> {
+    /// Pin the current epoch and borrow the live value. The borrow stays
+    /// valid until the guard drops, regardless of concurrent publishes.
+    /// Hold guards briefly (one decision, one clone): a pinned reader
+    /// blocks reclamation of everything published since it pinned.
+    pub fn pin(&mut self) -> Guard<'_, 'c, T> {
+        let epoch = self.cell.epoch.load(Ordering::SeqCst);
+        self.cell.readers[self.slot].store(epoch, Ordering::SeqCst);
+        let ptr = self.cell.current.load(Ordering::SeqCst);
+        // Safety: the slot now advertises `epoch`; the reclamation rule
+        // frees only values retired at epochs ≤ every active slot, and the
+        // pointer loaded *after* the slot store (SeqCst order) is at least
+        // as new as any value retired at `epoch` — so it cannot be freed
+        // while this guard lives.
+        Guard { handle: self, value: unsafe { &*ptr } }
+    }
+
+    /// The cell this handle reads from.
+    pub fn cell(&self) -> &'c PolicyCell<T> {
+        self.cell
+    }
+}
+
+/// An epoch-pinned borrow of the live value.
+pub struct Guard<'h, 'c, T: Send + Sync> {
+    handle: &'h ReaderHandle<'c, T>,
+    value: &'h T,
+}
+
+impl<T: Send + Sync> Deref for Guard<'_, '_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value
+    }
+}
+
+impl<T: Send + Sync> Drop for Guard<'_, '_, T> {
+    fn drop(&mut self) {
+        self.handle.cell.readers[self.handle.slot].store(u64::MAX, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_value_is_served_at_generation_zero() {
+        let cell = PolicyCell::new(41u64, 2);
+        assert_eq!(cell.generation(), 0);
+        let mut h = cell.register();
+        assert_eq!(*h.pin(), 41);
+        assert!(cell.swap_log().is_empty());
+    }
+
+    #[test]
+    fn publish_swaps_and_logs() {
+        let cell = PolicyCell::new(1u64, 2);
+        let mut h = cell.register();
+        assert_eq!(cell.publish(2, "first"), 1);
+        assert_eq!(cell.publish(3, "second"), 2);
+        assert_eq!(*h.pin(), 3);
+        let log = cell.swap_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].generation, 1);
+        assert_eq!(log[0].provenance, "first");
+        assert_eq!(log[1].generation, 2);
+        assert!(log[0].at_micros <= log[1].at_micros);
+        // no reader was pinned across the publishes: both deposed values
+        // were reclaimed immediately
+        assert_eq!(cell.retire_backlog(), 0);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_reclamation_until_unpin() {
+        let cell = PolicyCell::new(10u64, 2);
+        let mut h = cell.register();
+        let guard = h.pin();
+        assert_eq!(*guard, 10);
+        cell.publish(20, "while pinned");
+        // the deposed 10 is retired but must NOT be reclaimed: the guard
+        // still borrows it
+        assert_eq!(cell.retire_backlog(), 1);
+        assert_eq!(*guard, 10, "guard keeps the old value, untorn");
+        drop(guard);
+        // next publish reclaims the backlog
+        cell.publish(30, "after unpin");
+        assert_eq!(cell.retire_backlog(), 0);
+        assert_eq!(*h.pin(), 30);
+    }
+
+    #[test]
+    fn reader_pinned_after_a_publish_sees_the_new_value() {
+        let cell = PolicyCell::new(1u64, 1);
+        let mut h = cell.register();
+        for i in 2..50u64 {
+            cell.publish(i, format!("gen {}", i - 1));
+            assert_eq!(*h.pin(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reader capacity exhausted")]
+    fn register_beyond_capacity_panics() {
+        let cell = PolicyCell::new(0u64, 1);
+        let _a = cell.register();
+        let _b = cell.register();
+    }
+
+    #[test]
+    fn drop_reclaims_everything_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Counted {
+            fn new() -> Counted {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Counted
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let cell = PolicyCell::new(Counted::new(), 3);
+            let mut h = cell.register();
+            {
+                let _g = h.pin();
+                for _ in 0..10 {
+                    cell.publish(Counted::new(), "pinned");
+                }
+            }
+            for _ in 0..10 {
+                cell.publish(Counted::new(), "quiescent");
+            }
+            assert!(LIVE.load(Ordering::SeqCst) >= 1);
+        }
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0, "every value dropped exactly once");
+    }
+}
