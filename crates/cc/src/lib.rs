@@ -10,7 +10,11 @@
 //!   kbpf → **verify** (the paper's Checker, §5.0.2) → execute in the VM on
 //!   every `cong_control` invocation, reading the §5.0.1 feature context;
 //! * [`harness`] — the 12 Mbps / 20 ms / 1-BDP evaluation scenario and the
-//!   metrics §5.0.3 reports (bandwidth utilization, mean queuing delay).
+//!   metrics §5.0.3 reports (bandwidth utilization, mean queuing delay);
+//! * [`ebpf_host`] — the kernel-offload twin of [`synth`]'s VM host: the
+//!   same verified candidate emitted to raw eBPF (`crates/ebpf`),
+//!   model-checked, and interpreted with kernel semantics per invocation
+//!   — the paper's struct_ops deployment, emulated end to end.
 //!
 //! ```
 //! use policysmith_cc::{baselines::Reno, harness::evaluate};
@@ -20,9 +24,11 @@
 //! ```
 
 pub mod baselines;
+pub mod ebpf_host;
 pub mod harness;
 pub mod synth;
 
+pub use ebpf_host::{EbpfCc, OffloadError};
 pub use harness::{evaluate, evaluate_with, CcMetrics};
 pub use netsim_reexport::*;
 pub use synth::{check_candidate, KbpfCc, PipelineError, VerifiedCandidate};

@@ -114,9 +114,11 @@ pub fn check_candidate(src: &str) -> Result<VerifiedCandidate, PipelineError> {
 
 /// Adapter exposing a live [`CcView`] (plus the loss flag) as the DSL
 /// feature environment, from which the policy's flat context is filled.
-struct CcEnv<'a> {
-    view: &'a CcView<'a>,
-    loss: bool,
+/// Shared with the eBPF host (`ebpf_host`), so both engines see
+/// bit-identical, range-clamped feature values.
+pub(crate) struct CcEnv<'a> {
+    pub(crate) view: &'a CcView<'a>,
+    pub(crate) loss: bool,
 }
 
 impl FeatureEnv for CcEnv<'_> {

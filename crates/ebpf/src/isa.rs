@@ -1,0 +1,294 @@
+//! Raw eBPF instruction representation and encoding.
+//!
+//! The emitted subset is classic 64-bit eBPF: `BPF_ALU64` arithmetic,
+//! `BPF_JMP` signed conditional jumps, `BPF_LDX`/`BPF_STX` double-word
+//! memory access, the two-slot `LDDW` 64-bit immediate load, and `EXIT`.
+//! Opcode values follow `linux/bpf.h`; [`EbpfInsn::encode`] produces the
+//! 8-byte wire format a loader would feed to `bpf(BPF_PROG_LOAD, …)`.
+//!
+//! Division and remainder are emitted in their *signed* forms (`off = 1`,
+//! the cpu-v4 `sdiv`/`smod` encoding) because the kbpf ISA is signed
+//! throughout; comparisons likewise use the `JSLT`-family signed jumps.
+
+use std::fmt;
+
+// ---- instruction classes (low 3 bits of the code byte) ------------------
+pub const BPF_LD: u8 = 0x00;
+pub const BPF_LDX: u8 = 0x01;
+pub const BPF_STX: u8 = 0x03;
+pub const BPF_ALU64: u8 = 0x07;
+pub const BPF_JMP: u8 = 0x05;
+
+// ---- source modifier ----------------------------------------------------
+pub const BPF_K: u8 = 0x00;
+pub const BPF_X: u8 = 0x08;
+
+// ---- ALU operations (high 4 bits) ---------------------------------------
+pub const BPF_ADD: u8 = 0x00;
+pub const BPF_SUB: u8 = 0x10;
+pub const BPF_MUL: u8 = 0x20;
+pub const BPF_DIV: u8 = 0x30;
+pub const BPF_LSH: u8 = 0x60;
+pub const BPF_NEG: u8 = 0x80;
+pub const BPF_MOD: u8 = 0x90;
+pub const BPF_MOV: u8 = 0xb0;
+pub const BPF_ARSH: u8 = 0xc0;
+
+// ---- JMP operations ------------------------------------------------------
+pub const BPF_JA: u8 = 0x00;
+pub const BPF_JEQ: u8 = 0x10;
+pub const BPF_JNE: u8 = 0x50;
+pub const BPF_JSGT: u8 = 0x60;
+pub const BPF_JSGE: u8 = 0x70;
+pub const BPF_EXIT: u8 = 0x90;
+pub const BPF_JSLT: u8 = 0xc0;
+pub const BPF_JSLE: u8 = 0xd0;
+
+// ---- memory size / mode --------------------------------------------------
+pub const BPF_DW: u8 = 0x18;
+pub const BPF_IMM: u8 = 0x00;
+pub const BPF_MEM: u8 = 0x60;
+
+/// `sdiv`/`smod`: signed division is selected by `off = 1` on
+/// `BPF_DIV`/`BPF_MOD` (the cpu-v4 encoding).
+pub const SIGNED_DIV_OFF: i16 = 1;
+
+/// One 8-byte eBPF instruction slot. A `LDDW` occupies two consecutive
+/// slots; the second carries the upper 32 immediate bits and `code = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EbpfInsn {
+    pub code: u8,
+    pub dst: u8,
+    pub src: u8,
+    pub off: i16,
+    pub imm: i32,
+}
+
+impl EbpfInsn {
+    pub const fn new(code: u8, dst: u8, src: u8, off: i16, imm: i32) -> EbpfInsn {
+        EbpfInsn { code, dst, src, off, imm }
+    }
+
+    /// ALU64 register-form: `dst = dst <op> src`.
+    pub fn alu_x(op: u8, dst: u8, src: u8) -> EbpfInsn {
+        EbpfInsn::new(BPF_ALU64 | BPF_X | op, dst, src, 0, 0)
+    }
+
+    /// ALU64 immediate-form: `dst = dst <op> imm`.
+    pub fn alu_k(op: u8, dst: u8, imm: i32) -> EbpfInsn {
+        EbpfInsn::new(BPF_ALU64 | BPF_K | op, dst, 0, 0, imm)
+    }
+
+    /// `dst = src` (64-bit register move).
+    pub fn mov_x(dst: u8, src: u8) -> EbpfInsn {
+        Self::alu_x(BPF_MOV, dst, src)
+    }
+
+    /// `dst = imm` (sign-extended 32-bit immediate).
+    pub fn mov_k(dst: u8, imm: i32) -> EbpfInsn {
+        Self::alu_k(BPF_MOV, dst, imm)
+    }
+
+    /// Two-slot `LDDW`: `dst = imm` for a full 64-bit immediate.
+    pub fn lddw(dst: u8, imm: i64) -> [EbpfInsn; 2] {
+        [
+            EbpfInsn::new(BPF_LD | BPF_IMM | BPF_DW, dst, 0, 0, imm as i32),
+            EbpfInsn::new(0, 0, 0, 0, (imm >> 32) as i32),
+        ]
+    }
+
+    /// `dst = *(u64 *)(base + off)`.
+    pub fn ldx_dw(dst: u8, base: u8, off: i16) -> EbpfInsn {
+        EbpfInsn::new(BPF_LDX | BPF_MEM | BPF_DW, dst, base, off, 0)
+    }
+
+    /// `*(u64 *)(base + off) = src`.
+    pub fn stx_dw(base: u8, off: i16, src: u8) -> EbpfInsn {
+        EbpfInsn::new(BPF_STX | BPF_MEM | BPF_DW, base, src, off, 0)
+    }
+
+    /// Conditional jump, register-form.
+    pub fn jmp_x(op: u8, dst: u8, src: u8, off: i16) -> EbpfInsn {
+        EbpfInsn::new(BPF_JMP | BPF_X | op, dst, src, off, 0)
+    }
+
+    /// Conditional jump, immediate-form.
+    pub fn jmp_k(op: u8, dst: u8, imm: i32, off: i16) -> EbpfInsn {
+        EbpfInsn::new(BPF_JMP | BPF_K | op, dst, 0, off, imm)
+    }
+
+    /// Unconditional jump.
+    pub fn ja(off: i16) -> EbpfInsn {
+        EbpfInsn::new(BPF_JMP | BPF_JA, 0, 0, off, 0)
+    }
+
+    /// Return `r0`.
+    pub fn exit() -> EbpfInsn {
+        EbpfInsn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0)
+    }
+
+    /// Instruction class (low 3 bits).
+    pub fn class(self) -> u8 {
+        self.code & 0x07
+    }
+
+    /// Kernel wire format: code, regs (dst in low nibble), off, imm —
+    /// little-endian, 8 bytes per slot.
+    pub fn encode(self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[0] = self.code;
+        b[1] = (self.src << 4) | (self.dst & 0x0f);
+        b[2..4].copy_from_slice(&self.off.to_le_bytes());
+        b[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        b
+    }
+}
+
+impl fmt::Display for EbpfInsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (d, s, off, imm) = (self.dst, self.src, self.off, self.imm);
+        if self.code == 0 {
+            return write!(f, ".imm64 hi={imm:#x}");
+        }
+        match self.class() {
+            BPF_ALU64 => {
+                let name = match self.code & 0xf0 {
+                    BPF_ADD => "+=",
+                    BPF_SUB => "-=",
+                    BPF_MUL => "*=",
+                    BPF_DIV => "s/=",
+                    BPF_MOD => "s%=",
+                    BPF_LSH => "<<=",
+                    BPF_ARSH => "s>>=",
+                    BPF_MOV => "=",
+                    BPF_NEG => return write!(f, "r{d} = -r{d}"),
+                    other => return write!(f, "alu64 {other:#x} r{d}"),
+                };
+                if self.code & BPF_X != 0 {
+                    write!(f, "r{d} {name} r{s}")
+                } else {
+                    write!(f, "r{d} {name} {imm}")
+                }
+            }
+            BPF_JMP => {
+                let name = match self.code & 0xf0 {
+                    BPF_JA => return write!(f, "goto +{off}"),
+                    BPF_EXIT => return write!(f, "exit"),
+                    BPF_JEQ => "==",
+                    BPF_JNE => "!=",
+                    BPF_JSGT => "s>",
+                    BPF_JSGE => "s>=",
+                    BPF_JSLT => "s<",
+                    BPF_JSLE => "s<=",
+                    other => return write!(f, "jmp {other:#x}"),
+                };
+                if self.code & BPF_X != 0 {
+                    write!(f, "if r{d} {name} r{s} goto +{off}")
+                } else {
+                    write!(f, "if r{d} {name} {imm} goto +{off}")
+                }
+            }
+            BPF_LDX => write!(f, "r{d} = *(u64 *)(r{s} {off:+})"),
+            BPF_STX => write!(f, "*(u64 *)(r{d} {off:+}) = r{s}"),
+            BPF_LD => write!(f, "r{d} = {imm} ll"),
+            other => write!(f, "<class {other:#x}>"),
+        }
+    }
+}
+
+/// The emitted artifact: eBPF instruction slots plus the metadata the model
+/// verifier, interpreter, and C renderer need (the context ABI's declared
+/// slot ranges and the frame size the register allocator reserved).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EbpfProgram {
+    /// Instruction slots (a `LDDW` spans two).
+    pub insns: Vec<EbpfInsn>,
+    /// Declared `[lo, hi]` range of each 8-byte context slot, in slot
+    /// order — `ctx + 8*k` reads a value within `ctx_ranges[k]`.
+    pub ctx_ranges: Vec<(i64, i64)>,
+    /// Bytes of the r10 frame the program uses (≤ 512).
+    pub stack_bytes: usize,
+}
+
+impl EbpfProgram {
+    /// Number of instruction slots.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Encoded size in bytes (8 per slot) — what `results/ebpf.json`
+    /// reports as the loadable artifact size.
+    pub fn byte_len(&self) -> usize {
+        self.insns.len() * 8
+    }
+
+    /// Kernel wire format for the whole program.
+    pub fn encode(&self) -> Vec<u8> {
+        self.insns.iter().flat_map(|i| i.encode()).collect()
+    }
+}
+
+impl fmt::Display for EbpfProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, insn) in self.insns.iter().enumerate() {
+            writeln!(f, "{pc:4}: {insn}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_matches_kernel_layout() {
+        // r2 += r3  →  code 0x0f, regs 0x32
+        let i = EbpfInsn::alu_x(BPF_ADD, 2, 3);
+        assert_eq!(i.encode(), [0x0f, 0x32, 0, 0, 0, 0, 0, 0]);
+        // r1 = 7  →  code 0xb7
+        let i = EbpfInsn::mov_k(1, 7);
+        assert_eq!(i.encode(), [0xb7, 0x01, 0, 0, 7, 0, 0, 0]);
+        // exit  →  0x95
+        assert_eq!(EbpfInsn::exit().encode()[0], 0x95);
+        // r1 = *(u64 *)(r6 + 16)  →  0x79
+        let i = EbpfInsn::ldx_dw(1, 6, 16);
+        assert_eq!(i.encode(), [0x79, 0x61, 16, 0, 0, 0, 0, 0]);
+        // *(u64 *)(r10 - 8) = r1  →  0x7b
+        let i = EbpfInsn::stx_dw(10, -8, 1);
+        assert_eq!(i.encode()[0], 0x7b);
+        assert_eq!(i.encode()[1], 0x1a);
+        assert_eq!(i16::from_le_bytes([i.encode()[2], i.encode()[3]]), -8);
+    }
+
+    #[test]
+    fn lddw_splits_the_immediate() {
+        let v: i64 = 0x1234_5678_9abc_def0u64 as i64;
+        let [a, b] = EbpfInsn::lddw(3, v);
+        assert_eq!(a.code, 0x18);
+        assert_eq!(b.code, 0);
+        let recombined = (a.imm as u32 as u64) | ((b.imm as u32 as u64) << 32);
+        assert_eq!(recombined as i64, v);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(EbpfInsn::alu_x(BPF_ADD, 2, 3).to_string(), "r2 += r3");
+        assert_eq!(EbpfInsn::jmp_k(BPF_JSGE, 1, 0, 4).to_string(), "if r1 s>= 0 goto +4");
+        assert_eq!(EbpfInsn::ldx_dw(1, 6, 16).to_string(), "r1 = *(u64 *)(r6 +16)");
+        assert_eq!(EbpfInsn::stx_dw(10, -8, 2).to_string(), "*(u64 *)(r10 -8) = r2");
+        assert_eq!(EbpfInsn::exit().to_string(), "exit");
+    }
+
+    #[test]
+    fn signed_div_uses_the_offset_encoding() {
+        let mut i = EbpfInsn::alu_x(BPF_DIV, 1, 2);
+        i.off = SIGNED_DIV_OFF;
+        assert_eq!(i.off, 1);
+        assert_eq!(i.to_string(), "r1 s/= r2");
+    }
+}

@@ -1,0 +1,79 @@
+//! # policysmith-ebpf — kernel offload for verified cc policies
+//!
+//! The congestion-control case study (§5 of the paper) deploys generated
+//! decision logic *in the kernel* by compiling it to eBPF and registering
+//! it as a `tcp_congestion_ops` via struct_ops. This crate is that last
+//! mile: it takes a [`CompiledPolicy`] the kbpf pipeline already
+//! verified and produces loadable kernel artifacts, then re-proves and
+//! re-executes them without trusting the emitter:
+//!
+//! * [`emit`](crate::emit::emit) / [`emit_policy`] — lower kbpf bytecode
+//!   to raw eBPF ([`EbpfProgram`]): register allocation from 11 kbpf
+//!   registers onto the 10-register + 512-byte-stack eBPF machine, and a
+//!   **saturation-provability gate** that re-runs the shared interval
+//!   analysis and refuses to emit any instruction whose saturating
+//!   (kbpf) and wrapping (eBPF) results are not provably identical —
+//!   emitted artifacts are decision-identical to the kbpf VM by
+//!   construction, not by testing alone;
+//! * [`check`] — a model of the in-kernel verifier that
+//!   abstractly interprets the *emitted* instructions (termination via
+//!   forward-only jumps, memory safety, non-zero divisors, bounded shift
+//!   amounts, typed `r0`), catching emitter bugs rather than assuming
+//!   their absence;
+//! * [`interp`] — an emulated struct_ops execution engine
+//!   with kernel semantics (wrapping ALU, fresh stack, masked shifts)
+//!   that hosts like `cc::EbpfCc` drive per-ACK on simulated traces,
+//!   making the equivalence claim falsifiable end to end;
+//! * [`c_src`] — a struct_ops C renderer producing a
+//!   host-compilable translation unit with `#ifdef`-gated kernel
+//!   scaffolding (`SEC(".struct_ops")`, `tcp_sock` feature fills,
+//!   per-socket scratch).
+//!
+//! The full offload pipeline in one sitting:
+//!
+//! ```
+//! use policysmith_dsl::{parse, Mode};
+//! use policysmith_kbpf::CompiledPolicy;
+//! use policysmith_ebpf::{emit_policy, model_check, run, render_struct_ops};
+//!
+//! // 1. a searched policy, compiled + verified by the kbpf pipeline
+//! let expr = parse("if(loss, max(cwnd >> 1, 2), cwnd + 1)").unwrap();
+//! let policy = CompiledPolicy::compile(&expr, Mode::Kernel).unwrap();
+//!
+//! // 2. lower to raw eBPF (the gate proves wrap == saturate on the way)
+//! let prog = emit_policy(&policy).unwrap();
+//! assert_eq!(prog.encode().len(), prog.byte_len()); // loadable bytes
+//!
+//! // 3. the model verifier re-proves safety on the emitted artifact
+//! let stats = model_check(&prog).unwrap();
+//! assert!(stats.branches > 0 && stats.r0.0 > i64::MIN);
+//!
+//! // 4. emulated struct_ops execution matches the kbpf VM's decision
+//! //    (ctx slots are in first-use order: loss, then cwnd)
+//! assert_eq!(run(&prog, &[1, 10]).unwrap(), 5); // loss: 10 >> 1
+//! assert_eq!(run(&prog, &[0, 10]).unwrap(), 11); // no loss: 10 + 1
+//!
+//! // 5. and the same bytecode renders as a struct_ops C file
+//! let c = render_struct_ops(policy.program(), policy.layout().features(), "aimd");
+//! assert!(c.contains("struct tcp_congestion_ops"));
+//! ```
+
+pub mod c_src;
+pub mod check;
+pub mod emit;
+pub mod interp;
+pub mod isa;
+
+pub use c_src::render_struct_ops;
+pub use check::{model_check, AbsVal, CheckError, CheckStats};
+pub use emit::{emit, EmitError, EBPF_STACK_BYTES};
+pub use interp::{run, EbpfVmError};
+pub use isa::{EbpfInsn, EbpfProgram};
+
+use policysmith_kbpf::CompiledPolicy;
+
+/// Lower a compiled-and-verified policy to eBPF against its own context
+/// ABI — the convenience entry point hosts use (see the crate example).
+pub fn emit_policy(policy: &CompiledPolicy) -> Result<EbpfProgram, EmitError> {
+    emit::emit(policy.program(), &policy.layout().verify_env())
+}

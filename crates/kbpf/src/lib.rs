@@ -9,6 +9,10 @@
 //! * [`isa`] — a register bytecode closely modeled on eBPF (11 × `i64`
 //!   registers, ALU + conditional forward jumps, context loads, scratch
 //!   map);
+//! * [`range`] — the shared signed-interval domain (transfer functions
+//!   mirroring the saturating DSL semantics, branch refinements) consumed
+//!   by the verifier here and by the eBPF emitter/model-verifier in
+//!   `crates/ebpf`;
 //! * [`verifier`] — a static verifier performing structural checks and an
 //!   interval-domain abstract interpretation that rejects possible
 //!   division-by-zero, uninitialized reads, out-of-bounds accesses, and any
@@ -37,6 +41,7 @@
 pub mod compile;
 pub mod isa;
 pub mod lower;
+pub mod range;
 pub mod verifier;
 pub mod vm;
 
@@ -46,5 +51,6 @@ pub use compile::{
 };
 pub use isa::{Insn, Op, Program, MAX_INSNS, REG_COUNT};
 pub use lower::{LowerError, SPILL_SLOTS};
-pub use verifier::{verify, Interval, VerifyEnv, VerifyError};
+pub use range::Interval;
+pub use verifier::{analyze, verify, AbsState, Analysis, VerifyEnv, VerifyError};
 pub use vm::{execute, execute_verified, execute_with_fuel, VmError};

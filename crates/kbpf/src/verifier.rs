@@ -12,19 +12,28 @@
 //! 2. **Abstract interpretation.** One forward dataflow pass (legal because
 //!    the CFG is a DAG and instruction order is a topological order)
 //!    tracking, per register, either ⊥ (uninitialized) or a signed interval
-//!    `[lo, hi]`. Conditional jumps *refine* intervals on both edges (e.g.
-//!    after `if r1 >= r2` the taken edge knows `r1.lo ≥ r2.lo`), which is
-//!    exactly what lets `x / max(y, 1)` verify while `x / y` is rejected —
-//!    the error pattern the paper reports dominating kernel candidates.
+//!    `[lo, hi]` — the domain lives in [`crate::range`], shared with the
+//!    eBPF emitter and model verifier. Conditional jumps *refine* intervals
+//!    on both edges (e.g. after `if r1 >= r2` the taken edge knows
+//!    `r1.lo ≥ r2.lo`), which is exactly what lets `x / max(y, 1)` verify
+//!    while `x / y` is rejected — the error pattern the paper reports
+//!    dominating kernel candidates. Scratch-map slots are tracked too
+//!    (initialized to ⊤ since the map persists across invocations, narrowed
+//!    by `StMap`), so spill/reload sequences lose no precision.
 //! 3. **Obligations.** No read of ⊥; every `div`/`rem` divisor interval
 //!    must exclude 0; `r0` must be initialized at every `exit`.
 //!
 //! Diagnostics render in the kernel verifier's terse style ("R3 min value 0
 //! is not allowed as divisor") because they are fed back verbatim to the
 //! generator (§5.0.3's +19% repair pass).
+//!
+//! Two entry points: [`verify`] returns just the provable `r0` interval;
+//! [`analyze`] additionally returns the per-instruction abstract states the
+//! eBPF emitter consumes to prove saturating and wrapping arithmetic agree.
 
 use crate::isa::{Insn, Op, Program, MAX_INSNS, REG_COUNT};
-use policysmith_dsl::eval::{div_sat, rem_sat, shl_sat, shr_arith};
+pub use crate::range::Interval;
+use crate::range::{refine_eq, refine_ge, refine_gt, refine_le, refine_lt, refine_ne};
 use std::fmt;
 
 /// Declared execution environment of a program: value ranges for each
@@ -95,6 +104,25 @@ pub enum VerifyError {
     },
 }
 
+impl VerifyError {
+    /// The instruction index the rejection is anchored to, when there is
+    /// one. Program-level rejections (empty, oversized) have no pc.
+    pub fn pc(&self) -> Option<usize> {
+        match self {
+            VerifyError::EmptyProgram | VerifyError::TooManyInsns { .. } => None,
+            VerifyError::BadRegister { pc, .. }
+            | VerifyError::BackEdge { pc, .. }
+            | VerifyError::JumpOutOfBounds { pc, .. }
+            | VerifyError::FallsOffEnd { pc }
+            | VerifyError::CtxOutOfBounds { pc, .. }
+            | VerifyError::MapOutOfBounds { pc, .. }
+            | VerifyError::UninitRead { pc, .. }
+            | VerifyError::DivByZeroPossible { pc, .. }
+            | VerifyError::R0NotSet { pc } => Some(*pc),
+        }
+    }
+}
+
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -137,159 +165,67 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
-/// A signed interval. `Bot` (⊥) is represented as `None` at the register
-/// level; `Interval` itself is always a valid `lo <= hi` pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Interval {
-    pub lo: i64,
-    pub hi: i64,
+/// Abstract machine state at one program point: one optional interval per
+/// register (⊥ = `None`) plus one interval per scratch-map slot (maps start
+/// at ⊤ — their contents persist across invocations, so nothing can be
+/// assumed about a slot before the program's first store to it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsState {
+    pub regs: [Option<Interval>; REG_COUNT as usize],
+    pub maps: Vec<Interval>,
 }
 
-impl Interval {
-    pub const TOP: Interval = Interval { lo: i64::MIN, hi: i64::MAX };
-
-    pub fn exact(v: i64) -> Interval {
-        Interval { lo: v, hi: v }
+impl AbsState {
+    fn entry(map_slots: usize) -> AbsState {
+        AbsState { regs: Default::default(), maps: vec![Interval::TOP; map_slots] }
     }
 
-    pub fn new(lo: i64, hi: i64) -> Interval {
-        debug_assert!(lo <= hi);
-        Interval { lo, hi }
-    }
-
-    /// Least upper bound.
-    pub fn join(self, other: Interval) -> Interval {
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
-    }
-
-    /// Greatest lower bound; `None` if disjoint.
-    pub fn meet(self, other: Interval) -> Option<Interval> {
-        let lo = self.lo.max(other.lo);
-        let hi = self.hi.min(other.hi);
-        (lo <= hi).then_some(Interval { lo, hi })
-    }
-
-    pub fn contains(self, v: i64) -> bool {
-        self.lo <= v && v <= self.hi
-    }
-
-    fn add(self, o: Interval) -> Interval {
-        Interval { lo: self.lo.saturating_add(o.lo), hi: self.hi.saturating_add(o.hi) }
-    }
-
-    fn sub(self, o: Interval) -> Interval {
-        Interval { lo: self.lo.saturating_sub(o.hi), hi: self.hi.saturating_sub(o.lo) }
-    }
-
-    fn mul(self, o: Interval) -> Interval {
-        let c = [
-            self.lo.saturating_mul(o.lo),
-            self.lo.saturating_mul(o.hi),
-            self.hi.saturating_mul(o.lo),
-            self.hi.saturating_mul(o.hi),
-        ];
-        Interval { lo: *c.iter().min().unwrap(), hi: *c.iter().max().unwrap() }
-    }
-
-    /// Division; caller guarantees `o` excludes 0 (so `o` is entirely
-    /// positive or entirely negative, making corner evaluation sound).
-    fn div(self, o: Interval) -> Interval {
-        debug_assert!(!o.contains(0));
-        let c = [
-            div_sat(self.lo, o.lo),
-            div_sat(self.lo, o.hi),
-            div_sat(self.hi, o.lo),
-            div_sat(self.hi, o.hi),
-        ];
-        Interval { lo: *c.iter().min().unwrap(), hi: *c.iter().max().unwrap() }
-    }
-
-    /// Remainder; caller guarantees `o` excludes 0. The result magnitude is
-    /// strictly below `max(|o|)` and its sign follows the dividend.
-    fn rem(self, o: Interval) -> Interval {
-        debug_assert!(!o.contains(0));
-        let m = o.lo.saturating_abs().max(o.hi.saturating_abs()).saturating_sub(1);
-        // rem_sat(i64::MIN, -1) == 0, covered by [−m, m] since m ≥ 0.
-        let _ = rem_sat; // semantics anchor; bounds do not need exact corners
-        let lo = if self.lo >= 0 { 0 } else { -m };
-        let hi = if self.hi <= 0 { 0 } else { m };
-        Interval { lo, hi }
-    }
-
-    fn neg(self) -> Interval {
-        Interval { lo: self.hi.saturating_neg(), hi: self.lo.saturating_neg() }
-    }
-
-    /// Left shift with the DSL/VM clamping semantics.
-    fn shl(self, o: Interval) -> Interval {
-        let amts = [o.lo.clamp(0, 63), o.hi.clamp(0, 63)];
-        let mut lo = i64::MAX;
-        let mut hi = i64::MIN;
-        for v in [self.lo, self.hi] {
-            for a in amts {
-                let r = shl_sat(v, a);
-                lo = lo.min(r);
-                hi = hi.max(r);
-            }
+    fn join_with(&mut self, other: &AbsState) {
+        for i in 0..self.regs.len() {
+            self.regs[i] = match (self.regs[i], other.regs[i]) {
+                (Some(x), Some(y)) => Some(x.join(y)),
+                // A register initialized on only one path is ⊥ after the
+                // join: reading it later must be rejected.
+                _ => None,
+            };
         }
-        // value interval spanning 0 contributes 0 itself
-        if self.contains(0) {
-            lo = lo.min(0);
-            hi = hi.max(0);
+        for (a, b) in self.maps.iter_mut().zip(other.maps.iter()) {
+            *a = a.join(*b);
         }
-        Interval { lo, hi }
-    }
-
-    /// Arithmetic right shift with clamping semantics.
-    fn shr(self, o: Interval) -> Interval {
-        let amts = [o.lo.clamp(0, 63), o.hi.clamp(0, 63)];
-        let mut lo = i64::MAX;
-        let mut hi = i64::MIN;
-        for v in [self.lo, self.hi] {
-            for a in amts {
-                let r = shr_arith(v, a);
-                lo = lo.min(r);
-                hi = hi.max(r);
-            }
-        }
-        if self.contains(0) {
-            lo = lo.min(0);
-            hi = hi.max(0);
-        }
-        Interval { lo, hi }
     }
 }
 
-/// Abstract machine state: one optional interval per register (⊥ = `None`).
-type AbsState = [Option<Interval>; REG_COUNT as usize];
-
-fn join_states(a: &AbsState, b: &AbsState) -> AbsState {
-    let mut out: AbsState = Default::default();
-    for i in 0..out.len() {
-        out[i] = match (a[i], b[i]) {
-            (Some(x), Some(y)) => Some(x.join(y)),
-            // A register initialized on only one path is ⊥ after the join:
-            // reading it later must be rejected.
-            _ => None,
-        };
-    }
-    out
+/// Full result of the abstract interpretation: the in-state at every
+/// reachable instruction (`None` = statically unreachable) and the `r0`
+/// interval joined over all `exit` sites. The eBPF emitter walks
+/// `in_states` to re-derive each operand's interval and prove saturation
+/// cannot occur before it commits to wrapping target arithmetic.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    pub in_states: Vec<Option<AbsState>>,
+    pub r0: Interval,
 }
 
 /// Verify `prog` against `env`. On success returns the interval of `r0`
 /// joined over all `exit` sites (useful diagnostics: the harness logs the
 /// provable cwnd bounds of each accepted candidate).
 pub fn verify(prog: &Program, env: &VerifyEnv) -> Result<Interval, VerifyError> {
+    analyze(prog, env).map(|a| a.r0)
+}
+
+/// Verify `prog` and return the per-instruction abstract states alongside
+/// the `r0` interval.
+pub fn analyze(prog: &Program, env: &VerifyEnv) -> Result<Analysis, VerifyError> {
     structural_check(prog, env)?;
 
     let n = prog.insns.len();
     // in_state[pc]: join over all edges into pc; None = not yet reached.
     let mut in_state: Vec<Option<AbsState>> = vec![None; n];
-    in_state[0] = Some(Default::default());
+    in_state[0] = Some(AbsState::entry(env.map_slots));
     let mut r0_at_exit: Option<Interval> = None;
 
     for pc in 0..n {
-        let Some(state) = in_state[pc] else {
+        let Some(state) = in_state[pc].clone() else {
             continue; // unreachable
         };
         let insn = prog.insns[pc];
@@ -297,7 +233,7 @@ pub fn verify(prog: &Program, env: &VerifyEnv) -> Result<Interval, VerifyError> 
 
         // Obligation: register reads.
         let read_reg = |st: &AbsState, r: u8| -> Result<Interval, VerifyError> {
-            st[r as usize].ok_or(VerifyError::UninitRead { pc, reg: r })
+            st.regs[r as usize].ok_or(VerifyError::UninitRead { pc, reg: r })
         };
 
         use Op::*;
@@ -318,13 +254,13 @@ pub fn verify(prog: &Program, env: &VerifyEnv) -> Result<Interval, VerifyError> 
             JeqImm | JneImm | JltImm | JleImm | JgtImm | JgeImm => {
                 let d = read_reg(&next, insn.dst)?;
                 let o = Interval::exact(insn.imm);
-                branch(prog, pc, insn, d, o, &next, &mut in_state, true);
+                branch(pc, insn, d, o, &next, &mut in_state, true);
                 continue;
             }
             JeqReg | JneReg | JltReg | JleReg | JgtReg | JgeReg => {
                 let d = read_reg(&next, insn.dst)?;
                 let o = read_reg(&next, insn.src)?;
-                branch(prog, pc, insn, d, o, &next, &mut in_state, false);
+                branch(pc, insn, d, o, &next, &mut in_state, false);
                 continue;
             }
             _ => {}
@@ -375,36 +311,36 @@ pub fn verify(prog: &Program, env: &VerifyEnv) -> Result<Interval, VerifyError> 
                 let (lo, hi) = env.ctx_ranges[insn.imm as usize];
                 Some(Interval::new(lo.min(hi), hi.max(lo)))
             }
-            LdMap => Some(Interval::TOP),
+            LdMap => Some(next.maps[insn.imm as usize]),
             StMap => {
-                read_reg(&next, insn.src)?;
+                let v = read_reg(&next, insn.src)?;
+                next.maps[insn.imm as usize] = v;
                 None
             }
             _ => unreachable!("jumps handled above"),
         };
 
         if let Some(v) = result {
-            next[insn.dst as usize] = Some(v);
+            next.regs[insn.dst as usize] = Some(v);
         }
         propagate(&mut in_state, pc + 1, &next);
     }
 
-    r0_at_exit.ok_or(VerifyError::R0NotSet { pc: n - 1 })
+    let r0 = r0_at_exit.ok_or(VerifyError::R0NotSet { pc: n - 1 })?;
+    Ok(Analysis { in_states: in_state, r0 })
 }
 
 /// Merge `state` into the in-state of `target`.
 fn propagate(in_state: &mut [Option<AbsState>], target: usize, state: &AbsState) {
     match &mut in_state[target] {
-        Some(existing) => *existing = join_states(existing, state),
-        slot @ None => *slot = Some(*state),
+        Some(existing) => existing.join_with(state),
+        slot @ None => *slot = Some(state.clone()),
     }
 }
 
 /// Handle a conditional jump: refine intervals on the taken and fallthrough
 /// edges, prune statically-dead edges.
-#[allow(clippy::too_many_arguments)]
 fn branch(
-    prog: &Program,
     pc: usize,
     insn: Insn,
     d: Interval,
@@ -415,7 +351,6 @@ fn branch(
 ) {
     use Op::*;
     let taken_target = pc + 1 + insn.off as usize;
-    let _ = prog;
 
     // (refined dst, refined operand) on the taken edge and fallthrough edge.
     let (taken, fall) = match insn.op {
@@ -429,78 +364,21 @@ fn branch(
     };
 
     if let Some((rd, ro)) = taken {
-        let mut st = *state;
-        st[insn.dst as usize] = Some(rd);
+        let mut st = state.clone();
+        st.regs[insn.dst as usize] = Some(rd);
         if !imm_form {
-            st[insn.src as usize] = Some(ro);
+            st.regs[insn.src as usize] = Some(ro);
         }
         propagate(in_state, taken_target, &st);
     }
     if let Some((rd, ro)) = fall {
-        let mut st = *state;
-        st[insn.dst as usize] = Some(rd);
+        let mut st = state.clone();
+        st.regs[insn.dst as usize] = Some(rd);
         if !imm_form {
-            st[insn.src as usize] = Some(ro);
+            st.regs[insn.src as usize] = Some(ro);
         }
         propagate(in_state, pc + 1, &st);
     }
-}
-
-type Refined = Option<(Interval, Interval)>;
-
-/// `d == o`: both collapse to the intersection.
-fn refine_eq(d: Interval, o: Interval) -> Refined {
-    d.meet(o).map(|m| (m, m))
-}
-
-/// `d != o`: only excludes singleton endpoints.
-fn refine_ne(d: Interval, o: Interval) -> Refined {
-    if o.lo == o.hi {
-        let v = o.lo;
-        if d.lo == d.hi && d.lo == v {
-            return None; // d is exactly v: branch impossible
-        }
-        let mut nd = d;
-        if nd.lo == v {
-            nd.lo = v.saturating_add(1);
-        }
-        if nd.hi == v {
-            nd.hi = v.saturating_sub(1);
-        }
-        if nd.lo > nd.hi {
-            return None;
-        }
-        return Some((nd, o));
-    }
-    Some((d, o))
-}
-
-/// `d < o`: `d ≤ o.hi − 1`, `o ≥ d.lo + 1`.
-fn refine_lt(d: Interval, o: Interval) -> Refined {
-    let d_hi = d.hi.min(o.hi.saturating_sub(1));
-    let o_lo = o.lo.max(d.lo.saturating_add(1));
-    (d.lo <= d_hi && o_lo <= o.hi).then(|| (Interval::new(d.lo, d_hi), Interval::new(o_lo, o.hi)))
-}
-
-/// `d <= o`.
-fn refine_le(d: Interval, o: Interval) -> Refined {
-    let d_hi = d.hi.min(o.hi);
-    let o_lo = o.lo.max(d.lo);
-    (d.lo <= d_hi && o_lo <= o.hi).then(|| (Interval::new(d.lo, d_hi), Interval::new(o_lo, o.hi)))
-}
-
-/// `d > o`.
-fn refine_gt(d: Interval, o: Interval) -> Refined {
-    let d_lo = d.lo.max(o.lo.saturating_add(1));
-    let o_hi = o.hi.min(d.hi.saturating_sub(1));
-    (d_lo <= d.hi && o.lo <= o_hi).then(|| (Interval::new(d_lo, d.hi), Interval::new(o.lo, o_hi)))
-}
-
-/// `d >= o`.
-fn refine_ge(d: Interval, o: Interval) -> Refined {
-    let d_lo = d.lo.max(o.lo);
-    let o_hi = o.hi.min(d.hi);
-    (d_lo <= d.hi && o.lo <= o_hi).then(|| (Interval::new(d_lo, d.hi), Interval::new(o.lo, o_hi)))
 }
 
 /// Pass 1: structure, bounds, registers, forward-only control flow.
@@ -726,6 +604,75 @@ mod tests {
     }
 
     #[test]
+    fn map_roundtrip_keeps_precision() {
+        // Store an exact value, reload it: the reloaded interval must be
+        // exact, not ⊤ — the precision that makes spill-heavy lowered
+        // programs provably non-saturating for the eBPF emitter.
+        let p = prog(vec![
+            i(Op::MovImm, 1, 0, 7),
+            i(Op::StMap, 0, 1, 2),
+            i(Op::LdMap, 0, 0, 2),
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        assert_eq!(verify(&p, &env2()).unwrap(), Interval::exact(7));
+    }
+
+    #[test]
+    fn map_load_before_store_is_top() {
+        // The scratch map persists across invocations: a load the program
+        // never stored to could be anything.
+        let p = prog(vec![i(Op::LdMap, 0, 0, 0), i(Op::Exit, 0, 0, 0)]);
+        assert_eq!(verify(&p, &env2()).unwrap(), Interval::TOP);
+    }
+
+    #[test]
+    fn map_slots_join_across_branches() {
+        // slot 0 = 1 on one path, 9 on the other → reload sees [1, 9].
+        let p = prog(vec![
+            i(Op::LdCtx, 1, 0, 0),
+            i(Op::MovImm, 2, 0, 1),
+            j(Op::JeqImm, 1, 0, 0, 1), // if ctx==0 keep r2=1
+            i(Op::MovImm, 2, 0, 9),
+            i(Op::StMap, 0, 2, 0),
+            i(Op::LdMap, 0, 0, 0),
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        assert_eq!(verify(&p, &env2()).unwrap(), Interval::new(1, 9));
+    }
+
+    #[test]
+    fn analyze_exposes_in_states() {
+        let p = prog(vec![
+            i(Op::LdCtx, 1, 0, 0),
+            i(Op::AddImm, 1, 0, 5),
+            i(Op::MovReg, 0, 1, 0),
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        let a = analyze(&p, &env2()).unwrap();
+        assert_eq!(a.in_states.len(), 4);
+        // before insn 1, r1 holds ctx[0] ∈ [0,100]
+        let st = a.in_states[1].as_ref().unwrap();
+        assert_eq!(st.regs[1], Some(Interval::new(0, 100)));
+        // before insn 2, r1 ∈ [5,105]
+        let st = a.in_states[2].as_ref().unwrap();
+        assert_eq!(st.regs[1], Some(Interval::new(5, 105)));
+        assert_eq!(a.r0, Interval::new(5, 105));
+    }
+
+    #[test]
+    fn analyze_marks_unreachable_states() {
+        let p = prog(vec![
+            i(Op::MovImm, 0, 0, 1),
+            j(Op::Ja, 0, 0, 0, 1),
+            i(Op::MovImm, 0, 0, 2), // skipped
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        let a = analyze(&p, &env2()).unwrap();
+        assert!(a.in_states[2].is_none());
+        assert_eq!(a.r0, Interval::exact(1));
+    }
+
+    #[test]
     fn interval_ops_sound_spots() {
         let a = Interval::new(-3, 7);
         let b = Interval::new(2, 4);
@@ -745,5 +692,35 @@ mod tests {
         assert!(e.to_string().contains("not allowed as divisor"));
         let e = VerifyError::BackEdge { pc: 9, target: 2 };
         assert!(e.to_string().contains("back-edge"));
+    }
+
+    #[test]
+    fn every_variant_displays_and_reports_pc() {
+        let cases: Vec<(VerifyError, Option<usize>, &str)> = vec![
+            (VerifyError::EmptyProgram, None, "empty program"),
+            (VerifyError::TooManyInsns { len: 9999 }, None, "9999"),
+            (VerifyError::BadRegister { pc: 1, reg: 14 }, Some(1), "R14 is invalid"),
+            (VerifyError::BackEdge { pc: 3, target: 1 }, Some(3), "back-edge"),
+            (VerifyError::JumpOutOfBounds { pc: 2, target: 99 }, Some(2), "out of range"),
+            (VerifyError::FallsOffEnd { pc: 5 }, Some(5), "falls off"),
+            (VerifyError::CtxOutOfBounds { pc: 0, slot: 8, size: 4 }, Some(0), "ctx access"),
+            (VerifyError::MapOutOfBounds { pc: 0, slot: 8, size: 4 }, Some(0), "map access"),
+            (VerifyError::UninitRead { pc: 7, reg: 3 }, Some(7), "!read_ok"),
+            (
+                VerifyError::DivByZeroPossible { pc: 4, reg_desc: "R2".into(), lo: -1, hi: 1 },
+                Some(4),
+                "not allowed as divisor",
+            ),
+            (VerifyError::R0NotSet { pc: 6 }, Some(6), "R0 !read_ok at exit"),
+        ];
+        for (e, pc, needle) in cases {
+            assert_eq!(e.pc(), pc, "{e}");
+            let msg = e.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+            assert!(msg.starts_with("verifier:"), "{msg:?}");
+            // the error-trait object renders identically
+            let dyn_err: &dyn std::error::Error = &e;
+            assert_eq!(dyn_err.to_string(), msg);
+        }
     }
 }

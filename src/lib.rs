@@ -7,6 +7,7 @@ pub use policysmith_cachesim as cachesim;
 pub use policysmith_cc as cc;
 pub use policysmith_core as core;
 pub use policysmith_dsl as dsl;
+pub use policysmith_ebpf as ebpf;
 pub use policysmith_gen as gen;
 pub use policysmith_kbpf as kbpf;
 pub use policysmith_lbsim as lbsim;
