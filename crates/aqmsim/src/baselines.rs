@@ -1,0 +1,40 @@
+//! The man-made AQM baseline registry.
+//!
+//! Mirrors `lbsim::dispatch::by_name`: the league table, the study's
+//! reference points, and the CLI all name baselines by these strings.
+//! The algorithms themselves live in `netsim::aqm` next to the bottleneck
+//! they manage; this registry just constructs them with their canonical
+//! (RFC-default) parameters. `drop-tail` — the do-nothing policy the
+//! byte-bounded queue already implements — is the natural denominator:
+//! it is what a bottleneck does before anyone writes an AQM at all.
+
+use policysmith_netsim::{AqmPolicy, CoDel, DropTail, Pie};
+
+/// Every registered man-made baseline, denominator first.
+pub fn aqm_baseline_names() -> &'static [&'static str] {
+    &["drop-tail", "codel", "pie"]
+}
+
+/// Construct a baseline by name with canonical parameters.
+pub fn by_name(name: &str) -> Option<Box<dyn AqmPolicy>> {
+    Some(match name {
+        "drop-tail" => Box::new(DropTail),
+        "codel" => Box::new(CoDel::new()),
+        "pie" => Box::new(Pie::new()),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_match_policy_names() {
+        for name in aqm_baseline_names() {
+            let p = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(p.name(), *name);
+        }
+        assert!(by_name("red").is_none());
+    }
+}

@@ -1,0 +1,53 @@
+//! # policysmith-aqmsim — AQM / packet-scheduling simulation substrate
+//!
+//! The **fourth** PolicySmith workload: active queue management at a
+//! shared bottleneck — the setting where three decades of man-made
+//! heuristics (RED, CoDel, PIE, ...) fight bufferbloat with hand-tuned
+//! targets and intervals, and exactly the kind of per-packet "systems
+//! controller" §2 of the paper argues should be searched for rather than
+//! hand-written.
+//!
+//! Built directly on `policysmith-netsim`'s bottleneck (which owns the
+//! [`AqmPolicy`] decision hook and the
+//! CoDel / PIE / drop-tail implementations) and `policysmith-cc`'s
+//! congestion-control baselines:
+//!
+//! * [`scenario`] — six named presets ([`scenario::all_presets`]) spanning
+//!   standing queues, bursty on/off traffic, flow-count shift, capacity
+//!   loss, low-RTT regimes, and heterogeneous congestion controllers,
+//!   plus the [`OnOffReno`] square-wave flow wrapper;
+//! * [`baselines`] — the registry of man-made policies by name
+//!   (`drop-tail`, `codel`, `pie`);
+//! * [`policy`] — the PolicySmith **template host**: a synthesized
+//!   `Mode::Aqm` verdict expression decides Pass / Mark / Drop per
+//!   head-of-line packet (runtime faults are latched and the bottleneck
+//!   degrades to drop-tail), observable through an [`AqmProbe`] after the
+//!   simulation consumes the host;
+//! * [`metrics`] — the scenario runner and the **power** score
+//!   (utilization discounted by RTT inflation), the study's objective.
+//!
+//! Everything is integer-microsecond virtual time; a run is a pure
+//! function of `(scenario, policy)` — bit-for-bit reproducible.
+//!
+//! ```
+//! use policysmith_aqmsim::{run_baseline, scenario};
+//!
+//! let sc = scenario::steady();
+//! let dt = run_baseline(&sc, "drop-tail");
+//! let cd = run_baseline(&sc, "codel");
+//! assert!(cd.power > dt.power, "CoDel beats bufferbloat on power");
+//! ```
+
+pub mod baselines;
+pub mod metrics;
+pub mod policy;
+pub mod scenario;
+
+pub use baselines::{aqm_baseline_names, by_name};
+// The hook trait and the man-made implementations ride along because the
+// runner and registry traffic in them: callers hosting a policy should
+// not need a direct netsim dependency.
+pub use metrics::{power, run, run_baseline, AqmMetrics};
+pub use policy::{AqmProbe, ExprAqm, LoggedDecision};
+pub use policysmith_netsim::{AqmDecision, AqmPolicy, AqmView, CoDel, DropTail, Pie};
+pub use scenario::{AqmScenario, FlowSpec, OnOffReno};

@@ -1,0 +1,122 @@
+//! Scenario runner and the **power** score.
+//!
+//! AQM is a two-objective problem: keep the link busy *and* the queue
+//! short. Following the classic network-power framing (Kleinrock), we
+//! collapse the trade-off into one number:
+//!
+//! ```text
+//! power = aggregate_utilization × RTT_min / (RTT_min + mean_sojourn)
+//! ```
+//!
+//! where `RTT_min = 2 × one-way propagation delay`. A policy that fills
+//! the link with an empty queue scores its utilization; every microsecond
+//! of standing queue discounts it by the induced RTT inflation. Drop-tail
+//! in a bufferbloat context scores poorly despite full utilization; an
+//! over-aggressive dropper scores poorly despite an empty queue. Higher
+//! is better, 1.0 is the unreachable ideal.
+
+use crate::scenario::AqmScenario;
+use policysmith_netsim::{AqmPolicy, FlowMetrics, Simulation};
+
+/// Outcome of one `(scenario, aqm)` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AqmMetrics {
+    /// Per-flow transport metrics, flow order as in the scenario.
+    pub flows: Vec<FlowMetrics>,
+    /// Sum of per-flow goodput fractions, capped at 1.
+    pub agg_utilization: f64,
+    /// Mean bottleneck sojourn over forwarded packets, µs.
+    pub mean_sojourn_us: f64,
+    /// Worst single-packet sojourn, µs.
+    pub max_sojourn_us: u64,
+    /// Packets refused by the queue's byte bound (tail drops).
+    pub tail_drops: u64,
+    /// Packets dropped or CE-marked by the AQM policy.
+    pub aqm_drops: u64,
+    /// Packets CE-marked (subset of `aqm_drops`).
+    pub ecn_marks: u64,
+    /// The combined utilization-vs-delay score (higher is better).
+    pub power: f64,
+}
+
+/// The power score for an arbitrary `(utilization, sojourn)` point on a
+/// path with one-way propagation delay `prop_delay_us`.
+pub fn power(agg_utilization: f64, mean_sojourn_us: f64, prop_delay_us: u64) -> f64 {
+    let rtt_min = 2.0 * prop_delay_us as f64;
+    agg_utilization * rtt_min / (rtt_min + mean_sojourn_us.max(0.0))
+}
+
+/// Replay `scenario` with `aqm` managing the bottleneck. Pure function of
+/// its inputs — runs are bit-for-bit reproducible.
+pub fn run(scenario: &AqmScenario, aqm: Box<dyn AqmPolicy>) -> AqmMetrics {
+    let mut sim = Simulation::with_aqm(scenario.sim, scenario.build_flows(), aqm);
+    let flows = sim.run();
+    let agg_utilization = flows.iter().map(|m| m.utilization).sum::<f64>().min(1.0);
+    let mean_sojourn_us = sim.mean_qdelay_us();
+    AqmMetrics {
+        agg_utilization,
+        mean_sojourn_us,
+        max_sojourn_us: sim.max_qdelay_us(),
+        tail_drops: sim.drops(),
+        aqm_drops: sim.aqm_drops(),
+        ecn_marks: sim.ecn_marks(),
+        power: power(agg_utilization, mean_sojourn_us, scenario.prop_delay_us()),
+        flows,
+    }
+}
+
+/// Replay `scenario` with a named baseline (panics on unknown name).
+pub fn run_baseline(scenario: &AqmScenario, name: &str) -> AqmMetrics {
+    let aqm =
+        crate::baselines::by_name(name).unwrap_or_else(|| panic!("unknown aqm baseline `{name}`"));
+    run(scenario, aqm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn power_rewards_busy_links_and_short_queues() {
+        assert!(power(1.0, 0.0, 20_000) > 0.999);
+        // a 40 ms standing queue on a 40 ms path halves the score
+        let bloated = power(1.0, 40_000.0, 20_000);
+        assert!((bloated - 0.5).abs() < 1e-9, "{bloated}");
+        // idle link scores zero no matter how short the queue
+        assert_eq!(power(0.0, 0.0, 20_000), 0.0);
+        // at equal delay, utilization orders the score
+        assert!(power(0.9, 5_000.0, 20_000) > power(0.7, 5_000.0, 20_000));
+    }
+
+    #[test]
+    fn codel_out_powers_droptail_on_the_steady_preset() {
+        let sc = scenario::steady();
+        let dt = run_baseline(&sc, "drop-tail");
+        let cd = run_baseline(&sc, "codel");
+        assert!(dt.mean_sojourn_us > 30_000.0, "drop-tail must bloat: {}", dt.mean_sojourn_us);
+        assert!(cd.mean_sojourn_us < 15_000.0, "codel must control: {}", cd.mean_sojourn_us);
+        assert!(cd.power > dt.power, "codel {} vs drop-tail {}", cd.power, dt.power);
+        assert_eq!(dt.aqm_drops, 0);
+        assert!(cd.aqm_drops > 0);
+    }
+
+    #[test]
+    fn every_baseline_completes_every_preset() {
+        for sc in scenario::all_presets() {
+            for name in crate::baselines::aqm_baseline_names() {
+                let m = run_baseline(&sc, name);
+                assert!(m.agg_utilization > 0.2, "{}/{name}: util {}", sc.name, m.agg_utilization);
+                assert!(m.mean_sojourn_us.is_finite(), "{}/{name}", sc.name);
+                assert!(m.power > 0.0 && m.power <= 1.0, "{}/{name}: {}", sc.name, m.power);
+                assert_eq!(m.flows.len(), sc.flows.len());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let sc = scenario::bursty();
+        assert_eq!(run_baseline(&sc, "pie"), run_baseline(&sc, "pie"));
+    }
+}

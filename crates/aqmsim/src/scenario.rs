@@ -1,0 +1,279 @@
+//! Scenario presets — the "contexts" of the AQM study.
+//!
+//! Each preset fixes a bottleneck configuration and a flow population, so
+//! a scenario names a reproducible context exactly the way a fleet +
+//! workload does in the load-balancing study. Six presets ship
+//! ([`all_presets`]), spanning the stress axes an AQM cares about: the
+//! standing-queue baseline ([`steady`]), traffic burstiness ([`bursty`]),
+//! flow-count shift ([`many_flows`]), capacity loss ([`rate_drop`]), the
+//! RTT regime where CoDel's 5 ms target is *larger* than the path RTT
+//! ([`low_rtt`]), and congestion-controller heterogeneity ([`heavy_mix`]).
+//!
+//! Every preset uses a buffer several bandwidth-delay products deep — the
+//! bufferbloat regime the AQM literature targets: drop-tail fills the
+//! buffer and serves every packet tens of milliseconds late, so there is
+//! real delay for a policy to win back.
+
+use policysmith_cc::baselines::{BbrLite, Cubic, Reno};
+use policysmith_netsim::{CcView, CongestionControl, SimConfig};
+
+/// One flow in a scenario, by congestion-controller kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowSpec {
+    /// TCP Reno (AIMD).
+    Reno,
+    /// CUBIC, the Linux default.
+    Cubic,
+    /// Simplified model-based BBR.
+    BbrLite,
+    /// Reno gated by a deterministic on/off square wave: the flow runs
+    /// Reno during `on_us` of every `period_us` and pins its window to one
+    /// segment otherwise. The classic bursty-load shape that punishes
+    /// AQMs tuned only for long-lived flows.
+    OnOffReno { period_us: u64, on_us: u64, phase_us: u64 },
+}
+
+impl FlowSpec {
+    /// Instantiate the congestion controller for this flow. `seed` rotates
+    /// the phase of on/off flows (presets with only long-lived flows are
+    /// seed-invariant), so [`AqmScenario::with_seed`] reshards the bursty
+    /// contexts the way workload seeds reshard the lb presets.
+    pub fn build(&self, seed: u64) -> Box<dyn CongestionControl> {
+        match *self {
+            FlowSpec::Reno => Box::new(Reno::new()),
+            FlowSpec::Cubic => Box::new(Cubic::new()),
+            FlowSpec::BbrLite => Box::new(BbrLite::new()),
+            FlowSpec::OnOffReno { period_us, on_us, phase_us } => {
+                let rotated =
+                    (phase_us + seed.wrapping_mul(0x9e3779b97f4a7c15) % period_us) % period_us;
+                Box::new(OnOffReno::new(period_us, on_us, rotated))
+            }
+        }
+    }
+}
+
+/// Reno behind a deterministic duty cycle: active during the first
+/// `on_us` of each `period_us` (shifted by `phase_us`), window pinned to
+/// one segment otherwise. Reno's internal state persists across off
+/// windows, so each on window re-ramps from a single segment — a square
+/// wave of demand against the bottleneck.
+#[derive(Debug)]
+pub struct OnOffReno {
+    inner: Reno,
+    period_us: u64,
+    on_us: u64,
+    phase_us: u64,
+}
+
+impl OnOffReno {
+    pub fn new(period_us: u64, on_us: u64, phase_us: u64) -> Self {
+        assert!(period_us > 0 && on_us > 0 && on_us <= period_us, "degenerate duty cycle");
+        OnOffReno { inner: Reno::new(), period_us, on_us, phase_us }
+    }
+
+    /// Is the flow in an on window at `now_us`?
+    pub fn active(&self, now_us: u64) -> bool {
+        (now_us + self.phase_us) % self.period_us < self.on_us
+    }
+}
+
+impl CongestionControl for OnOffReno {
+    fn name(&self) -> &str {
+        "on-off-reno"
+    }
+
+    fn on_ack(&mut self, v: &CcView<'_>) -> u64 {
+        if self.active(v.now_us) {
+            self.inner.on_ack(v)
+        } else {
+            1
+        }
+    }
+
+    fn on_loss(&mut self, v: &CcView<'_>) -> u64 {
+        if self.active(v.now_us) {
+            self.inner.on_loss(v)
+        } else {
+            1
+        }
+    }
+}
+
+/// A named, reproducible AQM context: bottleneck + flow population + seed.
+#[derive(Debug, Clone)]
+pub struct AqmScenario {
+    /// Context identifier (e.g. `aqm/bursty`).
+    pub name: String,
+    /// Link, duration, MSS, timer period.
+    pub sim: SimConfig,
+    /// The flows sharing the bottleneck.
+    pub flows: Vec<FlowSpec>,
+    /// Phase seed for on/off flows (long-lived flows ignore it).
+    pub seed: u64,
+}
+
+impl AqmScenario {
+    /// Instantiate this scenario's congestion controllers.
+    pub fn build_flows(&self) -> Vec<Box<dyn CongestionControl>> {
+        self.flows.iter().map(|f| f.build(self.seed)).collect()
+    }
+
+    /// The same context with a different phase seed — statistically the
+    /// same burst pattern, differently aligned against the AQM's clocks.
+    pub fn with_seed(mut self, seed: u64) -> AqmScenario {
+        self.seed = seed;
+        self
+    }
+
+    /// One-way propagation delay of the bottleneck, µs.
+    pub fn prop_delay_us(&self) -> u64 {
+        self.sim.link.delay_us
+    }
+}
+
+/// Paper link (12 Mbps / 20 ms) with an `n`-BDP buffer over `dur_us`.
+fn deep_paper(n: u64, dur_us: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_scenario();
+    cfg.link.queue_bytes = n * cfg.link.bdp_bytes();
+    cfg.duration_us = dur_us;
+    cfg
+}
+
+/// Two long-lived Reno flows on the paper link with a 4-BDP buffer: the
+/// canonical bufferbloat context. Drop-tail builds a standing queue tens
+/// of milliseconds deep; any sane AQM wins most of it back.
+pub fn steady() -> AqmScenario {
+    AqmScenario {
+        name: "aqm/steady".into(),
+        sim: deep_paper(4, 10_000_000),
+        flows: vec![FlowSpec::Reno, FlowSpec::Reno],
+        seed: 0xA1,
+    }
+}
+
+/// Two long-lived Reno flows plus two on/off square-wave flows in
+/// anti-phase (1 s on in every 2 s): bursts repeatedly slam the queue and
+/// drain away, stressing burst tolerance vs standing-queue control.
+pub fn bursty() -> AqmScenario {
+    AqmScenario {
+        name: "aqm/bursty".into(),
+        sim: deep_paper(4, 10_000_000),
+        flows: vec![
+            FlowSpec::Reno,
+            FlowSpec::Reno,
+            FlowSpec::OnOffReno { period_us: 2_000_000, on_us: 1_000_000, phase_us: 0 },
+            FlowSpec::OnOffReno { period_us: 2_000_000, on_us: 1_000_000, phase_us: 1_000_000 },
+        ],
+        seed: 0xB2,
+    }
+}
+
+/// Eight Reno flows on the same bottleneck: the flow-count shift. Each
+/// flow's fair share is a fifth of a BDP, so per-flow sawtooths are
+/// shallow but their sum keeps the buffer pressurized continuously.
+pub fn many_flows() -> AqmScenario {
+    AqmScenario {
+        name: "aqm/many-flows".into(),
+        sim: deep_paper(4, 10_000_000),
+        flows: vec![FlowSpec::Reno; 8],
+        seed: 0xC3,
+    }
+}
+
+/// Capacity loss: the same buffer provisioned for the 12 Mbps paper link,
+/// but the link now runs at 3 Mbps (a rate-limited cellular dip). The
+/// buffer is suddenly ~16 BDP deep, so uncontrolled queues cost hundreds
+/// of milliseconds.
+pub fn rate_drop() -> AqmScenario {
+    let mut sim = deep_paper(4, 10_000_000);
+    sim.link.rate_bps = 3_000_000;
+    AqmScenario {
+        name: "aqm/rate-drop".into(),
+        sim,
+        flows: vec![FlowSpec::Reno, FlowSpec::Reno],
+        seed: 0xD4,
+    }
+}
+
+/// Datacenter-ish RTT: 12 Mbps at 2 ms one-way delay with a buffer deep
+/// relative to the tiny BDP. The path RTT (4 ms) sits *below* CoDel's
+/// 5 ms sojourn target, the regime where man-made wide-area defaults are
+/// mistuned and a searched policy can specialize.
+pub fn low_rtt() -> AqmScenario {
+    let mut sim = SimConfig::paper_scenario();
+    sim.link.delay_us = 2_000;
+    sim.link.queue_bytes = 8 * sim.link.bdp_bytes();
+    sim.duration_us = 10_000_000;
+    AqmScenario {
+        name: "aqm/low-rtt".into(),
+        sim,
+        flows: vec![FlowSpec::Reno, FlowSpec::Reno],
+        seed: 0xE5,
+    }
+}
+
+/// Heterogeneous congestion controllers — Reno, CUBIC and BBR-lite share
+/// the bottleneck. Loss-based and model-based flows respond differently
+/// to the same drop/mark signal, so per-policy aggressiveness assumptions
+/// break.
+pub fn heavy_mix() -> AqmScenario {
+    AqmScenario {
+        name: "aqm/heavy-mix".into(),
+        sim: deep_paper(4, 10_000_000),
+        flows: vec![FlowSpec::Reno, FlowSpec::Cubic, FlowSpec::BbrLite],
+        seed: 0xF6,
+    }
+}
+
+/// All scenario presets, benign first. These double as the drift contexts
+/// of the adaptive-controller story: a policy synthesized on one preset
+/// meets the others as distribution shift.
+pub fn all_presets() -> Vec<AqmScenario> {
+    vec![steady(), bursty(), many_flows(), rate_drop(), low_rtt(), heavy_mix()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct_and_buffer_is_deep() {
+        let presets = all_presets();
+        let names: std::collections::HashSet<String> =
+            presets.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), 6);
+        for sc in &presets {
+            assert!(!sc.flows.is_empty(), "{}", sc.name);
+            assert!(
+                sc.sim.link.queue_bytes >= 4 * sc.sim.link.bdp_bytes(),
+                "{} must be a bufferbloat context",
+                sc.name
+            );
+        }
+    }
+
+    #[test]
+    fn on_off_wave_has_the_documented_duty_cycle() {
+        let w = OnOffReno::new(2_000_000, 1_000_000, 0);
+        assert!(w.active(0) && w.active(999_999));
+        assert!(!w.active(1_000_000) && !w.active(1_999_999));
+        assert!(w.active(2_000_000));
+        let anti = OnOffReno::new(2_000_000, 1_000_000, 1_000_000);
+        assert!(!anti.active(0) && anti.active(1_000_000), "anti-phase flow is shifted");
+    }
+
+    #[test]
+    fn seed_rotates_only_on_off_phases() {
+        // long-lived presets are seed-invariant by construction
+        let s = steady().with_seed(99);
+        assert_eq!(s.seed, 99);
+        assert_eq!(s.build_flows().len(), 2);
+        // bursty phases move with the seed but stay inside the period
+        let b = bursty();
+        for seed in [0u64, 1, 7, 0xFFFF] {
+            for f in b.clone().with_seed(seed).build_flows() {
+                assert!(f.name() == "reno" || f.name() == "on-off-reno");
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! AQM: the fourth-workload experiment — synthesized queue management vs
+//! the man-made classics.
+//!
+//! 1. **Baseline league table** — drop-tail, CoDel and PIE replay every
+//!    scenario preset; utilization, mean sojourn and the power score per
+//!    cell (the man-made state of the art this domain accumulated over
+//!    three decades).
+//! 2. **Per-preset search** — one policy synthesized per home context
+//!    (`AqmStudy` + `MockLlm`), then every synthesized policy evaluated
+//!    on every preset: the cross-scenario improvement matrix.
+//! 3. **Generalization slice** — the synthesized policies become a
+//!    [`HeuristicLibrary`]; per preset the library re-scores every entry
+//!    and deploys the winner (the PS-Oracle row of the cache study's
+//!    Table 2, §4.2.4).
+//!
+//! Exit status doubles as the CI guard: non-zero unless the library's
+//! best stored policy beats the best man-made baseline on at least 3
+//! presets (1 in `--fast`/`--quick` mode — the short search is weaker).
+//!
+//! Usage: `exp_aqm [--fast|--quick] [--seed N]`
+//!
+//! Writes `results/aqm.json` (schema in `results/README.md`).
+
+use policysmith_aqmsim::{aqm_baseline_names, metrics, scenario, ExprAqm};
+use policysmith_bench::{write_json, ExpOpts, ImprovementMatrix};
+use policysmith_core::library::{HeuristicLibrary, LibraryEntry};
+use policysmith_core::search::{run_search, SearchConfig, Study};
+use policysmith_core::studies::aqm::AqmStudy;
+use policysmith_gen::{GenConfig, MockLlm};
+
+fn main() {
+    let opts = ExpOpts::from_args();
+    let cfg = if opts.fast {
+        SearchConfig { rounds: 5, candidates_per_round: 10, ..SearchConfig::paper_cache() }
+    } else {
+        SearchConfig { rounds: 12, candidates_per_round: 20, ..SearchConfig::paper_cache() }
+    };
+
+    let presets = scenario::all_presets();
+    let studies: Vec<AqmStudy> = presets.iter().map(AqmStudy::new).collect();
+    let n_base = aqm_baseline_names().len();
+
+    // -- 1: the man-made league table --
+    println!("=== man-made baselines: utilization / mean sojourn / power ===");
+    let mut league = Vec::new();
+    for sc in &presets {
+        for name in aqm_baseline_names() {
+            let m = metrics::run_baseline(sc, name);
+            println!(
+                "{:16} {:10}  util {:>5.1}%  sojourn {:>8.1} µs  power {:.4}",
+                sc.name,
+                name,
+                m.agg_utilization * 100.0,
+                m.mean_sojourn_us,
+                m.power
+            );
+            league.push(serde_json::json!({
+                "scenario": sc.name, "policy": name,
+                "utilization": m.agg_utilization,
+                "mean_sojourn_us": m.mean_sojourn_us,
+                "max_sojourn_us": m.max_sojourn_us,
+                "tail_drops": m.tail_drops,
+                "aqm_drops": m.aqm_drops,
+                "ecn_marks": m.ecn_marks,
+                "power": m.power,
+            }));
+        }
+    }
+
+    // -- 2: synthesize one policy per home context --
+    let mut synthesized: Vec<(String, String, f64)> = Vec::new(); // (label, source, home score)
+    for (i, study) in studies.iter().enumerate() {
+        let label = format!("AQM-{}", (b'A' + i as u8) as char);
+        let mut llm = MockLlm::new(GenConfig::aqm_defaults(
+            opts.seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15),
+        ));
+        let outcome = run_search(study, &mut llm, &cfg);
+        println!(
+            "\n{label} (home {}): {:+.4} over drop-tail   act(pkt, q) = {}",
+            study.scenario().name,
+            outcome.best.score,
+            outcome.best.source
+        );
+        synthesized.push((label, outcome.best.source.clone(), outcome.best.score));
+    }
+
+    // -- the scenario × scenario matrix: every policy on every context --
+    let mut policy_names: Vec<String> =
+        aqm_baseline_names().iter().map(|s| s.to_string()).collect();
+    policy_names.extend(synthesized.iter().map(|(l, _, _)| l.clone()));
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for name in aqm_baseline_names() {
+        rows.push(studies.iter().map(|s| s.baseline_improvement(name)).collect());
+    }
+    for (label, source, _) in &synthesized {
+        let expr = policysmith_dsl::parse(source).expect("stored source parses");
+        rows.push(
+            studies
+                .iter()
+                .map(|s| s.improvement(Box::new(ExprAqm::from_expr(label, &expr))))
+                .collect(),
+        );
+    }
+
+    let matrix = ImprovementMatrix {
+        dataset: "aqmsim".into(),
+        trace_names: presets.iter().map(|s| s.name.clone()).collect(),
+        policies: policy_names.clone(),
+        rows,
+    };
+
+    println!("\n=== power improvement over drop-tail, policy × scenario ===");
+    print!("{:12}", "policy");
+    for sc in &presets {
+        print!("{:>16}", sc.name.trim_start_matches("aqm/"));
+    }
+    println!("{:>8}", "mean");
+    for (p, name) in matrix.policies.iter().enumerate() {
+        print!("{name:12}");
+        for v in &matrix.rows[p] {
+            print!("{:>15.1}%", v * 100.0);
+        }
+        println!("{:>7.1}%", matrix.mean(p) * 100.0);
+    }
+
+    // -- 3: the library slice — re-score every stored policy per preset,
+    //       deploy the winner (the §4.2.4 oracle-adaptation model) --
+    let mut library = HeuristicLibrary::new();
+    for ((label, source, home), sc) in synthesized.iter().zip(&presets) {
+        let _ = label;
+        library.add(LibraryEntry {
+            context: sc.name.clone(),
+            source: source.clone(),
+            score: *home,
+        });
+    }
+    let mut oracle: Vec<f64> = Vec::new();
+    let mut deployed: Vec<String> = Vec::new();
+    for study in &studies {
+        let (best, score) = library
+            .best_for(|e| match study.check(&e.source) {
+                Ok(a) => study.evaluate(&a),
+                Err(_) => f64::NEG_INFINITY,
+            })
+            .expect("library is non-empty");
+        oracle.push(score);
+        deployed.push(best.context.clone());
+    }
+
+    // -- the CI guard: the library must beat the best man-made baseline --
+    let need = if opts.fast { 1 } else { 3 };
+    let mut beaten = 0usize;
+    println!("\n=== library (PS-Oracle) vs best man-made baseline ===");
+    for (t, sc) in presets.iter().enumerate() {
+        let best_manmade = (0..n_base).map(|b| matrix.rows[b][t]).fold(f64::MIN, f64::max);
+        let won = oracle[t] > best_manmade;
+        beaten += won as usize;
+        println!(
+            "{:16} library {:+.1}% (from {})  best man-made {:+.1}%  {}",
+            sc.name,
+            oracle[t] * 100.0,
+            deployed[t],
+            best_manmade * 100.0,
+            if won { "WIN" } else { "loss" }
+        );
+    }
+    let oracle_mean: f64 = oracle.iter().sum::<f64>() / oracle.len() as f64;
+    println!(
+        "library wins on {beaten}/{} presets (need ≥ {need}); oracle mean {:+.1}%",
+        presets.len(),
+        oracle_mean * 100.0
+    );
+
+    write_json(
+        "aqm",
+        &serde_json::json!({
+            "scenarios": matrix.trace_names,
+            "droptail_power": studies.iter().map(|s| s.droptail_power()).collect::<Vec<_>>(),
+            "baseline_league": league,
+            "policies": matrix.policies,
+            "rows": matrix.rows,
+            "synthesized": synthesized,
+            "oracle": oracle,
+            "oracle_deployed_from": deployed,
+            "library_wins": beaten,
+            "search": { "rounds": cfg.rounds, "candidates_per_round": cfg.candidates_per_round,
+                        "seed": opts.seed, "fast": opts.fast },
+        }),
+    );
+
+    if beaten < need {
+        eprintln!(
+            "GUARD FAILED: library beat the best man-made baseline on only \
+             {beaten}/{} presets (need ≥ {need})",
+            presets.len()
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,7 +1,8 @@
 //! The case-study instantiations of the framework: the paper's two
 //! (caching §4, kernel congestion control §5) plus the load-balancing
-//! workload that proves the `Study` boundary generalizes.
+//! and AQM workloads that prove the `Study` boundary generalizes.
 
+pub mod aqm;
 pub mod cache;
 pub mod cc;
 pub mod lb;

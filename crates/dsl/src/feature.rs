@@ -33,6 +33,19 @@ pub enum Mode {
     /// tier). The expression is evaluated once per server at dispatch time;
     /// the request goes to the **lowest-scoring** server (argmin).
     Lb,
+    /// Active-queue-management `act(pkt, q)` template (bottleneck dequeue
+    /// hook). The expression is evaluated once per head-of-line packet;
+    /// the returned value is a **verdict**: `<= 0` forward, `1` ECN-mark,
+    /// `>= 2` drop. The host lives inside the event loop — one decision per
+    /// packet at line rate.
+    Aqm,
+}
+
+impl Mode {
+    /// Every template mode, in declaration order. Tests and any code that
+    /// must stay exhaustive over modes iterate this instead of hardcoding a
+    /// list, so adding a mode can never silently skip it.
+    pub const ALL: [Mode; 4] = [Mode::Cache, Mode::Kernel, Mode::Lb, Mode::Aqm];
 }
 
 /// Number of entries in each congestion-control history array (§5.0.1: the
@@ -155,6 +168,32 @@ pub enum Feature {
     // ---- load balancing: per-request ----
     /// Service demand of the request being dispatched, in work units (≥ 1).
     ReqSize,
+
+    // ---- AQM: per-packet, read at the dequeue hook ----
+    /// Sojourn time of the head-of-line packet so far (now − enqueue), µs.
+    PktSojournUs,
+    /// Size of the head-of-line packet, bytes (≥ 1 — a safe divisor).
+    PktSize,
+
+    // ---- AQM: instantaneous queue state ----
+    /// Bytes currently enqueued at the bottleneck.
+    QueueBytes,
+    /// Packets currently enqueued at the bottleneck.
+    QueuePkts,
+    /// Configured drop-tail byte bound of the queue (≥ 1 — a safe divisor).
+    QueueCapacityBytes,
+    /// EWMA-smoothed estimate of the link drain rate, bits/sec (≥ 1 — a
+    /// safe divisor; initialized to the configured line rate).
+    DrainRateBps,
+    /// EWMA-smoothed packet sojourn time, µs.
+    SojournEwmaUs,
+
+    // ---- AQM: control history ----
+    /// Time since the AQM last dropped or marked a packet, µs (equal to
+    /// `now` while no drop/mark has happened yet).
+    SinceLastDropUs,
+    /// Packets dropped or marked by the AQM so far.
+    AqmDrops,
 }
 
 impl Feature {
@@ -174,6 +213,8 @@ impl Feature {
             }
             ServerQueueLen | ServerEwmaLatency | ServerSpeed | ServerInflight | ServerWorkLeft
             | ReqSize => mode == Mode::Lb,
+            PktSojournUs | PktSize | QueueBytes | QueuePkts | QueueCapacityBytes | DrainRateBps
+            | SojournEwmaUs | SinceLastDropUs | AqmDrops => mode == Mode::Aqm,
         }
     }
 
@@ -219,6 +260,14 @@ impl Feature {
             ServerWorkLeft => (0, 1 << 40),
             ServerSpeed => (1, 1 << 16),
             ReqSize => (1, 1 << 32),
+            PktSojournUs | SojournEwmaUs => (0, 1 << 32),
+            PktSize => (1, 1 << 16),
+            QueueBytes => (0, 1 << 32),
+            QueuePkts => (0, 1 << 20),
+            QueueCapacityBytes => (1, 1 << 32),
+            DrainRateBps => (1, 1 << 40),
+            SinceLastDropUs => (0, T),
+            AqmDrops => (0, 1 << 40),
         }
     }
 
@@ -267,6 +316,15 @@ impl Feature {
             ServerInflight => "server.inflight".into(),
             ServerWorkLeft => "server.work_left".into(),
             ReqSize => "req.size".into(),
+            PktSojournUs => "pkt.sojourn".into(),
+            PktSize => "pkt.size".into(),
+            QueueBytes => "q.bytes".into(),
+            QueuePkts => "q.pkts".into(),
+            QueueCapacityBytes => "q.capacity".into(),
+            DrainRateBps => "q.drain_rate".into(),
+            SojournEwmaUs => "q.ewma_sojourn".into(),
+            SinceLastDropUs => "aqm.since_drop".into(),
+            AqmDrops => "aqm.drops".into(),
         }
     }
 
@@ -337,6 +395,20 @@ impl Feature {
                     ReqSize,
                 ]
             }
+            Mode::Aqm => {
+                vec![
+                    Now,
+                    PktSojournUs,
+                    PktSize,
+                    QueueBytes,
+                    QueuePkts,
+                    QueueCapacityBytes,
+                    DrainRateBps,
+                    SojournEwmaUs,
+                    SinceLastDropUs,
+                    AqmDrops,
+                ]
+            }
         }
     }
 }
@@ -345,9 +417,33 @@ impl Feature {
 mod tests {
     use super::*;
 
+    /// Union of every mode's catalog — the iteration base for exhaustive
+    /// checks, built from [`Mode::ALL`] so a new mode is covered for free.
+    fn all_catalogs() -> Vec<Feature> {
+        Mode::ALL.iter().flat_map(|&m| Feature::catalog(m)).collect()
+    }
+
+    #[test]
+    fn mode_all_is_exhaustive() {
+        // Every catalog is non-empty and `Now` is shared across all modes;
+        // each mode-specific feature is legal in exactly one mode.
+        for &mode in Mode::ALL.iter() {
+            assert!(!Feature::catalog(mode).is_empty(), "{mode:?} catalog empty");
+            assert!(Feature::Now.available_in(mode));
+        }
+        for f in all_catalogs() {
+            let homes = Mode::ALL.iter().filter(|&&m| f.available_in(m)).count();
+            if f == Feature::Now {
+                assert_eq!(homes, Mode::ALL.len());
+            } else {
+                assert_eq!(homes, 1, "{f:?} legal in {homes} modes, want exactly 1");
+            }
+        }
+    }
+
     #[test]
     fn mode_partition_is_total() {
-        for mode in [Mode::Cache, Mode::Kernel, Mode::Lb] {
+        for mode in Mode::ALL {
             for f in Feature::catalog(mode) {
                 assert!(f.available_in(mode), "{f:?} missing from its own mode");
             }
@@ -358,17 +454,15 @@ mod tests {
         assert!(!Feature::ServerQueueLen.available_in(Mode::Kernel));
         assert!(!Feature::ObjCount.available_in(Mode::Lb));
         assert!(!Feature::Cwnd.available_in(Mode::Lb));
-        assert!(Feature::Now.available_in(Mode::Cache));
-        assert!(Feature::Now.available_in(Mode::Kernel));
-        assert!(Feature::Now.available_in(Mode::Lb));
+        assert!(!Feature::PktSojournUs.available_in(Mode::Kernel));
+        assert!(!Feature::QueueBytes.available_in(Mode::Lb));
+        assert!(!Feature::Cwnd.available_in(Mode::Aqm));
+        assert!(!Feature::ServerQueueLen.available_in(Mode::Aqm));
     }
 
     #[test]
     fn ranges_are_well_formed() {
-        let mut all = Feature::catalog(Mode::Cache);
-        all.extend(Feature::catalog(Mode::Kernel));
-        all.extend(Feature::catalog(Mode::Lb));
-        for f in all {
+        for f in all_catalogs() {
             let (lo, hi) = f.range();
             assert!(lo <= hi, "{f:?} range inverted");
         }
@@ -399,11 +493,22 @@ mod tests {
     #[test]
     fn names_are_distinct() {
         // `Now` is shared between modes; every other name is unique.
-        let mut all = Feature::catalog(Mode::Cache);
-        all.extend(Feature::catalog(Mode::Kernel));
-        all.extend(Feature::catalog(Mode::Lb));
+        let all = all_catalogs();
         let features: std::collections::HashSet<_> = all.iter().copied().collect();
         let names: std::collections::HashSet<_> = all.iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), features.len());
+    }
+
+    #[test]
+    fn aqm_divisor_features_are_nonzero_where_promised() {
+        // The Aqm prompt advertises these as safe divisors; their declared
+        // ranges must exclude zero.
+        assert!(Feature::PktSize.range().0 > 0);
+        assert!(Feature::QueueCapacityBytes.range().0 > 0);
+        assert!(Feature::DrainRateBps.range().0 > 0);
+        // and the possibly-zero signals must include zero
+        assert_eq!(Feature::PktSojournUs.range().0, 0);
+        assert_eq!(Feature::QueueBytes.range().0, 0);
+        assert_eq!(Feature::SinceLastDropUs.range().0, 0);
     }
 }

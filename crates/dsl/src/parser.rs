@@ -404,6 +404,15 @@ fn resolve_path(path: &[String]) -> Option<Feature> {
         ["server", "inflight"] => ServerInflight,
         ["server", "work_left"] => ServerWorkLeft,
         ["req", "size"] => ReqSize,
+        ["pkt", "sojourn"] => PktSojournUs,
+        ["pkt", "size"] => PktSize,
+        ["q", "bytes"] => QueueBytes,
+        ["q", "pkts"] => QueuePkts,
+        ["q", "capacity"] => QueueCapacityBytes,
+        ["q", "drain_rate"] => DrainRateBps,
+        ["q", "ewma_sojourn"] => SojournEwmaUs,
+        ["aqm", "since_drop"] => SinceLastDropUs,
+        ["aqm", "drops"] => AqmDrops,
         [table @ ("counts" | "ages" | "sizes"), p] => {
             let pct: u8 = p.strip_prefix('p')?.parse().ok()?;
             match *table {

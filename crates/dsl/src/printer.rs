@@ -206,10 +206,7 @@ mod tests {
 
     #[test]
     fn feature_names_roundtrip() {
-        for f in Feature::catalog(crate::feature::Mode::Cache)
-            .into_iter()
-            .chain(Feature::catalog(crate::feature::Mode::Kernel))
-        {
+        for f in crate::feature::Mode::ALL.iter().flat_map(|&m| Feature::catalog(m)) {
             let printed = to_source(&Expr::Feat(f));
             assert_eq!(parse(&printed).unwrap(), Expr::Feat(f), "{printed}");
         }

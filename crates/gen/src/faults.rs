@@ -55,6 +55,12 @@ impl FaultMix {
         FaultMix { float: 0.35, unguarded_div: 0.20, unknown_ident: 0.30, syntax: 0.15 }
     }
 
+    /// AQM mix: userspace template like lb; delay-estimate rate math makes
+    /// unguarded divisions the second-most-common slip.
+    pub fn aqm() -> FaultMix {
+        FaultMix { float: 0.35, unguarded_div: 0.25, unknown_ident: 0.25, syntax: 0.15 }
+    }
+
     /// Draw a fault kind according to the weights.
     pub fn sample(&self, rng: &mut StdRng) -> FaultKind {
         let total = self.float + self.unguarded_div + self.unknown_ident + self.syntax;
@@ -79,6 +85,7 @@ fn fake_idents(mode: Mode) -> &'static [&'static str] {
         Mode::Cache => &["obj.frequency", "obj.weight", "cache.pressure", "hist.age", "obj.ttl"],
         Mode::Kernel => &["rtt_var", "bytes_acked", "queue_len", "cwnd_max", "pacing_rate"],
         Mode::Lb => &["server.load", "server.cpu", "server.rtt", "req.priority", "fleet.size"],
+        Mode::Aqm => &["q.len", "q.delay", "pkt.priority", "aqm.prob", "link.rate"],
     }
 }
 
@@ -96,6 +103,9 @@ fn risky_divisors(mode: Mode) -> Vec<Feature> {
         ],
         Mode::Lb => {
             vec![Feature::ServerQueueLen, Feature::ServerInflight, Feature::ServerEwmaLatency]
+        }
+        Mode::Aqm => {
+            vec![Feature::QueueBytes, Feature::QueuePkts, Feature::SojournEwmaUs, Feature::AqmDrops]
         }
     }
 }

@@ -74,6 +74,20 @@ impl GenConfig {
             repair_skill: [0.9, 0.6, 0.6, 0.25],
         }
     }
+
+    /// Calibrated for the AQM study: a userspace host inside the event
+    /// loop. Fault rates mirror the lb mix; candidates stay small (a
+    /// verdict is a sum of a few gates, not a deep formula).
+    pub fn aqm_defaults(seed: u64) -> GenConfig {
+        GenConfig {
+            seed,
+            p_fault: 0.10,
+            p_explore: 0.4,
+            max_motifs: 4,
+            fault_mix: FaultMix::aqm(),
+            repair_skill: [0.9, 0.6, 0.6, 0.25],
+        }
+    }
 }
 
 /// The framework's LLM boundary (§3's `Generator`).
@@ -118,6 +132,7 @@ impl MockLlm {
         match mode {
             Mode::Cache => self.additive_remix(&motifs::cache_motifs()),
             Mode::Lb => self.additive_remix(&motifs::lb_motifs()),
+            Mode::Aqm => self.additive_remix(&motifs::aqm_motifs()),
             Mode::Kernel => {
                 // canonical kernel shape: if(loss, backoff, growth-side)
                 let growth_lib = motifs::cc_motifs();
@@ -175,6 +190,7 @@ impl MockLlm {
                     Mode::Cache => motifs::cache_motifs(),
                     Mode::Kernel => motifs::cc_motifs(),
                     Mode::Lb => motifs::lb_motifs(),
+                    Mode::Aqm => motifs::aqm_motifs(),
                 };
                 let motif = lib[self.rng.random_range(0..lib.len())](&mut self.rng);
                 base.replace_subexpr(ix, &motif)
@@ -189,6 +205,11 @@ impl MockLlm {
                     }
                     Mode::Lb => {
                         let lib = motifs::lb_motifs();
+                        let m = lib[self.rng.random_range(0..lib.len())](&mut self.rng);
+                        Expr::bin(BinOp::Add, base.clone(), m)
+                    }
+                    Mode::Aqm => {
+                        let lib = motifs::aqm_motifs();
                         let m = lib[self.rng.random_range(0..lib.len())](&mut self.rng);
                         Expr::bin(BinOp::Add, base.clone(), m)
                     }
@@ -442,6 +463,26 @@ mod tests {
         for s in &batch {
             let e = parse(s).unwrap_or_else(|e| panic!("fault-free lb candidate: {s}: {e}"));
             check(&e, Mode::Lb).unwrap_or_else(|e| panic!("lb candidate failed check: {s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn aqm_first_pass_rate_matches_calibration() {
+        let valid = count_valid(Mode::Aqm, GenConfig::aqm_defaults(5), 1_000);
+        let rate = valid as f64 / 1_000.0;
+        assert!((0.84..=0.97).contains(&rate), "aqm first-pass rate {rate}");
+    }
+
+    #[test]
+    fn aqm_candidates_read_queue_state() {
+        let mut llm = MockLlm::new(GenConfig { p_fault: 0.0, ..GenConfig::aqm_defaults(9) });
+        let batch = llm.generate(&Prompt::new(Mode::Aqm), 50);
+        let with_queue =
+            batch.iter().filter(|s| s.contains("q.") || s.contains("pkt.sojourn")).count();
+        assert!(with_queue > 40, "aqm candidates should read queue features: {with_queue}/50");
+        for s in &batch {
+            let e = parse(s).unwrap_or_else(|e| panic!("fault-free aqm candidate: {s}: {e}"));
+            check(&e, Mode::Aqm).unwrap_or_else(|e| panic!("aqm candidate failed check: {s}: {e}"));
         }
     }
 

@@ -329,6 +329,101 @@ pub fn lb_motifs() -> Vec<fn(&mut rand::rngs::StdRng) -> Expr> {
     ]
 }
 
+// ------------------------------------------------------------------ aqm --
+//
+// AQM verdict idioms. The template sums to a verdict: `<= 0` forward, `1`
+// ECN-mark, `>= 2` drop — so congestion terms contribute +1/+2 and guard
+// terms contribute negative values that veto signalling.
+
+/// CoDel flavour: signal when the head packet's sojourn exceeds a target.
+pub fn aqm_sojourn_gate(rng: &mut impl RngExt) -> Expr {
+    Expr::ite(
+        Expr::cmp(CmpOp::Gt, feat(Feature::PktSojournUs), int(scale(rng, 2_000, 20_000))),
+        int(rng.random_range(1..=2)),
+        int(0),
+    )
+}
+
+/// PIE flavour: signal on the estimated queueing delay — occupancy over
+/// drain rate (`q.drain_rate >= 1`, so the division is checker-clean).
+pub fn aqm_delay_estimate_gate(rng: &mut impl RngExt) -> Expr {
+    let est = Expr::bin(
+        BinOp::Div,
+        Expr::bin(BinOp::Mul, feat(Feature::QueueBytes), int(8_000_000)),
+        feat(Feature::DrainRateBps),
+    );
+    Expr::ite(
+        Expr::cmp(CmpOp::Gt, est, int(scale(rng, 5_000, 40_000))),
+        int(rng.random_range(1..=2)),
+        int(0),
+    )
+}
+
+/// RED flavour: signal past a fractional occupancy threshold
+/// (`q.bytes * 100 > q.capacity * P`).
+pub fn aqm_occupancy_gate(rng: &mut impl RngExt) -> Expr {
+    let pct = rng.random_range(30..=90i64);
+    Expr::ite(
+        Expr::cmp(
+            CmpOp::Gt,
+            Expr::bin(BinOp::Mul, feat(Feature::QueueBytes), int(100)),
+            Expr::bin(BinOp::Mul, feat(Feature::QueueCapacityBytes), int(pct)),
+        ),
+        int(rng.random_range(1..=2)),
+        int(0),
+    )
+}
+
+/// Smoothed-delay gate over the EWMA sojourn (ignores transient spikes).
+pub fn aqm_ewma_gate(rng: &mut impl RngExt) -> Expr {
+    Expr::ite(
+        Expr::cmp(CmpOp::Gt, feat(Feature::SojournEwmaUs), int(scale(rng, 3_000, 25_000))),
+        int(1),
+        int(0),
+    )
+}
+
+/// Signal pacing: veto any drop/mark shortly after the previous one — the
+/// CoDel-interval idiom that keeps the drop rate bounded.
+pub fn aqm_spacing_guard(rng: &mut impl RngExt) -> Expr {
+    Expr::ite(
+        Expr::cmp(CmpOp::Lt, feat(Feature::SinceLastDropUs), int(scale(rng, 10_000, 200_000))),
+        Expr::Neg(Box::new(int(rng.random_range(2..=4)))),
+        int(0),
+    )
+}
+
+/// Short-queue safety: never signal when only a few packets are queued.
+pub fn aqm_short_queue_guard(rng: &mut impl RngExt) -> Expr {
+    Expr::ite(
+        Expr::cmp(CmpOp::Lt, feat(Feature::QueuePkts), int(rng.random_range(2..6))),
+        Expr::Neg(Box::new(int(rng.random_range(3..=6)))),
+        int(0),
+    )
+}
+
+/// Escalation: a deep queue (in packets) upgrades marks to drops.
+pub fn aqm_depth_escalation(rng: &mut impl RngExt) -> Expr {
+    Expr::ite(
+        Expr::cmp(CmpOp::Gt, feat(Feature::QueuePkts), int(scale(rng, 20, 200))),
+        int(1),
+        int(0),
+    )
+}
+
+/// All aqm verdict motifs.
+pub fn aqm_motifs() -> Vec<fn(&mut rand::rngs::StdRng) -> Expr> {
+    vec![
+        aqm_sojourn_gate,
+        aqm_delay_estimate_gate,
+        aqm_occupancy_gate,
+        aqm_ewma_gate,
+        aqm_spacing_guard,
+        aqm_short_queue_guard,
+        aqm_depth_escalation,
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +493,25 @@ mod tests {
                 assert!(
                     report.warnings.is_empty(),
                     "lb motif has unguarded division: {}",
+                    policysmith_dsl::to_source(&e)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aqm_motifs_are_checker_clean() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for f in aqm_motifs() {
+            for _ in 0..20 {
+                let e = f(&mut rng);
+                check(&e, Mode::Aqm)
+                    .unwrap_or_else(|err| panic!("aqm motif produced invalid expr: {err}\n{e:?}"));
+                let report =
+                    policysmith_dsl::check_with_warnings(&e, Mode::Aqm, usize::MAX, usize::MAX);
+                assert!(
+                    report.warnings.is_empty(),
+                    "aqm motif has unguarded division: {}",
                     policysmith_dsl::to_source(&e)
                 );
             }

@@ -50,6 +50,13 @@ impl Prompt {
                  server.speed and req.size are never zero, the other features can be. \
                  O(1) per server per dispatch."
                 .to_string(),
+            Mode::Aqm => "Implement act(pkt, q) for an active-queue-management policy at \
+                 the bottleneck's dequeue hook. The returned value is a VERDICT: \
+                 <= 0 forwards the packet, == 1 ECN-marks it, >= 2 drops it. \
+                 Integer arithmetic only. Guard divisions against zero — pkt.size, \
+                 q.capacity and q.drain_rate are never zero, the other features \
+                 can be. One decision per packet at line rate, so O(1)."
+                .to_string(),
         };
         Prompt { mode, constraints, exemplars: Vec::new(), feedback: None }
     }
@@ -118,6 +125,18 @@ mod tests {
         assert!(text.contains("req.size"));
         assert!(text.contains("argmin"));
         assert!(!text.contains("obj.size"));
+        assert!(!text.contains("cwnd"));
+    }
+
+    #[test]
+    fn aqm_prompt_lists_aqm_features() {
+        let text = Prompt::new(Mode::Aqm).render();
+        assert!(text.contains("pkt.sojourn"));
+        assert!(text.contains("q.drain_rate"));
+        assert!(text.contains("aqm.since_drop"));
+        assert!(text.contains("VERDICT"));
+        assert!(!text.contains("obj.size"));
+        assert!(!text.contains("server.queue_len"));
         assert!(!text.contains("cwnd"));
     }
 

@@ -54,7 +54,7 @@ pub const KERNEL_MAX_DEPTH: usize = 24;
 pub fn mode_budgets(mode: Mode) -> (usize, usize) {
     match mode {
         Mode::Kernel => (KERNEL_MAX_SIZE, KERNEL_MAX_DEPTH),
-        Mode::Cache | Mode::Lb => (DEFAULT_MAX_SIZE, DEFAULT_MAX_DEPTH),
+        Mode::Cache | Mode::Lb | Mode::Aqm => (DEFAULT_MAX_SIZE, DEFAULT_MAX_DEPTH),
     }
 }
 

@@ -1,0 +1,477 @@
+//! Active queue management: the bottleneck's drop/mark decision point.
+//!
+//! The [`Bottleneck`](crate::link::Bottleneck) consults an [`AqmPolicy`] at
+//! two hooks — once when a packet is offered ([`AqmPolicy::on_enqueue`],
+//! after the drop-tail byte bound has admitted it) and once per head-of-line
+//! packet before serialization starts ([`AqmPolicy::on_dequeue`]). Both
+//! hooks see the same flat [`AqmView`] snapshot: packet sojourn time, queue
+//! occupancy, a smoothed drain-rate estimate, and drop history. This is the
+//! classical AQM decision surface — CoDel is a dequeue-side policy keyed on
+//! sojourn time, PIE an enqueue-side policy keyed on an estimated queueing
+//! delay — and exactly the feature surface `Mode::Aqm` exposes to
+//! synthesized policies.
+//!
+//! Decisions are [`AqmDecision`]: `Pass` forwards, `Mark` sets the packet's
+//! ECN CE bit (the receiver echoes it; the sender reacts once per window,
+//! like a loss without the retransmit), `Drop` discards the packet. The
+//! default policy is [`DropTail`], which never drops or marks — byte-bound
+//! tail drop is enforced by the queue itself, so a `DropTail` bottleneck
+//! behaves bit-for-bit like the pre-AQM link.
+//!
+//! Everything here is deterministic: PIE's random early drop uses an
+//! internal xorshift generator seeded from a constant, so identical runs
+//! make identical decisions.
+
+/// Snapshot of bottleneck state offered to an [`AqmPolicy`] hook. All
+/// values are plain scalars so the same view feeds both the man-made
+/// baselines and the kbpf context fill of synthesized policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AqmView {
+    /// Current virtual time, µs.
+    pub now_us: u64,
+    /// Size of the packet under decision, bytes.
+    pub pkt_size: u32,
+    /// Time the packet has spent queued so far, µs (0 at the enqueue hook).
+    pub sojourn_us: u64,
+    /// Bytes currently enqueued (including the packet under decision at the
+    /// dequeue hook; excluding it at the enqueue hook, where it has not been
+    /// admitted yet).
+    pub backlog_bytes: u64,
+    /// Packets currently enqueued (same inclusion rule as `backlog_bytes`).
+    pub backlog_pkts: u64,
+    /// Configured drop-tail byte bound of the queue.
+    pub capacity_bytes: u64,
+    /// EWMA-smoothed drain-rate estimate, bits/sec (≥ 1; initialized to the
+    /// configured line rate).
+    pub drain_rate_bps: u64,
+    /// EWMA-smoothed packet sojourn time over forwarded packets, µs.
+    pub ewma_sojourn_us: u64,
+    /// Time since the AQM last dropped or marked, µs (equal to `now_us`
+    /// while no drop/mark has happened yet).
+    pub since_drop_us: u64,
+    /// Packets dropped or marked by the AQM so far.
+    pub drops: u64,
+}
+
+/// What to do with the packet under decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AqmDecision {
+    /// Forward normally.
+    Pass,
+    /// Set the ECN CE bit and forward (congestion signal without loss).
+    Mark,
+    /// Discard the packet.
+    Drop,
+}
+
+/// An active-queue-management policy plugged into the bottleneck.
+pub trait AqmPolicy {
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// A packet (already admitted by the byte bound) is being enqueued.
+    /// `Drop` refuses it; `Mark` admits it with CE set. PIE-style policies
+    /// decide here. `view.sojourn_us` is always 0 at this hook.
+    fn on_enqueue(&mut self, view: &AqmView) -> AqmDecision;
+
+    /// The head-of-line packet is about to be serialized. `Drop` discards
+    /// it and the hook is consulted again for the next head; `Mark` sets CE
+    /// and serializes. CoDel-style policies decide here.
+    fn on_dequeue(&mut self, view: &AqmView) -> AqmDecision;
+}
+
+/// The do-nothing policy: plain drop-tail FIFO (the pre-AQM behaviour and
+/// the latched-fault fallback for synthesized policies).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DropTail;
+
+impl AqmPolicy for DropTail {
+    fn name(&self) -> &str {
+        "drop-tail"
+    }
+    fn on_enqueue(&mut self, _view: &AqmView) -> AqmDecision {
+        AqmDecision::Pass
+    }
+    fn on_dequeue(&mut self, _view: &AqmView) -> AqmDecision {
+        AqmDecision::Pass
+    }
+}
+
+/// CoDel (Controlled Delay, Nichols & Jacobson 2012): dequeue-side AQM
+/// keyed on packet sojourn time. While sojourn stays above `target_us` for
+/// a full `interval_us`, enter the dropping state and drop at intervals
+/// shrinking with the square root of the drop count (the sqrt control law);
+/// leave as soon as sojourn falls below target or the queue drains below
+/// one MTU.
+#[derive(Debug, Clone, Copy)]
+pub struct CoDel {
+    /// Acceptable standing sojourn, µs (canonical 5 ms).
+    pub target_us: u64,
+    /// Sliding window before reacting, µs (canonical 100 ms).
+    pub interval_us: u64,
+    /// When `Drop` would be returned, return `Mark` instead (ECN mode).
+    pub ecn: bool,
+    first_above_us: Option<u64>,
+    dropping: bool,
+    drop_next_us: u64,
+    count: u64,
+}
+
+/// Bytes below which CoDel always exits dropping (one full-size packet).
+const CODEL_MTU_BYTES: u64 = 1500;
+
+impl CoDel {
+    /// Canonical parameters: 5 ms target, 100 ms interval, hard drops.
+    pub fn new() -> Self {
+        Self::with_params(5_000, 100_000, false)
+    }
+
+    /// Explicit parameters.
+    pub fn with_params(target_us: u64, interval_us: u64, ecn: bool) -> Self {
+        CoDel {
+            target_us,
+            interval_us,
+            ecn,
+            first_above_us: None,
+            dropping: false,
+            drop_next_us: 0,
+            count: 0,
+        }
+    }
+
+    /// `interval / sqrt(count)` — the control law's next-drop spacing.
+    fn control_law(&self, from_us: u64) -> u64 {
+        from_us + (self.interval_us as f64 / (self.count.max(1) as f64).sqrt()) as u64
+    }
+
+    /// Has the sojourn been above target continuously for an interval?
+    fn should_drop(&mut self, view: &AqmView) -> bool {
+        if view.sojourn_us < self.target_us || view.backlog_bytes <= CODEL_MTU_BYTES {
+            self.first_above_us = None;
+            return false;
+        }
+        match self.first_above_us {
+            None => {
+                self.first_above_us = Some(view.now_us + self.interval_us);
+                false
+            }
+            Some(t) => view.now_us >= t,
+        }
+    }
+
+    fn signal(&self) -> AqmDecision {
+        if self.ecn {
+            AqmDecision::Mark
+        } else {
+            AqmDecision::Drop
+        }
+    }
+}
+
+impl Default for CoDel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AqmPolicy for CoDel {
+    fn name(&self) -> &str {
+        "codel"
+    }
+
+    fn on_enqueue(&mut self, _view: &AqmView) -> AqmDecision {
+        AqmDecision::Pass
+    }
+
+    fn on_dequeue(&mut self, view: &AqmView) -> AqmDecision {
+        let ok_to_drop = self.should_drop(view);
+        if self.dropping {
+            if !ok_to_drop {
+                self.dropping = false;
+                return AqmDecision::Pass;
+            }
+            if view.now_us >= self.drop_next_us {
+                self.count += 1;
+                self.drop_next_us = self.control_law(self.drop_next_us);
+                return self.signal();
+            }
+            AqmDecision::Pass
+        } else if ok_to_drop {
+            self.dropping = true;
+            // Resume close to the previous drop rate if we re-enter soon
+            // after leaving it (the "count memory" of the reference
+            // pseudocode, simplified: halve the count).
+            self.count = if self.count > 2 { self.count - 2 } else { 1 };
+            self.drop_next_us = self.control_law(view.now_us);
+            self.signal()
+        } else {
+            AqmDecision::Pass
+        }
+    }
+}
+
+/// PIE (Proportional Integral controller Enhanced, RFC 8033): enqueue-side
+/// AQM that drops incoming packets with a probability steered by a PI
+/// controller on the estimated queueing delay (`backlog / drain_rate`).
+#[derive(Debug, Clone, Copy)]
+pub struct Pie {
+    /// Delay reference the controller steers toward, µs (RFC default 15 ms).
+    pub target_us: u64,
+    /// Controller update period, µs (RFC default 15 ms).
+    pub t_update_us: u64,
+    /// When `Drop` would be returned, return `Mark` instead (ECN mode).
+    pub ecn: bool,
+    drop_prob: f64,
+    qdelay_old_us: u64,
+    next_update_us: u64,
+    /// Bytes allowed through unconditionally at start-of-congestion
+    /// (RFC 8033 §4.1 burst allowance, expressed in µs of drain time left).
+    burst_allowance_us: u64,
+    rng: u64,
+}
+
+impl Pie {
+    /// RFC 8033 defaults: 15 ms target, 15 ms update period, hard drops.
+    pub fn new() -> Self {
+        Self::with_params(15_000, 15_000, false)
+    }
+
+    /// Explicit parameters.
+    pub fn with_params(target_us: u64, t_update_us: u64, ecn: bool) -> Self {
+        Pie {
+            target_us,
+            t_update_us,
+            ecn,
+            drop_prob: 0.0,
+            qdelay_old_us: 0,
+            next_update_us: t_update_us,
+            burst_allowance_us: 150_000, // max_burst = 150 ms
+            rng: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Deterministic xorshift64 in [0, 1).
+    fn next_uniform(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Estimated queueing delay from occupancy and drain rate, µs.
+    fn qdelay_est_us(view: &AqmView) -> u64 {
+        view.backlog_bytes * 8 * 1_000_000 / view.drain_rate_bps.max(1)
+    }
+
+    /// Lazy controller update: catch up on every `t_update` boundary passed
+    /// since the last decision (the sim is event-driven, not timer-driven).
+    fn update(&mut self, view: &AqmView) {
+        while view.now_us >= self.next_update_us {
+            let qdelay = Self::qdelay_est_us(view);
+            // RFC 8033 §4.2: p += alpha*(qdelay - target) + beta*(qdelay -
+            // qdelay_old), with alpha/beta auto-scaled down while p is small
+            // so the controller is gentle near zero.
+            let alpha = 0.125 / 1_000_000.0; // per µs of error
+            let beta = 1.25 / 1_000_000.0;
+            let scale = if self.drop_prob < 0.000_001 {
+                1.0 / 2048.0
+            } else if self.drop_prob < 0.00001 {
+                1.0 / 512.0
+            } else if self.drop_prob < 0.0001 {
+                1.0 / 128.0
+            } else if self.drop_prob < 0.001 {
+                1.0 / 32.0
+            } else if self.drop_prob < 0.01 {
+                1.0 / 8.0
+            } else if self.drop_prob < 0.1 {
+                1.0 / 2.0
+            } else {
+                1.0
+            };
+            let err = alpha * (qdelay as f64 - self.target_us as f64)
+                + beta * (qdelay as f64 - self.qdelay_old_us as f64);
+            self.drop_prob = (self.drop_prob + err * scale).clamp(0.0, 1.0);
+            // decay toward zero when the queue is idle
+            if qdelay == 0 && self.qdelay_old_us == 0 {
+                self.drop_prob *= 0.98;
+            }
+            self.qdelay_old_us = qdelay;
+            self.burst_allowance_us = self.burst_allowance_us.saturating_sub(self.t_update_us);
+            self.next_update_us += self.t_update_us;
+        }
+    }
+
+    fn signal(&self) -> AqmDecision {
+        if self.ecn {
+            AqmDecision::Mark
+        } else {
+            AqmDecision::Drop
+        }
+    }
+}
+
+impl Default for Pie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AqmPolicy for Pie {
+    fn name(&self) -> &str {
+        "pie"
+    }
+
+    fn on_enqueue(&mut self, view: &AqmView) -> AqmDecision {
+        self.update(view);
+        if self.burst_allowance_us > 0 {
+            return AqmDecision::Pass;
+        }
+        // RFC 8033 §4.1 safeguards: never drop when the queue is nearly
+        // empty or the controller is essentially off.
+        let qdelay = Self::qdelay_est_us(view);
+        if self.drop_prob < 0.000_2 || qdelay < self.target_us / 2 || view.backlog_pkts < 2 {
+            return AqmDecision::Pass;
+        }
+        if self.next_uniform() < self.drop_prob {
+            self.signal()
+        } else {
+            AqmDecision::Pass
+        }
+    }
+
+    fn on_dequeue(&mut self, _view: &AqmView) -> AqmDecision {
+        AqmDecision::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(now: u64, sojourn: u64, backlog: u64) -> AqmView {
+        AqmView {
+            now_us: now,
+            pkt_size: 1500,
+            sojourn_us: sojourn,
+            backlog_bytes: backlog,
+            backlog_pkts: backlog / 1500,
+            capacity_bytes: 240_000,
+            drain_rate_bps: 12_000_000,
+            ewma_sojourn_us: sojourn,
+            since_drop_us: now,
+            drops: 0,
+        }
+    }
+
+    #[test]
+    fn droptail_never_acts() {
+        let mut dt = DropTail;
+        let v = view(1_000_000, 500_000, 200_000);
+        assert_eq!(dt.on_enqueue(&v), AqmDecision::Pass);
+        assert_eq!(dt.on_dequeue(&v), AqmDecision::Pass);
+    }
+
+    #[test]
+    fn codel_ignores_short_excursions() {
+        let mut cd = CoDel::new();
+        // sojourn above target, but for less than one interval
+        for t in (0..90_000).step_by(1_000) {
+            assert_eq!(cd.on_dequeue(&view(t, 8_000, 30_000)), AqmDecision::Pass);
+        }
+        // dips below target → window resets
+        assert_eq!(cd.on_dequeue(&view(95_000, 2_000, 30_000)), AqmDecision::Pass);
+        for t in (96_000..180_000).step_by(1_000) {
+            assert_eq!(cd.on_dequeue(&view(t, 8_000, 30_000)), AqmDecision::Pass);
+        }
+    }
+
+    #[test]
+    fn codel_drops_after_sustained_excess_then_recovers() {
+        let mut cd = CoDel::new();
+        let mut drops = 0;
+        for t in (0..400_000).step_by(1_000) {
+            if cd.on_dequeue(&view(t, 9_000, 30_000)) == AqmDecision::Drop {
+                drops += 1;
+            }
+        }
+        assert!(drops >= 2, "sustained excess must trigger repeated drops, got {drops}");
+        // control law accelerates: gaps shrink
+        assert!(cd.count >= 2);
+        // queue drains → exit dropping state immediately
+        assert_eq!(cd.on_dequeue(&view(401_000, 1_000, 1_500)), AqmDecision::Pass);
+        assert!(!cd.dropping);
+    }
+
+    #[test]
+    fn codel_never_drops_below_one_mtu() {
+        let mut cd = CoDel::new();
+        for t in (0..1_000_000).step_by(1_000) {
+            assert_eq!(cd.on_dequeue(&view(t, 50_000, 1_500)), AqmDecision::Pass);
+        }
+    }
+
+    #[test]
+    fn codel_ecn_mode_marks_instead() {
+        let mut cd = CoDel::with_params(5_000, 100_000, true);
+        let mut marks = 0;
+        for t in (0..400_000).step_by(1_000) {
+            match cd.on_dequeue(&view(t, 9_000, 30_000)) {
+                AqmDecision::Mark => marks += 1,
+                AqmDecision::Drop => panic!("ECN mode must never hard-drop"),
+                AqmDecision::Pass => {}
+            }
+        }
+        assert!(marks >= 2);
+    }
+
+    #[test]
+    fn pie_ramps_drop_probability_under_standing_queue() {
+        let mut pie = Pie::new();
+        // standing queue of ~20 pkts → qdelay ≈ 20 ms > 15 ms target
+        let mut drops = 0;
+        for t in (0..2_000_000).step_by(1_000) {
+            if pie.on_enqueue(&view(t, 0, 30_000)) == AqmDecision::Drop {
+                drops += 1;
+            }
+        }
+        assert!(pie.drop_prob > 0.0, "controller must have engaged");
+        assert!(drops > 0, "standing queue above target must cause drops");
+    }
+
+    #[test]
+    fn pie_idle_queue_decays_to_zero_drops() {
+        let mut pie = Pie::new();
+        for t in (0..2_000_000).step_by(1_000) {
+            pie.on_enqueue(&view(t, 0, 30_000));
+        }
+        let engaged = pie.drop_prob;
+        assert!(engaged > 0.0);
+        for t in (2_000_000..6_000_000).step_by(1_000) {
+            assert_eq!(pie.on_enqueue(&view(t, 0, 0)), AqmDecision::Pass, "empty queue");
+        }
+        assert!(pie.drop_prob < engaged / 2.0, "idle decay must shrink p");
+    }
+
+    #[test]
+    fn pie_burst_allowance_passes_initial_burst() {
+        let mut pie = Pie::new();
+        // within the first 150 ms everything passes regardless of queue
+        for t in (0..100_000).step_by(1_000) {
+            assert_eq!(pie.on_enqueue(&view(t, 0, 200_000)), AqmDecision::Pass);
+        }
+    }
+
+    #[test]
+    fn pie_decisions_are_deterministic() {
+        let run = || {
+            let mut pie = Pie::new();
+            (0..2_000_000)
+                .step_by(1_000)
+                .map(|t| pie.on_enqueue(&view(t, 0, 30_000)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -7,7 +7,11 @@
 //!
 //! * [`link`] — a bottleneck with a serialization rate, one-way propagation
 //!   delay, and a drop-tail byte-bounded queue (`mm-link` + `mm-delay`
-//!   equivalent);
+//!   equivalent), with a pluggable [`AqmPolicy`] decision point at
+//!   enqueue/dequeue;
+//! * [`aqm`] — the AQM trait plus the man-made baselines (CoDel, PIE) and
+//!   the default [`DropTail`]; `Mark` decisions flow through the ECN path
+//!   (CE bit → receiver echo → one sender reaction per window);
 //! * [`transport`] — a TCP-like reliable transport: window-limited sender,
 //!   per-packet ACKs, SACK-style triple-dup loss detection with a NewReno
 //!   recovery window, RTO fallback, RTT estimation (EWMA srtt/rttvar +
@@ -21,10 +25,12 @@
 //! Everything is integer-microsecond virtual time; runs are bit-for-bit
 //! reproducible.
 
+pub mod aqm;
 pub mod link;
 pub mod sim;
 pub mod transport;
 
+pub use aqm::{AqmDecision, AqmPolicy, AqmView, CoDel, DropTail, Pie};
 pub use link::{Bottleneck, LinkCfg};
 pub use sim::{FlowMetrics, SimConfig, Simulation};
 pub use transport::{CcView, CongestionControl, History, HIST_LEN};

@@ -5,6 +5,7 @@
 //! (ACK) path is delay-only — the paper's `mm-delay 20` both ways with the
 //! `mm-link` bottleneck on data only.
 
+use crate::aqm::AqmPolicy;
 use crate::link::{Bottleneck, LinkCfg, QueuedPacket};
 use crate::transport::{CongestionControl, Receiver, SendAction, Sender};
 use std::cmp::Reverse;
@@ -49,6 +50,8 @@ pub struct FlowMetrics {
     pub loss_events: u64,
     /// Retransmitted packets.
     pub retransmits: u64,
+    /// ECN congestion events the sender reacted to (marks, not losses).
+    pub ecn_events: u64,
     /// Final cwnd, packets.
     pub final_cwnd: u64,
 }
@@ -59,8 +62,8 @@ enum Event {
     TxDone,
     /// Data packet reaches the receiver.
     Arrive { pkt: QueuedPacket },
-    /// ACK reaches the sender.
-    Ack { flow: usize, seq: u64 },
+    /// ACK reaches the sender; `ece` echoes the data packet's CE mark.
+    Ack { flow: usize, seq: u64, ece: bool },
     /// Per-flow housekeeping timer.
     Timer { flow: usize },
 }
@@ -78,12 +81,22 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Build a simulation with one flow per congestion controller.
+    /// Build a simulation with one flow per congestion controller and a
+    /// plain drop-tail bottleneck.
     pub fn new(cfg: SimConfig, ccs: Vec<Box<dyn CongestionControl>>) -> Self {
+        Self::with_aqm(cfg, ccs, Box::new(crate::aqm::DropTail))
+    }
+
+    /// Build a simulation whose bottleneck is managed by `aqm`.
+    pub fn with_aqm(
+        cfg: SimConfig,
+        ccs: Vec<Box<dyn CongestionControl>>,
+        aqm: Box<dyn AqmPolicy>,
+    ) -> Self {
         assert!(!ccs.is_empty(), "need at least one flow");
         let n = ccs.len();
         let mut sim = Simulation {
-            link: Bottleneck::new(cfg.link),
+            link: Bottleneck::with_aqm(cfg.link, aqm),
             senders: ccs.into_iter().map(|cc| Sender::new(cc, cfg.mss)).collect(),
             receivers: (0..n).map(|_| Receiver::new()).collect(),
             agenda: BinaryHeap::new(),
@@ -110,9 +123,9 @@ impl Simulation {
 
     fn transmit(&mut self, flow: usize, actions: Vec<SendAction>) {
         for SendAction::Transmit { seq, size } in actions {
-            let pkt = QueuedPacket { flow, seq, size, enq_us: self.now_us };
+            let pkt = QueuedPacket { flow, seq, size, enq_us: self.now_us, ecn_ce: false };
             if self.link.enqueue(pkt) {
-                if let Some(delay) = self.link.start_tx() {
+                if let Some(delay) = self.link.start_tx(self.now_us) {
                     self.schedule(self.now_us + delay, Event::TxDone);
                 }
             } else {
@@ -139,19 +152,19 @@ impl Simulation {
                 Event::TxDone => {
                     let pkt = self.link.tx_done(self.now_us);
                     self.schedule(self.now_us + self.cfg.link.delay_us, Event::Arrive { pkt });
-                    if let Some(delay) = self.link.start_tx() {
+                    if let Some(delay) = self.link.start_tx(self.now_us) {
                         self.schedule(self.now_us + delay, Event::TxDone);
                     }
                 }
                 Event::Arrive { pkt } => {
-                    let ack_seq = self.receivers[pkt.flow].on_data(pkt.seq, pkt.size);
+                    let ack_seq = self.receivers[pkt.flow].on_data(pkt.seq, pkt.size, pkt.ecn_ce);
                     self.schedule(
                         self.now_us + self.cfg.link.delay_us,
-                        Event::Ack { flow: pkt.flow, seq: ack_seq },
+                        Event::Ack { flow: pkt.flow, seq: ack_seq, ece: pkt.ecn_ce },
                     );
                 }
-                Event::Ack { flow, seq } => {
-                    let retx = self.senders[flow].on_ack(seq, self.now_us);
+                Event::Ack { flow, seq, ece } => {
+                    let retx = self.senders[flow].on_ack(seq, self.now_us, ece);
                     self.transmit(flow, retx);
                     let sends = self.senders[flow].pump(self.now_us);
                     self.transmit(flow, sends);
@@ -179,6 +192,7 @@ impl Simulation {
                     min_rtt_us: if s.min_rtt_us == u64::MAX { 0 } else { s.min_rtt_us },
                     loss_events: s.loss_events,
                     retransmits: s.retransmits,
+                    ecn_events: s.ecn_events,
                     final_cwnd: s.cwnd,
                 }
             })
@@ -198,6 +212,16 @@ impl Simulation {
     /// Packets tail-dropped at the bottleneck.
     pub fn drops(&self) -> u64 {
         self.link.drops
+    }
+
+    /// Packets dropped or CE-marked by the AQM policy.
+    pub fn aqm_drops(&self) -> u64 {
+        self.link.aqm_drops()
+    }
+
+    /// Packets CE-marked by the AQM policy.
+    pub fn ecn_marks(&self) -> u64 {
+        self.link.ecn_marks()
     }
 }
 
@@ -327,5 +351,69 @@ mod tests {
         let (m, _, _) = run_one(Box::new(FixedCc(40)), 10_000_000);
         let capacity = 12_000_000.0 / 8.0 * 10.0; // bytes in 10 s
         assert!((m.delivered_bytes as f64 / capacity - m.utilization).abs() < 1e-9);
+    }
+
+    /// Paper link with a 4×BDP buffer: deep enough that an AIMD flow builds
+    /// a standing queue drop-tail never trims.
+    fn deep_buffer_cfg() -> SimConfig {
+        let mut cfg = SimConfig::paper_scenario();
+        cfg.link.queue_bytes = 4 * cfg.link.bdp_bytes();
+        cfg
+    }
+
+    fn run_aqm(aqm: Box<dyn AqmPolicy>) -> (FlowMetrics, f64, u64, u64) {
+        let mut sim =
+            Simulation::with_aqm(deep_buffer_cfg(), vec![Box::new(SimpleAimd::new())], aqm);
+        let m = sim.run().remove(0);
+        (m, sim.mean_qdelay_us(), sim.aqm_drops(), sim.ecn_marks())
+    }
+
+    #[test]
+    fn droptail_builds_standing_queue_in_deep_buffer() {
+        let (m, qd, aqm_drops, _) = run_aqm(Box::new(crate::aqm::DropTail));
+        assert!(m.utilization > 0.8, "util {}", m.utilization);
+        assert_eq!(aqm_drops, 0);
+        // AIMD in a 4-BDP buffer saws between ~2.5 and 5 BDP of RTT:
+        // mean sojourn far above CoDel's 5 ms target.
+        assert!(qd > 30_000.0, "drop-tail should queue heavily, got {qd}");
+    }
+
+    #[test]
+    fn codel_holds_sojourn_near_target() {
+        let (m, qd, aqm_drops, _) = run_aqm(Box::new(crate::aqm::CoDel::new()));
+        assert!(aqm_drops > 0, "CoDel must engage under a standing queue");
+        assert!(
+            qd > 1_000.0 && qd < 15_000.0,
+            "CoDel should hold mean sojourn near its 5 ms target, got {qd}"
+        );
+        assert!(m.utilization > 0.7, "CoDel must not tank utilization: {}", m.utilization);
+        assert_eq!(m.ecn_events, 0, "hard-drop CoDel sends no marks");
+    }
+
+    #[test]
+    fn pie_bounds_delay_near_its_target() {
+        let (m, qd, aqm_drops, _) = run_aqm(Box::new(crate::aqm::Pie::new()));
+        assert!(aqm_drops > 0, "PIE must engage under a standing queue");
+        assert!(qd < 40_000.0, "PIE should bound mean delay near 15 ms, got {qd}");
+        assert!(m.utilization > 0.7, "PIE must not tank utilization: {}", m.utilization);
+    }
+
+    #[test]
+    fn ecn_codel_marks_instead_of_dropping() {
+        let (m, qd, aqm_drops, marks) =
+            run_aqm(Box::new(crate::aqm::CoDel::with_params(5_000, 100_000, true)));
+        assert!(aqm_drops > 0);
+        assert_eq!(marks, aqm_drops, "ECN mode only marks");
+        assert!(m.ecn_events > 0, "sender must react to echoed marks");
+        assert_eq!(m.retransmits, 0, "marks lose nothing, so nothing to retransmit");
+        assert!(qd < 20_000.0, "marking should still control the queue, got {qd}");
+        assert!(m.utilization > 0.7, "util {}", m.utilization);
+    }
+
+    #[test]
+    fn aqm_runs_are_deterministic() {
+        let a = run_aqm(Box::new(crate::aqm::Pie::new()));
+        let b = run_aqm(Box::new(crate::aqm::Pie::new()));
+        assert_eq!(a, b);
     }
 }

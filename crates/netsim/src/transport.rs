@@ -116,6 +116,9 @@ pub struct Sender {
     rate_window_bytes: u64,
     // recovery state: loss events are collapsed until this seq is acked
     recovery_until: u64,
+    // ECN reaction state: ECE echoes are collapsed until this seq is acked
+    // (RFC 3168: at most one cwnd reduction per window of data)
+    ecn_recovery_until: u64,
     // history interval accumulation
     pub history: History,
     interval_start_us: u64,
@@ -128,6 +131,9 @@ pub struct Sender {
     // counters
     pub retransmits: u64,
     pub loss_events: u64,
+    /// ECN congestion events (ECE echoes reacted to), counted separately
+    /// from `loss_events` — no packet was lost.
+    pub ecn_events: u64,
 }
 
 /// What the sender wants the simulator to do next.
@@ -181,6 +187,7 @@ impl Sender {
             rate_window_start_us: 0,
             rate_window_bytes: 0,
             recovery_until: 0,
+            ecn_recovery_until: 0,
             history: History::default(),
             interval_start_us: 0,
             interval_delivered: 0,
@@ -191,6 +198,7 @@ impl Sender {
             interval_cwnd_n: 0,
             retransmits: 0,
             loss_events: 0,
+            ecn_events: 0,
         }
     }
 
@@ -266,9 +274,11 @@ impl Sender {
         }
     }
 
-    /// Handle an ACK for `seq` arriving at `now_us`. Returns retransmission
-    /// actions triggered by dup evidence (at most one per loss event).
-    pub fn on_ack(&mut self, seq: u64, now_us: u64) -> Vec<SendAction> {
+    /// Handle an ACK for `seq` arriving at `now_us`; `ece` is the ECN-Echo
+    /// flag (the receiver saw CE on the corresponding data packet). Returns
+    /// retransmission actions triggered by dup evidence (at most one per
+    /// loss event).
+    pub fn on_ack(&mut self, seq: u64, now_us: u64, ece: bool) -> Vec<SendAction> {
         let Some(pkt) = self.unacked.remove(&seq) else {
             return Vec::new(); // duplicate/stale ack
         };
@@ -326,6 +336,16 @@ impl Sender {
             self.loss_events += 1;
             self.interval_losses += 1;
             self.recovery_until = self.next_seq;
+            self.ssthresh = (self.cwnd / 2).max(MIN_CWND);
+            let view = cc_view!(self, now_us, 0);
+            let new = self.cc.on_loss(&view);
+            self.set_cwnd(new);
+        } else if ece && seq >= self.ecn_recovery_until {
+            // RFC 3168 reaction: treat the mark as a congestion signal
+            // (ssthresh + cc.on_loss) but with nothing to retransmit, at
+            // most once per window of data.
+            self.ecn_events += 1;
+            self.ecn_recovery_until = self.next_seq;
             self.ssthresh = (self.cwnd / 2).max(MIN_CWND);
             let view = cc_view!(self, now_us, 0);
             let new = self.cc.on_loss(&view);
@@ -395,6 +415,8 @@ pub struct Receiver {
     pub unique_bytes: u64,
     /// Total packets received (including spurious retransmits).
     pub packets: u64,
+    /// Packets received with the ECN CE bit set.
+    pub ce_packets: u64,
 }
 
 impl Receiver {
@@ -403,9 +425,13 @@ impl Receiver {
         Self::default()
     }
 
-    /// Process a data packet; returns the seq to acknowledge.
-    pub fn on_data(&mut self, seq: u64, size: u32) -> u64 {
+    /// Process a data packet; returns the seq to acknowledge. A CE-marked
+    /// packet (`ecn_ce`) is counted and must be echoed as ECE on its ACK.
+    pub fn on_data(&mut self, seq: u64, size: u32, ecn_ce: bool) -> u64 {
         self.packets += 1;
+        if ecn_ce {
+            self.ce_packets += 1;
+        }
         if self.seen.insert(seq) {
             self.unique_bytes += size as u64;
         }
@@ -450,7 +476,7 @@ mod tests {
     fn ack_frees_window_and_updates_rtt() {
         let mut s = sender(3);
         s.pump(0);
-        s.on_ack(0, 40_000);
+        s.on_ack(0, 40_000, false);
         assert_eq!(s.inflight_pkts(), 2);
         assert_eq!(s.last_rtt_us, 40_000);
         assert_eq!(s.srtt_us, 40_000);
@@ -465,14 +491,14 @@ mod tests {
         let mut s = sender(8);
         s.pump(0);
         // acks for 1,2 — packet 0 accumulates dup evidence
-        assert!(s.on_ack(1, 40_000).is_empty());
-        assert!(s.on_ack(2, 41_000).is_empty());
-        let actions = s.on_ack(3, 42_000);
+        assert!(s.on_ack(1, 40_000, false).is_empty());
+        assert!(s.on_ack(2, 41_000, false).is_empty());
+        let actions = s.on_ack(3, 42_000, false);
         assert_eq!(actions, vec![SendAction::Transmit { seq: 0, size: 1500 }]);
         assert_eq!(s.loss_events, 1);
         // further acks in the same window do not re-trigger
-        assert!(s.on_ack(4, 43_000).is_empty());
-        assert!(s.on_ack(5, 43_500).is_empty());
+        assert!(s.on_ack(4, 43_000, false).is_empty());
+        assert!(s.on_ack(5, 43_500, false).is_empty());
         assert_eq!(s.loss_events, 1);
     }
 
@@ -480,11 +506,11 @@ mod tests {
     fn karns_rule_skips_retransmit_rtt() {
         let mut s = sender(8);
         s.pump(0);
-        s.on_ack(1, 40_000);
-        s.on_ack(2, 41_000);
-        s.on_ack(3, 42_000); // retransmits 0
+        s.on_ack(1, 40_000, false);
+        s.on_ack(2, 41_000, false);
+        s.on_ack(3, 42_000, false); // retransmits 0
         let srtt_before = s.srtt_us;
-        s.on_ack(0, 43_000); // acked after retransmit: no RTT sample
+        s.on_ack(0, 43_000, false); // acked after retransmit: no RTT sample
         assert_eq!(s.srtt_us, srtt_before);
     }
 
@@ -503,20 +529,53 @@ mod tests {
     fn history_rolls_intervals() {
         let mut s = sender(4);
         s.pump(0);
-        s.on_ack(0, 40_000);
+        s.on_ack(0, 40_000, false);
         // force several intervals
         for (i, t) in [(1u64, 90_000u64), (2, 140_000), (3, 190_000)] {
-            s.on_ack(i, t);
+            s.on_ack(i, t, false);
         }
         assert!(s.history.rtt_us[0] > 0, "history must have rolled");
         assert!(s.history.delivered[0] >= 0);
     }
 
     #[test]
+    fn ece_reacts_once_per_window_without_retransmit() {
+        let mut s = sender(8);
+        s.pump(0);
+        let cwnd_before = s.cwnd;
+        let actions = s.on_ack(0, 40_000, true);
+        assert!(actions.is_empty(), "ECN reaction must not retransmit");
+        assert_eq!(s.ecn_events, 1);
+        assert_eq!(s.loss_events, 0, "a mark is not a loss");
+        assert_eq!(s.ssthresh, (cwnd_before / 2).max(MIN_CWND));
+        // further ECE echoes within the same window are collapsed
+        s.on_ack(1, 41_000, true);
+        s.on_ack(2, 42_000, true);
+        assert_eq!(s.ecn_events, 1);
+        // a new window (packets sent after the reaction) re-arms the signal
+        s.pump(43_000);
+        for seq in 3..8 {
+            s.on_ack(seq, 44_000 + seq * 100, false);
+        }
+        s.on_ack(8, 46_000, true);
+        assert_eq!(s.ecn_events, 2);
+    }
+
+    #[test]
+    fn receiver_counts_ce_packets() {
+        let mut r = Receiver::new();
+        r.on_data(0, 1500, true);
+        r.on_data(1, 1500, false);
+        r.on_data(2, 1500, true);
+        assert_eq!(r.ce_packets, 2);
+        assert_eq!(r.unique_bytes, 4500);
+    }
+
+    #[test]
     fn receiver_dedups_bytes() {
         let mut r = Receiver::new();
-        assert_eq!(r.on_data(0, 1500), 0);
-        assert_eq!(r.on_data(0, 1500), 0); // spurious retransmit
+        assert_eq!(r.on_data(0, 1500, false), 0);
+        assert_eq!(r.on_data(0, 1500, false), 0); // spurious retransmit
         assert_eq!(r.unique_bytes, 1500);
         assert_eq!(r.packets, 2);
     }

@@ -1,0 +1,52 @@
+//! The fourth workload end-to-end: synthesize an AQM verdict policy for
+//! the steady deep-buffer preset and compare it against the man-made
+//! classics (CoDel, PIE) on the power metric.
+//!
+//! ```sh
+//! cargo run --release --example aqm_study
+//! ```
+
+use policysmith::aqmsim::{aqm_baseline_names, scenario};
+use policysmith::core::search::{run_search, SearchConfig, Study};
+use policysmith::core::studies::aqm::AqmStudy;
+use policysmith::gen::{GenConfig, MockLlm};
+
+fn main() {
+    // 1. A context: two Reno flows into a 4×BDP drop-tail buffer.
+    let sc = scenario::steady();
+    let study = AqmStudy::new(&sc);
+    println!(
+        "context: {} ({} flows, {:.0} ms buffer drain at line rate)",
+        sc.name,
+        sc.flows.len(),
+        sc.sim.link.queue_bytes as f64 * 8.0 / sc.sim.link.rate_bps as f64 * 1e3
+    );
+    println!("drop-tail power: {:.4}", study.droptail_power());
+
+    // 2. Classical baselines — three decades of man-made queue management.
+    println!("\n-- baselines (power improvement over drop-tail) --");
+    for name in aqm_baseline_names() {
+        println!("{name:12} {:+.1}%", study.baseline_improvement(name) * 100.0);
+    }
+
+    // 3. Search: same loop, same generator machinery, fourth template.
+    let mut llm = MockLlm::new(GenConfig::aqm_defaults(31));
+    let cfg = SearchConfig { rounds: 8, candidates_per_round: 15, ..SearchConfig::paper_cache() };
+    let outcome = run_search(&study, &mut llm, &cfg);
+
+    println!("\nbest policy after {} candidates:", outcome.all.len());
+    println!("  act(pkt, q) = {}", outcome.best.source);
+    println!("  improvement over drop-tail: {:+.1}%", outcome.best.score * 100.0);
+    let codel = study.baseline_improvement("codel");
+    println!("  CoDel for reference:        {:+.1}%", codel * 100.0);
+    assert!(outcome.best.score > codel, "search must beat CoDel on its home preset");
+
+    // 4. Determinism: the winner re-evaluates to the identical score.
+    let re = study.evaluate(&study.check(&outcome.best.source).unwrap());
+    assert!((re - outcome.best.score).abs() < 1e-12);
+    println!(
+        "\nsimulated LLM cost: {} requests, ${:.4}",
+        outcome.cost.tokens.requests,
+        outcome.cost.cost_usd()
+    );
+}

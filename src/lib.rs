@@ -3,6 +3,7 @@
 //! Re-exports the whole PolicySmith workspace behind one dependency. See the
 //! README for a tour and `examples/` for runnable entry points.
 
+pub use policysmith_aqmsim as aqmsim;
 pub use policysmith_cachesim as cachesim;
 pub use policysmith_cc as cc;
 pub use policysmith_core as core;
