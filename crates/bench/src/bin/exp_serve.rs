@@ -8,17 +8,19 @@
 //! * `throughput` — open-loop lb dispatch decisions/sec at 1..=N workers
 //!   (thread-confined fleets, one shared hot-swap cell), with p50/p99/p999
 //!   decision latency from the HDR-style histogram;
-//! * `drift` — a mid-run slow-node onset under a policy synthesized for
-//!   the healthy fleet: the telemetry → monitor → library → `run_search` →
-//!   publish loop answers it in the background; the section records the
-//!   full window timeline, the swap log, the adoption pauses, and the
-//!   post-swap quality vs a freshly-searched offline policy;
+//! * `drift` — a mid-run slow-node onset under a stale, speed-blind
+//!   deployed policy (JSQ): the telemetry → monitor → library →
+//!   `run_search` → guard → publish loop answers it in the background; the
+//!   section records the full window timeline, the swap log, guard
+//!   rejections, the adoption pauses, and the post-swap quality vs a
+//!   freshly-searched offline policy;
 //! * `no_drift_differential` — the serve-equals-batch check re-run in the
 //!   bench harness (the proptest version lives in `crates/serve/tests`).
 //!
 //! Usage: `exp_serve [--quick] [--seed N]`
 
 use policysmith_bench::{write_json, ExpOpts};
+use policysmith_core::library::HeuristicLibrary;
 use policysmith_core::search::{run_search, SearchConfig};
 use policysmith_core::studies::lb::LbStudy;
 use policysmith_dsl::{parse, Mode};
@@ -131,13 +133,14 @@ fn main() {
     }
     .pipelined();
 
-    // deploy what §3.1 would deploy: a policy synthesized for the healthy
-    // fleet, offline, before serving starts
-    let healthy_study = LbStudy::new(healthy);
-    let mut llm = MockLlm::new(GenConfig::lb_defaults(opts.seed ^ 0x5EED));
-    let deployed = run_search(&healthy_study, &mut llm, &search_cfg).best;
-    println!("  deployed for {}: {:+.2}% over RR", healthy.name, deployed.score * 100.0);
-    println!("    score(server, req) = {}", deployed.source);
+    // deploy a policy that is fine on the healthy fleet but genuinely
+    // stale after the onset: JSQ dispatches by queue length alone, so a
+    // slowed node keeps receiving its full share — the §3.1 story of a
+    // deployed heuristic limping when the context shifts. (A policy
+    // synthesized for the healthy fleet turns out to transfer too well
+    // here: the guard would — correctly — refuse to replace it.)
+    let deployed_src = "server.queue_len";
+    println!("  deployed for {}: JSQ (`{deployed_src}`) — speed-blind", healthy.name);
 
     // the offline yardstick: a fresh search for the drifted context with
     // the same budget the background controller gets, but a DIFFERENT
@@ -187,8 +190,9 @@ fn main() {
         study: LbStudy::new(onset),
         generator: Box::new(MockLlm::new(GenConfig::lb_defaults(opts.seed ^ 0xF00D))),
         search: search_cfg,
+        library: HeuristicLibrary::new(),
     };
-    let report = serve_lb(&shards, compiled(&deployed.source), &cfg, Some(resynth));
+    let report = serve_lb(&shards, compiled(deployed_src), &cfg, Some(resynth));
 
     // the like-for-like yardstick: the offline policy serving the SAME
     // sharded streams from the start (no drift response needed), scored
@@ -239,13 +243,20 @@ fn summarize_drift(
     let offered: u64 = report.workers.iter().map(|w| w.lb_metrics.as_ref().unwrap().offered).sum();
     assert_eq!(report.total_decisions(), offered, "zero dropped/blocked decision requests");
     println!(
-        "  served {} decisions across {} workers; {} swaps, {} adaptations, {} suppressed re-triggers",
+        "  served {} decisions across {} workers; {} swaps, {} adaptations, {} rejections, {} suppressed re-triggers",
         report.total_decisions(),
         report.workers.len(),
         report.swaps.len(),
         report.adaptations.len(),
+        report.rejections.len(),
         report.suppressed_triggers
     );
+    for r in &report.rejections {
+        println!(
+            "    rejected for {}: {} [candidate {:+.4} vs incumbent {:+.4}] (`{}`)",
+            r.context, r.reason, r.candidate_score, r.incumbent_score, r.source
+        );
+    }
     assert!(!report.adaptations.is_empty(), "the background controller must answer the drift");
     for a in &report.adaptations {
         println!(
@@ -356,6 +367,22 @@ fn drift_section_json(
             "score": a.score,
             "source": a.source,
             "resynthesis_micros": a.resynthesis_micros,
+            "retries": a.retries,
+        })).collect::<Vec<_>>(),
+        "rejections": report.rejections.iter().map(|r| serde_json::json!({
+            "context": r.context,
+            "source": r.source,
+            "reason": r.reason,
+            "candidate_score": r.candidate_score,
+            "incumbent_score": r.incumbent_score,
+            "rejection_micros": r.rejection_micros,
+        })).collect::<Vec<_>>(),
+        "quarantines": report.quarantines.iter().map(|q| serde_json::json!({
+            "worker": q.worker,
+            "generation": q.generation,
+            "source": q.source,
+            "fault": q.fault,
+            "at_micros": q.at_micros,
         })).collect::<Vec<_>>(),
         "adoption_pauses_ns": {
             "count": pauses.len(),

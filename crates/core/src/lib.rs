@@ -47,6 +47,10 @@ pub mod search;
 pub mod studies;
 
 pub use library::{
-    Adaptation, AdaptiveController, ContextMonitor, HeuristicLibrary, LibraryEntry, SearchNeeded,
+    run_search_with_retry, Adaptation, AdaptiveController, ContextMonitor, GiveUp,
+    HeuristicLibrary, LibraryEntry, RetriedSearch, RetryPolicy, SearchAttempt, SearchNeeded,
 };
-pub use search::{run_search, CostLedger, RoundStats, Scored, SearchConfig, SearchOutcome, Study};
+pub use search::{
+    run_search, try_run_search, CostLedger, RoundStats, Scored, SearchConfig, SearchError,
+    SearchOutcome, Study,
+};

@@ -21,9 +21,10 @@
 //!   just `check` + `evaluate` and "no stored policy fits" is just
 //!   [`run_search`].
 
-use crate::search::{run_search, Scored, SearchConfig, Study};
+use crate::search::{run_search, try_run_search, Scored, SearchConfig, SearchOutcome, Study};
 use policysmith_gen::Generator;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
+use std::time::{Duration, Instant};
 
 /// One synthesized heuristic with provenance.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,9 +40,18 @@ pub struct LibraryEntry {
 /// A growing library of PolicySmith-generated heuristics (§3.1: "over
 /// time, this enables building a library … providing better options for an
 /// adaptation system to choose from").
+///
+/// Entries can be **poisoned**: a policy that faulted at runtime (tripped
+/// a serving host's fault latch, or was rejected by the publication guard
+/// for runtime-faulting) is quarantined by *source text*, so the verdict
+/// survives the entry being re-added under a different context or score.
+/// Poisoned sources are invisible to [`best_for`](Self::best_for) — and
+/// therefore to `try_reuse` — until explicitly un-poisoned.
 #[derive(Debug, Clone, Default)]
 pub struct HeuristicLibrary {
     entries: Vec<LibraryEntry>,
+    /// Quarantined sources, keyed by source text (not by entry index).
+    poisoned: BTreeSet<String>,
 }
 
 impl HeuristicLibrary {
@@ -70,12 +80,38 @@ impl HeuristicLibrary {
         self.entries.is_empty()
     }
 
+    /// Quarantine a source: every entry with this exact source text is
+    /// skipped by [`best_for`](Self::best_for) until
+    /// [`unpoison`](Self::unpoison)ed, even if re-added later. Returns
+    /// `true` if the source was not already poisoned.
+    pub fn poison(&mut self, source: &str) -> bool {
+        self.poisoned.insert(source.to_string())
+    }
+
+    /// Lift a quarantine (the only way a poisoned source comes back).
+    /// Returns `true` if the source was poisoned.
+    pub fn unpoison(&mut self, source: &str) -> bool {
+        self.poisoned.remove(source)
+    }
+
+    /// Is this source quarantined?
+    pub fn is_poisoned(&self, source: &str) -> bool {
+        self.poisoned.contains(source)
+    }
+
+    /// Every quarantined source, in sorted order.
+    pub fn poisoned(&self) -> impl Iterator<Item = &str> {
+        self.poisoned.iter().map(|s| s.as_str())
+    }
+
     /// Pick the best heuristic for a context by *evaluating* every stored
     /// candidate with the supplied scorer (the oracle-adaptation model of
     /// §4.2.4) and returning the winner together with its score.
     ///
-    /// Returns `None` on an empty library. Scorers returning `NaN` (a
-    /// degenerate improvement ratio, say) neither panic nor win.
+    /// Returns `None` on an empty library, or when every entry is
+    /// [poisoned](Self::poison) — quarantined sources are never scored.
+    /// Scorers returning `NaN` (a degenerate improvement ratio, say)
+    /// neither panic nor win.
     ///
     /// ```
     /// use policysmith_core::library::{HeuristicLibrary, LibraryEntry};
@@ -99,6 +135,7 @@ impl HeuristicLibrary {
     ) -> Option<(&LibraryEntry, f64)> {
         self.entries
             .iter()
+            .filter(|e| !self.poisoned.contains(&e.source))
             .map(|e| {
                 let s = scorer(e);
                 (e, s)
@@ -344,6 +381,14 @@ impl AdaptiveController {
         &self.library
     }
 
+    /// Quarantine a source in the library (see
+    /// [`HeuristicLibrary::poison`]): a runtime-faulting policy must never
+    /// be picked by `try_reuse`/`best_for` again. Returns `true` if the
+    /// source was not already poisoned.
+    pub fn poison(&mut self, source: &str) -> bool {
+        self.library.poison(source)
+    }
+
     /// The drift monitor (for baseline inspection).
     pub fn monitor(&self) -> &ContextMonitor {
         &self.monitor
@@ -440,7 +485,11 @@ impl AdaptiveController {
         };
         self.library.add(entry.clone());
         let adaptation = match needed.best_stored {
-            Some((stored, score)) if score >= entry.score => {
+            // a stored entry poisoned after the ticket was issued (a
+            // quarantine raced the search) must not win the comparison
+            Some((stored, score))
+                if score >= entry.score && !self.library.is_poisoned(&stored.source) =>
+            {
                 self.deployed = Some(stored.clone());
                 Adaptation::FromLibrary { entry: stored, score }
             }
@@ -452,6 +501,173 @@ impl AdaptiveController {
         self.adaptations.push(adaptation.clone());
         adaptation
     }
+
+    /// Abandon an adaptation begun by [`try_reuse`](Self::try_reuse)
+    /// whose search could not be completed (generator outage past the
+    /// retry budget): instead of blocking adaptation forever, deploy the
+    /// ticket's best stored entry — the least-bad policy the library
+    /// already holds — provided it scored a real number in the drifted
+    /// context and has not been poisoned since. Returns `None` when
+    /// nothing stored is deployable; the incumbent simply stays live.
+    pub fn abandon_search(&mut self, needed: SearchNeeded) -> Option<Adaptation> {
+        let (entry, score) = needed.best_stored?;
+        if !score.is_finite() || self.library.is_poisoned(&entry.source) {
+            return None;
+        }
+        self.deployed = Some(entry.clone());
+        let adaptation = Adaptation::FromLibrary { entry, score };
+        self.adaptations.push(adaptation.clone());
+        Some(adaptation)
+    }
+}
+
+/// Bounded exponential backoff + a wall-clock watchdog for background
+/// re-synthesis: how many times a failed search attempt is retried, how
+/// long to wait between attempts, and the deadline past which the
+/// controller gives up and falls back to the library
+/// ([`AdaptiveController::abandon_search`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before retry *k* is `base << k`, capped below.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap_ms: u64,
+    /// Watchdog: once this much wall-clock has elapsed since the first
+    /// attempt started, no further retries are scheduled.
+    pub deadline_ms: u64,
+}
+
+impl RetryPolicy {
+    /// The serving runtime's default: a handful of quick retries, give up
+    /// well before the drift window loses its meaning.
+    pub fn serving() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 200,
+            deadline_ms: 20_000,
+        }
+    }
+
+    /// One attempt, no retries — [`run_search_with_retry`] behaves like a
+    /// fallible [`run_search`].
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            deadline_ms: u64::MAX,
+        }
+    }
+
+    /// Backoff sleep before the retry following failed attempt `attempt`
+    /// (0-based).
+    fn backoff_ms(&self, attempt: u32) -> u64 {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.backoff_base_ms.saturating_mul(factor).min(self.backoff_cap_ms)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::serving()
+    }
+}
+
+/// One failed search attempt inside [`run_search_with_retry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchAttempt {
+    /// 0-based attempt index.
+    pub attempt: u32,
+    /// The rendered [`crate::search::SearchError`].
+    pub error: String,
+    /// Backoff slept after this failure (0 for the final attempt).
+    pub backoff_ms: u64,
+    /// How long the attempt itself ran.
+    pub elapsed_ms: u64,
+}
+
+/// Why [`run_search_with_retry`] stopped without an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GiveUp {
+    /// Every allowed attempt failed.
+    AttemptsExhausted,
+    /// The watchdog deadline fired before the attempts ran out.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for GiveUp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GiveUp::AttemptsExhausted => write!(f, "retry attempts exhausted"),
+            GiveUp::DeadlineExceeded => write!(f, "watchdog deadline exceeded"),
+        }
+    }
+}
+
+/// The result of a retried search: either an outcome (with the failures
+/// that preceded it) or a give-up verdict.
+#[derive(Debug)]
+pub struct RetriedSearch {
+    /// The successful attempt's outcome, if any attempt succeeded.
+    pub outcome: Option<SearchOutcome>,
+    /// Every failed attempt, in order.
+    pub failures: Vec<SearchAttempt>,
+    /// Why the search gave up (`None` iff `outcome` is `Some`).
+    pub gave_up: Option<GiveUp>,
+}
+
+/// Run [`try_run_search`] under a [`RetryPolicy`]: failed attempts are
+/// retried with bounded exponential backoff until one succeeds, the
+/// attempt budget runs out, or the watchdog deadline fires. A failed
+/// attempt is abandoned whole — the generator's stream position advances,
+/// so a flaky backend gets genuinely fresh randomness on retry.
+pub fn run_search_with_retry<S: Study>(
+    study: &S,
+    generator: &mut dyn Generator,
+    cfg: &SearchConfig,
+    retry: &RetryPolicy,
+) -> RetriedSearch {
+    let started = Instant::now();
+    let max_attempts = retry.max_attempts.max(1);
+    let mut failures = Vec::new();
+    for attempt in 0..max_attempts {
+        let t0 = Instant::now();
+        match try_run_search(study, generator, cfg) {
+            Ok(outcome) => {
+                return RetriedSearch { outcome: Some(outcome), failures, gave_up: None }
+            }
+            Err(e) => {
+                let last = attempt + 1 == max_attempts;
+                let backoff_ms = if last { 0 } else { retry.backoff_ms(attempt) };
+                failures.push(SearchAttempt {
+                    attempt,
+                    error: e.to_string(),
+                    backoff_ms,
+                    elapsed_ms: t0.elapsed().as_millis() as u64,
+                });
+                if last {
+                    break;
+                }
+                // the watchdog bounds total wall-clock: if the next sleep
+                // would land past the deadline, give up now
+                let elapsed_ms = started.elapsed().as_millis() as u64;
+                if elapsed_ms.saturating_add(backoff_ms) >= retry.deadline_ms {
+                    return RetriedSearch {
+                        outcome: None,
+                        failures,
+                        gave_up: Some(GiveUp::DeadlineExceeded),
+                    };
+                }
+                if backoff_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(backoff_ms));
+                }
+            }
+        }
+    }
+    RetriedSearch { outcome: None, failures, gave_up: Some(GiveUp::AttemptsExhausted) }
 }
 
 #[cfg(test)]
@@ -850,5 +1066,226 @@ mod tests {
         assert!(!ctrl.observe(0.30), "first sample only baselines");
         assert_eq!(ctrl.monitor().baseline(), Some(0.30));
         assert!(ctrl.observe(0.45), "20% guardrail exceeded");
+    }
+
+    // -- poisoning --
+
+    #[test]
+    fn poisoned_entries_are_skipped_by_best_for() {
+        let mut lib = HeuristicLibrary::new();
+        lib.add(entry("winner-by-score", 0.9));
+        lib.add(entry("runner-up", 0.5));
+        assert!(lib.poison("winner-by-score"));
+        assert!(!lib.poison("winner-by-score"), "second poison is a no-op");
+        let (best, _) = lib.best_for(|e| e.score).unwrap();
+        assert_eq!(best.source, "runner-up");
+        assert!(lib.is_poisoned("winner-by-score"));
+        assert_eq!(lib.poisoned().collect::<Vec<_>>(), vec!["winner-by-score"]);
+    }
+
+    #[test]
+    fn fully_poisoned_library_has_no_best() {
+        let mut lib = HeuristicLibrary::new();
+        lib.add(entry("only", 0.9));
+        lib.poison("only");
+        assert!(lib.best_for(|e| e.score).is_none());
+    }
+
+    #[test]
+    fn poisoning_survives_re_adds() {
+        let mut lib = HeuristicLibrary::new();
+        lib.add(entry("faulty", 0.9));
+        lib.poison("faulty");
+        // the same source re-enters under a different context and score —
+        // the quarantine is keyed by source text, so it still applies
+        lib.add(LibraryEntry { context: "elsewhere".into(), source: "faulty".into(), score: 2.0 });
+        assert!(lib.best_for(|e| e.score).is_none());
+        assert_eq!(lib.len(), 2, "poisoning hides entries, it does not delete them");
+    }
+
+    #[test]
+    fn unpoison_is_the_only_way_back() {
+        let mut lib = HeuristicLibrary::new();
+        lib.add(entry("faulty", 0.9));
+        lib.poison("faulty");
+        assert!(lib.best_for(|e| e.score).is_none());
+        assert!(lib.unpoison("faulty"));
+        assert!(!lib.unpoison("faulty"), "second unpoison is a no-op");
+        let (best, _) = lib.best_for(|e| e.score).unwrap();
+        assert_eq!(best.source, "faulty");
+    }
+
+    #[test]
+    fn try_reuse_skips_poisoned_entries() {
+        // the poisoned entry would easily clear the reuse bar; a clean but
+        // worse entry must win instead
+        let mut ctrl = AdaptiveController::new(ContextMonitor::new(2, 1.2), 0.05);
+        ctrl.deploy(entry(&"p".repeat(50), 0.5)); // re-scores to 0.50
+        ctrl.deploy(entry(&"c".repeat(10), 0.1)); // re-scores to 0.10
+        ctrl.poison(&"p".repeat(50));
+        let a = ctrl.try_reuse(&ToyStudy).expect("the clean entry clears the bar");
+        assert_eq!(a.entry().source, "c".repeat(10));
+    }
+
+    #[test]
+    fn finish_search_never_deploys_a_stored_entry_poisoned_after_ticketing() {
+        let mut ctrl = AdaptiveController::new(ContextMonitor::new(2, 1.2), 0.9);
+        let stored = "s".repeat(40); // re-scores to 0.40, beats the weak winner
+        ctrl.deploy(entry(&stored, 0.6));
+        let ticket = ctrl.try_reuse(&ToyStudy).expect_err("0.9 bar is out of reach");
+        // a quarantine lands while the search is running
+        ctrl.poison(&stored);
+        let winner = Scored { source: "w".repeat(10), score: 0.10, round: 0 };
+        let a = ctrl.finish_search("shifted", ticket, winner);
+        assert!(a.resynthesized(), "the poisoned stored entry must not win the comparison");
+        assert_eq!(ctrl.deployed().unwrap().source, "w".repeat(10));
+    }
+
+    // -- retry/backoff + watchdog --
+
+    /// Fails `fail_first` try_generate calls, then behaves like FixedGen.
+    struct FlakyFixed {
+        batch: Vec<String>,
+        fail_first: usize,
+        calls: usize,
+        ledger: TokenLedger,
+    }
+    impl Generator for FlakyFixed {
+        fn generate(&mut self, _p: &Prompt, _n: usize) -> Vec<String> {
+            self.batch.clone()
+        }
+        fn try_generate(
+            &mut self,
+            p: &Prompt,
+            n: usize,
+        ) -> Result<Vec<String>, policysmith_gen::GenError> {
+            self.calls += 1;
+            if self.calls <= self.fail_first {
+                Err(policysmith_gen::GenError::Unavailable("down".into()))
+            } else {
+                Ok(self.generate(p, n))
+            }
+        }
+        fn repair(&mut self, _p: &Prompt, _s: &str, _e: &str) -> Option<String> {
+            None
+        }
+        fn ledger(&self) -> &TokenLedger {
+            &self.ledger
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_generator_failures() {
+        let mut gen = FlakyFixed {
+            batch: vec!["okokok".into()],
+            fail_first: 2,
+            calls: 0,
+            ledger: TokenLedger::default(),
+        };
+        let retry = RetryPolicy {
+            max_attempts: 4,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            deadline_ms: u64::MAX,
+        };
+        let r = run_search_with_retry(&ToyStudy, &mut gen, &tiny_cfg(), &retry);
+        assert!(r.gave_up.is_none());
+        assert_eq!(r.failures.len(), 2, "two failed attempts precede the success");
+        assert_eq!(r.outcome.unwrap().best.source, "okokok");
+    }
+
+    #[test]
+    fn retry_gives_up_after_the_attempt_budget() {
+        let mut gen = FlakyFixed {
+            batch: vec!["ok".into()],
+            fail_first: usize::MAX,
+            calls: 0,
+            ledger: TokenLedger::default(),
+        };
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            deadline_ms: u64::MAX,
+        };
+        let r = run_search_with_retry(&ToyStudy, &mut gen, &tiny_cfg(), &retry);
+        assert_eq!(r.gave_up, Some(GiveUp::AttemptsExhausted));
+        assert_eq!(r.failures.len(), 3);
+        assert!(r.outcome.is_none());
+        assert!(r.failures[0].error.contains("unavailable"), "{}", r.failures[0].error);
+    }
+
+    #[test]
+    fn retry_watchdog_fires_before_sleeping_past_the_deadline() {
+        let mut gen = FlakyFixed {
+            batch: vec!["ok".into()],
+            fail_first: usize::MAX,
+            calls: 0,
+            ledger: TokenLedger::default(),
+        };
+        // huge attempt budget, but each backoff would sleep 10s: the 1ms
+        // deadline must cut the loop off after the first failure
+        let retry = RetryPolicy {
+            max_attempts: 1000,
+            backoff_base_ms: 10_000,
+            backoff_cap_ms: 10_000,
+            deadline_ms: 1,
+        };
+        let t0 = std::time::Instant::now();
+        let r = run_search_with_retry(&ToyStudy, &mut gen, &tiny_cfg(), &retry);
+        assert_eq!(r.gave_up, Some(GiveUp::DeadlineExceeded));
+        assert_eq!(r.failures.len(), 1);
+        assert!(t0.elapsed() < Duration::from_secs(5), "the watchdog must not sleep the backoff");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let retry = RetryPolicy {
+            max_attempts: 8,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 50,
+            deadline_ms: 0,
+        };
+        assert_eq!(retry.backoff_ms(0), 10);
+        assert_eq!(retry.backoff_ms(1), 20);
+        assert_eq!(retry.backoff_ms(2), 40);
+        assert_eq!(retry.backoff_ms(3), 50, "capped");
+        assert_eq!(retry.backoff_ms(63), 50, "shift overflow saturates at the cap");
+    }
+
+    #[test]
+    fn abandon_search_falls_back_to_the_ticketed_best_stored_entry() {
+        let mut ctrl = AdaptiveController::new(ContextMonitor::new(2, 1.2), 0.9);
+        let stored = "s".repeat(40);
+        ctrl.deploy(entry(&stored, 0.6));
+        let ticket = ctrl.try_reuse(&ToyStudy).expect_err("0.9 bar is out of reach");
+        let a = ctrl.abandon_search(ticket).expect("the stored entry is deployable");
+        assert_eq!(a.entry().source, stored);
+        assert!(!a.resynthesized());
+        assert_eq!(ctrl.deployed().unwrap().source, stored);
+        assert_eq!(ctrl.adaptations().len(), 1);
+    }
+
+    #[test]
+    fn abandon_search_refuses_poisoned_or_unusable_fallbacks() {
+        // empty library: nothing to fall back to
+        let mut ctrl = AdaptiveController::new(ContextMonitor::new(2, 1.2), 0.9);
+        let ticket = ctrl.try_reuse(&ToyStudy).expect_err("empty library");
+        assert!(ctrl.abandon_search(ticket).is_none());
+        assert!(ctrl.adaptations().is_empty());
+
+        // the only stored entry was poisoned while the search was failing
+        let stored = "s".repeat(40);
+        ctrl.deploy(entry(&stored, 0.6));
+        let ticket = ctrl.try_reuse(&ToyStudy).expect_err("0.9 bar is out of reach");
+        ctrl.poison(&stored);
+        assert!(ctrl.abandon_search(ticket).is_none(), "a poisoned fallback must stay dead");
+        assert_eq!(ctrl.deployed().unwrap().source, stored, "the incumbent simply stays live");
+
+        // a -∞-scoring entry (does not compile here) is not a fallback
+        let mut ctrl = AdaptiveController::new(ContextMonitor::new(2, 1.2), 0.9);
+        ctrl.deploy(entry("bad cross-template source", 0.9));
+        let ticket = ctrl.try_reuse(&ToyStudy).expect_err("-inf misses any bar");
+        assert!(ctrl.abandon_search(ticket).is_none());
     }
 }

@@ -27,7 +27,7 @@
 //! re-simulating sources the search has already scored.
 
 use policysmith_dsl::Mode;
-use policysmith_gen::{Exemplar, Generator, Prompt, TokenLedger};
+use policysmith_gen::{Exemplar, GenError, Generator, Prompt, TokenLedger};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
@@ -189,17 +189,57 @@ pub struct SearchOutcome {
     pub cost: CostLedger,
 }
 
+/// Why a search attempt produced no outcome. A failed attempt is
+/// abandoned whole — partial rounds are discarded so a retry re-runs the
+/// search from scratch with the generator's next stream state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// The generator's transport failed mid-search (see
+    /// [`policysmith_gen::GenError`]).
+    Generator(GenError),
+    /// Every candidate in every round failed the Checker.
+    NoValidCandidate,
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::Generator(e) => write!(f, "{e}"),
+            SearchError::NoValidCandidate => write!(f, "search produced no valid candidate"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
 /// Run the search loop (sequential or pipelined per
 /// [`SearchConfig::pipeline`]).
 ///
 /// # Panics
 /// If no candidate in the entire search passes the Checker (with the
-/// default generators this requires a hostile configuration).
+/// default generators this requires a hostile configuration), or if the
+/// generator's transport fails. Callers that must survive generator
+/// failures — the serving runtime's background re-synthesis — use
+/// [`try_run_search`] instead.
 pub fn run_search<S: Study>(
     study: &S,
     generator: &mut dyn Generator,
     cfg: &SearchConfig,
 ) -> SearchOutcome {
+    try_run_search(study, generator, cfg).unwrap_or_else(|e| match e {
+        SearchError::NoValidCandidate => panic!("search produced no valid candidate"),
+        SearchError::Generator(g) => panic!("generator failed mid-search: {g}"),
+    })
+}
+
+/// Fallible [`run_search`]: generator transport errors and
+/// zero-valid-candidate searches surface as [`SearchError`] instead of
+/// panicking, so a retry/backoff layer can wrap the whole attempt.
+pub fn try_run_search<S: Study>(
+    study: &S,
+    generator: &mut dyn Generator,
+    cfg: &SearchConfig,
+) -> Result<SearchOutcome, SearchError> {
     if cfg.pipeline {
         run_pipelined(
             study,
@@ -243,10 +283,10 @@ fn generate_and_check<S: Study>(
     cfg: &SearchConfig,
     all: &[Scored],
     round: usize,
-) -> CheckedBatch<S::Artifact> {
+) -> Result<CheckedBatch<S::Artifact>, GenError> {
     let t0 = Instant::now();
     let prompt = Prompt::new(study.mode()).with_exemplars(exemplars_for(all, round, cfg));
-    let batch = generator.generate(&prompt, cfg.candidates_per_round);
+    let batch = generator.try_generate(&prompt, cfg.candidates_per_round)?;
     let generated = batch.len();
     let mut passed_first = 0;
     let mut passed_after_repair = 0;
@@ -271,14 +311,14 @@ fn generate_and_check<S: Study>(
             Err(_) => {}
         }
     }
-    CheckedBatch {
+    Ok(CheckedBatch {
         sources,
         artifacts,
         generated,
         passed_first,
         passed_after_repair,
         gen_seconds: t0.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 /// How each accepted candidate of a round gets its score: from the memo,
@@ -356,14 +396,14 @@ fn seal_outcome(
     all: Vec<Scored>,
     rounds: Vec<RoundStats>,
     mut cost: CostLedger,
-) -> SearchOutcome {
+) -> Result<SearchOutcome, SearchError> {
     cost.tokens = *generator.ledger();
     let best = all
         .iter()
         .max_by(|a, b| nan_is_worst(a.score).total_cmp(&nan_is_worst(b.score)))
         .cloned()
-        .expect("search produced no valid candidate");
-    SearchOutcome { best, rounds, all, cost }
+        .ok_or(SearchError::NoValidCandidate)?;
+    Ok(SearchOutcome { best, rounds, all, cost })
 }
 
 /// The paper's loop: generate → check → evaluate with a barrier per round.
@@ -371,14 +411,15 @@ fn run_sequential<S: Study>(
     study: &S,
     generator: &mut dyn Generator,
     cfg: &SearchConfig,
-) -> SearchOutcome {
+) -> Result<SearchOutcome, SearchError> {
     let mut all = Vec::new();
     let mut rounds = Vec::new();
     let mut cost = CostLedger::default();
     let mut memo: HashMap<String, f64> = HashMap::new();
 
     for round in 0..cfg.rounds {
-        let batch = generate_and_check(study, generator, cfg, &all, round);
+        let batch = generate_and_check(study, generator, cfg, &all, round)
+            .map_err(SearchError::Generator)?;
         cost.gen_seconds += batch.gen_seconds;
         let plan = plan_round(&batch.sources, &memo, cfg.score_memo);
         let to_eval: Vec<&S::Artifact> = plan.uniq.iter().map(|&i| &batch.artifacts[i]).collect();
@@ -523,25 +564,34 @@ fn run_pipelined<S: Study>(
     study: &S,
     generator: &mut dyn Generator,
     cfg: &SearchConfig,
-) -> SearchOutcome {
+) -> Result<SearchOutcome, SearchError> {
     debug_assert!(cfg.exemplar_lag >= 1);
     let mut all = Vec::new();
     let mut rounds = Vec::new();
     let mut cost = CostLedger::default();
     let mut memo: HashMap<String, f64> = HashMap::new();
     let shared = PipelineShared::<S::Artifact>::new(cfg.rounds);
+    // A generator error aborts the attempt, but only after the current
+    // round's evaluation drains and the workers shut down cleanly.
+    let mut gen_err: Option<GenError> = None;
 
     std::thread::scope(|scope| {
         for _ in 0..cfg.threads.max(1) {
             scope.spawn(|| shared.worker(study));
         }
         let mut next = if cfg.rounds > 0 {
-            Some(generate_and_check(study, generator, cfg, &all, 0))
+            match generate_and_check(study, generator, cfg, &all, 0) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    gen_err = Some(e);
+                    None
+                }
+            }
         } else {
             None
         };
         for round in 0..cfg.rounds {
-            let mut batch = next.take().expect("batch generated ahead of its round");
+            let Some(mut batch) = next.take() else { break };
             cost.gen_seconds += batch.gen_seconds;
             let plan = plan_round(&batch.sources, &memo, cfg.score_memo);
             let n_tasks = plan.uniq.len();
@@ -557,9 +607,16 @@ fn run_pipelined<S: Study>(
             );
             // Speculative generation: round N+1, prompted with the
             // exemplar set frozen at round N's start, runs here while the
-            // workers evaluate round N.
+            // workers evaluate round N. A transport error here still lets
+            // round N's evaluation finish before the attempt aborts.
             if round + 1 < cfg.rounds {
-                next = Some(generate_and_check(study, generator, cfg, &all, round + 1));
+                match generate_and_check(study, generator, cfg, &all, round + 1) {
+                    Ok(b) => next = Some(b),
+                    Err(e) => {
+                        gen_err = Some(e);
+                        next = None;
+                    }
+                }
             }
             let uniq_scores = shared.wait(round);
             cost.eval_seconds += t0.elapsed().as_secs_f64();
@@ -577,6 +634,9 @@ fn run_pipelined<S: Study>(
         }
         shared.shutdown();
     });
+    if let Some(e) = gen_err {
+        return Err(SearchError::Generator(e));
+    }
     cost.eval_cpu_seconds = shared.eval_nanos.load(Ordering::Relaxed) as f64 / 1e9;
     seal_outcome(generator, all, rounds, cost)
 }
@@ -867,6 +927,91 @@ mod tests {
         let payload = result.expect_err("panic must propagate, not hang");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "evaluator bug");
+    }
+
+    /// Fails every `try_generate` call after the first `ok_calls`.
+    struct DyingGen {
+        inner: MockLlm,
+        ok_calls: usize,
+        calls: usize,
+    }
+
+    impl Generator for DyingGen {
+        fn generate(&mut self, prompt: &Prompt, n: usize) -> Vec<String> {
+            self.inner.generate(prompt, n)
+        }
+        fn try_generate(&mut self, prompt: &Prompt, n: usize) -> Result<Vec<String>, GenError> {
+            self.calls += 1;
+            if self.calls > self.ok_calls {
+                Err(GenError::Unavailable("backend died".into()))
+            } else {
+                Ok(self.inner.generate(prompt, n))
+            }
+        }
+        fn repair(&mut self, prompt: &Prompt, source: &str, stderr: &str) -> Option<String> {
+            self.inner.repair(prompt, source, stderr)
+        }
+        fn ledger(&self) -> &TokenLedger {
+            self.inner.ledger()
+        }
+    }
+
+    #[test]
+    fn try_run_search_surfaces_generator_errors_in_both_executors() {
+        for pipeline in [false, true] {
+            let mut gen = DyingGen {
+                inner: MockLlm::new(GenConfig::cache_defaults(6)),
+                ok_calls: 2,
+                calls: 0,
+            };
+            let cfg = SearchConfig {
+                rounds: 5,
+                candidates_per_round: 8,
+                pipeline,
+                ..SearchConfig::quick()
+            };
+            let err = try_run_search(&ToyStudy, &mut gen, &cfg)
+                .expect_err("a mid-search transport failure must abort the attempt");
+            assert_eq!(
+                err,
+                SearchError::Generator(GenError::Unavailable("backend died".into())),
+                "pipeline={pipeline}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_run_search_reports_no_valid_candidate_instead_of_panicking() {
+        // zero rounds: nothing is ever generated, so nothing can win
+        let mut llm = MockLlm::new(GenConfig::cache_defaults(2));
+        let cfg = SearchConfig { rounds: 0, ..SearchConfig::quick() };
+        assert_eq!(
+            try_run_search(&ToyStudy, &mut llm, &cfg).unwrap_err(),
+            SearchError::NoValidCandidate
+        );
+        // and the infallible wrapper preserves the historical panic message
+        let payload = std::panic::catch_unwind(|| {
+            let mut llm = MockLlm::new(GenConfig::cache_defaults(2));
+            run_search(&ToyStudy, &mut llm, &cfg)
+        })
+        .expect_err("run_search must still panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert_eq!(msg, "search produced no valid candidate");
+    }
+
+    #[test]
+    fn try_run_search_matches_run_search_on_a_healthy_generator() {
+        let cfg = SearchConfig { rounds: 4, candidates_per_round: 8, ..SearchConfig::quick() };
+        let mut a = MockLlm::new(GenConfig::cache_defaults(31));
+        let mut b = MockLlm::new(GenConfig::cache_defaults(31));
+        let infallible = run_search(&ToyStudy, &mut a, &cfg);
+        let fallible = try_run_search(&ToyStudy, &mut b, &cfg).unwrap();
+        assert_eq!(infallible.best, fallible.best);
+        assert_eq!(infallible.all, fallible.all);
     }
 
     #[test]

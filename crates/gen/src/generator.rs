@@ -90,10 +90,41 @@ impl GenConfig {
     }
 }
 
+/// Why a generation request failed — the error surface a real LLM client
+/// maps API failures onto (rate limits, 5xx, connection resets, request
+/// deadlines). [`MockLlm`] never fails; [`crate::flaky::FlakyGen`] injects
+/// these deliberately so the search's retry/watchdog path is exercised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// The backend refused or errored before producing anything.
+    Unavailable(String),
+    /// The backend stalled past the client-side deadline.
+    Timeout(String),
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::Unavailable(why) => write!(f, "generator unavailable: {why}"),
+            GenError::Timeout(why) => write!(f, "generator timed out: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
 /// The framework's LLM boundary (§3's `Generator`).
 pub trait Generator {
     /// Produce `n` candidate sources for the prompt.
     fn generate(&mut self, prompt: &Prompt, n: usize) -> Vec<String>;
+    /// Fallible generation surface. The search loop calls this; the default
+    /// wraps the infallible [`Generator::generate`] in `Ok`, so existing
+    /// generators keep working unchanged. Implementations backed by a real
+    /// network client (or [`crate::flaky::FlakyGen`]) override it to report
+    /// backend failures instead of silently returning an empty batch.
+    fn try_generate(&mut self, prompt: &Prompt, n: usize) -> Result<Vec<String>, GenError> {
+        Ok(self.generate(prompt, n))
+    }
     /// Attempt to repair a rejected candidate given its diagnostics.
     fn repair(&mut self, prompt: &Prompt, source: &str, stderr: &str) -> Option<String>;
     /// Token/cost accounting so far.

@@ -30,11 +30,13 @@
 //!   metered so the §4.2.6 cost experiment has something to measure.
 
 pub mod faults;
+pub mod flaky;
 pub mod generator;
 pub mod motifs;
 pub mod prompt;
 pub mod tokens;
 
-pub use generator::{GenConfig, Generator, MockLlm};
+pub use flaky::{FlakyConfig, FlakyGen, FlakyStats};
+pub use generator::{GenConfig, GenError, Generator, MockLlm};
 pub use prompt::{Exemplar, Prompt};
 pub use tokens::TokenLedger;

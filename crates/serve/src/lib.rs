@@ -30,6 +30,24 @@
 //!   back to a full pipelined [`run_search`](policysmith_core::run_search),
 //!   publish the winner through the cell.
 //!
+//! Two more layers make the runtime survive misbehaving inputs:
+//!
+//! * [`guard`] — guarded publication ([`PolicyGuard`]: every adaptation
+//!   candidate is re-scored in the drifted context and shadow-replayed
+//!   against the incumbent before `publish`; regressions and
+//!   runtime-faulting candidates are rejected with a logged reason) and
+//!   the safe-fallback chain ([`guard::resolve_recovery`]: deployed →
+//!   best non-poisoned library entry → man-made baseline). A worker whose
+//!   host trips its fault latch demotes to the baseline *locally* without
+//!   dropping a decision, reports the quarantine, and the offending
+//!   policy is poisoned in the library.
+//! * [`chaos`] — deterministic fault injection ([`ChaosSpec`]: telemetry
+//!   drops/duplicates/reordering, worker stalls, external faulting
+//!   publishes; [`FaultPlan`] bundles them with flaky-generator configs
+//!   and pre-poisoned libraries) for the `exp_chaos` harness
+//!   (`results/chaos.json`), which enforces the fault-tolerance
+//!   invariants by exit code.
+//!
 //! The no-drift contract is differential: a single-worker serve run with
 //! no publishes is **decision-for-decision identical** to the equivalent
 //! batch simulator run (`tests/differential.rs` pins this, pick sequences
@@ -37,13 +55,18 @@
 //! distribution, and the drift-recovery timeline are measured by the
 //! `exp_serve` bench bin (`results/serve.json`).
 
+pub mod chaos;
+pub mod guard;
 pub mod loadgen;
 pub mod runtime;
 pub mod swap;
 pub mod telemetry;
 
+pub use chaos::{ChaosSpec, ChaosStats, ExternalPublish, FaultPlan, TelemetryChaos, WorkerStall};
+pub use guard::{GuardVerdict, PolicyGuard, Recovery, RejectReason};
 pub use runtime::{
-    serve_cache, serve_lb, AdaptationEvent, Resynth, ServeConfig, ServeReport, WorkerStats,
+    serve_cache, serve_lb, AdaptationEvent, QuarantineReport, RejectedAdaptation, Resynth,
+    ServeConfig, ServeReport, WorkerStats,
 };
 pub use swap::{Guard, PolicyCell, ReaderHandle, SwapRecord};
 pub use telemetry::{LatencyHistogram, WindowSample};

@@ -21,17 +21,48 @@
 //! `AdaptiveController`'s
 //! [`ContextMonitor`]; on drift it runs the controller's non-blocking
 //! split — `try_reuse` against the heuristic library, then a full
-//! [`run_search`] (the pipelined executor) when nothing stored fits — and
-//! publishes the winner through the cell. Serving continues at full rate
-//! throughout; the only cost any worker ever pays is its own adoption
-//! pause (microseconds, measured).
+//! retried search ([`run_search_with_retry`]) when nothing stored fits —
+//! and publishes the winner through the cell. Serving continues at full
+//! rate throughout; the only cost any worker ever pays is its own
+//! adoption pause (microseconds, measured).
+//!
+//! ## Fault path (the part production cares about)
+//!
+//! Three failure classes are survived, not assumed away:
+//!
+//! * **Bad candidates.** Every adaptation winner passes the
+//!   [`PolicyGuard`] before publication: re-scored in the drifted
+//!   context, shadow-replayed against the incumbent. Regressions,
+//!   check failures, and runtime-faulting candidates become
+//!   [`RejectedAdaptation`] records instead of live policies.
+//! * **Faulting live policies.** A worker whose host trips its fault
+//!   latch mid-serve demotes *locally* to the domain's man-made baseline
+//!   (JSQ / LRU) without dropping a decision, and reports a
+//!   [`QuarantineReport`] to the adaptation thread — which poisons the
+//!   source in the library and publishes a recovery through the
+//!   safe-fallback chain ([`resolve_recovery`]: best non-poisoned
+//!   library entry, else the baseline).
+//! * **Broken generators.** Background re-synthesis runs under a
+//!   [`RetryPolicy`] (bounded exponential backoff + watchdog deadline);
+//!   when the generator stays down, the controller falls back to the best
+//!   stored entry instead of blocking adaptation forever.
+//!
+//! A dead telemetry receiver never panics a worker: the worker keeps
+//! serving without telemetry and the drops are counted in
+//! [`WorkerStats::telemetry_dropped`]. Worker/background panics are
+//! reported in [`ServeReport::failures`] rather than propagated.
 
+use crate::chaos::{ChaosSpec, ChaosStats, TelemetryInjector};
+use crate::guard::{resolve_recovery, GuardVerdict, PolicyGuard, Recovery, RejectReason};
 use crate::swap::{PolicyCell, ReaderHandle, SwapRecord};
 use crate::telemetry::{LatencyHistogram, WindowSample};
 use policysmith_cachesim::{Cache, PriorityPolicy, SimResult};
-use policysmith_core::library::{Adaptation, AdaptiveController, ContextMonitor};
-use policysmith_core::search::{run_search, SearchConfig, Study};
-use policysmith_dsl::Mode;
+use policysmith_core::library::{
+    run_search_with_retry, Adaptation, AdaptiveController, ContextMonitor, HeuristicLibrary,
+    RetryPolicy,
+};
+use policysmith_core::search::{SearchConfig, Study};
+use policysmith_dsl::{to_source, Mode};
 use policysmith_gen::Generator;
 use policysmith_kbpf::CompiledPolicy;
 use policysmith_lbsim::{
@@ -41,7 +72,7 @@ use policysmith_traces::Trace;
 use std::cell::Cell;
 use std::rc::Rc;
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Runtime knobs.
 #[derive(Debug, Clone)]
@@ -61,6 +92,16 @@ pub struct ServeConfig {
     pub min_reuse_score: f64,
     /// Record every decision (the differential tests; costs memory).
     pub record_decisions: bool,
+    /// Guarded publication: screen every adaptation candidate against the
+    /// incumbent before publishing. `None` disables the guard (candidates
+    /// publish as long as they compile).
+    pub guard: Option<PolicyGuard>,
+    /// Retry/backoff + watchdog for background re-synthesis.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection (tests and the chaos harness).
+    /// `None` — and equivalently a default all-zero spec — is the plain
+    /// serve path.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +114,9 @@ impl Default for ServeConfig {
             monitor_tolerance: 1.35,
             min_reuse_score: 0.0,
             record_decisions: false,
+            guard: Some(PolicyGuard::default()),
+            retry: RetryPolicy::serving(),
+            chaos: None,
         }
     }
 }
@@ -91,6 +135,9 @@ pub struct Resynth<S: Study> {
     /// Search budget. Use [`SearchConfig::pipelined`] — the search runs on
     /// the adaptation thread and should keep its eval workers busy.
     pub search: SearchConfig,
+    /// Library entries available before the run starts (earlier
+    /// deployments; possibly with poisoned sources carried over).
+    pub library: HeuristicLibrary,
 }
 
 /// What one drift trigger did, for the report.
@@ -109,6 +156,46 @@ pub struct AdaptationEvent {
     /// Microseconds from drift trigger to publish (the background
     /// re-synthesis latency — serving continues throughout).
     pub resynthesis_micros: u64,
+    /// Failed search attempts retried before this adaptation landed
+    /// (0 = the first attempt won, or no search was needed).
+    pub retries: u32,
+}
+
+/// [`AdaptationEvent`]'s counterpart for triggers that did **not** change
+/// the live policy: guard rejections and abandoned searches, with the
+/// reason, instead of vanishing silently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RejectedAdaptation {
+    /// Context the rejected adaptation was answering.
+    pub context: String,
+    /// Candidate source (empty when the search never produced one).
+    pub source: String,
+    /// Why it was rejected, rendered for logs.
+    pub reason: String,
+    /// Candidate's score in the drifted context (`-∞` when unscorable).
+    pub candidate_score: f64,
+    /// Shadow-replayed incumbent's score (`-∞` when unscorable, NaN when
+    /// the comparison never ran).
+    pub incumbent_score: f64,
+    /// Microseconds from drift trigger to rejection.
+    pub rejection_micros: u64,
+}
+
+/// A worker tripped its host's fault latch mid-serve and demoted to the
+/// safe baseline (the fallback chain's local, zero-drop leg).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineReport {
+    /// Worker that caught the fault.
+    pub worker: usize,
+    /// Generation of the policy that faulted.
+    pub generation: u64,
+    /// Source of the offending policy (poisoned in the library on
+    /// arrival).
+    pub source: String,
+    /// The latched runtime fault, rendered.
+    pub fault: String,
+    /// Microseconds since the worker started when the latch tripped.
+    pub at_micros: u64,
 }
 
 /// One worker's serving outcome.
@@ -133,23 +220,44 @@ pub struct WorkerStats {
     /// [`ServeConfig::record_decisions`]): lb = server index picked,
     /// cache = 1 hit / 0 miss.
     pub decisions_log: Option<Vec<u32>>,
+    /// Telemetry messages that could not be delivered (receiver gone).
+    /// The worker keeps serving without telemetry — degraded, recorded,
+    /// never a panic.
+    pub telemetry_dropped: u64,
+    /// Fault-latch demotions this worker performed (one per quarantine).
+    pub quarantines: u64,
 }
 
 /// Everything a finished serve run reports.
 pub struct ServeReport {
     /// Per-worker outcomes.
     pub workers: Vec<WorkerStats>,
-    /// Every telemetry window, in controller-arrival order.
+    /// Every telemetry window, in controller-arrival order (after any
+    /// chaos perturbation).
     pub windows: Vec<WindowSample>,
     /// The serve log (one entry per publish).
     pub swaps: Vec<SwapRecord>,
     /// Every background adaptation that changed the live policy, in order.
     pub adaptations: Vec<AdaptationEvent>,
+    /// Guard rejections and abandoned searches, in order.
+    pub rejections: Vec<RejectedAdaptation>,
+    /// Every quarantine reported by a worker, in arrival order.
+    pub quarantines: Vec<QuarantineReport>,
     /// Drift triggers whose adaptation re-selected the already-live
     /// source: answered by the controller, but not published (a no-op
     /// swap would only churn generations). A noisy quality signal under a
     /// tight tolerance shows up here instead of in the swap log.
     pub suppressed_triggers: u64,
+    /// Worker or background threads that panicked (their results are
+    /// missing from the report; everything else is intact).
+    pub failures: Vec<String>,
+    /// `(generation, source)` of every policy published during the run —
+    /// adaptations, quarantine recoveries, and chaos-injected external
+    /// publishes alike. The audit trail for "no poisoned policy was ever
+    /// re-deployed".
+    pub published: Vec<(u64, String)>,
+    /// What the chaos layer injected (all zeros without a spec).
+    pub chaos: ChaosStats,
     /// The controller after the run (library, monitor, adaptation trail).
     pub controller: AdaptiveController,
     /// Wall-clock seconds from first worker start to last worker finish.
@@ -189,6 +297,35 @@ impl ServeReport {
     }
 }
 
+/// What flows from workers to the adaptation thread.
+enum TelemetryEvent {
+    /// A serving window's quality sample.
+    Window(WindowSample),
+    /// A worker tripped its fault latch and demoted to the baseline.
+    Quarantine(QuarantineReport),
+}
+
+/// What the adaptation thread hands back when the last worker hangs up.
+#[derive(Default)]
+struct BackgroundReport {
+    windows: Vec<WindowSample>,
+    adaptations: Vec<AdaptationEvent>,
+    rejections: Vec<RejectedAdaptation>,
+    quarantines: Vec<QuarantineReport>,
+    suppressed: u64,
+    published: Vec<(u64, String)>,
+    chaos: ChaosStats,
+}
+
+/// Compile the domain's man-made baseline (see
+/// [`crate::chaos::baseline_source`]) — static sources, so the expects
+/// are unreachable by construction.
+fn compile_baseline(mode: Mode) -> CompiledPolicy {
+    let src = crate::chaos::baseline_source(mode);
+    let expr = policysmith_dsl::parse(src).expect("man-made baselines parse");
+    CompiledPolicy::compile(&expr, mode).expect("man-made baselines compile")
+}
+
 /// Serve lb dispatch decisions: worker `w` plays `shards[w]` (a phase
 /// sequence — phase boundaries are the drift injection) through its own
 /// [`policysmith_lbsim::LbEngine`], dispatching every arrival with the currently-published
@@ -201,8 +338,9 @@ pub fn serve_lb<S: Study + Send>(
 ) -> ServeReport {
     assert!(!shards.is_empty() && shards.iter().all(|s| !s.is_empty()), "need phases per worker");
     debug_assert_eq!(initial.mode(), Mode::Lb);
-    serve(cfg, initial, resynth, shards, |worker, shard, handle, tx, c| {
-        run_lb_worker(worker, shard, handle, tx, c)
+    let baseline = compile_baseline(Mode::Lb);
+    serve(cfg, initial, baseline, resynth, shards, |worker, shard, handle, tx, c, base| {
+        run_lb_worker(worker, shard, handle, tx, c, base)
     })
 }
 
@@ -218,35 +356,52 @@ pub fn serve_cache<S: Study + Send>(
 ) -> ServeReport {
     assert!(!shards.is_empty(), "need a trace per worker");
     debug_assert_eq!(initial.mode(), Mode::Cache);
-    serve(cfg, initial, resynth, shards, move |worker, trace, handle, tx, c| {
-        run_cache_worker(worker, trace, capacity, handle, tx, c)
+    let baseline = compile_baseline(Mode::Cache);
+    serve(cfg, initial, baseline, resynth, shards, move |worker, trace, handle, tx, c, base| {
+        run_cache_worker(worker, trace, capacity, handle, tx, c, base)
     })
 }
 
+/// Render a thread's panic payload for [`ServeReport::failures`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
 /// The shared scaffold: spawn one worker per shard plus the adaptation
-/// thread, join everything, assemble the report.
+/// thread, join everything (a panicking thread degrades the report, it
+/// does not take the run down), assemble the report.
 fn serve<S: Study + Send, Shard: Sync>(
     cfg: &ServeConfig,
     initial: CompiledPolicy,
+    baseline: CompiledPolicy,
     resynth: Option<Resynth<S>>,
     shards: &[Shard],
     worker_fn: impl Fn(
             usize,
             &Shard,
             ReaderHandle<'_, CompiledPolicy>,
-            &mpsc::Sender<WindowSample>,
+            &mpsc::Sender<TelemetryEvent>,
             &ServeConfig,
+            &CompiledPolicy,
         ) -> WorkerStats
         + Sync,
 ) -> ServeReport {
     let mode = initial.mode();
+    debug_assert_eq!(baseline.mode(), mode);
     let initial_expr = initial.expr().clone();
     let cell = PolicyCell::new(initial, shards.len() + 1);
-    let (tx, rx) = mpsc::channel::<WindowSample>();
+    let (tx, rx) = mpsc::channel::<TelemetryEvent>();
     let monitor = ContextMonitor::new(cfg.monitor_window, cfg.monitor_tolerance);
-    let mut controller = AdaptiveController::new(monitor, cfg.min_reuse_score);
+    let seed_library = resynth.as_ref().map(|r| r.library.clone()).unwrap_or_default();
+    let mut controller =
+        AdaptiveController::new(monitor, cfg.min_reuse_score).with_library(seed_library);
 
     let t0 = Instant::now();
+    let mut failures = Vec::new();
     let (stats, background) = std::thread::scope(|scope| {
         let mut joins = Vec::with_capacity(shards.len());
         for (w, shard) in shards.iter().enumerate() {
@@ -254,113 +409,361 @@ fn serve<S: Study + Send, Shard: Sync>(
             let tx = tx.clone();
             let cfg = cfg.clone();
             let worker_fn = &worker_fn;
-            joins.push(scope.spawn(move || worker_fn(w, shard, handle, &tx, &cfg)));
+            let baseline = baseline.clone();
+            joins.push(scope.spawn(move || worker_fn(w, shard, handle, &tx, &cfg, &baseline)));
         }
         drop(tx); // the adaptation loop ends when the last worker hangs up
         let ctrl = &mut controller;
         let cellref = &cell;
-        let background =
-            scope.spawn(move || adaptation_loop(rx, ctrl, resynth, cellref, mode, initial_expr));
-        let stats: Vec<WorkerStats> = joins.into_iter().map(|j| j.join().unwrap()).collect();
-        (stats, background.join().unwrap())
+        let base = &baseline;
+        let background = scope.spawn(move || {
+            adaptation_loop(rx, ctrl, resynth, cellref, mode, initial_expr, base, cfg)
+        });
+        // graceful joins: a panicked worker loses its stats, not the run
+        let mut stats = Vec::new();
+        for (w, join) in joins.into_iter().enumerate() {
+            match join.join() {
+                Ok(s) => stats.push(s),
+                Err(p) => failures.push(format!("worker {w} panicked: {}", panic_message(&*p))),
+            }
+        }
+        let background = match background.join() {
+            Ok(b) => b,
+            Err(p) => {
+                failures.push(format!("adaptation thread panicked: {}", panic_message(&*p)));
+                BackgroundReport::default()
+            }
+        };
+        (stats, background)
     });
     let wall_seconds = t0.elapsed().as_secs_f64();
-    let (windows, adaptations, suppressed_triggers) = background;
 
     ServeReport {
         workers: stats,
-        windows,
+        windows: background.windows,
         swaps: cell.swap_log(),
-        adaptations,
-        suppressed_triggers,
+        adaptations: background.adaptations,
+        rejections: background.rejections,
+        quarantines: background.quarantines,
+        suppressed_triggers: background.suppressed,
+        failures,
+        published: background.published,
+        chaos: background.chaos,
         controller,
         wall_seconds,
     }
 }
 
 /// The background §3.1 loop: drain telemetry, detect drift, answer it
-/// without ever pausing the workers.
+/// without ever pausing the workers — now with guarded publication,
+/// quarantine handling, and a retried/watchdogged search.
+#[allow(clippy::too_many_arguments)]
 fn adaptation_loop<S: Study>(
-    rx: mpsc::Receiver<WindowSample>,
+    rx: mpsc::Receiver<TelemetryEvent>,
     controller: &mut AdaptiveController,
     mut resynth: Option<Resynth<S>>,
     cell: &PolicyCell<CompiledPolicy>,
     mode: Mode,
     initial_expr: policysmith_dsl::Expr,
-) -> (Vec<WindowSample>, Vec<AdaptationEvent>, u64) {
-    let mut windows = Vec::new();
-    let mut adaptations = Vec::new();
+    baseline: &CompiledPolicy,
+    cfg: &ServeConfig,
+) -> BackgroundReport {
+    let mut report = BackgroundReport::default();
     let mut live_expr = initial_expr;
-    let mut suppressed = 0u64;
-    while let Ok(sample) = rx.recv() {
-        // Only observe windows served by the live generation: samples that
-        // were in flight while a search ran describe the deposed policy,
-        // and re-triggering on them would answer drift that is already
-        // answered.
-        let stale = sample.generation < cell.generation();
-        let signal = sample.signal;
-        windows.push(sample);
-        if stale || !controller.observe(signal) {
-            continue;
-        }
-        let Some(r) = resynth.as_mut() else { continue };
-        let t0 = Instant::now();
-        let adaptation = match controller.try_reuse(&r.study) {
-            Ok(a) => a,
-            Err(ticket) => {
-                // The blocking part runs HERE, on the adaptation thread —
-                // workers keep serving decisions against the old policy
-                // until the publish below.
-                let outcome = run_search(&r.study, r.generator.as_mut(), &r.search);
-                controller.finish_search(&r.context, ticket, outcome.best)
+    let chaos = cfg.chaos.clone().unwrap_or_default();
+    let mut injector = TelemetryInjector::new(chaos.telemetry, chaos.seed);
+    let mut pending_external = chaos.external_publish;
+    let mut arrivals = 0u64;
+    let mut deliveries: Vec<WindowSample> = Vec::new();
+
+    while let Ok(event) = rx.recv() {
+        let sample = match event {
+            TelemetryEvent::Quarantine(q) => {
+                handle_quarantine(
+                    q,
+                    controller,
+                    &resynth,
+                    cell,
+                    mode,
+                    baseline,
+                    &mut live_expr,
+                    &mut report,
+                );
+                continue;
             }
+            TelemetryEvent::Window(sample) => sample,
         };
-        let source = adaptation.entry().source.clone();
-        let expr = policysmith_dsl::parse(&source).expect("library sources parse");
-        if expr == live_expr {
-            // the controller re-selected what is already serving — the
-            // initially-deployed policy included (the comparison is
-            // structural, so formatting differences don't defeat it): a
-            // noisy signal re-fired the monitor, and publishing again
-            // would only churn generations for a policy nobody replaces
-            suppressed += 1;
-            continue;
+        arrivals += 1;
+
+        // chaos: an operator pushes a policy straight past the guard
+        if let Some(ext) = pending_external.as_ref() {
+            if arrivals >= ext.after_windows {
+                if let Ok(expr) = policysmith_dsl::parse(&ext.source) {
+                    if let Ok(policy) = CompiledPolicy::compile(&expr, mode) {
+                        let generation = cell
+                            .publish(policy, format!("external publish (chaos): {}", ext.source));
+                        report.published.push((generation, ext.source.clone()));
+                        report.chaos.external_publishes += 1;
+                        live_expr = expr;
+                    }
+                }
+                pending_external = None;
+            }
         }
-        let policy = CompiledPolicy::compile(&expr, mode)
-            .expect("adaptation winners survived this study's checker");
-        let (verb, score) = match &adaptation {
-            Adaptation::FromLibrary { score, .. } => ("reused", *score),
-            Adaptation::Resynthesized { entry } => ("resynthesized", entry.score),
-        };
-        let generation = cell.publish(
-            policy,
-            format!(
-                "adaptation #{}: {verb} for {} ({score:+.4})",
-                adaptations.len() + 1,
-                r.context
-            ),
-        );
-        adaptations.push(AdaptationEvent {
-            generation,
-            context: r.context.clone(),
-            resynthesized: adaptation.resynthesized(),
-            score,
-            source: source.clone(),
-            resynthesis_micros: t0.elapsed().as_micros() as u64,
-        });
-        live_expr = expr;
+
+        deliveries.clear();
+        injector.apply(sample, &mut deliveries);
+        for sample in deliveries.drain(..) {
+            process_window(
+                sample,
+                controller,
+                &mut resynth,
+                cell,
+                mode,
+                &mut live_expr,
+                cfg,
+                &mut report,
+            );
+        }
     }
-    (windows, adaptations, suppressed)
+    deliveries.clear();
+    injector.flush(&mut deliveries);
+    for sample in deliveries.drain(..) {
+        process_window(
+            sample,
+            controller,
+            &mut resynth,
+            cell,
+            mode,
+            &mut live_expr,
+            cfg,
+            &mut report,
+        );
+    }
+    let ext = report.chaos.external_publishes;
+    report.chaos = injector.stats();
+    report.chaos.external_publishes = ext;
+    report
+}
+
+/// One quarantine: poison the offender, and if it is still live, publish
+/// a recovery through the safe-fallback chain (best non-poisoned library
+/// entry → man-made baseline).
+#[allow(clippy::too_many_arguments)]
+fn handle_quarantine<S: Study>(
+    q: QuarantineReport,
+    controller: &mut AdaptiveController,
+    resynth: &Option<Resynth<S>>,
+    cell: &PolicyCell<CompiledPolicy>,
+    mode: Mode,
+    baseline: &CompiledPolicy,
+    live_expr: &mut policysmith_dsl::Expr,
+    report: &mut BackgroundReport,
+) {
+    controller.poison(&q.source);
+    let still_live = cell.generation() == q.generation;
+    report.quarantines.push(q.clone());
+    if !still_live {
+        // a newer publish already superseded the faulting policy (another
+        // worker's quarantine was answered, or an adaptation landed);
+        // poisoning it is all that is left to do
+        return;
+    }
+    let recovery = match resynth.as_ref() {
+        Some(r) => resolve_recovery(controller.library(), &r.study),
+        None => Recovery::Baseline,
+    };
+    let (policy, source, kind) = match recovery {
+        Recovery::Library { entry, .. } => {
+            match policysmith_dsl::parse(&entry.source)
+                .ok()
+                .and_then(|e| CompiledPolicy::compile(&e, mode).ok().map(|p| (e, p)))
+            {
+                Some((_, policy)) => (policy, entry.source.clone(), "library entry"),
+                // a stored entry that no longer compiles: bottom of the chain
+                None => (baseline.clone(), to_source(baseline.expr()), "baseline"),
+            }
+        }
+        Recovery::Baseline => (baseline.clone(), to_source(baseline.expr()), "baseline"),
+    };
+    let generation = cell.publish(
+        policy,
+        format!(
+            "quarantine recovery ({kind}) after worker {} faulted gen {}: {}",
+            q.worker, q.generation, q.fault
+        ),
+    );
+    report.published.push((generation, source.clone()));
+    if let Ok(expr) = policysmith_dsl::parse(&source) {
+        *live_expr = expr;
+    }
+}
+
+/// One (possibly chaos-perturbed) telemetry window through the drift →
+/// reuse-or-search → guard → publish pipeline.
+#[allow(clippy::too_many_arguments)]
+fn process_window<S: Study>(
+    sample: WindowSample,
+    controller: &mut AdaptiveController,
+    resynth: &mut Option<Resynth<S>>,
+    cell: &PolicyCell<CompiledPolicy>,
+    mode: Mode,
+    live_expr: &mut policysmith_dsl::Expr,
+    cfg: &ServeConfig,
+    report: &mut BackgroundReport,
+) {
+    // Only observe windows served by the live generation: samples that
+    // were in flight while a search ran describe the deposed policy,
+    // and re-triggering on them would answer drift that is already
+    // answered.
+    let stale = sample.generation < cell.generation();
+    let signal = sample.signal;
+    report.windows.push(sample);
+    if stale || !controller.observe(signal) {
+        return;
+    }
+    let Some(r) = resynth.as_mut() else { return };
+    let t0 = Instant::now();
+    let mut retries = 0u32;
+    let adaptation = match controller.try_reuse(&r.study) {
+        Ok(a) => Some(a),
+        Err(ticket) => {
+            // The blocking part runs HERE, on the adaptation thread —
+            // workers keep serving decisions against the old policy
+            // until the publish below. The search itself runs under the
+            // retry policy: transient generator failures back off and
+            // retry; a persistent outage trips the watchdog.
+            let retried =
+                run_search_with_retry(&r.study, r.generator.as_mut(), &r.search, &cfg.retry);
+            retries = retried.failures.len() as u32;
+            match retried.outcome {
+                Some(outcome) => Some(controller.finish_search(&r.context, ticket, outcome.best)),
+                None => {
+                    // the watchdog gave up: fall back to the best stored
+                    // entry instead of blocking adaptation forever
+                    let why = retried
+                        .gave_up
+                        .map(|g| g.to_string())
+                        .unwrap_or_else(|| "gave up".to_string());
+                    let last_err = retried
+                        .failures
+                        .last()
+                        .map(|f| f.error.clone())
+                        .unwrap_or_else(|| "no attempts ran".to_string());
+                    let fallback = controller.abandon_search(ticket);
+                    let note = if fallback.is_some() {
+                        "falling back to the best stored entry"
+                    } else {
+                        "nothing stored is deployable; the incumbent stays live"
+                    };
+                    report.rejections.push(RejectedAdaptation {
+                        context: r.context.clone(),
+                        source: String::new(),
+                        reason: format!(
+                            "re-synthesis gave up after {retries} failed attempts ({why}; last: {last_err}); {note}"
+                        ),
+                        candidate_score: f64::NEG_INFINITY,
+                        incumbent_score: f64::NEG_INFINITY,
+                        rejection_micros: t0.elapsed().as_micros() as u64,
+                    });
+                    fallback
+                }
+            }
+        }
+    };
+    let Some(adaptation) = adaptation else { return };
+    let source = adaptation.entry().source.clone();
+    let Ok(expr) = policysmith_dsl::parse(&source) else {
+        // a library source that does not parse cannot go live — reject
+        // with reason rather than panicking the adaptation thread
+        report.rejections.push(RejectedAdaptation {
+            context: r.context.clone(),
+            source,
+            reason: "check failed: stored source does not parse".to_string(),
+            candidate_score: f64::NEG_INFINITY,
+            incumbent_score: f64::NAN,
+            rejection_micros: t0.elapsed().as_micros() as u64,
+        });
+        return;
+    };
+    if expr == *live_expr {
+        // the controller re-selected what is already serving — the
+        // initially-deployed policy included (the comparison is
+        // structural, so formatting differences don't defeat it): a
+        // noisy signal re-fired the monitor, and publishing again
+        // would only churn generations for a policy nobody replaces
+        report.suppressed += 1;
+        return;
+    }
+    // guarded publication: re-score the candidate and shadow-replay the
+    // incumbent in the drifted context before anything goes live
+    if let Some(guard) = cfg.guard {
+        match guard.screen(&r.study, &source, &to_source(live_expr)) {
+            GuardVerdict::Admit { .. } => {}
+            GuardVerdict::Reject { reason, candidate_score, incumbent_score } => {
+                if matches!(reason, RejectReason::RuntimeFault) {
+                    // a candidate that faults in shadow evaluation would
+                    // fault in production: quarantine it preemptively
+                    controller.poison(&source);
+                }
+                report.rejections.push(RejectedAdaptation {
+                    context: r.context.clone(),
+                    source,
+                    reason: reason.describe(),
+                    candidate_score,
+                    incumbent_score,
+                    rejection_micros: t0.elapsed().as_micros() as u64,
+                });
+                return;
+            }
+        }
+    }
+    let Ok(policy) = CompiledPolicy::compile(&expr, mode) else {
+        report.rejections.push(RejectedAdaptation {
+            context: r.context.clone(),
+            source,
+            reason: "check failed: does not compile for the serving mode".to_string(),
+            candidate_score: f64::NEG_INFINITY,
+            incumbent_score: f64::NAN,
+            rejection_micros: t0.elapsed().as_micros() as u64,
+        });
+        return;
+    };
+    let (verb, score) = match &adaptation {
+        Adaptation::FromLibrary { score, .. } => ("reused", *score),
+        Adaptation::Resynthesized { entry } => ("resynthesized", entry.score),
+    };
+    let generation = cell.publish(
+        policy,
+        format!(
+            "adaptation #{}: {verb} for {} ({score:+.4})",
+            report.adaptations.len() + 1,
+            r.context
+        ),
+    );
+    report.published.push((generation, source.clone()));
+    report.adaptations.push(AdaptationEvent {
+        generation,
+        context: r.context.clone(),
+        resynthesized: adaptation.resynthesized(),
+        score,
+        source,
+        resynthesis_micros: t0.elapsed().as_micros() as u64,
+        retries,
+    });
+    *live_expr = expr;
 }
 
 /// The lb worker's serving host, layered over the batch engine's own
 /// phased driver: per pick it (1) adopts any newly published generation
 /// (pin → clone → rebuild, timed as the adoption pause), (2) scores the
 /// fleet with the live compiled policy, sampling decision latency and
-/// optionally recording the pick. Because the worker drives
-/// [`run_phased_windowed`] with this host, the serve path *is* the batch
-/// path plus this wrapper — the decision-identity guarantee is structural,
-/// not mirrored code.
+/// optionally recording the pick, (3) checks the dispatcher's fault
+/// latch — a tripped latch demotes this worker to the man-made baseline
+/// on the spot (no decision dropped) and reports the quarantine. Because
+/// the worker drives [`run_phased_windowed`] with this host, the serve
+/// path *is* the batch path plus this wrapper — the decision-identity
+/// guarantee is structural, not mirrored code.
 struct ServeLbHost<'h, 'c> {
     handle: &'h mut ReaderHandle<'c, CompiledPolicy>,
     inner: ExprDispatcher,
@@ -372,6 +775,35 @@ struct ServeLbHost<'h, 'c> {
     sample_every: u64,
     decisions: u64,
     log: Option<Vec<u32>>,
+    // -- fault path --
+    worker: usize,
+    started: Instant,
+    tx: mpsc::Sender<TelemetryEvent>,
+    baseline: CompiledPolicy,
+    /// Source of the policy currently hosted (what a quarantine names).
+    current_source: String,
+    /// Serving the baseline after a fault latch; cleared on the next
+    /// adoption (the recovery publish).
+    in_fallback: bool,
+    quarantines: u64,
+    /// Shared with the window callback (telemetry degradation counter).
+    dropped: Rc<Cell<u64>>,
+    stall: Option<crate::chaos::WorkerStall>,
+}
+
+impl ServeLbHost<'_, '_> {
+    /// Chaos: a periodic decision-path stall (deterministic in decision
+    /// count, so it needs no rng).
+    fn maybe_stall(&self) {
+        if let Some(st) = self.stall {
+            if st.every_decisions > 0
+                && self.decisions > 0
+                && self.decisions.is_multiple_of(st.every_decisions)
+            {
+                std::thread::sleep(Duration::from_micros(st.stall_micros));
+            }
+        }
+    }
 }
 
 impl Dispatcher for ServeLbHost<'_, '_> {
@@ -384,15 +816,39 @@ impl Dispatcher for ServeLbHost<'_, '_> {
         if now != self.generation.get() {
             let t0 = Instant::now();
             let policy = self.handle.pin().clone();
+            self.current_source = to_source(policy.expr());
             self.inner = ExprDispatcher::new("serve", policy);
+            self.in_fallback = false;
             self.generation.set(now);
             self.pauses_ns.push(t0.elapsed().as_nanos() as u64);
         }
+        self.maybe_stall();
         let sampled = self.sample_every <= 1 || self.decisions.is_multiple_of(self.sample_every);
         let t0 = sampled.then(Instant::now);
         let p = self.inner.pick(view);
         if let Some(t0) = t0 {
             self.latency.record(t0.elapsed().as_nanos() as u64);
+        }
+        // safe-fallback chain, local leg: the dispatcher latched a runtime
+        // fault (it already degraded this pick internally — nothing was
+        // dropped); demote to the baseline and report the quarantine
+        if !self.in_fallback {
+            let fault = self.inner.first_error().map(|f| f.to_string());
+            if let Some(fault) = fault {
+                let q = QuarantineReport {
+                    worker: self.worker,
+                    generation: self.generation.get(),
+                    source: self.current_source.clone(),
+                    fault,
+                    at_micros: self.started.elapsed().as_micros() as u64,
+                };
+                if self.tx.send(TelemetryEvent::Quarantine(q)).is_err() {
+                    self.dropped.set(self.dropped.get() + 1);
+                }
+                self.inner = ExprDispatcher::new("serve-fallback", self.baseline.clone());
+                self.in_fallback = true;
+                self.quarantines += 1;
+            }
         }
         if let Some(log) = self.log.as_mut() {
             log.push(p as u32);
@@ -406,14 +862,17 @@ fn run_lb_worker(
     worker: usize,
     phases: &[Scenario],
     mut handle: ReaderHandle<'_, CompiledPolicy>,
-    tx: &mpsc::Sender<WindowSample>,
+    tx: &mpsc::Sender<TelemetryEvent>,
     cfg: &ServeConfig,
+    baseline: &CompiledPolicy,
 ) -> WorkerStats {
     let started = Instant::now();
     // initial adoption is deployment, not a swap: not a recorded pause
     let initial_generation = handle.cell().generation();
     let initial = handle.pin().clone();
+    let current_source = to_source(initial.expr());
     let generation = Rc::new(Cell::new(initial_generation));
+    let dropped = Rc::new(Cell::new(0u64));
     let mut host = ServeLbHost {
         handle: &mut handle,
         inner: ExprDispatcher::new("serve", initial),
@@ -423,10 +882,19 @@ fn run_lb_worker(
         sample_every: cfg.latency_sample_every,
         decisions: 0,
         log: cfg.record_decisions.then(Vec::new),
+        worker,
+        started,
+        tx: tx.clone(),
+        baseline: baseline.clone(),
+        current_source,
+        in_fallback: false,
+        quarantines: 0,
+        dropped: Rc::clone(&dropped),
+        stall: cfg.chaos.as_ref().and_then(|c| c.worker_stall),
     };
     let mut seq = 0u64;
     let phased = run_phased_windowed(phases, &mut host, cfg.window, &mut |phase, interval| {
-        let _ = tx.send(WindowSample {
+        let sample = WindowSample {
             worker,
             seq,
             phase,
@@ -434,7 +902,12 @@ fn run_lb_worker(
             signal: interval.resolved_slowdown(),
             generation: generation.get(),
             at_micros: started.elapsed().as_micros() as u64,
-        });
+        };
+        // a dead receiver must not panic a serving worker: keep serving
+        // without telemetry, count the degradation
+        if tx.send(TelemetryEvent::Window(sample)).is_err() {
+            dropped.set(dropped.get() + 1);
+        }
         seq += 1;
     });
 
@@ -447,25 +920,34 @@ fn run_lb_worker(
         lb_metrics: Some(phased.combined),
         cache_result: None,
         decisions_log: host.log,
+        telemetry_dropped: dropped.get(),
+        quarantines: host.quarantines,
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_cache_worker(
     worker: usize,
     trace: &Trace,
     capacity: u64,
     mut handle: ReaderHandle<'_, CompiledPolicy>,
-    tx: &mpsc::Sender<WindowSample>,
+    tx: &mpsc::Sender<TelemetryEvent>,
     cfg: &ServeConfig,
+    baseline: &CompiledPolicy,
 ) -> WorkerStats {
     // swap-capable hosts keep every tracker warm (see `track_everything`)
     let initial = handle.pin().clone();
+    let mut current_source = to_source(initial.expr());
     let mut cache = Cache::new(capacity, PriorityPolicy::new("serve", initial).track_everything());
     let mut generation = handle.cell().generation();
     let mut pauses_ns = Vec::new();
     let mut latency = LatencyHistogram::new();
     let mut log = cfg.record_decisions.then(Vec::new);
     let mut decisions = 0u64;
+    let mut in_fallback = false;
+    let mut quarantines = 0u64;
+    let mut telemetry_dropped = 0u64;
+    let stall = cfg.chaos.as_ref().and_then(|c| c.worker_stall);
     let started = Instant::now();
 
     for (seq, chunk) in trace.requests.chunks(cfg.window).enumerate() {
@@ -475,9 +957,20 @@ fn run_cache_worker(
             if now != generation {
                 let t0 = Instant::now();
                 let policy = handle.pin().clone();
+                current_source = to_source(policy.expr());
+                // swap_policy resets the fault latch along with the policy
                 cache.policy.swap_policy(policy);
+                in_fallback = false;
                 generation = now;
                 pauses_ns.push(t0.elapsed().as_nanos() as u64);
+            }
+            if let Some(st) = stall {
+                if st.every_decisions > 0
+                    && decisions > 0
+                    && decisions.is_multiple_of(st.every_decisions)
+                {
+                    std::thread::sleep(Duration::from_micros(st.stall_micros));
+                }
             }
             let sampled =
                 cfg.latency_sample_every <= 1 || decisions.is_multiple_of(cfg.latency_sample_every);
@@ -485,6 +978,26 @@ fn run_cache_worker(
             let hit = cache.request(req);
             if let Some(t0) = t0 {
                 latency.record(t0.elapsed().as_nanos() as u64);
+            }
+            // safe-fallback chain, local leg (see the lb host): demote to
+            // LRU on a latched fault, report, keep serving
+            if !in_fallback {
+                let fault = cache.policy.first_error().map(|f| f.to_string());
+                if let Some(fault) = fault {
+                    let q = QuarantineReport {
+                        worker,
+                        generation,
+                        source: current_source.clone(),
+                        fault,
+                        at_micros: started.elapsed().as_micros() as u64,
+                    };
+                    if tx.send(TelemetryEvent::Quarantine(q)).is_err() {
+                        telemetry_dropped += 1;
+                    }
+                    cache.policy.swap_policy(baseline.clone());
+                    in_fallback = true;
+                    quarantines += 1;
+                }
             }
             if let Some(log) = log.as_mut() {
                 log.push(hit as u32);
@@ -498,7 +1011,7 @@ fn run_cache_worker(
         } else {
             (after.misses - before.misses) as f64 / window_requests as f64
         };
-        let _ = tx.send(WindowSample {
+        let sample = WindowSample {
             worker,
             seq: seq as u64,
             phase: 0,
@@ -506,7 +1019,10 @@ fn run_cache_worker(
             signal: window_mr,
             generation,
             at_micros: started.elapsed().as_micros() as u64,
-        });
+        };
+        if tx.send(TelemetryEvent::Window(sample)).is_err() {
+            telemetry_dropped += 1;
+        }
     }
 
     WorkerStats {
@@ -518,5 +1034,7 @@ fn run_cache_worker(
         lb_metrics: None,
         cache_result: Some(cache.result()),
         decisions_log: log,
+        telemetry_dropped,
+        quarantines,
     }
 }

@@ -117,13 +117,17 @@ impl<T: Send + Sync> PolicyCell<T> {
         // Bump AFTER the swap: a reader pinned at `>= generation` is
         // guaranteed to load the fresh pointer (SeqCst total order).
         let generation = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        // Both mutexes guard plain Vecs that stay structurally valid if a
+        // publisher panics mid-operation, so a poisoned lock is recovered
+        // (`into_inner`) rather than cascading the panic into every other
+        // serving thread that touches the cell.
         let backlog = {
-            let mut retired = self.retired.lock().unwrap();
+            let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
             retired.push((generation, old));
             self.reclaim_locked(&mut retired);
             retired.len()
         };
-        self.log.lock().unwrap().push(SwapRecord {
+        self.log.lock().unwrap_or_else(|e| e.into_inner()).push(SwapRecord {
             generation,
             provenance: provenance.into(),
             at_micros: self.start.elapsed().as_micros() as u64,
@@ -154,12 +158,12 @@ impl<T: Send + Sync> PolicyCell<T> {
     /// Retired values not yet reclaimed (observability; bounded by the
     /// number of publishes that landed while some reader stayed pinned).
     pub fn retire_backlog(&self) -> usize {
-        self.retired.lock().unwrap().len()
+        self.retired.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// The serve log: one [`SwapRecord`] per publish, in order.
     pub fn swap_log(&self) -> Vec<SwapRecord> {
-        self.log.lock().unwrap().clone()
+        self.log.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 }
 
@@ -167,7 +171,7 @@ impl<T: Send + Sync> Drop for PolicyCell<T> {
     fn drop(&mut self) {
         // `&mut self`: no guards can be alive (they borrow the cell).
         drop(unsafe { Box::from_raw(self.current.load(Ordering::SeqCst)) });
-        for (_, ptr) in self.retired.lock().unwrap().drain(..) {
+        for (_, ptr) in self.retired.lock().unwrap_or_else(|e| e.into_inner()).drain(..) {
             drop(unsafe { Box::from_raw(ptr) });
         }
     }

@@ -218,6 +218,7 @@ fn drift_is_answered_in_the_background_with_zero_dropped_decisions() {
         generator: Box::new(MockLlm::new(GenConfig::lb_defaults(77))),
         search: SearchConfig { rounds: 2, candidates_per_round: 6, ..SearchConfig::quick() }
             .pipelined(),
+        library: policysmith_core::library::HeuristicLibrary::new(),
     };
     // "server.queue_len" is JSQ-by-queue: healthy-fleet-fine, speed-blind
     // after the onset — the stale policy the §3.1 story catches limping
