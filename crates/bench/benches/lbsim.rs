@@ -51,7 +51,7 @@ fn bench_dispatch(c: &mut Criterion) {
             work_left_us: 2_000 * i as u64,
         })
         .collect();
-    let view = DispatchView { now_us: 1_000, req_size: 7, servers: &servers };
+    let view = DispatchView { now_us: 1_000, req_size: 7, servers: &servers, dirty: None };
     let mut g = c.benchmark_group("lb-dispatch");
     g.bench_function("pick/compiled", |b| {
         let mut host = ExprDispatcher::new("bench", policy.clone());

@@ -76,7 +76,7 @@ fn main() {
             work_left_us: 2_000 * i as u64,
         })
         .collect();
-    let view = DispatchView { now_us: 1_000, req_size: 7, servers: &servers };
+    let view = DispatchView { now_us: 1_000, req_size: 7, servers: &servers, dirty: None };
     let mut compiled_host = ExprDispatcher::new("vm", policy.clone());
     let mut interp_host = ExprDispatcher::interpreted("interp", expr.clone());
     rows.push(Row {

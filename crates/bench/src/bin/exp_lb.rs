@@ -148,7 +148,7 @@ fn fleet_size_sweep(opts: &ExpOpts) -> Vec<serde_json::Value> {
         println!("  {n_servers} servers (rr mean slowdown {rr_slowdown:.3}):");
 
         let mut policies = Vec::new();
-        let mut measure = |name: &str, d: &mut dyn Dispatcher| {
+        let mut measure = |name: &str, d: &mut dyn Dispatcher, score_calls_per_pick: f64| {
             let mut timed = Timed { inner: d, hist: LatencyHistogram::new() };
             let m = sim::run(&sc.servers, &requests, &mut timed);
             let h = &timed.hist;
@@ -168,15 +168,32 @@ fn fleet_size_sweep(opts: &ExpOpts) -> Vec<serde_json::Value> {
                 "p50_ns": h.quantile(0.50),
                 "p99_ns": h.quantile(0.99),
                 "p999_ns": h.quantile(0.999),
+                "picks_per_sec": if h.mean() > 0.0 { 1e9 / h.mean() } else { 0.0 },
+                "score_calls_per_pick": score_calls_per_pick,
             }));
         };
         for name in lb_baseline_names() {
+            // analytic scoring cost: state-blind policies score nothing,
+            // power-of-two scores its two samples, full scans score n
+            let scored = match *name {
+                "round-robin" | "random" => 0.0,
+                "power-of-two" => 2.0,
+                _ => n_servers as f64,
+            };
             let mut d = policysmith_lbsim::by_name(name).unwrap();
-            measure(name, &mut d);
+            measure(name, &mut d, scored);
         }
         let expr = policysmith_dsl::parse(WORK_LEFT).unwrap();
         let mut compiled = ExprDispatcher::from_expr("PS-work-left", &expr);
-        measure("PS-work-left", &mut compiled);
+        measure("PS-work-left", &mut compiled, 0.0);
+        // the expression host counts its actual VM executions — overwrite
+        // the placeholder with the measured ratio
+        let measured = compiled.score_calls() as f64 / compiled.picks().max(1) as f64;
+        if let Some(serde_json::Value::Object(row)) = policies.last_mut() {
+            if let Some(slot) = row.iter_mut().find(|(k, _)| k == "score_calls_per_pick") {
+                slot.1 = serde_json::json!(measured);
+            }
+        }
 
         out.push(serde_json::json!({
             "servers": n_servers,

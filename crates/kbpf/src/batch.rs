@@ -1,0 +1,697 @@
+//! Batched structure-of-arrays evaluation for verified programs.
+//!
+//! The scalar fast path ([`execute_verified`]) scores one context per call;
+//! dispatch loops that score a whole fleet pay a call, a fill plan, and a
+//! register-file setup per row. This module amortizes all three: a
+//! [`BatchCtx`] lays N contexts out **column-major** (one contiguous column
+//! per feature slot, one row per server/object) and [`run_batch`] executes
+//! the program **instruction-major** — each instruction streams over whole
+//! register columns in a tight loop the compiler can autovectorize.
+//!
+//! ## Semantics: spec'd by the scalar VM
+//!
+//! `run_batch(prog, batch, …, out)` is defined to be observably identical to
+//!
+//! ```text
+//! for row in 0..batch.rows() {
+//!     out.push(execute_verified(prog, &row_ctx(batch, row), map));
+//! }
+//! ```
+//!
+//! i.e. one scalar run per row, **in ascending row order, sharing the map**.
+//! This makes the scalar VM the executable spec of the batched engine, the
+//! same way `dsl::eval` is the spec of the scalar VM — and the differential
+//! suite in `tests/batch_differential.rs` pins it per row, fault rows
+//! included. Two execution strategies implement that contract:
+//!
+//! * **Vector path** — programs that are straight-line (no jumps) and
+//!   map-free, which is everything the expression lowerer emits for
+//!   spill-free policies. Each instruction runs across all rows before the
+//!   next instruction starts; since execution order equals `pc` order for a
+//!   straight-line program, per-row results and first-fault `pc`s match the
+//!   scalar VM exactly. A row that faults keeps streaming (its lanes hold
+//!   garbage) but only its **first** fault is recorded and reported, which
+//!   is precisely what the scalar run would have returned.
+//! * **Row fallback** — anything with jumps or map traffic gathers one row
+//!   at a time into a scratch buffer and calls [`execute_verified`], making
+//!   the contract hold structurally.
+//!
+//! The fused reductions ([`run_batch_argmin`] / [`run_batch_argmax`]) never
+//! materialize the score vector for the caller and pin two edge contracts:
+//! **ties break to the lowest row index**, and a fault aborts the reduction
+//! with the lowest faulting row (what a scalar scan would hit first).
+//!
+//! Like `execute_verified`, everything here requires a program that passed
+//! the verifier: registers are provably written before read (so register
+//! columns are *not* cleared between calls), ctx/map indices are provably
+//! in bounds, and the only reachable fault is division by zero.
+//!
+//! [`execute_verified`]: crate::vm::execute_verified
+//! [`run_batch`]: BatchCtx
+
+use crate::isa::{Op, Program};
+use crate::vm::{execute_verified, VmError};
+use policysmith_dsl::eval::{div_sat, rem_sat, shl_sat, shr_arith};
+
+/// N evaluation contexts in structure-of-arrays (column-major) layout.
+///
+/// Column `c` (one per [`CtxLayout`] feature slot) occupies the contiguous
+/// range `data[c * rows .. (c + 1) * rows]`; row `r` of column `c` is the
+/// value feature `c` takes for object `r`. Hosts fill whole columns at a
+/// time ([`column_mut`] / [`broadcast`]) — the per-row fill plan of the
+/// scalar path disappears.
+///
+/// [`CtxLayout`]: crate::compile::CtxLayout
+/// [`column_mut`]: BatchCtx::column_mut
+/// [`broadcast`]: BatchCtx::broadcast
+#[derive(Debug, Clone, Default)]
+pub struct BatchCtx {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl BatchCtx {
+    /// An empty batch with `cols` feature slots and zero rows.
+    pub fn new(cols: usize) -> Self {
+        BatchCtx { rows: 0, cols, data: Vec::new() }
+    }
+
+    /// A zero-filled batch with `cols` feature slots and `rows` rows.
+    pub fn with_rows(cols: usize, rows: usize) -> Self {
+        BatchCtx { rows, cols, data: vec![0; cols * rows] }
+    }
+
+    /// Number of rows (objects) in the batch.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (feature slots) in the batch.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Resize to `rows` rows, keeping the column count.
+    ///
+    /// Cell values are unspecified afterwards (the column-major layout
+    /// re-maps wholesale); callers are expected to refill every column they
+    /// use. No allocation happens when shrinking or when a previous larger
+    /// size already reserved capacity.
+    pub fn set_rows(&mut self, rows: usize) {
+        self.rows = rows;
+        self.data.resize(self.cols * rows, 0);
+    }
+
+    /// Read-only view of column `col`.
+    pub fn column(&self, col: usize) -> &[i64] {
+        &self.data[col * self.rows..(col + 1) * self.rows]
+    }
+
+    /// Mutable view of column `col` — the bulk fill entry point.
+    pub fn column_mut(&mut self, col: usize) -> &mut [i64] {
+        &mut self.data[col * self.rows..(col + 1) * self.rows]
+    }
+
+    /// Set every row of column `col` to `v` (fleet-invariant features:
+    /// `req.size`, `now`, …).
+    pub fn broadcast(&mut self, col: usize, v: i64) {
+        self.column_mut(col).fill(v);
+    }
+
+    /// Set a single cell.
+    pub fn set(&mut self, row: usize, col: usize, v: i64) {
+        self.data[col * self.rows + row] = v;
+    }
+
+    /// Read a single cell.
+    pub fn get(&self, row: usize, col: usize) -> i64 {
+        self.data[col * self.rows + row]
+    }
+
+    /// Build a batch from row-major context slices (test/verification
+    /// convenience; hot paths fill columns directly).
+    ///
+    /// # Panics
+    /// If any row's length differs from `cols`.
+    pub fn from_rows(cols: usize, row_ctxs: &[&[i64]]) -> Self {
+        let mut b = BatchCtx::with_rows(cols, row_ctxs.len());
+        for (r, ctx) in row_ctxs.iter().enumerate() {
+            assert_eq!(ctx.len(), cols, "row {r} has wrong width");
+            for (c, &v) in ctx.iter().enumerate() {
+                b.set(r, c, v);
+            }
+        }
+        b
+    }
+
+    /// Gather row `r` into `buf` as a scalar ctx slice (row fallback path).
+    fn gather_row(&self, r: usize, buf: &mut Vec<i64>) {
+        buf.clear();
+        buf.extend((0..self.cols).map(|c| self.data[c * self.rows + r]));
+    }
+}
+
+/// Reusable scratch for batch execution: the column register file, the
+/// per-row fault buffer, and the row-gather buffer. Allocated once per
+/// dispatcher and recycled across calls; buffers only grow.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    /// 16 register columns × rows, masked-indexed like the scalar fast
+    /// path. Stale values from previous calls are never observable: the
+    /// verifier proved every register is written before read.
+    regs: Vec<i64>,
+    /// Per-row first fault, encoded as `pc + 1` (`0` = no fault). Only
+    /// touched when the program can divide.
+    fault: Vec<u32>,
+    /// Row-major gather buffer for the fallback path.
+    row: Vec<i64>,
+}
+
+impl BatchScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// How a program may be executed in batch, precomputed at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Straight-line and map-free: eligible for the column-vector path.
+    pub vectorizable: bool,
+    /// Contains a `StMap` — the map must be treated as mutated per row.
+    pub writes_map: bool,
+    /// Contains a division or remainder — the only fault source the
+    /// verifier leaves reachable, and the only reason to clear the
+    /// per-row fault buffer.
+    pub may_divide: bool,
+}
+
+impl BatchPlan {
+    /// Classify `prog` (one linear scan; cached in `CompiledPolicy`).
+    pub fn for_program(prog: &Program) -> BatchPlan {
+        use Op::*;
+        let mut vectorizable = true;
+        let mut writes_map = false;
+        let mut may_divide = false;
+        for insn in &prog.insns {
+            if insn.op.is_jump() || matches!(insn.op, LdMap | StMap) {
+                vectorizable = false;
+            }
+            if matches!(insn.op, StMap) {
+                writes_map = true;
+            }
+            if matches!(insn.op, DivImm | DivReg | RemImm | RemReg) {
+                may_divide = true;
+            }
+        }
+        BatchPlan { vectorizable, writes_map, may_divide }
+    }
+}
+
+/// A fused reduction aborted because row `row` faulted.
+///
+/// `row` is the **lowest** faulting row index — exactly the fault a scalar
+/// scan in ascending row order would have surfaced first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchFault {
+    pub row: usize,
+    pub fault: VmError,
+}
+
+impl std::fmt::Display for BatchFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch row {}: {}", self.row, self.fault)
+    }
+}
+
+impl std::error::Error for BatchFault {}
+
+/// Mutable column pair `(dst, src)` from the register file — the split
+/// borrow behind every two-register ALU op.
+#[inline]
+fn col_pair(regs: &mut [i64], rows: usize, d: usize, s: usize) -> (&mut [i64], &[i64]) {
+    debug_assert_ne!(d, s);
+    if d < s {
+        let (lo, hi) = regs.split_at_mut(s * rows);
+        (&mut lo[d * rows..(d + 1) * rows], &hi[..rows])
+    } else {
+        let (lo, hi) = regs.split_at_mut(d * rows);
+        (&mut hi[..rows], &lo[s * rows..(s + 1) * rows])
+    }
+}
+
+#[inline]
+fn col_mut(regs: &mut [i64], rows: usize, c: usize) -> &mut [i64] {
+    &mut regs[c * rows..(c + 1) * rows]
+}
+
+/// `dst[r] = f(dst[r], src[r])` across all rows, `dst == src` included.
+#[inline]
+fn bin_reg(regs: &mut [i64], rows: usize, d: usize, s: usize, f: impl Fn(i64, i64) -> i64) {
+    if d == s {
+        for x in col_mut(regs, rows, d) {
+            *x = f(*x, *x);
+        }
+    } else {
+        let (dc, sc) = col_pair(regs, rows, d, s);
+        for (x, &y) in dc.iter_mut().zip(sc) {
+            *x = f(*x, y);
+        }
+    }
+}
+
+/// Division-family op with a per-row zero guard. Faulting rows record
+/// `pc + 1` in `fault` (first fault only) and keep their lane untouched;
+/// they stay in the stream but their final value is never reported.
+#[inline]
+fn div_reg(
+    regs: &mut [i64],
+    rows: usize,
+    d: usize,
+    s: usize,
+    fault: &mut [u32],
+    pc: usize,
+    f: impl Fn(i64, i64) -> i64,
+) {
+    if d == s {
+        for (x, fl) in col_mut(regs, rows, d).iter_mut().zip(fault.iter_mut()) {
+            if *x == 0 {
+                if *fl == 0 {
+                    *fl = pc as u32 + 1;
+                }
+            } else {
+                *x = f(*x, *x);
+            }
+        }
+    } else {
+        let (dc, sc) = col_pair(regs, rows, d, s);
+        for ((x, &b), fl) in dc.iter_mut().zip(sc).zip(fault.iter_mut()) {
+            if b == 0 {
+                if *fl == 0 {
+                    *fl = pc as u32 + 1;
+                }
+            } else {
+                *x = f(*x, b);
+            }
+        }
+    }
+}
+
+/// The column-vector engine: one pass over the instruction stream, each
+/// instruction applied to whole register columns. Requires
+/// `plan.vectorizable`. On return `scratch.regs[..rows]` holds the `r0`
+/// column and (when `plan.may_divide`) `scratch.fault[r]` holds `pc + 1`
+/// of row `r`'s first fault.
+fn run_vector(prog: &Program, batch: &BatchCtx, scratch: &mut BatchScratch, plan: BatchPlan) {
+    debug_assert!(plan.vectorizable);
+    let rows = batch.rows();
+    // Growth-only resize: new lanes are zeroed once, stale lanes are fine —
+    // verified programs never read a register before writing it.
+    if scratch.regs.len() < 16 * rows {
+        scratch.regs.resize(16 * rows, 0);
+    }
+    if plan.may_divide {
+        scratch.fault.clear();
+        scratch.fault.resize(rows, 0);
+    }
+    let BatchScratch { regs, fault, .. } = scratch;
+    for (pc, insn) in prog.insns.iter().enumerate() {
+        let d = (insn.dst & 15) as usize;
+        let s = (insn.src & 15) as usize;
+        use Op::*;
+        match insn.op {
+            MovImm => col_mut(regs, rows, d).fill(insn.imm),
+            MovReg => {
+                if d != s {
+                    regs.copy_within(s * rows..(s + 1) * rows, d * rows);
+                }
+            }
+            AddImm => {
+                for x in col_mut(regs, rows, d) {
+                    *x = x.saturating_add(insn.imm);
+                }
+            }
+            AddReg => bin_reg(regs, rows, d, s, i64::saturating_add),
+            SubImm => {
+                for x in col_mut(regs, rows, d) {
+                    *x = x.saturating_sub(insn.imm);
+                }
+            }
+            SubReg => bin_reg(regs, rows, d, s, i64::saturating_sub),
+            MulImm => {
+                for x in col_mut(regs, rows, d) {
+                    *x = x.saturating_mul(insn.imm);
+                }
+            }
+            MulReg => bin_reg(regs, rows, d, s, i64::saturating_mul),
+            DivImm => {
+                if insn.imm == 0 {
+                    for fl in fault.iter_mut() {
+                        if *fl == 0 {
+                            *fl = pc as u32 + 1;
+                        }
+                    }
+                } else {
+                    for x in col_mut(regs, rows, d) {
+                        *x = div_sat(*x, insn.imm);
+                    }
+                }
+            }
+            DivReg => div_reg(regs, rows, d, s, fault, pc, div_sat),
+            RemImm => {
+                if insn.imm == 0 {
+                    for fl in fault.iter_mut() {
+                        if *fl == 0 {
+                            *fl = pc as u32 + 1;
+                        }
+                    }
+                } else {
+                    for x in col_mut(regs, rows, d) {
+                        *x = rem_sat(*x, insn.imm);
+                    }
+                }
+            }
+            RemReg => div_reg(regs, rows, d, s, fault, pc, rem_sat),
+            Neg => {
+                for x in col_mut(regs, rows, d) {
+                    *x = x.saturating_neg();
+                }
+            }
+            LshImm => {
+                for x in col_mut(regs, rows, d) {
+                    *x = shl_sat(*x, insn.imm);
+                }
+            }
+            LshReg => bin_reg(regs, rows, d, s, shl_sat),
+            RshImm => {
+                for x in col_mut(regs, rows, d) {
+                    *x = shr_arith(*x, insn.imm);
+                }
+            }
+            RshReg => bin_reg(regs, rows, d, s, shr_arith),
+            LdCtx => col_mut(regs, rows, d).copy_from_slice(batch.column(insn.imm as usize)),
+            Exit => return,
+            Ja | JeqImm | JeqReg | JneImm | JneReg | JltImm | JltReg | JleImm | JleReg | JgtImm
+            | JgtReg | JgeImm | JgeReg | LdMap | StMap => {
+                unreachable!("vector path requires a straight-line, map-free program")
+            }
+        }
+    }
+    unreachable!("verified program ended without an Exit");
+}
+
+/// Decode row `r`'s result after [`run_vector`].
+#[inline]
+fn vector_row_result(scratch: &BatchScratch, plan: BatchPlan, r: usize) -> Result<i64, VmError> {
+    if plan.may_divide && scratch.fault[r] != 0 {
+        Err(VmError::DivByZero { pc: scratch.fault[r] as usize - 1 })
+    } else {
+        Ok(scratch.regs[r])
+    }
+}
+
+/// Score every row of `batch`, appending one result per row to `out`.
+///
+/// Observably identical to one [`execute_verified`] call per row in
+/// ascending row order sharing `map` (see the module docs). All rows are
+/// scored even when some fault — fault handling is the caller's policy.
+///
+/// # Panics
+/// Under the same contract violations as `execute_verified`: an unverified
+/// program, or a batch/map narrower than the program was verified against.
+pub fn run_batch(
+    prog: &Program,
+    plan: BatchPlan,
+    batch: &BatchCtx,
+    scratch: &mut BatchScratch,
+    map: &mut [i64],
+    out: &mut Vec<Result<i64, VmError>>,
+) {
+    let rows = batch.rows();
+    out.reserve(rows);
+    if plan.vectorizable {
+        run_vector(prog, batch, scratch, plan);
+        out.extend((0..rows).map(|r| vector_row_result(scratch, plan, r)));
+    } else {
+        for r in 0..rows {
+            let BatchScratch { row, .. } = scratch;
+            batch.gather_row(r, row);
+            out.push(execute_verified(prog, row, map));
+        }
+    }
+}
+
+/// Score every row and return the index of the **minimum** score without
+/// materializing the score vector. Ties break to the lowest row index; a
+/// fault aborts with the lowest faulting row (both pinned by
+/// `tests/batch_differential.rs`).
+///
+/// # Panics
+/// On an empty batch, and under the contract violations of [`run_batch`].
+pub fn run_batch_argmin(
+    prog: &Program,
+    plan: BatchPlan,
+    batch: &BatchCtx,
+    scratch: &mut BatchScratch,
+    map: &mut [i64],
+) -> Result<usize, BatchFault> {
+    fused_reduce(prog, plan, batch, scratch, map, |best, cand| cand < best)
+}
+
+/// [`run_batch_argmin`]'s mirror: index of the **maximum** score, ties to
+/// the lowest row index, fault-abort at the lowest faulting row.
+///
+/// # Panics
+/// On an empty batch, and under the contract violations of [`run_batch`].
+pub fn run_batch_argmax(
+    prog: &Program,
+    plan: BatchPlan,
+    batch: &BatchCtx,
+    scratch: &mut BatchScratch,
+    map: &mut [i64],
+) -> Result<usize, BatchFault> {
+    fused_reduce(prog, plan, batch, scratch, map, |best, cand| cand > best)
+}
+
+fn fused_reduce(
+    prog: &Program,
+    plan: BatchPlan,
+    batch: &BatchCtx,
+    scratch: &mut BatchScratch,
+    map: &mut [i64],
+    better: impl Fn(i64, i64) -> bool,
+) -> Result<usize, BatchFault> {
+    let rows = batch.rows();
+    assert!(rows > 0, "fused reduction over an empty batch");
+    if plan.vectorizable {
+        run_vector(prog, batch, scratch, plan);
+        if plan.may_divide {
+            if let Some(r) = scratch.fault[..rows].iter().position(|&f| f != 0) {
+                return Err(BatchFault {
+                    row: r,
+                    fault: VmError::DivByZero { pc: scratch.fault[r] as usize - 1 },
+                });
+            }
+        }
+        let scores = &scratch.regs[..rows];
+        let mut best = 0usize;
+        for (r, &v) in scores.iter().enumerate().skip(1) {
+            if better(scores[best], v) {
+                best = r;
+            }
+        }
+        Ok(best)
+    } else {
+        let mut best = 0usize;
+        let mut best_score = {
+            let BatchScratch { row, .. } = &mut *scratch;
+            batch.gather_row(0, row);
+            execute_verified(prog, row, map).map_err(|fault| BatchFault { row: 0, fault })?
+        };
+        for r in 1..rows {
+            let BatchScratch { row, .. } = &mut *scratch;
+            batch.gather_row(r, row);
+            let v =
+                execute_verified(prog, row, map).map_err(|fault| BatchFault { row: r, fault })?;
+            if better(best_score, v) {
+                best = r;
+                best_score = v;
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Insn;
+
+    fn prog(insns: Vec<Insn>) -> Program {
+        Program { insns }
+    }
+
+    fn i(op: Op, dst: u8, src: u8, imm: i64) -> Insn {
+        Insn::new(op, dst, src, imm)
+    }
+
+    /// r0 = ctx[0] * 3 - ctx[1]  (straight-line, no division)
+    fn affine_prog() -> Program {
+        prog(vec![
+            i(Op::LdCtx, 0, 0, 0),
+            i(Op::MulImm, 0, 0, 3),
+            i(Op::LdCtx, 1, 0, 1),
+            i(Op::SubReg, 0, 1, 0),
+            i(Op::Exit, 0, 0, 0),
+        ])
+    }
+
+    /// r0 = ctx[0] / ctx[1]  (faults on rows where ctx[1] == 0)
+    fn div_prog() -> Program {
+        prog(vec![
+            i(Op::LdCtx, 0, 0, 0),
+            i(Op::LdCtx, 1, 0, 1),
+            i(Op::DivReg, 0, 1, 0),
+            i(Op::Exit, 0, 0, 0),
+        ])
+    }
+
+    fn batch_of(rows: &[[i64; 2]]) -> BatchCtx {
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        BatchCtx::from_rows(2, &refs)
+    }
+
+    fn run_all(p: &Program, b: &BatchCtx) -> Vec<Result<i64, VmError>> {
+        let plan = BatchPlan::for_program(p);
+        let mut scratch = BatchScratch::new();
+        let mut map = [0i64; 4];
+        let mut out = Vec::new();
+        run_batch(p, plan, b, &mut scratch, &mut map, &mut out);
+        out
+    }
+
+    #[test]
+    fn plan_classifies_programs() {
+        let plan = BatchPlan::for_program(&affine_prog());
+        assert!(plan.vectorizable && !plan.writes_map && !plan.may_divide);
+        let plan = BatchPlan::for_program(&div_prog());
+        assert!(plan.vectorizable && !plan.writes_map && plan.may_divide);
+        let spill = prog(vec![
+            i(Op::MovImm, 0, 0, 7),
+            i(Op::StMap, 0, 0, 0),
+            i(Op::LdMap, 0, 0, 0),
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        let plan = BatchPlan::for_program(&spill);
+        assert!(!plan.vectorizable && plan.writes_map && !plan.may_divide);
+    }
+
+    #[test]
+    fn vector_path_matches_scalar_per_row() {
+        let p = affine_prog();
+        let b = batch_of(&[[10, 4], [0, 0], [-5, 100], [i64::MAX, 1]]);
+        let got = run_all(&p, &b);
+        let mut map = [0i64; 4];
+        for (r, got_row) in got.iter().enumerate() {
+            let ctx = [b.get(r, 0), b.get(r, 1)];
+            assert_eq!(*got_row, execute_verified(&p, &ctx, &mut map), "row {r}");
+        }
+    }
+
+    #[test]
+    fn fault_rows_match_scalar_and_keep_position() {
+        let p = div_prog();
+        let b = batch_of(&[[10, 2], [7, 0], [9, 3], [1, 0]]);
+        let got = run_all(&p, &b);
+        assert_eq!(got[0], Ok(5));
+        assert_eq!(got[1], Err(VmError::DivByZero { pc: 2 }));
+        assert_eq!(got[2], Ok(3));
+        assert_eq!(got[3], Err(VmError::DivByZero { pc: 2 }));
+    }
+
+    #[test]
+    fn argmin_ties_break_to_lowest_row() {
+        let p = affine_prog();
+        // scores: 3*x - y → rows 1 and 2 tie at 2.
+        let b = batch_of(&[[10, 5], [1, 1], [2, 4], [1, 1]]);
+        let plan = BatchPlan::for_program(&p);
+        let mut scratch = BatchScratch::new();
+        let mut map = [0i64; 4];
+        let got = run_batch_argmin(&p, plan, &b, &mut scratch, &mut map).unwrap();
+        assert_eq!(got, 1, "equal minima must pick the lowest row");
+    }
+
+    #[test]
+    fn argmax_ties_break_to_lowest_row() {
+        let p = affine_prog();
+        let b = batch_of(&[[1, 1], [5, 0], [5, 0], [0, 0]]);
+        let plan = BatchPlan::for_program(&p);
+        let mut scratch = BatchScratch::new();
+        let mut map = [0i64; 4];
+        let got = run_batch_argmax(&p, plan, &b, &mut scratch, &mut map).unwrap();
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn argmin_aborts_at_lowest_faulting_row() {
+        let p = div_prog();
+        let b = batch_of(&[[10, 2], [7, 0], [9, 0]]);
+        let plan = BatchPlan::for_program(&p);
+        let mut scratch = BatchScratch::new();
+        let mut map = [0i64; 4];
+        let err = run_batch_argmin(&p, plan, &b, &mut scratch, &mut map).unwrap_err();
+        assert_eq!(err, BatchFault { row: 1, fault: VmError::DivByZero { pc: 2 } });
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn argmin_panics_on_empty_batch() {
+        let p = affine_prog();
+        let b = BatchCtx::new(2);
+        let plan = BatchPlan::for_program(&p);
+        let mut scratch = BatchScratch::new();
+        let mut map = [0i64; 4];
+        let _ = run_batch_argmin(&p, plan, &b, &mut scratch, &mut map);
+    }
+
+    #[test]
+    fn scratch_reuse_across_shrinking_batches_is_clean() {
+        // A faulting wide batch followed by a clean narrow one: stale fault
+        // lanes from the first call must not leak into the second.
+        let p = div_prog();
+        let plan = BatchPlan::for_program(&p);
+        let mut scratch = BatchScratch::new();
+        let mut map = [0i64; 4];
+        let wide = batch_of(&[[1, 0], [2, 0], [3, 0], [4, 0]]);
+        let mut out = Vec::new();
+        run_batch(&p, plan, &wide, &mut scratch, &mut map, &mut out);
+        assert!(out.iter().all(|r| r.is_err()));
+        let narrow = batch_of(&[[8, 2], [6, 3]]);
+        assert_eq!(run_batch_argmin(&p, plan, &narrow, &mut scratch, &mut map), Ok(1));
+    }
+
+    #[test]
+    fn row_fallback_handles_map_traffic() {
+        // r0 = ctx[0]; map[0] += r0 per row — order-dependent across rows,
+        // so the fallback path must share the map in ascending row order.
+        let p = prog(vec![
+            i(Op::LdCtx, 0, 0, 0),
+            i(Op::LdMap, 1, 0, 0),
+            i(Op::AddReg, 1, 0, 0),
+            i(Op::StMap, 0, 1, 0),
+            i(Op::MovReg, 0, 1, 0),
+            i(Op::Exit, 0, 0, 0),
+        ]);
+        let plan = BatchPlan::for_program(&p);
+        assert!(!plan.vectorizable);
+        let refs: Vec<&[i64]> = vec![&[5], &[7], &[11]];
+        let b = BatchCtx::from_rows(1, &refs);
+        let mut scratch = BatchScratch::new();
+        let mut map = [0i64; 1];
+        let mut out = Vec::new();
+        run_batch(&p, plan, &b, &mut scratch, &mut map, &mut out);
+        assert_eq!(out, vec![Ok(5), Ok(12), Ok(23)]);
+        assert_eq!(map[0], 23);
+    }
+}

@@ -35,6 +35,7 @@
 //! structural obligations (bounds, initialization, termination) still hold
 //! for compiler-emitted code, and the VM re-checks them defensively anyway.
 
+use crate::batch::{self, BatchCtx, BatchFault, BatchPlan, BatchScratch};
 use crate::isa::Program;
 use crate::lower::{self, LowerError, SPILL_SLOTS};
 use crate::verifier::{verify, Interval, VerifyEnv, VerifyError};
@@ -206,6 +207,7 @@ pub struct CompiledPolicy {
     layout: CtxLayout,
     program: Program,
     verification: Verification,
+    batch_plan: BatchPlan,
 }
 
 // The serving-runtime contract: policies cross threads and are shared
@@ -234,7 +236,8 @@ impl CompiledPolicy {
             }
             Err(err) => return Err(CompileError::Verify(err)),
         };
-        Ok(CompiledPolicy { expr: e.clone(), layout, program, verification })
+        let batch_plan = BatchPlan::for_program(&program);
+        Ok(CompiledPolicy { expr: e.clone(), layout, program, verification, batch_plan })
     }
 
     /// The template mode this policy was compiled for.
@@ -308,6 +311,60 @@ impl CompiledPolicy {
         let mut ctx = Vec::with_capacity(self.layout.len());
         let mut map = vec![0i64; SPILL_SLOTS];
         self.run_with_env(env, &mut ctx, &mut map)
+    }
+
+    /// How this policy executes in batch (classified once at compile time).
+    pub fn batch_plan(&self) -> BatchPlan {
+        self.batch_plan
+    }
+
+    /// Does the program write the scratch map? `false` for everything the
+    /// lowerer emits without register spills — batch hosts use this to skip
+    /// per-row map resets.
+    pub fn writes_map(&self) -> bool {
+        self.batch_plan.writes_map
+    }
+
+    /// Score every row of `batch` in one call, appending one result per
+    /// row to `out`. Observably identical to [`run`](Self::run) once per
+    /// row in ascending row order sharing `map` — the scalar path is the
+    /// executable spec (see [`crate::batch`]); straight-line map-free
+    /// programs (everything the lowerer emits spill-free) take the
+    /// column-vector engine instead of a per-row loop.
+    ///
+    /// The batch must have at least [`CtxLayout::len`] columns, all filled.
+    pub fn run_batch(
+        &self,
+        batch: &BatchCtx,
+        scratch: &mut BatchScratch,
+        map: &mut [i64],
+        out: &mut Vec<Result<i64, VmError>>,
+    ) {
+        batch::run_batch(&self.program, self.batch_plan, batch, scratch, map, out)
+    }
+
+    /// Fused "score everything, pick the smallest": returns the row index
+    /// of the minimum score without materializing a score vector. Ties
+    /// break to the lowest row; a fault aborts with the lowest faulting
+    /// row. Panics on an empty batch.
+    pub fn run_batch_argmin(
+        &self,
+        batch: &BatchCtx,
+        scratch: &mut BatchScratch,
+        map: &mut [i64],
+    ) -> Result<usize, BatchFault> {
+        batch::run_batch_argmin(&self.program, self.batch_plan, batch, scratch, map)
+    }
+
+    /// [`run_batch_argmin`](Self::run_batch_argmin)'s mirror for
+    /// maximum-score hosts (cache eviction picks the *worst* object).
+    pub fn run_batch_argmax(
+        &self,
+        batch: &BatchCtx,
+        scratch: &mut BatchScratch,
+        map: &mut [i64],
+    ) -> Result<usize, BatchFault> {
+        batch::run_batch_argmax(&self.program, self.batch_plan, batch, scratch, map)
     }
 }
 

@@ -19,6 +19,10 @@
 //!   backward jump (so accepted programs provably terminate);
 //! * [`vm`] — the interpreter, bit-for-bit equivalent to the DSL
 //!   interpreter on verified programs;
+//! * [`batch`] — structure-of-arrays batched evaluation
+//!   ([`BatchCtx`] + `CompiledPolicy::run_batch` and fused
+//!   argmin/argmax), spec'd by the scalar VM per row and
+//!   differential-tested against it;
 //! * [`lower`] — the DSL → kbpf compiler, parameterized by a context
 //!   layout so any template's features lower;
 //! * [`compile`] — the host-facing API: [`CtxLayout`] (per-candidate
@@ -38,6 +42,7 @@
 //! assert_eq!(policy.eval_once(&env).unwrap(), 5);
 //! ```
 
+pub mod batch;
 pub mod compile;
 pub mod isa;
 pub mod lower;
@@ -45,6 +50,7 @@ pub mod range;
 pub mod verifier;
 pub mod vm;
 
+pub use batch::{BatchCtx, BatchFault, BatchPlan, BatchScratch};
 pub use compile::{
     mode_budgets, CompileError, CompiledPolicy, CtxLayout, RuntimeFault, Verification,
     KERNEL_MAX_DEPTH, KERNEL_MAX_SIZE,

@@ -34,6 +34,14 @@ pub struct DispatchView<'a> {
     pub req_size: u64,
     /// Per-server snapshots, index-aligned with the fleet.
     pub servers: &'a [ServerView],
+    /// Indices whose *event-driven* state (queue length, inflight, speed,
+    /// EWMA latency) changed since the previous `pick` — the hook that lets
+    /// incremental dispatchers rescore only what moved. `None` means
+    /// "unknown, rescore everything" and is always safe; views built
+    /// outside [`LbEngine`](crate::sim::LbEngine) may simply pass `None`.
+    /// Time-derived signals (`now_us`, `work_left_us` on busy servers)
+    /// drift without appearing here.
+    pub dirty: Option<&'a [usize]>,
 }
 
 /// A dispatch policy: pick the server index for one request.
@@ -230,7 +238,7 @@ mod tests {
     use super::*;
 
     fn view_of(servers: &[ServerView]) -> DispatchView<'_> {
-        DispatchView { now_us: 0, req_size: 10, servers }
+        DispatchView { now_us: 0, req_size: 10, servers, dirty: None }
     }
 
     fn sv(queue_len: usize, inflight: usize, speed: u32) -> ServerView {

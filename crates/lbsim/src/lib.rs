@@ -15,8 +15,13 @@
 //! * [`dispatch`] — the [`Dispatcher`] trait plus the classical baselines:
 //!   round-robin, random, JSQ, least-loaded, power-of-two-choices;
 //! * [`policy`] — the PolicySmith **template host**: a synthesized DSL
-//!   expression scores every server at dispatch time and the request goes
-//!   to the argmin (runtime faults are latched, as in the cache host);
+//!   expression scores the fleet at dispatch time and the request goes
+//!   to the argmin (runtime faults are latched, as in the cache host).
+//!   Four scan engines share the rule: the default **batched**
+//!   structure-of-arrays full scan (one fused `run_batch_argmin` call
+//!   per pick), the legacy **scalar** per-server loop, and two sublinear
+//!   modes — **power-of-d** sampling and an incremental **argmin tree**
+//!   driven by the engine's dirty marks;
 //! * [`scenario`] — seven presets (uniform fleet, two-tier fleet, flash
 //!   crowd, slow-node degradation, correlated failures, diurnal load,
 //!   slow-node onset) with documented load factors, plus the
@@ -24,7 +29,10 @@
 //! * [`sim`] — the event loop ([`LbEngine`], incremental) and the metrics
 //!   the study scores (mean slowdown, drops, utilization); [`run_phased`]
 //!   plays a phase sequence through one live fleet for the
-//!   drift-triggered re-synthesis story.
+//!   drift-triggered re-synthesis story. The engine tracks which servers'
+//!   event-driven state changed between picks and hands the indices to
+//!   dispatchers as [`DispatchView::dirty`] — the hook behind the
+//!   argmin-tree's sublinear rescoring.
 //!
 //! Everything is integer-microsecond virtual time; a run is a pure
 //! function of `(scenario, dispatcher)` — bit-for-bit reproducible.

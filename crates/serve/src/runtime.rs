@@ -764,6 +764,13 @@ fn process_window<S: Study>(
 /// the worker drives [`run_phased_windowed`] with this host, the serve
 /// path *is* the batch path plus this wrapper — the decision-identity
 /// guarantee is structural, not mirrored code.
+///
+/// Scoring goes through `ExprDispatcher::new`'s default engine, which is
+/// the batched structure-of-arrays scan (one fused `run_batch_argmin`
+/// call per pick) — workers adopted the batched dispatcher the moment it
+/// became the default, with no serve-side opt-in and no change to the
+/// fault-latch contract (the batched argmin latches the same
+/// lowest-index fault the scalar loop did).
 struct ServeLbHost<'h, 'c> {
     handle: &'h mut ReaderHandle<'c, CompiledPolicy>,
     inner: ExprDispatcher,

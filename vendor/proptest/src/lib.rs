@@ -7,16 +7,18 @@
 //! `proptest!` test-harness macro with `prop_assert*` / `prop_assume!`.
 //!
 //! Differences from real proptest, deliberately accepted:
-//! * **Minimal shrinking only.** On failure the harness greedily minimizes
-//!   the failing input with [`Strategy::shrink`]: integer ranges halve
-//!   toward their lower bound, vectors shrink their length (and shrink
-//!   elements in place), tuples shrink one component at a time. The
-//!   remaining gap vs real proptest: shrinking does **not** traverse
-//!   `prop_map` / `prop_recursive` / `prop_oneof` adapters (real proptest
-//!   threads lazy value trees through every combinator), so composite
-//!   values like generated `Expr` trees are reported as sampled, not
-//!   minimized — only their directly-bound integer/vector siblings shrink.
-//!   The failure message still carries the full formatted context.
+//! * **Greedy shrinking through adapters.** Sampling produces a
+//!   [`Shrinkable`] — the value plus a lazy tree of simpler candidates —
+//!   and on failure the harness greedily walks to the first candidate that
+//!   still fails, repeating until a local minimum (or a fixed budget).
+//!   Shrinking threads through `prop_map` (candidates of the *input* are
+//!   re-mapped), tuples and `collection::vec` (length halving, drop-one,
+//!   element-wise), and `prop_oneof` / `prop_recursive` / `boxed`
+//!   (delegation to the sampled arm) — so composite values like generated
+//!   `Expr` trees do minimize. Remaining gap vs real proptest:
+//!   `sample::select`, `any::<T>()` and float ranges are shrink leaves,
+//!   and the greedy first-failing-candidate walk is weaker than
+//!   proptest's simplify/complicate binary search.
 //! * **Deterministic seeding.** Case `i` of a test derives its RNG from a
 //!   fixed seed and `i`, so failures reproduce exactly across runs (and
 //!   every shrink candidate is re-run through the same test body, so the
@@ -79,6 +81,105 @@ impl Default for ProptestConfig {
     }
 }
 
+/// A sampled value bundled with a lazy tree of simpler candidates.
+///
+/// This is the shim's lightweight stand-in for proptest's `ValueTree`:
+/// strategies build it at sampling time, so adapters like [`Map`] shrink by
+/// shrinking the value they *sampled from* and re-applying their closure —
+/// no inversion needed. Candidate lists are produced on demand (the tree is
+/// never materialized) and ordered simplest-first.
+pub struct Shrinkable<T> {
+    /// The sampled (or shrunk-to) value.
+    pub value: T,
+    cands: Rc<dyn Fn() -> Vec<Shrinkable<T>>>,
+}
+
+impl<T: Clone> Clone for Shrinkable<T> {
+    fn clone(&self) -> Self {
+        Shrinkable { value: self.value.clone(), cands: Rc::clone(&self.cands) }
+    }
+}
+
+impl<T: 'static> Shrinkable<T> {
+    /// A value with no simpler candidates (the shrink leaf).
+    pub fn leaf(value: T) -> Self {
+        Shrinkable { value, cands: Rc::new(Vec::new) }
+    }
+
+    /// A value with the given lazy candidate producer.
+    pub fn new(value: T, cands: Rc<dyn Fn() -> Vec<Shrinkable<T>>>) -> Self {
+        Shrinkable { value, cands }
+    }
+
+    /// Simpler candidates of this value, simplest first.
+    pub fn candidates(&self) -> Vec<Shrinkable<T>> {
+        (self.cands)()
+    }
+}
+
+/// Shrinkable scalar over a re-applicable ladder: each candidate value `c`
+/// of `ladder(lo, v)` gets its own ladder rooted at `c`, so greedy descent
+/// can keep halving toward `lo`.
+pub fn ladder_shrinkable<T: Copy + 'static>(
+    lo: T,
+    v: T,
+    ladder: fn(T, T) -> Vec<T>,
+) -> Shrinkable<T> {
+    Shrinkable {
+        value: v,
+        cands: Rc::new(move || {
+            ladder(lo, v).into_iter().map(|c| ladder_shrinkable(lo, c, ladder)).collect()
+        }),
+    }
+}
+
+/// Shrinkable of a mapped value: candidates of the *input* shrinkable,
+/// each re-run through `f`. This is how shrinking traverses `prop_map`.
+pub fn map_shrinkable<T: Clone + 'static, U: 'static>(
+    inner: Shrinkable<T>,
+    f: Rc<dyn Fn(T) -> U>,
+) -> Shrinkable<U> {
+    let value = f(inner.value.clone());
+    let f2 = Rc::clone(&f);
+    Shrinkable {
+        value,
+        cands: Rc::new(move || {
+            inner.candidates().into_iter().map(|c| map_shrinkable(c, Rc::clone(&f2))).collect()
+        }),
+    }
+}
+
+/// Shrinkable vector from per-element shrinkables: length halves toward
+/// `min_len`, then drops one, then elements shrink in place — mirroring
+/// [`collection::vec`]'s eager `shrink` order.
+pub fn vec_shrinkable<T: Clone + 'static>(
+    parts: Vec<Shrinkable<T>>,
+    min_len: usize,
+) -> Shrinkable<Vec<T>> {
+    let value: Vec<T> = parts.iter().map(|p| p.value.clone()).collect();
+    Shrinkable {
+        value,
+        cands: Rc::new(move || {
+            let mut out = Vec::new();
+            if parts.len() > min_len {
+                let half = min_len.max(parts.len() / 2);
+                if half < parts.len() {
+                    out.push(vec_shrinkable(parts[..half].to_vec(), min_len));
+                }
+                out.push(vec_shrinkable(parts[..parts.len() - 1].to_vec(), min_len));
+            }
+            for (i, p) in parts.iter().enumerate() {
+                for cand in p.candidates() {
+                    let mut np = parts.clone();
+                    np[i] = cand;
+                    out.push(vec_shrinkable(np, min_len));
+                }
+            }
+            out
+        }),
+    }
+}
+
 /// A generator of random values (sampling-only subset of proptest's trait).
 pub trait Strategy {
     type Value;
@@ -86,12 +187,23 @@ pub trait Strategy {
     /// Draw one value.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
 
-    /// Candidate simplifications of `v`, simplest first. The default is no
-    /// shrinking (adapters like [`Map`] cannot invert their closure); see
-    /// the crate docs for which strategies implement it.
+    /// Candidate simplifications of `v`, simplest first — the legacy eager
+    /// API, kept for callers that shrink values they did not sample (it
+    /// cannot traverse [`Map`]). The harness itself uses
+    /// [`Strategy::sample_shrinkable`].
     fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
         let _ = v;
         Vec::new()
+    }
+
+    /// Draw one value together with its lazy shrink tree. The default is a
+    /// shrink leaf; see the crate docs for which strategies thread
+    /// candidates through.
+    fn sample_shrinkable(&self, rng: &mut StdRng) -> Shrinkable<Self::Value>
+    where
+        Self::Value: Clone + 'static,
+    {
+        Shrinkable::leaf(self.sample(rng))
     }
 
     /// Transform generated values.
@@ -99,7 +211,7 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        Map { inner: self, f }
+        Map { inner: self, f: Rc::new(f) }
     }
 
     /// Type-erase into a cheaply clonable handle.
@@ -138,16 +250,27 @@ pub trait Strategy {
     }
 }
 
-/// [`Strategy::prop_map`] adapter.
+/// [`Strategy::prop_map`] adapter. The closure is reference-counted so
+/// each shrink candidate of the *input* can be re-mapped lazily.
 pub struct Map<S, F> {
     inner: S,
-    f: F,
+    f: Rc<F>,
 }
 
-impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+impl<S: Strategy, U: 'static, F: Fn(S::Value) -> U + 'static> Strategy for Map<S, F>
+where
+    S::Value: Clone + 'static,
+{
     type Value = U;
     fn sample(&self, rng: &mut StdRng) -> U {
         (self.f)(self.inner.sample(rng))
+    }
+    fn sample_shrinkable(&self, rng: &mut StdRng) -> Shrinkable<U>
+    where
+        U: Clone + 'static,
+    {
+        let inner = self.inner.sample_shrinkable(rng);
+        map_shrinkable(inner, Rc::clone(&self.f) as Rc<dyn Fn(S::Value) -> U>)
     }
 }
 
@@ -168,6 +291,12 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn shrink(&self, v: &T) -> Vec<T> {
         self.0.shrink(v)
     }
+    fn sample_shrinkable(&self, rng: &mut StdRng) -> Shrinkable<T>
+    where
+        T: Clone + 'static,
+    {
+        self.0.sample_shrinkable(rng)
+    }
 }
 
 /// Uniform choice between alternative strategies (backs `prop_oneof!`).
@@ -181,6 +310,15 @@ impl<T> Strategy for Union<T> {
         assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
         let ix = rng.random_range(0..self.arms.len());
         self.arms[ix].sample(rng)
+    }
+    fn sample_shrinkable(&self, rng: &mut StdRng) -> Shrinkable<T>
+    where
+        T: Clone + 'static,
+    {
+        // delegate to the sampled arm; its shrinks stay within that arm
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let ix = rng.random_range(0..self.arms.len());
+        self.arms[ix].sample_shrinkable(rng)
     }
 }
 
@@ -223,6 +361,9 @@ macro_rules! impl_int_range_strategy {
             fn shrink(&self, v: &$t) -> Vec<$t> {
                 int_shrink!($t, self.start, *v)
             }
+            fn sample_shrinkable(&self, rng: &mut StdRng) -> Shrinkable<$t> {
+                ladder_shrinkable(self.start, self.sample(rng), |lo, v| int_shrink!($t, lo, v))
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
@@ -231,6 +372,9 @@ macro_rules! impl_int_range_strategy {
             }
             fn shrink(&self, v: &$t) -> Vec<$t> {
                 int_shrink!($t, *self.start(), *v)
+            }
+            fn sample_shrinkable(&self, rng: &mut StdRng) -> Shrinkable<$t> {
+                ladder_shrinkable(*self.start(), self.sample(rng), |lo, v| int_shrink!($t, lo, v))
             }
         }
     )*};
@@ -254,10 +398,10 @@ impl Strategy for core::ops::RangeInclusive<f64> {
 }
 
 macro_rules! impl_tuple_strategy {
-    ($(($($name:ident / $ix:tt),+))*) => {$(
+    ($(($($name:ident / $alt:ident / $ix:tt),+))*) => {$(
         impl<$($name: Strategy),+> Strategy for ($($name,)+)
         where
-            $($name::Value: Clone),+
+            $($name::Value: Clone + 'static),+
         {
             type Value = ($($name::Value,)+);
             fn sample(&self, rng: &mut StdRng) -> Self::Value {
@@ -275,23 +419,47 @@ macro_rules! impl_tuple_strategy {
                 )+
                 out
             }
+            fn sample_shrinkable(&self, rng: &mut StdRng) -> Shrinkable<Self::Value> {
+                // one shrinkable per component; candidates substitute one
+                // component at a time (same order as `shrink`)
+                fn build<$($alt: Clone + 'static),+>(
+                    parts: ($(Shrinkable<$alt>,)+),
+                ) -> Shrinkable<($($alt,)+)> {
+                    let value = ($(parts.$ix.value.clone(),)+);
+                    Shrinkable {
+                        value,
+                        cands: Rc::new(move || {
+                            let mut out = Vec::new();
+                            $(
+                                for cand in parts.$ix.candidates() {
+                                    let mut np = parts.clone();
+                                    np.$ix = cand;
+                                    out.push(build(np));
+                                }
+                            )+
+                            out
+                        }),
+                    }
+                }
+                build(($(self.$ix.sample_shrinkable(rng),)+))
+            }
         }
     )*};
 }
 
 impl_tuple_strategy! {
-    (A / 0)
-    (A / 0, B / 1)
-    (A / 0, B / 1, C / 2)
-    (A / 0, B / 1, C / 2, D / 3)
-    (A / 0, B / 1, C / 2, D / 3, E / 4)
+    (A / A2 / 0)
+    (A / A2 / 0, B / B2 / 1)
+    (A / A2 / 0, B / B2 / 1, C / C2 / 2)
+    (A / A2 / 0, B / B2 / 1, C / C2 / 2, D / D2 / 3)
+    (A / A2 / 0, B / B2 / 1, C / C2 / 2, D / D2 / 3, E / E2 / 4)
 }
 
 /// Element-wise sampling of a vector of strategies (proptest impls this
 /// for `Vec<S>` too; used for "one value per feature" environments).
 impl<S: Strategy> Strategy for Vec<S>
 where
-    S::Value: Clone,
+    S::Value: Clone + 'static,
 {
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
@@ -308,6 +476,11 @@ where
             }
         }
         out
+    }
+    fn sample_shrinkable(&self, rng: &mut StdRng) -> Shrinkable<Vec<S::Value>> {
+        let parts: Vec<_> = self.iter().map(|s| s.sample_shrinkable(rng)).collect();
+        let min = parts.len(); // fixed length: never drop slots
+        vec_shrinkable(parts, min)
     }
 }
 
@@ -362,12 +535,17 @@ pub mod collection {
 
     impl<S: Strategy> Strategy for VecStrategy<S>
     where
-        S::Value: Clone,
+        S::Value: Clone + 'static,
     {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
             let len = rng.random_range(self.min..self.max_exclusive);
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        fn sample_shrinkable(&self, rng: &mut StdRng) -> super::Shrinkable<Vec<S::Value>> {
+            let len = rng.random_range(self.min..self.max_exclusive);
+            let parts = (0..len).map(|_| self.element.sample_shrinkable(rng)).collect();
+            super::vec_shrinkable(parts, self.min)
         }
         fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
             let mut out = Vec::new();
@@ -424,7 +602,7 @@ pub mod sample {
 /// Everything the tests import with `use proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+        any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Shrinkable, Strategy, TestCaseError,
         TestCaseResult, Union,
     };
     pub use crate::{
@@ -453,22 +631,24 @@ const SHRINK_BUDGET: usize = 512;
 
 /// The harness body behind the `proptest!` macro: run `cfg.cases`
 /// deterministic cases of `run` over values drawn from `strat`, minimizing
-/// the first failure via [`shrink_failure`] before panicking.
+/// the first failure via [`shrink_shrinkable`] before panicking.
 pub fn run_proptest<S: Strategy>(
     cfg: ProptestConfig,
     test_name: &str,
     strat: &S,
     mut run: impl FnMut(&S::Value) -> TestCaseResult,
-) {
+) where
+    S::Value: Clone + 'static,
+{
     let mut rejected: u32 = 0;
     for case in 0..cfg.cases {
         let mut rng = case_rng(test_name, case);
-        let vals = strat.sample(&mut rng);
-        match run(&vals) {
+        let vals = strat.sample_shrinkable(&mut rng);
+        match run(&vals.value) {
             Ok(()) => {}
             Err(TestCaseError::Reject(_)) => rejected += 1,
             Err(TestCaseError::Fail(msg)) => {
-                let (_min, msg, steps) = shrink_failure(strat, vals, msg, &mut run);
+                let (_min, msg, steps) = shrink_shrinkable(vals, msg, &mut run);
                 panic!(
                     "proptest `{}` failed at case {}/{} (after {} shrink steps): {}",
                     test_name, case, cfg.cases, steps, msg
@@ -480,6 +660,37 @@ pub fn run_proptest<S: Strategy>(
         rejected < cfg.cases,
         "proptest `{test_name}`: every case was rejected by prop_assume!"
     );
+}
+
+/// Greedily minimize a failing [`Shrinkable`]: try each lazy candidate of
+/// the current counterexample, move to the first one that still fails,
+/// repeat until no candidate fails (or the budget runs out). Because
+/// candidates carry their own shrink trees, this walk traverses `prop_map`
+/// and every other combinator. Returns the minimized value, its failure
+/// message, and the number of successful shrink steps.
+pub fn shrink_shrinkable<T: Clone + 'static>(
+    mut current: Shrinkable<T>,
+    mut message: String,
+    test: &mut dyn FnMut(&T) -> TestCaseResult,
+) -> (T, String, u32) {
+    let mut steps = 0u32;
+    let mut budget = SHRINK_BUDGET;
+    'outer: while budget > 0 {
+        for cand in current.candidates() {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(TestCaseError::Fail(m)) = test(&cand.value) {
+                current = cand;
+                message = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // no candidate still fails: local minimum reached
+    }
+    (current.value, message, steps)
 }
 
 /// Greedily minimize a failing input: try each [`Strategy::shrink`]
@@ -726,6 +937,81 @@ mod tests {
         assert!(cands.contains(&(0, 40)));
         assert!(cands.contains(&(80, 0)));
         assert!(!cands.contains(&(0, 0)), "components shrink independently");
+    }
+
+    #[test]
+    fn shrinking_traverses_prop_map() {
+        // the mapped value is always even; the property fails at >= 74.
+        // Shrinking must thread through the closure (candidates of the
+        // *input* re-mapped), so the minimum is a small even failing value
+        // — the underlying x >= 37 halving toward 0 lands in [37, 73].
+        let strat = (0i64..=1_000_000).prop_map(|x| x * 2);
+        let mut test = |v: &i64| -> TestCaseResult {
+            if *v >= 74 {
+                Err(TestCaseError::fail(format!("{v} is not < 74")))
+            } else {
+                Ok(())
+            }
+        };
+        // sample until a failing case comes up (the range is wide, so the
+        // first draw virtually always fails)
+        let mut rng = crate::case_rng("map-shrink", 0);
+        let mut sample = Strategy::sample_shrinkable(&strat, &mut rng);
+        while test(&sample.value).is_ok() {
+            sample = Strategy::sample_shrinkable(&strat, &mut rng);
+        }
+        let start = sample.value;
+        let (min, _msg, steps) = crate::shrink_shrinkable(sample, "seed".into(), &mut test);
+        assert_eq!(min % 2, 0, "shrunk value must stay in the map's image");
+        assert!((74..=146).contains(&min), "expected a near-threshold even value, got {min}");
+        assert!(steps > 0 && min < start, "the failing case must actually shrink");
+    }
+
+    #[test]
+    fn shrinking_traverses_tuples_of_maps() {
+        // both components are mapped; the property fails when the sum is
+        // large. Both must shrink through their closures independently.
+        let strat = ((0i64..=10_000).prop_map(|x| x + 1), (0i64..=10_000).prop_map(|y| y * 3));
+        let mut test = |v: &(i64, i64)| -> TestCaseResult {
+            if v.0 + v.1 >= 10 {
+                Err(TestCaseError::fail("sum too large".to_string()))
+            } else {
+                Ok(())
+            }
+        };
+        let mut rng = crate::case_rng("tuple-map-shrink", 0);
+        let mut sample = Strategy::sample_shrinkable(&strat, &mut rng);
+        while test(&sample.value).is_ok() {
+            sample = Strategy::sample_shrinkable(&strat, &mut rng);
+        }
+        let (min, _msg, _steps) = crate::shrink_shrinkable(sample, "seed".into(), &mut test);
+        assert!(min.0 + min.1 >= 10, "minimum must still fail");
+        assert!(min.0 >= 1 && min.1 % 3 == 0, "components stay in their maps' images");
+        assert!(min.0 + min.1 <= 30, "greedy descent should land near the threshold, got {min:?}");
+    }
+
+    #[test]
+    fn shrinking_traverses_collection_vec_of_maps() {
+        // a vec of mapped elements: length shrinks first, then elements
+        // shrink through the map.
+        let strat = crate::collection::vec((0i64..=1_000).prop_map(|x| x * 2), 1..8);
+        let mut test = |v: &Vec<i64>| -> TestCaseResult {
+            if v.iter().sum::<i64>() >= 100 {
+                Err(TestCaseError::fail("sum too large".to_string()))
+            } else {
+                Ok(())
+            }
+        };
+        let mut rng = crate::case_rng("vec-map-shrink", 0);
+        let mut sample = Strategy::sample_shrinkable(&strat, &mut rng);
+        while test(&sample.value).is_ok() {
+            sample = Strategy::sample_shrinkable(&strat, &mut rng);
+        }
+        let (min, _msg, _steps) = crate::shrink_shrinkable(sample, "seed".into(), &mut test);
+        assert!(min.iter().sum::<i64>() >= 100, "minimum must still fail");
+        assert!(min.iter().all(|x| x % 2 == 0), "elements stay in the map's image");
+        assert!(min.len() <= 2, "length should shrink toward one element, got {min:?}");
+        assert!(min.iter().sum::<i64>() <= 200, "elements should shrink too, got {min:?}");
     }
 
     #[test]
