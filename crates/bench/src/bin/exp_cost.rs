@@ -8,13 +8,44 @@
 //! the *token* accounting uses the same prompt/completion structure and
 //! the same price sheet.
 //!
+//! The per-search numbers are read back from the global lifecycle trace
+//! log (`search_done` events emitted by `core::search`) rather than from
+//! ad-hoc bookkeeping — so this experiment doubles as an end-to-end check
+//! that the observability layer's cost accounting agrees with the
+//! `CostLedger` the search returns.
+//!
 //! Usage: `exp_cost [--fast] [--requests N] [--seed N]`
 
 use policysmith_bench::{synthesize_for_dataset, write_json, ExpOpts};
+use policysmith_gen::tokens::{INPUT_PRICE_PER_M, OUTPUT_PRICE_PER_M};
+use policysmith_obs::TraceKind;
 use policysmith_traces::{cloudphysics, msr};
+
+/// One search's cost row, decoded from a `search_done` trace event.
+struct CostRow {
+    rounds: usize,
+    candidates: usize,
+    memo_hits: usize,
+    tokens_in: u64,
+    tokens_out: u64,
+    gen_seconds: f64,
+    eval_cpu_seconds: f64,
+}
+
+impl CostRow {
+    fn cpu_seconds(&self) -> f64 {
+        self.gen_seconds + self.eval_cpu_seconds
+    }
+
+    fn cost_usd(&self) -> f64 {
+        self.tokens_in as f64 / 1e6 * INPUT_PRICE_PER_M
+            + self.tokens_out as f64 / 1e6 * OUTPUT_PRICE_PER_M
+    }
+}
 
 fn main() {
     let opts = ExpOpts::from_args();
+    let trace = policysmith_obs::trace::global();
     let mut total_in = 0u64;
     let mut total_out = 0u64;
     let mut total_cpu = 0.0f64;
@@ -25,32 +56,78 @@ fn main() {
         (cloudphysics(), vec![89usize, 10, 40, 70], ["A", "B", "C", "D"]),
         (msr(), vec![3usize, 0, 7, 11], ["W", "X", "Y", "Z"]),
     ] {
-        for ((h, outcome), label) in
-            synthesize_for_dataset(&ds, &contexts, &labels, &opts).into_iter().zip(labels)
-        {
+        // marker before the batch of searches: the `search_done` events
+        // past it are this dataset's four searches, in order
+        let mark = trace.seq();
+        let synthesized = synthesize_for_dataset(&ds, &contexts, &labels, &opts);
+        let done: Vec<CostRow> = trace
+            .events_since(mark)
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::SearchDone {
+                    rounds,
+                    candidates_evaluated,
+                    memo_hits,
+                    tokens_in,
+                    tokens_out,
+                    gen_seconds,
+                    eval_cpu_seconds,
+                    ..
+                } => Some(CostRow {
+                    rounds,
+                    candidates: candidates_evaluated,
+                    memo_hits,
+                    tokens_in,
+                    tokens_out,
+                    gen_seconds,
+                    eval_cpu_seconds,
+                }),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            done.len(),
+            synthesized.len(),
+            "one search_done trace event per search (got {} for {} searches)",
+            done.len(),
+            synthesized.len()
+        );
+
+        for (((h, outcome), label), row) in synthesized.into_iter().zip(labels).zip(done) {
+            // the trace-decoded row must agree with the search's own ledger
             let c = outcome.cost;
+            assert_eq!(row.candidates as u64, c.candidates_evaluated, "{label}: candidates");
+            assert_eq!(row.memo_hits as u64, c.memo_hits, "{label}: memo hits");
+            assert_eq!(row.tokens_in, c.tokens.input_tokens, "{label}: input tokens");
+            assert_eq!(row.tokens_out, c.tokens.output_tokens, "{label}: output tokens");
+            assert!((row.cost_usd() - c.cost_usd()).abs() < 1e-9, "{label}: cost");
+
             println!(
-                "search {label} ({}): {} candidates, {:.1} cpu-s eval, \
+                "search {label} ({}): {} rounds, {} candidates (+{} memo), {:.1} cpu-s, \
                  {}k in / {}k out tokens, ${:.4}",
                 h.context,
-                c.candidates_evaluated,
-                c.cpu_seconds(),
-                c.tokens.input_tokens / 1_000,
-                c.tokens.output_tokens / 1_000,
-                c.cost_usd()
+                row.rounds,
+                row.candidates,
+                row.memo_hits,
+                row.cpu_seconds(),
+                row.tokens_in / 1_000,
+                row.tokens_out / 1_000,
+                row.cost_usd()
             );
-            total_in += c.tokens.input_tokens;
-            total_out += c.tokens.output_tokens;
-            total_cpu += c.cpu_seconds();
-            total_cost += c.cost_usd();
+            total_in += row.tokens_in;
+            total_out += row.tokens_out;
+            total_cpu += row.cpu_seconds();
+            total_cost += row.cost_usd();
             rows.push(serde_json::json!({
                 "label": label,
                 "context": h.context,
-                "candidates": c.candidates_evaluated,
-                "cpu_seconds": c.cpu_seconds(),
-                "input_tokens": c.tokens.input_tokens,
-                "output_tokens": c.tokens.output_tokens,
-                "cost_usd": c.cost_usd(),
+                "rounds": row.rounds,
+                "candidates": row.candidates,
+                "memo_hits": row.memo_hits,
+                "cpu_seconds": row.cpu_seconds(),
+                "input_tokens": row.tokens_in,
+                "output_tokens": row.tokens_out,
+                "cost_usd": row.cost_usd(),
             }));
         }
     }
@@ -59,7 +136,7 @@ fn main() {
         "\n=== totals over 8 searches (paper: 800k in / 300k out, ≈$7; 5.5 CPU-h for A alone) ==="
     );
     println!(
-        "tokens: {}k input / {}k output   cost ${:.4}   eval cpu {:.1} s",
+        "tokens: {}k input / {}k output   cost ${:.4}   cpu {:.1} s",
         total_in / 1_000,
         total_out / 1_000,
         total_cost,
@@ -72,7 +149,7 @@ fn main() {
             "total_input_tokens": total_in,
             "total_output_tokens": total_out,
             "total_cost_usd": total_cost,
-            "total_eval_cpu_seconds": total_cpu,
+            "total_cpu_seconds": total_cpu,
         }),
     );
 }

@@ -272,10 +272,22 @@ pub fn improvement_matrix(
 }
 
 /// Write a JSON result artifact under `results/`.
+///
+/// Object-shaped artifacts get a self-describing `"obs"` key appended:
+/// the ambient observability state (`policysmith.obs.ambient.v1` — trace
+/// log counts, never wall-clock), so every result records what
+/// instrumentation was live when it was produced without perturbing the
+/// artifact's reproducible fields.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let _ = std::fs::create_dir_all("results");
     let path = format!("results/{name}.json");
-    match serde_json::to_string_pretty(value) {
+    let mut tree = serde_json::to_value(value);
+    if let serde::Value::Object(pairs) = &mut tree {
+        if pairs.iter().all(|(k, _)| k != "obs") {
+            pairs.push(("obs".to_string(), policysmith_obs::export::ambient_value()));
+        }
+    }
+    match serde_json::to_string_pretty(&tree) {
         Ok(s) => {
             if let Err(e) = std::fs::write(&path, s) {
                 eprintln!("warn: could not write {path}: {e}");

@@ -642,6 +642,11 @@ pub fn run_search_with_retry<S: Study>(
             Err(e) => {
                 let last = attempt + 1 == max_attempts;
                 let backoff_ms = if last { 0 } else { retry.backoff_ms(attempt) };
+                policysmith_obs::emit(policysmith_obs::TraceKind::RetryAttempt {
+                    attempt: attempt + 1,
+                    error: e.to_string(),
+                    backoff_ms,
+                });
                 failures.push(SearchAttempt {
                     attempt,
                     error: e.to_string(),
@@ -655,6 +660,10 @@ pub fn run_search_with_retry<S: Study>(
                 // would land past the deadline, give up now
                 let elapsed_ms = started.elapsed().as_millis() as u64;
                 if elapsed_ms.saturating_add(backoff_ms) >= retry.deadline_ms {
+                    policysmith_obs::emit(policysmith_obs::TraceKind::RetryGaveUp {
+                        attempts: attempt + 1,
+                        why: GiveUp::DeadlineExceeded.to_string(),
+                    });
                     return RetriedSearch {
                         outcome: None,
                         failures,
@@ -667,6 +676,10 @@ pub fn run_search_with_retry<S: Study>(
             }
         }
     }
+    policysmith_obs::emit(policysmith_obs::TraceKind::RetryGaveUp {
+        attempts: max_attempts,
+        why: GiveUp::AttemptsExhausted.to_string(),
+    });
     RetriedSearch { outcome: None, failures, gave_up: Some(GiveUp::AttemptsExhausted) }
 }
 

@@ -25,9 +25,19 @@
 //! result mutex), and because [`Study::evaluate`] is pure by contract, a
 //! cross-candidate **score memo** ([`SearchConfig::score_memo`]) skips
 //! re-simulating sources the search has already scored.
+//!
+//! ## Tracing
+//!
+//! Both executors emit lifecycle span events to the global
+//! [`policysmith_obs`] trace log: `search_round_start` when a round begins
+//! generating, `search_round_end` with that round's `CostLedger` deltas
+//! when it folds, and `search_done` with the final totals. Emission is
+//! outcome-neutral — it writes to a side log and never touches scores, so
+//! the pipelined ≡ sequential bit-identity is untouched.
 
 use policysmith_dsl::Mode;
 use policysmith_gen::{Exemplar, GenError, Generator, Prompt, TokenLedger};
+use policysmith_obs::{emit, TraceKind};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
@@ -284,6 +294,7 @@ fn generate_and_check<S: Study>(
     all: &[Scored],
     round: usize,
 ) -> Result<CheckedBatch<S::Artifact>, GenError> {
+    emit(TraceKind::SearchRoundStart { round });
     let t0 = Instant::now();
     let prompt = Prompt::new(study.mode()).with_exemplars(exemplars_for(all, round, cfg));
     let batch = generator.try_generate(&prompt, cfg.candidates_per_round)?;
@@ -381,6 +392,16 @@ fn finish_round(
         all.push(Scored { source: source.clone(), score, round });
     }
     let best_so_far = all.iter().map(|s| s.score).fold(f64::NEG_INFINITY, f64::max);
+    emit(TraceKind::SearchRoundEnd {
+        round,
+        generated: batch.generated,
+        accepted: batch.sources.len(),
+        evaluated: uniq_scores.len(),
+        memo_hits: batch.sources.len() - uniq_scores.len(),
+        gen_seconds: batch.gen_seconds,
+        round_best,
+        best_so_far,
+    });
     rounds.push(RoundStats {
         round,
         generated: batch.generated,
@@ -403,6 +424,17 @@ fn seal_outcome(
         .max_by(|a, b| nan_is_worst(a.score).total_cmp(&nan_is_worst(b.score)))
         .cloned()
         .ok_or(SearchError::NoValidCandidate)?;
+    emit(TraceKind::SearchDone {
+        rounds: rounds.len(),
+        candidates_evaluated: cost.candidates_evaluated as usize,
+        memo_hits: cost.memo_hits as usize,
+        tokens_in: cost.tokens.input_tokens,
+        tokens_out: cost.tokens.output_tokens,
+        gen_seconds: cost.gen_seconds,
+        eval_seconds: cost.eval_seconds,
+        eval_cpu_seconds: cost.eval_cpu_seconds,
+        best_score: best.score,
+    });
     Ok(SearchOutcome { best, rounds, all, cost })
 }
 

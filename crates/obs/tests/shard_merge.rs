@@ -1,0 +1,98 @@
+//! The shard-merge contract, proven property-style: recording samples
+//! into per-shard histograms and merging equals recording everything into
+//! one histogram — same count, same every-quantile, same mean/max — both
+//! for plain `LatencyHistogram::merge` and for the registry's lock-free
+//! reader-side merge of `AtomicHistogram` shards.
+
+use policysmith_obs::{LatencyHistogram, MetricsRegistry};
+use proptest::prelude::*;
+
+/// Quantile ladder dense enough to cross every occupied bucket boundary
+/// for the sample counts proptest generates.
+fn ladder() -> Vec<f64> {
+    let mut qs: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+    qs.extend([0.001, 0.999, 0.9999]);
+    qs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-shard recording + merge ≡ one histogram, counts and every
+    /// quantile.
+    #[test]
+    fn merging_shard_histograms_equals_recording_into_one(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..2_000_000, 0..60),
+            1..6,
+        ),
+    ) {
+        let mut one = LatencyHistogram::new();
+        let mut merged = LatencyHistogram::new();
+        for samples in &shards {
+            let mut h = LatencyHistogram::new();
+            for &v in samples {
+                h.record(v);
+                one.record(v);
+            }
+            merged.merge(&h);
+        }
+        prop_assert_eq!(merged.count(), one.count());
+        prop_assert_eq!(merged.max(), one.max());
+        prop_assert_eq!(merged.mean(), one.mean());
+        let qs = ladder();
+        prop_assert_eq!(merged.quantiles(&qs), one.quantiles(&qs));
+        for &q in &qs {
+            prop_assert_eq!(merged.quantile(q), one.quantile(q));
+        }
+    }
+
+    /// The registry's reader-side merge over atomic shards obeys the same
+    /// identity (and each shard snapshot matches its own samples).
+    #[test]
+    fn registry_hist_merge_equals_single_histogram(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..10_000_000, 0..40),
+            1..5,
+        ),
+    ) {
+        let mut reg = MetricsRegistry::new(shards.len());
+        let hid = reg.histogram("t_ns");
+        let mut one = LatencyHistogram::new();
+        for (w, samples) in shards.iter().enumerate() {
+            let shard = reg.shard(w);
+            for &v in samples {
+                shard.record(hid, v);
+                one.record(v);
+            }
+        }
+        let merged = reg.hist_merged(hid);
+        prop_assert_eq!(merged.count(), one.count());
+        let qs = ladder();
+        prop_assert_eq!(merged.quantiles(&qs), one.quantiles(&qs));
+        for (w, samples) in shards.iter().enumerate() {
+            prop_assert_eq!(reg.hist_shard(hid, w).count(), samples.len() as u64);
+        }
+    }
+
+    /// Quantiles are monotone in q on any histogram, and batch lookup
+    /// agrees with single lookups.
+    #[test]
+    fn quantiles_are_monotone_and_batch_consistent(
+        samples in proptest::collection::vec(0u64..u64::MAX, 0..80),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let qs = ladder();
+        let batch = h.quantiles(&qs);
+        let mut last = 0u64;
+        // ladder() is ascending over 0..=1.0 for the first 101 entries
+        for (q, &got) in qs.iter().zip(&batch).take(101) {
+            prop_assert!(got >= last, "quantile({q}) = {got} < {last}");
+            prop_assert_eq!(got, h.quantile(*q));
+            last = got;
+        }
+    }
+}

@@ -21,9 +21,11 @@
 //!   its own stream.
 //! * [`runtime`] — N serving workers (lb dispatch picks off an
 //!   [`LbEngine`](policysmith_lbsim::LbEngine) fleet, cache admit/evict
-//!   priority decisions off a [`Cache`](policysmith_cachesim::Cache)), a
-//!   telemetry channel into the
-//!   [`ContextMonitor`](policysmith_core::library::ContextMonitor), and a
+//!   priority decisions off a [`Cache`](policysmith_cachesim::Cache)),
+//!   per-worker SPSC telemetry rings feeding window samples into the
+//!   [`ContextMonitor`](policysmith_core::library::ContextMonitor) —
+//!   hot-path counters and latency samples go through a sharded
+//!   [`MetricsRegistry`](policysmith_obs::MetricsRegistry) instead — and a
 //!   background adaptation thread running the
 //!   [`AdaptiveController`](policysmith_core::library::AdaptiveController)'s
 //!   non-blocking split: consult the heuristic library on drift, fall

@@ -16,8 +16,20 @@
 //! ## Adaptation path (background, never stops serving)
 //!
 //! Workers stream per-window [`WindowSample`]s (window quality signal,
-//! decision counts, serving generation) over a channel. The adaptation
-//! thread feeds the signal into the
+//! decision counts, serving generation) over **per-worker lock-free SPSC
+//! rings** ([`policysmith_obs::ring`]): a push is two atomic loads and a
+//! store into the worker's own lane, never a shared mutex. A momentarily
+//! full ring overflows into an unbounded worker-local backlog (flushed on
+//! the next window) rather than ever stalling the decision path. The one
+//! shared `mpsc` channel that remains carries only control-plane events
+//! (quarantine reports). Decision latency, adoption pauses, decision and
+//! quarantine counts flow through a sharded
+//! [`MetricsRegistry`] — per-worker
+//! shards written with plain stores, merged lock-free into
+//! [`ServeReport::metrics`]. (`ServeConfig::funnel` keeps the legacy
+//! single-mpsc funnel alive for A/B measurement in `exp_serve`.)
+//!
+//! The adaptation thread drains the rings and feeds each signal into the
 //! `AdaptiveController`'s
 //! [`ContextMonitor`]; on drift it runs the controller's non-blocking
 //! split — `try_reuse` against the heuristic library, then a full
@@ -68,11 +80,20 @@ use policysmith_kbpf::CompiledPolicy;
 use policysmith_lbsim::{
     run_phased_windowed, DispatchView, Dispatcher, ExprDispatcher, LbMetrics, Scenario,
 };
+use policysmith_obs::ring::{spsc, SpscReceiver, SpscSender};
+use policysmith_obs::{CounterId, HistId, MetricsRegistry, MetricsSnapshot, TraceKind};
 use policysmith_traces::Trace;
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+/// Per-worker window-sample ring capacity. Windows arrive at
+/// decisions/window rate (thousands per second, not millions); 8192 slots
+/// absorb multi-second adaptation stalls before the worker-local backlog
+/// kicks in.
+const WINDOW_RING_CAPACITY: usize = 8192;
 
 /// Runtime knobs.
 #[derive(Debug, Clone)]
@@ -102,6 +123,16 @@ pub struct ServeConfig {
     /// `None` — and equivalently a default all-zero spec — is the plain
     /// serve path.
     pub chaos: Option<ChaosSpec>,
+    /// Hot-path instrumentation: decision/latency/pause metrics into the
+    /// sharded registry. `false` turns every hot-path metric write (and
+    /// latency sampling) off — the `exp_obs` overhead experiment's
+    /// control arm. Telemetry *windows* still flow either way: the
+    /// adaptation loop needs them.
+    pub instrument: bool,
+    /// Route window samples through the legacy single-mpsc funnel instead
+    /// of the per-worker SPSC rings. Only for A/B throughput comparison
+    /// (`exp_serve`) — decisions are identical on both paths.
+    pub funnel: bool,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +148,8 @@ impl Default for ServeConfig {
             guard: Some(PolicyGuard::default()),
             retry: RetryPolicy::serving(),
             chaos: None,
+            instrument: true,
+            funnel: false,
         }
     }
 }
@@ -262,6 +295,11 @@ pub struct ServeReport {
     pub controller: AdaptiveController,
     /// Wall-clock seconds from first worker start to last worker finish.
     pub wall_seconds: f64,
+    /// The sharded metric set, merged lock-free at the end of the run
+    /// (self-describing; embeds into results JSON via
+    /// [`MetricsSnapshot::to_value`]). Hot-path counters/histograms are
+    /// empty when [`ServeConfig::instrument`] is off.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ServeReport {
@@ -295,14 +333,217 @@ impl ServeReport {
         v.sort_unstable();
         v
     }
+
+    /// Batch quantile lookup over the fleet-wide latency histogram (one
+    /// merge + one cumulative sweep for all requested quantiles).
+    pub fn latency_quantiles(&self, qs: &[f64]) -> Vec<u64> {
+        self.latency().quantiles(qs)
+    }
 }
 
-/// What flows from workers to the adaptation thread.
-enum TelemetryEvent {
-    /// A serving window's quality sample.
-    Window(WindowSample),
-    /// A worker tripped its fault latch and demoted to the baseline.
-    Quarantine(QuarantineReport),
+/// The serve runtime's sharded metric set: one registry, one shard per
+/// worker, fixed ids registered before any worker spawns.
+struct ServeMetrics {
+    registry: MetricsRegistry,
+    decisions: CounterId,
+    windows: CounterId,
+    window_backlogged: CounterId,
+    quarantines: CounterId,
+    latency: HistId,
+    pause: HistId,
+}
+
+impl ServeMetrics {
+    fn new(shards: usize) -> ServeMetrics {
+        let mut registry = MetricsRegistry::new(shards);
+        ServeMetrics {
+            decisions: registry.counter("serve.decisions"),
+            windows: registry.counter("serve.windows"),
+            window_backlogged: registry.counter("serve.windows_backlogged"),
+            quarantines: registry.counter("serve.quarantines"),
+            latency: registry.histogram("serve.decision_latency_ns"),
+            pause: registry.histogram("serve.adoption_pause_ns"),
+            registry,
+        }
+    }
+
+    fn shard(&self, worker: usize, instrument: bool) -> ShardMetrics<'_> {
+        ShardMetrics { m: self, worker, enabled: instrument }
+    }
+}
+
+/// One worker's writer half of [`ServeMetrics`]: plain unsynchronized
+/// stores into the worker's own shard. `enabled = false` (the `exp_obs`
+/// control arm) turns every write into a predictable no-op branch.
+#[derive(Clone, Copy)]
+struct ShardMetrics<'a> {
+    m: &'a ServeMetrics,
+    worker: usize,
+    enabled: bool,
+}
+
+impl ShardMetrics<'_> {
+    #[inline]
+    fn on_decision(&self) {
+        if self.enabled {
+            self.m.registry.shard(self.worker).add(self.m.decisions, 1);
+        }
+    }
+
+    #[inline]
+    fn record_latency(&self, ns: u64) {
+        if self.enabled {
+            self.m.registry.shard(self.worker).record(self.m.latency, ns);
+        }
+    }
+
+    fn on_window(&self) {
+        if self.enabled {
+            self.m.registry.shard(self.worker).add(self.m.windows, 1);
+        }
+    }
+
+    fn on_pause(&self, ns: u64) {
+        if self.enabled {
+            self.m.registry.shard(self.worker).record(self.m.pause, ns);
+        }
+    }
+
+    fn on_quarantine(&self) {
+        if self.enabled {
+            self.m.registry.shard(self.worker).add(self.m.quarantines, 1);
+        }
+    }
+
+    fn on_backlogged(&self, n: u64) {
+        if self.enabled && n > 0 {
+            self.m.registry.shard(self.worker).add(self.m.window_backlogged, n);
+        }
+    }
+
+    /// This worker's decision-latency histogram, snapshotted out of its
+    /// shard (empty when instrumentation is off).
+    fn latency_hist(&self) -> policysmith_obs::LatencyHistogram {
+        self.m.registry.hist_shard(self.m.latency, self.worker)
+    }
+}
+
+/// A worker's window-sample lane to the adaptation thread.
+///
+/// Sharded (default): a bounded lock-free SPSC ring plus an unbounded
+/// worker-local overflow backlog — `send` never blocks and never loses a
+/// sample while the consumer is alive. Funnel (legacy, kept for A/B
+/// measurement): the shared mpsc all workers contend on.
+enum WindowTx {
+    Sharded {
+        tx: SpscSender<WindowSample>,
+        backlog: VecDeque<WindowSample>,
+        /// Samples that transited the backlog (ring momentarily full).
+        backlogged: u64,
+    },
+    Funnel(mpsc::Sender<WindowSample>),
+}
+
+impl WindowTx {
+    /// Deliver a sample without ever blocking the decision path. Returns
+    /// `false` when the receiver is gone (the worker keeps serving
+    /// without telemetry; the caller counts the degradation).
+    fn send(&mut self, sample: WindowSample) -> bool {
+        match self {
+            WindowTx::Sharded { tx, backlog, backlogged } => {
+                if tx.receiver_closed() {
+                    return false;
+                }
+                // FIFO: older backlogged samples go first
+                while let Some(front) = backlog.pop_front() {
+                    if let Err(back) = tx.push(front) {
+                        backlog.push_front(back);
+                        break;
+                    }
+                }
+                if backlog.is_empty() {
+                    if let Err(full) = tx.push(sample) {
+                        backlog.push_back(full);
+                        *backlogged += 1;
+                    }
+                } else {
+                    backlog.push_back(sample);
+                    *backlogged += 1;
+                }
+                true
+            }
+            WindowTx::Funnel(tx) => tx.send(sample).is_ok(),
+        }
+    }
+
+    /// End of stream: flush any backlog into the ring (yield-looping while
+    /// the consumer drains — the worker is done serving, so this costs no
+    /// decisions). Returns `(undelivered, backlogged)`.
+    fn finish(self) -> (u64, u64) {
+        match self {
+            WindowTx::Sharded { mut tx, mut backlog, backlogged } => {
+                while let Some(front) = backlog.pop_front() {
+                    if tx.receiver_closed() {
+                        // consumer died: these samples are undeliverable
+                        return (backlog.len() as u64 + 1, backlogged);
+                    }
+                    if let Err(back) = tx.push(front) {
+                        backlog.push_front(back);
+                        std::thread::yield_now();
+                    }
+                }
+                (0, backlogged)
+            }
+            WindowTx::Funnel(_) => (0, 0),
+        }
+    }
+}
+
+/// The adaptation thread's consuming half of the window lanes.
+enum WindowRx {
+    Sharded {
+        rings: Vec<SpscReceiver<WindowSample>>,
+        /// Rotating scan start, so no worker's lane is structurally favored.
+        next: usize,
+    },
+    Funnel {
+        rx: mpsc::Receiver<WindowSample>,
+        disconnected: bool,
+    },
+}
+
+impl WindowRx {
+    fn pop(&mut self) -> Option<WindowSample> {
+        match self {
+            WindowRx::Sharded { rings, next } => {
+                let n = rings.len();
+                for i in 0..n {
+                    let at = (*next + i) % n;
+                    if let Some(s) = rings[at].pop() {
+                        *next = (at + 1) % n;
+                        return Some(s);
+                    }
+                }
+                None
+            }
+            WindowRx::Funnel { rx, disconnected } => match rx.try_recv() {
+                Ok(s) => Some(s),
+                Err(mpsc::TryRecvError::Empty) => None,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    *disconnected = true;
+                    None
+                }
+            },
+        }
+    }
+
+    /// Nothing queued and nothing can ever arrive again.
+    fn finished(&self) -> bool {
+        match self {
+            WindowRx::Sharded { rings, .. } => rings.iter().all(|r| r.finished()),
+            WindowRx::Funnel { disconnected, .. } => *disconnected,
+        }
+    }
 }
 
 /// What the adaptation thread hands back when the last worker hangs up.
@@ -339,8 +580,8 @@ pub fn serve_lb<S: Study + Send>(
     assert!(!shards.is_empty() && shards.iter().all(|s| !s.is_empty()), "need phases per worker");
     debug_assert_eq!(initial.mode(), Mode::Lb);
     let baseline = compile_baseline(Mode::Lb);
-    serve(cfg, initial, baseline, resynth, shards, |worker, shard, handle, tx, c, base| {
-        run_lb_worker(worker, shard, handle, tx, c, base)
+    serve(cfg, initial, baseline, resynth, shards, |worker, shard, handle, lanes, c, base| {
+        run_lb_worker(worker, shard, handle, lanes, c, base)
     })
 }
 
@@ -357,8 +598,8 @@ pub fn serve_cache<S: Study + Send>(
     assert!(!shards.is_empty(), "need a trace per worker");
     debug_assert_eq!(initial.mode(), Mode::Cache);
     let baseline = compile_baseline(Mode::Cache);
-    serve(cfg, initial, baseline, resynth, shards, move |worker, trace, handle, tx, c, base| {
-        run_cache_worker(worker, trace, capacity, handle, tx, c, base)
+    serve(cfg, initial, baseline, resynth, shards, move |worker, trace, handle, lanes, c, base| {
+        run_cache_worker(worker, trace, capacity, handle, lanes, c, base)
     })
 }
 
@@ -371,20 +612,29 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("<non-string panic payload>")
 }
 
+/// Everything a worker needs to talk to the rest of the runtime: its
+/// window-sample lane, the control-plane quarantine sender, and the
+/// writer half of its metric shard.
+struct WorkerLanes<'a> {
+    windows: WindowTx,
+    control: mpsc::Sender<QuarantineReport>,
+    metrics: ShardMetrics<'a>,
+}
+
 /// The shared scaffold: spawn one worker per shard plus the adaptation
 /// thread, join everything (a panicking thread degrades the report, it
 /// does not take the run down), assemble the report.
-fn serve<S: Study + Send, Shard: Sync>(
+fn serve<S: Study + Send, ShardInput: Sync>(
     cfg: &ServeConfig,
     initial: CompiledPolicy,
     baseline: CompiledPolicy,
     resynth: Option<Resynth<S>>,
-    shards: &[Shard],
+    shards: &[ShardInput],
     worker_fn: impl Fn(
             usize,
-            &Shard,
+            &ShardInput,
             ReaderHandle<'_, CompiledPolicy>,
-            &mpsc::Sender<TelemetryEvent>,
+            WorkerLanes<'_>,
             &ServeConfig,
             &CompiledPolicy,
         ) -> WorkerStats
@@ -394,7 +644,25 @@ fn serve<S: Study + Send, Shard: Sync>(
     debug_assert_eq!(baseline.mode(), mode);
     let initial_expr = initial.expr().clone();
     let cell = PolicyCell::new(initial, shards.len() + 1);
-    let (tx, rx) = mpsc::channel::<TelemetryEvent>();
+    let metrics = ServeMetrics::new(shards.len());
+    // control plane: quarantine reports keep the one shared mpsc
+    let (ctl_tx, ctl_rx) = mpsc::channel::<QuarantineReport>();
+    // data plane: window samples ride per-worker SPSC rings (or, for A/B
+    // measurement only, the legacy shared funnel)
+    let (mut window_txs, window_rx) = if cfg.funnel {
+        let (wtx, wrx) = mpsc::channel::<WindowSample>();
+        let txs = (0..shards.len()).map(|_| WindowTx::Funnel(wtx.clone())).collect::<Vec<_>>();
+        (txs, WindowRx::Funnel { rx: wrx, disconnected: false })
+    } else {
+        let mut txs = Vec::with_capacity(shards.len());
+        let mut rings = Vec::with_capacity(shards.len());
+        for _ in 0..shards.len() {
+            let (tx, rx) = spsc::<WindowSample>(WINDOW_RING_CAPACITY);
+            txs.push(WindowTx::Sharded { tx, backlog: VecDeque::new(), backlogged: 0 });
+            rings.push(rx);
+        }
+        (txs, WindowRx::Sharded { rings, next: 0 })
+    };
     let monitor = ContextMonitor::new(cfg.monitor_window, cfg.monitor_tolerance);
     let seed_library = resynth.as_ref().map(|r| r.library.clone()).unwrap_or_default();
     let mut controller =
@@ -406,18 +674,32 @@ fn serve<S: Study + Send, Shard: Sync>(
         let mut joins = Vec::with_capacity(shards.len());
         for (w, shard) in shards.iter().enumerate() {
             let handle = cell.register();
-            let tx = tx.clone();
+            let lanes = WorkerLanes {
+                windows: window_txs.remove(0),
+                control: ctl_tx.clone(),
+                metrics: metrics.shard(w, cfg.instrument),
+            };
             let cfg = cfg.clone();
             let worker_fn = &worker_fn;
             let baseline = baseline.clone();
-            joins.push(scope.spawn(move || worker_fn(w, shard, handle, &tx, &cfg, &baseline)));
+            joins.push(scope.spawn(move || worker_fn(w, shard, handle, lanes, &cfg, &baseline)));
         }
-        drop(tx); // the adaptation loop ends when the last worker hangs up
+        drop(ctl_tx); // the adaptation loop ends when the last worker hangs up
         let ctrl = &mut controller;
         let cellref = &cell;
         let base = &baseline;
         let background = scope.spawn(move || {
-            adaptation_loop(rx, ctrl, resynth, cellref, mode, initial_expr, base, cfg)
+            adaptation_loop(
+                ctl_rx,
+                window_rx,
+                ctrl,
+                resynth,
+                cellref,
+                mode,
+                initial_expr,
+                base,
+                cfg,
+            )
         });
         // graceful joins: a panicked worker loses its stats, not the run
         let mut stats = Vec::new();
@@ -451,15 +733,24 @@ fn serve<S: Study + Send, Shard: Sync>(
         chaos: background.chaos,
         controller,
         wall_seconds,
+        metrics: metrics.registry.snapshot(),
     }
 }
 
 /// The background §3.1 loop: drain telemetry, detect drift, answer it
 /// without ever pausing the workers — now with guarded publication,
 /// quarantine handling, and a retried/watchdogged search.
+///
+/// Two lanes feed it: the per-worker window rings (polled, lock-free) and
+/// the control-plane quarantine mpsc (blocked on with a short timeout
+/// when the rings are idle, so quarantines are answered promptly without
+/// busy-spinning). It exits once the control channel has disconnected —
+/// every worker returned — and the window lanes are fully drained, so no
+/// window a worker delivered is ever lost.
 #[allow(clippy::too_many_arguments)]
 fn adaptation_loop<S: Study>(
-    rx: mpsc::Receiver<TelemetryEvent>,
+    control: mpsc::Receiver<QuarantineReport>,
+    mut windows: WindowRx,
     controller: &mut AdaptiveController,
     mut resynth: Option<Resynth<S>>,
     cell: &PolicyCell<CompiledPolicy>,
@@ -475,11 +766,53 @@ fn adaptation_loop<S: Study>(
     let mut pending_external = chaos.external_publish;
     let mut arrivals = 0u64;
     let mut deliveries: Vec<WindowSample> = Vec::new();
+    let mut control_done = false;
 
-    while let Ok(event) = rx.recv() {
-        let sample = match event {
-            TelemetryEvent::Quarantine(q) => {
-                handle_quarantine(
+    loop {
+        // window lane: drain everything queued right now
+        let mut drained_any = false;
+        while let Some(sample) = windows.pop() {
+            drained_any = true;
+            arrivals += 1;
+
+            // chaos: an operator pushes a policy straight past the guard
+            if let Some(ext) = pending_external.as_ref() {
+                if arrivals >= ext.after_windows {
+                    if let Ok(expr) = policysmith_dsl::parse(&ext.source) {
+                        if let Ok(policy) = CompiledPolicy::compile(&expr, mode) {
+                            let generation = cell.publish(
+                                policy,
+                                format!("external publish (chaos): {}", ext.source),
+                            );
+                            report.published.push((generation, ext.source.clone()));
+                            report.chaos.external_publishes += 1;
+                            live_expr = expr;
+                        }
+                    }
+                    pending_external = None;
+                }
+            }
+
+            deliveries.clear();
+            injector.apply(sample, &mut deliveries);
+            for sample in deliveries.drain(..) {
+                process_window(
+                    sample,
+                    controller,
+                    &mut resynth,
+                    cell,
+                    mode,
+                    &mut live_expr,
+                    cfg,
+                    &mut report,
+                );
+            }
+        }
+
+        // control lane: quarantines (and worker-completion tracking)
+        loop {
+            match control.try_recv() {
+                Ok(q) => handle_quarantine(
                     q,
                     controller,
                     &resynth,
@@ -488,42 +821,39 @@ fn adaptation_loop<S: Study>(
                     baseline,
                     &mut live_expr,
                     &mut report,
-                );
-                continue;
-            }
-            TelemetryEvent::Window(sample) => sample,
-        };
-        arrivals += 1;
-
-        // chaos: an operator pushes a policy straight past the guard
-        if let Some(ext) = pending_external.as_ref() {
-            if arrivals >= ext.after_windows {
-                if let Ok(expr) = policysmith_dsl::parse(&ext.source) {
-                    if let Ok(policy) = CompiledPolicy::compile(&expr, mode) {
-                        let generation = cell
-                            .publish(policy, format!("external publish (chaos): {}", ext.source));
-                        report.published.push((generation, ext.source.clone()));
-                        report.chaos.external_publishes += 1;
-                        live_expr = expr;
-                    }
+                ),
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    control_done = true;
+                    break;
                 }
-                pending_external = None;
             }
         }
 
-        deliveries.clear();
-        injector.apply(sample, &mut deliveries);
-        for sample in deliveries.drain(..) {
-            process_window(
-                sample,
-                controller,
-                &mut resynth,
-                cell,
-                mode,
-                &mut live_expr,
-                cfg,
-                &mut report,
-            );
+        if control_done && windows.finished() {
+            break;
+        }
+        if !drained_any {
+            if control_done {
+                // workers are gone but a final backlog flush may still be
+                // in flight on a ring; yield briefly and re-drain
+                std::thread::sleep(Duration::from_micros(50));
+            } else {
+                match control.recv_timeout(Duration::from_micros(200)) {
+                    Ok(q) => handle_quarantine(
+                        q,
+                        controller,
+                        &resynth,
+                        cell,
+                        mode,
+                        baseline,
+                        &mut live_expr,
+                        &mut report,
+                    ),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => control_done = true,
+                }
+            }
         }
     }
     deliveries.clear();
@@ -699,13 +1029,25 @@ fn process_window<S: Study>(
     // incumbent in the drifted context before anything goes live
     if let Some(guard) = cfg.guard {
         match guard.screen(&r.study, &source, &to_source(live_expr)) {
-            GuardVerdict::Admit { .. } => {}
+            GuardVerdict::Admit { candidate_score, incumbent_score } => {
+                policysmith_obs::emit(TraceKind::GuardAdmit {
+                    context: r.context.clone(),
+                    candidate_score,
+                    incumbent_score,
+                });
+            }
             GuardVerdict::Reject { reason, candidate_score, incumbent_score } => {
                 if matches!(reason, RejectReason::RuntimeFault) {
                     // a candidate that faults in shadow evaluation would
                     // fault in production: quarantine it preemptively
                     controller.poison(&source);
                 }
+                policysmith_obs::emit(TraceKind::GuardReject {
+                    context: r.context.clone(),
+                    reason: reason.describe(),
+                    candidate_score,
+                    incumbent_score,
+                });
                 report.rejections.push(RejectedAdaptation {
                     context: r.context.clone(),
                     source,
@@ -771,21 +1113,24 @@ fn process_window<S: Study>(
 /// became the default, with no serve-side opt-in and no change to the
 /// fault-latch contract (the batched argmin latches the same
 /// lowest-index fault the scalar loop did).
-struct ServeLbHost<'h, 'c> {
+struct ServeLbHost<'h, 'c, 'm> {
     handle: &'h mut ReaderHandle<'c, CompiledPolicy>,
     inner: ExprDispatcher,
     /// Shared with the window callback so samples can report the
     /// generation that served them (worker-local, single-threaded).
     generation: Rc<Cell<u64>>,
     pauses_ns: Vec<u64>,
-    latency: LatencyHistogram,
+    /// Writer half of this worker's metric shard (latency histogram,
+    /// decision/pause/quarantine counters — plain stores, merged
+    /// lock-free by the reader).
+    metrics: ShardMetrics<'m>,
     sample_every: u64,
     decisions: u64,
     log: Option<Vec<u32>>,
     // -- fault path --
     worker: usize,
     started: Instant,
-    tx: mpsc::Sender<TelemetryEvent>,
+    control: mpsc::Sender<QuarantineReport>,
     baseline: CompiledPolicy,
     /// Source of the policy currently hosted (what a quarantine names).
     current_source: String,
@@ -798,7 +1143,7 @@ struct ServeLbHost<'h, 'c> {
     stall: Option<crate::chaos::WorkerStall>,
 }
 
-impl ServeLbHost<'_, '_> {
+impl ServeLbHost<'_, '_, '_> {
     /// Chaos: a periodic decision-path stall (deterministic in decision
     /// count, so it needs no rng).
     fn maybe_stall(&self) {
@@ -813,7 +1158,7 @@ impl ServeLbHost<'_, '_> {
     }
 }
 
-impl Dispatcher for ServeLbHost<'_, '_> {
+impl Dispatcher for ServeLbHost<'_, '_, '_> {
     fn name(&self) -> &str {
         "serve"
     }
@@ -827,14 +1172,17 @@ impl Dispatcher for ServeLbHost<'_, '_> {
             self.inner = ExprDispatcher::new("serve", policy);
             self.in_fallback = false;
             self.generation.set(now);
-            self.pauses_ns.push(t0.elapsed().as_nanos() as u64);
+            let pause = t0.elapsed().as_nanos() as u64;
+            self.pauses_ns.push(pause);
+            self.metrics.on_pause(pause);
         }
         self.maybe_stall();
-        let sampled = self.sample_every <= 1 || self.decisions.is_multiple_of(self.sample_every);
+        let sampled = self.metrics.enabled
+            && (self.sample_every <= 1 || self.decisions.is_multiple_of(self.sample_every));
         let t0 = sampled.then(Instant::now);
         let p = self.inner.pick(view);
         if let Some(t0) = t0 {
-            self.latency.record(t0.elapsed().as_nanos() as u64);
+            self.metrics.record_latency(t0.elapsed().as_nanos() as u64);
         }
         // safe-fallback chain, local leg: the dispatcher latched a runtime
         // fault (it already degraded this pick internally — nothing was
@@ -842,6 +1190,11 @@ impl Dispatcher for ServeLbHost<'_, '_> {
         if !self.in_fallback {
             let fault = self.inner.first_error().map(|f| f.to_string());
             if let Some(fault) = fault {
+                policysmith_obs::emit(TraceKind::Demotion {
+                    worker: self.worker,
+                    generation: self.generation.get(),
+                    fault: fault.clone(),
+                });
                 let q = QuarantineReport {
                     worker: self.worker,
                     generation: self.generation.get(),
@@ -849,18 +1202,20 @@ impl Dispatcher for ServeLbHost<'_, '_> {
                     fault,
                     at_micros: self.started.elapsed().as_micros() as u64,
                 };
-                if self.tx.send(TelemetryEvent::Quarantine(q)).is_err() {
+                if self.control.send(q).is_err() {
                     self.dropped.set(self.dropped.get() + 1);
                 }
                 self.inner = ExprDispatcher::new("serve-fallback", self.baseline.clone());
                 self.in_fallback = true;
                 self.quarantines += 1;
+                self.metrics.on_quarantine();
             }
         }
         if let Some(log) = self.log.as_mut() {
             log.push(p as u32);
         }
         self.decisions += 1;
+        self.metrics.on_decision();
         p
     }
 }
@@ -869,10 +1224,12 @@ fn run_lb_worker(
     worker: usize,
     phases: &[Scenario],
     mut handle: ReaderHandle<'_, CompiledPolicy>,
-    tx: &mpsc::Sender<TelemetryEvent>,
+    lanes: WorkerLanes<'_>,
     cfg: &ServeConfig,
     baseline: &CompiledPolicy,
 ) -> WorkerStats {
+    let WorkerLanes { windows, control, metrics } = lanes;
+    let mut windows = windows;
     let started = Instant::now();
     // initial adoption is deployment, not a swap: not a recorded pause
     let initial_generation = handle.cell().generation();
@@ -885,13 +1242,13 @@ fn run_lb_worker(
         inner: ExprDispatcher::new("serve", initial),
         generation: Rc::clone(&generation),
         pauses_ns: Vec::new(),
-        latency: LatencyHistogram::new(),
+        metrics,
         sample_every: cfg.latency_sample_every,
         decisions: 0,
         log: cfg.record_decisions.then(Vec::new),
         worker,
         started,
-        tx: tx.clone(),
+        control,
         baseline: baseline.clone(),
         current_source,
         in_fallback: false,
@@ -912,17 +1269,22 @@ fn run_lb_worker(
         };
         // a dead receiver must not panic a serving worker: keep serving
         // without telemetry, count the degradation
-        if tx.send(TelemetryEvent::Window(sample)).is_err() {
+        if windows.send(sample) {
+            metrics.on_window();
+        } else {
             dropped.set(dropped.get() + 1);
         }
         seq += 1;
     });
+    let (undelivered, backlogged) = windows.finish();
+    dropped.set(dropped.get() + undelivered);
+    metrics.on_backlogged(backlogged);
 
     WorkerStats {
         worker,
         decisions: host.decisions,
         wall_seconds: started.elapsed().as_secs_f64(),
-        latency: host.latency,
+        latency: metrics.latency_hist(),
         swap_pauses_ns: host.pauses_ns,
         lb_metrics: Some(phased.combined),
         cache_result: None,
@@ -938,17 +1300,17 @@ fn run_cache_worker(
     trace: &Trace,
     capacity: u64,
     mut handle: ReaderHandle<'_, CompiledPolicy>,
-    tx: &mpsc::Sender<TelemetryEvent>,
+    lanes: WorkerLanes<'_>,
     cfg: &ServeConfig,
     baseline: &CompiledPolicy,
 ) -> WorkerStats {
+    let WorkerLanes { mut windows, control, metrics } = lanes;
     // swap-capable hosts keep every tracker warm (see `track_everything`)
     let initial = handle.pin().clone();
     let mut current_source = to_source(initial.expr());
     let mut cache = Cache::new(capacity, PriorityPolicy::new("serve", initial).track_everything());
     let mut generation = handle.cell().generation();
     let mut pauses_ns = Vec::new();
-    let mut latency = LatencyHistogram::new();
     let mut log = cfg.record_decisions.then(Vec::new);
     let mut decisions = 0u64;
     let mut in_fallback = false;
@@ -969,7 +1331,9 @@ fn run_cache_worker(
                 cache.policy.swap_policy(policy);
                 in_fallback = false;
                 generation = now;
-                pauses_ns.push(t0.elapsed().as_nanos() as u64);
+                let pause = t0.elapsed().as_nanos() as u64;
+                pauses_ns.push(pause);
+                metrics.on_pause(pause);
             }
             if let Some(st) = stall {
                 if st.every_decisions > 0
@@ -979,18 +1343,24 @@ fn run_cache_worker(
                     std::thread::sleep(Duration::from_micros(st.stall_micros));
                 }
             }
-            let sampled =
-                cfg.latency_sample_every <= 1 || decisions.is_multiple_of(cfg.latency_sample_every);
+            let sampled = metrics.enabled
+                && (cfg.latency_sample_every <= 1
+                    || decisions.is_multiple_of(cfg.latency_sample_every));
             let t0 = sampled.then(Instant::now);
             let hit = cache.request(req);
             if let Some(t0) = t0 {
-                latency.record(t0.elapsed().as_nanos() as u64);
+                metrics.record_latency(t0.elapsed().as_nanos() as u64);
             }
             // safe-fallback chain, local leg (see the lb host): demote to
             // LRU on a latched fault, report, keep serving
             if !in_fallback {
                 let fault = cache.policy.first_error().map(|f| f.to_string());
                 if let Some(fault) = fault {
+                    policysmith_obs::emit(TraceKind::Demotion {
+                        worker,
+                        generation,
+                        fault: fault.clone(),
+                    });
                     let q = QuarantineReport {
                         worker,
                         generation,
@@ -998,18 +1368,20 @@ fn run_cache_worker(
                         fault,
                         at_micros: started.elapsed().as_micros() as u64,
                     };
-                    if tx.send(TelemetryEvent::Quarantine(q)).is_err() {
+                    if control.send(q).is_err() {
                         telemetry_dropped += 1;
                     }
                     cache.policy.swap_policy(baseline.clone());
                     in_fallback = true;
                     quarantines += 1;
+                    metrics.on_quarantine();
                 }
             }
             if let Some(log) = log.as_mut() {
                 log.push(hit as u32);
             }
             decisions += 1;
+            metrics.on_decision();
         }
         let after = cache.result();
         let window_requests = after.requests - before.requests;
@@ -1027,16 +1399,21 @@ fn run_cache_worker(
             generation,
             at_micros: started.elapsed().as_micros() as u64,
         };
-        if tx.send(TelemetryEvent::Window(sample)).is_err() {
+        if windows.send(sample) {
+            metrics.on_window();
+        } else {
             telemetry_dropped += 1;
         }
     }
+    let (undelivered, backlogged) = windows.finish();
+    telemetry_dropped += undelivered;
+    metrics.on_backlogged(backlogged);
 
     WorkerStats {
         worker,
         decisions,
         wall_seconds: started.elapsed().as_secs_f64(),
-        latency,
+        latency: metrics.latency_hist(),
         swap_pauses_ns: pauses_ns,
         lb_metrics: None,
         cache_result: Some(cache.result()),

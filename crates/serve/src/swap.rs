@@ -112,6 +112,7 @@ impl<T: Send + Sync> PolicyCell<T> {
     /// retire the deposed value, reclaim whatever no reader can still
     /// hold, and append to the serve log. Returns the new generation.
     pub fn publish(&self, value: T, provenance: impl Into<String>) -> u64 {
+        let provenance = provenance.into();
         let fresh = Box::into_raw(Box::new(value));
         let old = self.current.swap(fresh, Ordering::SeqCst);
         // Bump AFTER the swap: a reader pinned at `>= generation` is
@@ -127,9 +128,14 @@ impl<T: Send + Sync> PolicyCell<T> {
             self.reclaim_locked(&mut retired);
             retired.len()
         };
+        policysmith_obs::emit(policysmith_obs::TraceKind::Publish {
+            generation,
+            provenance: provenance.clone(),
+            retire_backlog: backlog,
+        });
         self.log.lock().unwrap_or_else(|e| e.into_inner()).push(SwapRecord {
             generation,
-            provenance: provenance.into(),
+            provenance,
             at_micros: self.start.elapsed().as_micros() as u64,
             retire_backlog: backlog,
         });

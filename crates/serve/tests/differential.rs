@@ -134,6 +134,47 @@ fn multi_worker_shards_each_match_their_own_batch_run() {
     assert_eq!(telemetry_decisions, report.total_decisions());
 }
 
+/// The sharded metrics registry is an *accounting view* over the same
+/// run: its merged counters must agree with the report's ground truth,
+/// and the funnel transport must produce the identical decision stream.
+#[test]
+fn sharded_metrics_account_for_every_decision_and_window() {
+    let sc = scenario::two_tier_fleet();
+    let src = POLICIES[1];
+    let mk = |funnel: bool| {
+        let cfg =
+            ServeConfig { workers: 3, record_decisions: true, funnel, ..ServeConfig::default() };
+        let shards = loadgen::lb_shards(std::slice::from_ref(&sc), 3);
+        serve_lb(&shards, compiled(src, Mode::Lb), &cfg, no_resynth())
+    };
+    let sharded = mk(false);
+    let funnel = mk(true);
+
+    // transport never influences decisions
+    for (a, b) in sharded.workers.iter().zip(&funnel.workers) {
+        assert_eq!(a.decisions_log, b.decisions_log, "worker {}", a.worker);
+        assert_eq!(a.lb_metrics, b.lb_metrics, "worker {}", a.worker);
+    }
+
+    // merged registry counters agree with the report's ground truth
+    let m = &sharded.metrics;
+    assert_eq!(m.counter("serve.decisions"), sharded.total_decisions());
+    assert_eq!(m.counter("serve.windows"), sharded.windows.len() as u64);
+    assert_eq!(m.counter("serve.quarantines"), 0);
+    let hist = m.histogram("serve.decision_latency_ns").expect("latency histogram registered");
+    assert_eq!(hist.count(), sharded.latency().count());
+    assert!(hist.count() > 0, "latency sampling recorded through the registry");
+
+    // instrument = false empties the hot-path metrics but not the windows
+    let cfg = ServeConfig { workers: 2, instrument: false, ..ServeConfig::default() };
+    let shards = loadgen::lb_shards(std::slice::from_ref(&sc), 2);
+    let dark = serve_lb(&shards, compiled(src, Mode::Lb), &cfg, no_resynth());
+    assert_eq!(dark.metrics.counter("serve.decisions"), 0);
+    assert_eq!(dark.latency().count(), 0);
+    let telemetry: u64 = dark.windows.iter().map(|s| s.decisions).sum();
+    assert_eq!(telemetry, dark.total_decisions(), "windows flow regardless of the gate");
+}
+
 #[test]
 fn cache_serve_is_decision_identical_to_the_batch_simulator() {
     use policysmith_cachesim::{Cache, PriorityPolicy};
@@ -166,13 +207,17 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Randomized no-drift equivalence: any preset × policy × telemetry
-    /// window cadence serves exactly the batch decisions — the window
-    /// size (how often telemetry is cut) must never influence decisions.
+    /// window cadence × transport (sharded SPSC rings or the legacy mpsc
+    /// funnel) × instrumentation gate serves exactly the batch decisions —
+    /// how telemetry is cut, carried, and counted must never influence
+    /// decisions.
     #[test]
     fn serve_equals_batch_for_any_preset_policy_and_window(
         preset_ix in 0usize..7,
         policy_ix in 0usize..3,
         window in proptest::sample::select(vec![64usize, 500, 4096]),
+        funnel in any::<bool>(),
+        instrument in any::<bool>(),
     ) {
         let sc = scenario::all_presets().swap_remove(preset_ix);
         let src = POLICIES[policy_ix];
@@ -180,6 +225,8 @@ proptest! {
             workers: 1,
             window,
             record_decisions: true,
+            funnel,
+            instrument,
             ..ServeConfig::default()
         };
         let shards = loadgen::lb_shards(std::slice::from_ref(&sc), 1);

@@ -13,5 +13,6 @@ pub use policysmith_gen as gen;
 pub use policysmith_kbpf as kbpf;
 pub use policysmith_lbsim as lbsim;
 pub use policysmith_netsim as netsim;
+pub use policysmith_obs as obs;
 pub use policysmith_serve as serve;
 pub use policysmith_traces as traces;
